@@ -1,0 +1,519 @@
+// Per-figure benchmarks: every table and figure of the paper's evaluation
+// has a Benchmark* target here that regenerates its rows (see the
+// per-experiment index in DESIGN.md). Throughput figures report a "tx/s"
+// metric; speedup figures report "speedup"; theory benchmarks report the
+// measured competitive ratio. The workload geometry is scaled so the whole
+// suite finishes in CI time — run the cmd/ tools for full sweeps.
+package shrink
+
+import (
+	"testing"
+	"time"
+
+	"github.com/shrink-tm/shrink/internal/bench7"
+	"github.com/shrink-tm/shrink/internal/harness"
+	"github.com/shrink-tm/shrink/internal/microbench"
+	"github.com/shrink-tm/shrink/internal/sched"
+	"github.com/shrink-tm/shrink/internal/schedsim"
+	"github.com/shrink-tm/shrink/internal/stamp"
+	"github.com/shrink-tm/shrink/internal/stm"
+)
+
+const benchDur = 30 * time.Millisecond
+
+// measure runs one harness cell per benchmark iteration and reports the
+// mean committed-transaction throughput.
+func measure(b *testing.B, cfg harness.Config, w func() harness.Workload) harness.Result {
+	b.Helper()
+	var last harness.Result
+	var total float64
+	for i := 0; i < b.N; i++ {
+		res, err := harness.Run(cfg, w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += res.Throughput
+		last = res
+	}
+	b.ReportMetric(total/float64(b.N), "tx/s")
+	b.ReportMetric(last.AbortRate, "abortRate")
+	return last
+}
+
+func speedup(b *testing.B, base harness.Config, w func() harness.Workload) {
+	b.Helper()
+	var total float64
+	for i := 0; i < b.N; i++ {
+		without := base
+		without.Scheduler = harness.SchedNone
+		with := base
+		with.Scheduler = harness.SchedShrink
+		r0, err := harness.Run(without, w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r1, err := harness.Run(with, w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += harness.Speedup(r1, r0)
+	}
+	b.ReportMetric(total/float64(b.N), "speedup")
+}
+
+// --- E1: Theorem 1 — Serializer and ATS are O(n)-competitive (Fig. 2) ---
+
+func BenchmarkTheorem1Serializer(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		ins := schedsim.SerializerLowerBound(32)
+		res := schedsim.SimulateSerializer(ins)
+		opt, _ := schedsim.OptimalMakespan(ins)
+		ratio = res.Ratio(opt)
+	}
+	b.ReportMetric(ratio, "competitiveRatio")
+}
+
+func BenchmarkTheorem1ATS(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		ins := schedsim.ATSLowerBound(32, 4)
+		res := schedsim.SimulateATS(ins, 4)
+		opt, _ := schedsim.OptimalMakespan(ins)
+		ratio = res.Ratio(opt)
+	}
+	b.ReportMetric(ratio, "competitiveRatio")
+}
+
+// --- E2: Theorem 2 — Restart is 2-competitive ---
+
+func BenchmarkTheorem2Restart(b *testing.B) {
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		worst = 0
+		for _, ins := range []*schedsim.Instance{
+			schedsim.SerializerLowerBound(32),
+			schedsim.ATSLowerBound(32, 4),
+			schedsim.StaggeredCliques([]int{4, 6, 4, 6}),
+		} {
+			res := schedsim.SimulateRestart(ins, ins)
+			opt, _ := schedsim.OptimalMakespan(ins)
+			if r := res.Ratio(opt); r > worst {
+				worst = r
+			}
+		}
+	}
+	b.ReportMetric(worst, "competitiveRatio")
+}
+
+// --- E3: Theorem 3 — Inaccurate prediction is O(n)-competitive ---
+
+func BenchmarkTheorem3Inaccurate(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		actual, predicted := schedsim.InaccurateLowerBound(32)
+		res := schedsim.SimulateInaccurate(actual, predicted)
+		opt, _ := schedsim.OptimalMakespan(actual)
+		ratio = res.Ratio(opt)
+	}
+	b.ReportMetric(ratio, "competitiveRatio")
+}
+
+// --- E4: Figure 3 — access-set prediction accuracy on STMBench7 ---
+
+func BenchmarkFig3PredictionAccuracy(b *testing.B) {
+	for _, mix := range []bench7.Mix{bench7.ReadDominated, bench7.ReadWrite, bench7.WriteDominated} {
+		mix := mix
+		b.Run(mix.String(), func(b *testing.B) {
+			var readAcc, writeAcc float64
+			for i := 0; i < b.N; i++ {
+				res, err := harness.Run(harness.Config{
+					Engine:        harness.EngineSwiss,
+					Scheduler:     harness.SchedShrink,
+					Threads:       8,
+					Duration:      benchDur,
+					Cores:         8,
+					TrackAccuracy: true,
+				}, func() harness.Workload { return bench7.NewWorkload(mix, bench7.Params{}) })
+				if err != nil {
+					b.Fatal(err)
+				}
+				readAcc, writeAcc = res.ReadAccuracy, res.WriteAccuracy
+			}
+			b.ReportMetric(readAcc*100, "readAcc%")
+			b.ReportMetric(writeAcc*100, "writeAcc%")
+		})
+	}
+}
+
+// --- E5: Figure 5 — SwissTM on STMBench7 (preemptive waiting) ---
+
+func BenchmarkFig5SwissSTMBench7(b *testing.B) {
+	for _, scheduler := range []string{
+		harness.SchedNone, harness.SchedPool, harness.SchedShrink, harness.SchedATS,
+	} {
+		for _, threads := range []int{4, 16} {
+			scheduler, threads := scheduler, threads
+			b.Run(scheduler+"/rw/t"+itoa(threads), func(b *testing.B) {
+				measure(b, harness.Config{
+					Engine:    harness.EngineSwiss,
+					Scheduler: scheduler,
+					Wait:      stm.WaitPreemptive,
+					Threads:   threads,
+					Duration:  benchDur,
+					Cores:     8,
+				}, func() harness.Workload {
+					return bench7.NewWorkload(bench7.ReadWrite, bench7.Params{})
+				})
+			})
+		}
+	}
+}
+
+// --- E6: Figure 6 — Shrink-SwissTM speedup on STAMP ---
+
+func BenchmarkFig6SwissSTAMP(b *testing.B) {
+	for _, kernel := range stamp.Names() {
+		for _, threads := range []int{8, 32} {
+			kernel, threads := kernel, threads
+			b.Run(kernel+"/t"+itoa(threads), func(b *testing.B) {
+				speedup(b, harness.Config{
+					Engine:   harness.EngineSwiss,
+					Threads:  threads,
+					Duration: benchDur,
+					Cores:    8,
+					Seed:     1,
+				}, func() harness.Workload { return stamp.MustNew(kernel) })
+			})
+		}
+	}
+}
+
+// --- E7: Figure 7 — SwissTM red-black tree ---
+
+func BenchmarkFig7SwissRBTree(b *testing.B) {
+	for _, rate := range []int{20, 70} {
+		for _, scheduler := range []string{harness.SchedNone, harness.SchedShrink, harness.SchedATS} {
+			rate, scheduler := rate, scheduler
+			b.Run(itoa(rate)+"pct/"+scheduler, func(b *testing.B) {
+				measure(b, harness.Config{
+					Engine:    harness.EngineSwiss,
+					Scheduler: scheduler,
+					Threads:   16,
+					Duration:  benchDur,
+					Cores:     8,
+					Seed:      1,
+				}, func() harness.Workload { return microbench.NewRBTree(16384, rate) })
+			})
+		}
+	}
+}
+
+// --- E8: Figure 8 — TinySTM on STMBench7 ---
+
+func BenchmarkFig8TinySTMBench7(b *testing.B) {
+	for _, scheduler := range []string{harness.SchedNone, harness.SchedShrink} {
+		for _, threads := range []int{4, 24} {
+			scheduler, threads := scheduler, threads
+			b.Run(scheduler+"/r/t"+itoa(threads), func(b *testing.B) {
+				measure(b, harness.Config{
+					Engine:    harness.EngineTiny,
+					Scheduler: scheduler,
+					Threads:   threads,
+					Duration:  benchDur,
+					Cores:     8,
+				}, func() harness.Workload {
+					return bench7.NewWorkload(bench7.ReadDominated, bench7.Params{})
+				})
+			})
+		}
+	}
+}
+
+// --- E9: Figure 9 — SwissTM with busy waiting on STMBench7 ---
+
+func BenchmarkFig9SwissBusySTMBench7(b *testing.B) {
+	for _, scheduler := range []string{harness.SchedNone, harness.SchedShrink} {
+		scheduler := scheduler
+		b.Run(scheduler+"/rw/t16", func(b *testing.B) {
+			measure(b, harness.Config{
+				Engine:    harness.EngineSwiss,
+				Scheduler: scheduler,
+				Wait:      stm.WaitBusy,
+				Threads:   16,
+				Duration:  benchDur,
+				Cores:     8,
+			}, func() harness.Workload {
+				return bench7.NewWorkload(bench7.ReadWrite, bench7.Params{})
+			})
+		})
+	}
+}
+
+// --- E10: Figure 10 — Shrink-TinySTM speedup on STAMP ---
+
+func BenchmarkFig10TinySTAMP(b *testing.B) {
+	for _, kernel := range []string{"intruder", "vacation-high", "vacation-low", "yada"} {
+		kernel := kernel
+		b.Run(kernel+"/t32", func(b *testing.B) {
+			speedup(b, harness.Config{
+				Engine:   harness.EngineTiny,
+				Threads:  32,
+				Duration: benchDur,
+				Cores:    8,
+				Seed:     1,
+			}, func() harness.Workload { return stamp.MustNew(kernel) })
+		})
+	}
+}
+
+// --- E11: Figure 11 — TinySTM red-black tree ---
+
+func BenchmarkFig11TinyRBTree(b *testing.B) {
+	for _, rate := range []int{20, 70} {
+		for _, scheduler := range []string{harness.SchedNone, harness.SchedShrink} {
+			rate, scheduler := rate, scheduler
+			b.Run(itoa(rate)+"pct/"+scheduler+"/t16", func(b *testing.B) {
+				measure(b, harness.Config{
+					Engine:    harness.EngineTiny,
+					Scheduler: scheduler,
+					Threads:   16,
+					Duration:  benchDur,
+					Cores:     8,
+					Seed:      1,
+				}, func() harness.Workload { return microbench.NewRBTree(16384, rate) })
+			})
+		}
+	}
+}
+
+// --- Ablations (DESIGN.md's design-choice benches) ---
+
+// BenchmarkAblationWritePred compares Shrink with and without write-set
+// prediction on the write-heavy red-black tree.
+func BenchmarkAblationWritePred(b *testing.B) {
+	for _, disable := range []bool{false, true} {
+		disable := disable
+		name := "on"
+		if disable {
+			name = "off"
+		}
+		b.Run("writePred-"+name, func(b *testing.B) {
+			cfg := sched.DefaultShrinkConfig()
+			cfg.DisableWritePrediction = disable
+			measure(b, harness.Config{
+				Engine:       harness.EngineTiny,
+				Scheduler:    harness.SchedShrink,
+				Threads:      16,
+				Duration:     benchDur,
+				Cores:        8,
+				Seed:         1,
+				ShrinkConfig: &cfg,
+			}, func() harness.Workload { return microbench.NewRBTree(4096, 70) })
+		})
+	}
+}
+
+// BenchmarkAblationAffinity compares serialization affinity against
+// unconditional read-set checking.
+func BenchmarkAblationAffinity(b *testing.B) {
+	for _, disable := range []bool{false, true} {
+		disable := disable
+		name := "affinity"
+		if disable {
+			name = "always"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := sched.DefaultShrinkConfig()
+			cfg.DisableAffinity = disable
+			measure(b, harness.Config{
+				Engine:       harness.EngineSwiss,
+				Scheduler:    harness.SchedShrink,
+				Threads:      16,
+				Duration:     benchDur,
+				Cores:        8,
+				Seed:         1,
+				ShrinkConfig: &cfg,
+			}, func() harness.Workload {
+				return bench7.NewWorkload(bench7.WriteDominated, bench7.Params{})
+			})
+		})
+	}
+}
+
+// BenchmarkAblationWindow sweeps the locality window size.
+func BenchmarkAblationWindow(b *testing.B) {
+	for _, window := range []int{2, 4, 8} {
+		window := window
+		b.Run("w"+itoa(window), func(b *testing.B) {
+			cfg := sched.DefaultShrinkConfig()
+			cfg.Predict.LocalityWindow = window
+			measure(b, harness.Config{
+				Engine:       harness.EngineSwiss,
+				Scheduler:    harness.SchedShrink,
+				Threads:      16,
+				Duration:     benchDur,
+				Cores:        8,
+				Seed:         1,
+				ShrinkConfig: &cfg,
+			}, func() harness.Workload {
+				return bench7.NewWorkload(bench7.ReadWrite, bench7.Params{})
+			})
+		})
+	}
+}
+
+// BenchmarkAblationEagerPrediction quantifies the lazy-activation
+// optimization (DESIGN.md substitution note) against Algorithm 1's
+// always-on tracking.
+func BenchmarkAblationEagerPrediction(b *testing.B) {
+	for _, eager := range []bool{false, true} {
+		eager := eager
+		name := "lazy"
+		if eager {
+			name = "eager"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := sched.DefaultShrinkConfig()
+			cfg.EagerPrediction = eager
+			measure(b, harness.Config{
+				Engine:       harness.EngineSwiss,
+				Scheduler:    harness.SchedShrink,
+				Threads:      1,
+				Duration:     benchDur,
+				Cores:        8,
+				Seed:         1,
+				ShrinkConfig: &cfg,
+			}, func() harness.Workload { return microbench.NewRBTree(16384, 20) })
+		})
+	}
+}
+
+// BenchmarkAblationSetStructure compares the red-black tree against the
+// skip list under Shrink at the same key range and update mix: the
+// skiplist's smaller, rotation-free write sets change what the write
+// prediction can latch onto.
+func BenchmarkAblationSetStructure(b *testing.B) {
+	workloads := map[string]func() harness.Workload{
+		"rbtree":   func() harness.Workload { return microbench.NewRBTree(4096, 20) },
+		"skiplist": func() harness.Workload { return microbench.NewSkipListSet(4096, 20) },
+	}
+	for name, w := range workloads {
+		name, w := name, w
+		b.Run(name, func(b *testing.B) {
+			measure(b, harness.Config{
+				Engine:    harness.EngineSwiss,
+				Scheduler: harness.SchedShrink,
+				Threads:   8,
+				Duration:  benchDur,
+				Cores:     8,
+				Seed:      1,
+			}, w)
+		})
+	}
+}
+
+// BenchmarkAblationAdaptive compares paper-exact Shrink against the
+// feedback-tuned AdaptiveShrink extension on a contended workload.
+func BenchmarkAblationAdaptive(b *testing.B) {
+	for _, scheduler := range []string{harness.SchedShrink, harness.SchedAdaptive} {
+		scheduler := scheduler
+		b.Run(scheduler, func(b *testing.B) {
+			measure(b, harness.Config{
+				Engine:    harness.EngineTiny,
+				Scheduler: scheduler,
+				Threads:   16,
+				Duration:  benchDur,
+				Cores:     8,
+				Seed:      1,
+			}, func() harness.Workload { return microbench.NewRBTree(4096, 70) })
+		})
+	}
+}
+
+// --- Engine microbenchmarks (ns/op, allocations) ---
+
+func BenchmarkSwissReadOnlyTx(b *testing.B) {
+	tm := newEngine(b, harness.EngineSwiss)
+	th := tm.Register("b")
+	v := stm.NewVar(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = th.Atomically(func(tx stm.Tx) error {
+			_, err := tx.Read(v)
+			return err
+		})
+	}
+}
+
+func BenchmarkSwissUpdateTx(b *testing.B) {
+	tm := newEngine(b, harness.EngineSwiss)
+	th := tm.Register("b")
+	v := stm.NewVar(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = th.Atomically(func(tx stm.Tx) error {
+			n, err := tx.Read(v)
+			if err != nil {
+				return err
+			}
+			return tx.Write(v, n.(int)+1)
+		})
+	}
+}
+
+func BenchmarkTinyUpdateTx(b *testing.B) {
+	tm := newEngine(b, harness.EngineTiny)
+	th := tm.Register("b")
+	v := stm.NewVar(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = th.Atomically(func(tx stm.Tx) error {
+			n, err := tx.Read(v)
+			if err != nil {
+				return err
+			}
+			return tx.Write(v, n.(int)+1)
+		})
+	}
+}
+
+func newEngine(b *testing.B, name string) stm.TM {
+	b.Helper()
+	res, _, err := harnessBuild(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// harnessBuild exposes the harness engine construction for microbenches.
+func harnessBuild(engine string) (stm.TM, string, error) {
+	switch engine {
+	case harness.EngineSwiss, harness.EngineTiny:
+	default:
+		return nil, "", errUnknownEngine
+	}
+	tm, err := harness.NewTM(harness.Config{Engine: engine})
+	return tm, engine, err
+}
+
+var errUnknownEngine = errString("unknown engine")
+
+type errString string
+
+func (e errString) Error() string { return string(e) }
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,92 @@
+// Command predacc regenerates Figure 3: the accuracy of Shrink's read-set
+// and write-set predictions on STMBench7, per workload mix, across thread
+// counts, measured inside a live Shrink-SwissTM run.
+//
+// Usage:
+//
+//	predacc
+//	predacc -mix w -threads 2,8,24 -dur 300ms -csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/shrink-tm/shrink/internal/bench7"
+	"github.com/shrink-tm/shrink/internal/harness"
+	"github.com/shrink-tm/shrink/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "predacc:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("predacc", flag.ContinueOnError)
+	var (
+		engine  = fs.String("stm", "swiss", "STM engine: swiss or tiny")
+		mixName = fs.String("mix", "all", "workload mix: r, rw, w, or all")
+		threads = fs.String("threads", "2,3,4,6,8,10,12,16,20,24", "thread counts")
+		dur     = fs.Duration("dur", 200*time.Millisecond, "measurement duration per cell")
+		cores   = fs.Int("cores", 8, "emulated core count (GOMAXPROCS)")
+		csv     = fs.Bool("csv", false, "emit CSV instead of text tables")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var counts []int
+	for _, p := range strings.Split(*threads, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n <= 0 {
+			return fmt.Errorf("bad thread count %q", p)
+		}
+		counts = append(counts, n)
+	}
+	mixes := []bench7.Mix{bench7.ReadDominated, bench7.ReadWrite, bench7.WriteDominated}
+	if *mixName != "all" {
+		m, err := bench7.ParseMix(*mixName)
+		if err != nil {
+			return err
+		}
+		mixes = []bench7.Mix{m}
+	}
+
+	readTable := report.NewTable("Read set prediction accuracy on STMBench7 (%)", "threads", "accuracy %")
+	writeTable := report.NewTable("Write set prediction accuracy on STMBench7 (%)", "threads", "accuracy %")
+	for _, mix := range mixes {
+		for _, n := range counts {
+			res, err := harness.Run(harness.Config{
+				Engine:        *engine,
+				Scheduler:     harness.SchedShrink,
+				Threads:       n,
+				Duration:      *dur,
+				Cores:         *cores,
+				Seed:          1,
+				TrackAccuracy: true,
+			}, func() harness.Workload {
+				return bench7.NewWorkload(mix, bench7.Params{})
+			})
+			if err != nil {
+				return err
+			}
+			readTable.Add(mix.String(), n, res.ReadAccuracy*100)
+			writeTable.Add(mix.String(), n, res.WriteAccuracy*100)
+		}
+	}
+	if *csv {
+		readTable.WriteCSV(os.Stdout)
+		fmt.Println()
+		writeTable.WriteCSV(os.Stdout)
+	} else {
+		readTable.WriteText(os.Stdout)
+		writeTable.WriteText(os.Stdout)
+	}
+	return nil
+}

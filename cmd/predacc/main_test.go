@@ -1,0 +1,22 @@
+package main
+
+import "testing"
+
+func TestRunEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	err := run([]string{"-mix", "r", "-threads", "2", "-dur", "15ms"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-threads", "junk"}); err == nil {
+		t.Fatal("junk threads accepted")
+	}
+	if err := run([]string{"-mix", "bogus"}); err == nil {
+		t.Fatal("bogus mix accepted")
+	}
+}

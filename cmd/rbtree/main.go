@@ -1,0 +1,100 @@
+// Command rbtree regenerates the paper's red-black tree microbenchmark
+// figures: Figure 7 (SwissTM: base vs Shrink vs ATS) and Figure 11
+// (TinySTM: base vs Shrink), at 20% and 70% update rates over an integer
+// range of 16384.
+//
+// Usage:
+//
+//	rbtree -stm swiss -updates 20
+//	rbtree -stm tiny -updates 70 -threads 1,4,8,12,24
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/shrink-tm/shrink/internal/harness"
+	"github.com/shrink-tm/shrink/internal/microbench"
+	"github.com/shrink-tm/shrink/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "rbtree:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("rbtree", flag.ContinueOnError)
+	var (
+		engine  = fs.String("stm", "swiss", "STM engine: swiss or tiny")
+		updates = fs.Int("updates", 0, "update percentage: 20, 70, or 0 for both")
+		keys    = fs.Int("range", 16384, "integer set key range")
+		threads = fs.String("threads", "", "thread counts (default: paper's 1..24)")
+		dur     = fs.Duration("dur", 200*time.Millisecond, "measurement duration per cell")
+		cores   = fs.Int("cores", 8, "emulated core count (GOMAXPROCS)")
+		csv     = fs.Bool("csv", false, "emit CSV instead of text tables")
+		reps    = fs.Int("reps", 1, "runs per cell; the median is reported")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	counts := harness.PaperThreadCounts()
+	if *threads != "" {
+		counts = counts[:0]
+		for _, p := range strings.Split(*threads, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(p))
+			if err != nil || n <= 0 {
+				return fmt.Errorf("bad thread count %q", p)
+			}
+			counts = append(counts, n)
+		}
+	}
+	rates := []int{20, 70}
+	if *updates != 0 {
+		rates = []int{*updates}
+	}
+	schedulers := []string{harness.SchedNone, harness.SchedShrink, harness.SchedATS}
+	if *engine == harness.EngineTiny {
+		schedulers = []string{harness.SchedNone, harness.SchedShrink}
+	}
+
+	for _, rate := range rates {
+		table := report.NewTable(
+			fmt.Sprintf("Red-black tree, %d%% updates, range %d, on %s", rate, *keys, *engine),
+			"threads", "committed tx/s")
+		for _, scheduler := range schedulers {
+			name := *engine
+			if scheduler != harness.SchedNone {
+				name = scheduler + "-" + *engine
+			}
+			for _, n := range counts {
+				res, err := harness.RunMedian(harness.Config{
+					Engine:    *engine,
+					Scheduler: scheduler,
+					Threads:   n,
+					Duration:  *dur,
+					Cores:     *cores,
+					Seed:      1,
+				}, *reps, func() harness.Workload { return microbench.NewRBTree(*keys, rate) })
+				if err != nil {
+					return err
+				}
+				table.Add(name, n, res.Throughput)
+			}
+		}
+		if *csv {
+			table.WriteCSV(os.Stdout)
+			fmt.Println()
+		} else {
+			table.WriteText(os.Stdout)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,19 @@
+package main
+
+import "testing"
+
+func TestRunEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	err := run([]string{"-updates", "20", "-range", "256", "-threads", "2", "-dur", "15ms"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-threads", "0"}); err == nil {
+		t.Fatal("zero threads accepted")
+	}
+}

@@ -1,0 +1,18 @@
+package main
+
+import "testing"
+
+func TestRunDefaultSizes(t *testing.T) {
+	if err := run(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadSizes(t *testing.T) {
+	if err := run([]string{"-sizes", "2"}); err == nil {
+		t.Fatal("size below 3 accepted")
+	}
+	if err := run([]string{"-sizes", "x"}); err == nil {
+		t.Fatal("junk size accepted")
+	}
+}

@@ -1,0 +1,101 @@
+// Command stamp regenerates the paper's STAMP speedup figures: Figure 6
+// (Shrink-SwissTM over base SwissTM) and Figure 10 (Shrink-TinySTM over
+// base TinySTM), reporting "speedup - 1" per kernel for underloaded
+// (2/4/8 threads) and overloaded (16/32/64) configurations.
+//
+// Usage:
+//
+//	stamp -stm swiss
+//	stamp -stm tiny -kernels intruder,yada -threads 16,32,64
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/shrink-tm/shrink/internal/harness"
+	"github.com/shrink-tm/shrink/internal/report"
+	"github.com/shrink-tm/shrink/internal/stamp"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "stamp:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("stamp", flag.ContinueOnError)
+	var (
+		engine  = fs.String("stm", "swiss", "STM engine: swiss or tiny")
+		kernels = fs.String("kernels", "", "comma-separated kernels (default: all ten)")
+		threads = fs.String("threads", "", "thread counts (default: 2,4,8,16,32,64)")
+		dur     = fs.Duration("dur", 200*time.Millisecond, "measurement duration per cell")
+		cores   = fs.Int("cores", 8, "emulated core count (GOMAXPROCS)")
+		csv     = fs.Bool("csv", false, "emit CSV instead of text tables")
+		reps    = fs.Int("reps", 1, "runs per cell; the median is reported")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	names := stamp.Names()
+	if *kernels != "" {
+		names = strings.Split(*kernels, ",")
+		for _, n := range names {
+			if _, err := stamp.New(n); err != nil {
+				return err
+			}
+		}
+	}
+	counts := append(harness.StampUnderloaded(), harness.StampOverloaded()...)
+	if *threads != "" {
+		counts = counts[:0]
+		for _, p := range strings.Split(*threads, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(p))
+			if err != nil || n <= 0 {
+				return fmt.Errorf("bad thread count %q", p)
+			}
+			counts = append(counts, n)
+		}
+	}
+
+	table := report.NewTable(
+		fmt.Sprintf("STAMP speedup-1 of Shrink-%s over base %s", *engine, *engine),
+		"threads", "speedup - 1")
+	for _, name := range names {
+		for _, n := range counts {
+			base, err := measure(*engine, harness.SchedNone, name, n, *dur, *cores, *reps)
+			if err != nil {
+				return err
+			}
+			shrink, err := measure(*engine, harness.SchedShrink, name, n, *dur, *cores, *reps)
+			if err != nil {
+				return err
+			}
+			table.Add(name, n, harness.Speedup(shrink, base)-1)
+		}
+	}
+	if *csv {
+		table.WriteCSV(os.Stdout)
+	} else {
+		table.WriteText(os.Stdout)
+	}
+	return nil
+}
+
+func measure(engine, scheduler, kernel string, threads int, dur time.Duration, cores, reps int) (harness.Result, error) {
+	return harness.RunMedian(harness.Config{
+		Engine:    engine,
+		Scheduler: scheduler,
+		Threads:   threads,
+		Duration:  dur,
+		Cores:     cores,
+		Seed:      1,
+	}, reps, func() harness.Workload { return stamp.MustNew(kernel) })
+}

@@ -1,0 +1,22 @@
+package main
+
+import "testing"
+
+func TestRunEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	err := run([]string{"-kernels", "ssca2", "-threads", "2", "-dur", "15ms"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-threads", "zero"}); err == nil {
+		t.Fatal("junk threads accepted")
+	}
+	if err := run([]string{"-kernels", "nope", "-threads", "1", "-dur", "5ms"}); err == nil {
+		t.Fatal("unknown kernel accepted")
+	}
+}

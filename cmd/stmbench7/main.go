@@ -1,0 +1,162 @@
+// Command stmbench7 regenerates the paper's STMBench7 throughput figures:
+// Figure 5 (SwissTM, preemptive waiting, base vs Pool vs Shrink vs ATS),
+// Figure 8 (TinySTM, base vs Shrink) and Figure 9 (SwissTM, busy waiting),
+// as committed-transactions-per-second series over thread counts.
+//
+// Usage:
+//
+//	stmbench7 -stm swiss -wait preemptive -mix all -dur 300ms
+//	stmbench7 -stm tiny -mix w -threads 1,4,8,16,24 -csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/shrink-tm/shrink/internal/bench7"
+	"github.com/shrink-tm/shrink/internal/harness"
+	"github.com/shrink-tm/shrink/internal/report"
+	"github.com/shrink-tm/shrink/internal/stm"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "stmbench7:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("stmbench7", flag.ContinueOnError)
+	var (
+		engine    = fs.String("stm", "swiss", "STM engine: swiss or tiny")
+		waitName  = fs.String("wait", "", "waiting policy: preemptive or busy (default: engine's)")
+		mixName   = fs.String("mix", "all", "workload mix: r, rw, w, or all")
+		threads   = fs.String("threads", "", "comma-separated thread counts (default: paper's 1..24)")
+		dur       = fs.Duration("dur", 200*time.Millisecond, "measurement duration per cell")
+		cores     = fs.Int("cores", 8, "emulated core count (GOMAXPROCS)")
+		csv       = fs.Bool("csv", false, "emit CSV instead of text tables")
+		reps      = fs.Int("reps", 1, "runs per cell; the median is reported")
+		schedList = fs.String("schedulers", "", "comma-separated schedulers (default: figure's set)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	wait, err := parseWait(*waitName)
+	if err != nil {
+		return err
+	}
+	counts, err := parseThreads(*threads)
+	if err != nil {
+		return err
+	}
+	mixes, err := parseMixes(*mixName)
+	if err != nil {
+		return err
+	}
+	schedulers := defaultSchedulers(*engine, *schedList)
+
+	for _, mix := range mixes {
+		title := fmt.Sprintf("STMBench7 %s on %s (%s waiting)", mix, *engine, waitLabel(wait, *engine))
+		table := report.NewTable(title, "threads", "committed tx/s")
+		for _, scheduler := range schedulers {
+			for _, n := range counts {
+				res, err := harness.RunMedian(harness.Config{
+					Engine:    *engine,
+					Scheduler: scheduler,
+					Wait:      wait,
+					Threads:   n,
+					Duration:  *dur,
+					Cores:     *cores,
+				}, *reps, func() harness.Workload {
+					return bench7.NewWorkload(mix, bench7.Params{})
+				})
+				if err != nil {
+					return err
+				}
+				table.Add(seriesName(*engine, scheduler), n, res.Throughput)
+			}
+		}
+		if *csv {
+			table.WriteCSV(os.Stdout)
+			fmt.Println()
+		} else {
+			table.WriteText(os.Stdout)
+		}
+	}
+	return nil
+}
+
+func parseWait(s string) (stm.WaitPolicy, error) {
+	switch s {
+	case "":
+		return 0, nil
+	case "preemptive":
+		return stm.WaitPreemptive, nil
+	case "busy":
+		return stm.WaitBusy, nil
+	default:
+		return 0, fmt.Errorf("unknown wait policy %q", s)
+	}
+}
+
+func waitLabel(w stm.WaitPolicy, engine string) string {
+	if w != 0 {
+		return w.String()
+	}
+	if engine == harness.EngineTiny {
+		return "busy"
+	}
+	return "preemptive"
+}
+
+func parseThreads(s string) ([]int, error) {
+	if s == "" {
+		return harness.PaperThreadCounts(), nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad thread count %q", p)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func parseMixes(s string) ([]bench7.Mix, error) {
+	if s == "all" {
+		return []bench7.Mix{bench7.ReadDominated, bench7.ReadWrite, bench7.WriteDominated}, nil
+	}
+	m, err := bench7.ParseMix(s)
+	if err != nil {
+		return nil, err
+	}
+	return []bench7.Mix{m}, nil
+}
+
+func defaultSchedulers(engine, override string) []string {
+	if override != "" {
+		return strings.Split(override, ",")
+	}
+	if engine == harness.EngineTiny {
+		// Figure 8 compares base TinySTM against Shrink-TinySTM.
+		return []string{harness.SchedNone, harness.SchedShrink}
+	}
+	// Figure 5 compares all four SwissTM variants.
+	return []string{harness.SchedNone, harness.SchedPool, harness.SchedShrink, harness.SchedATS}
+}
+
+func seriesName(engine, scheduler string) string {
+	if scheduler == harness.SchedNone {
+		return engine
+	}
+	return scheduler + "-" + engine
+}

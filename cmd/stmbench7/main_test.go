@@ -1,0 +1,87 @@
+package main
+
+import (
+	"testing"
+
+	"github.com/shrink-tm/shrink/internal/stm"
+)
+
+func TestParseWait(t *testing.T) {
+	if w, err := parseWait(""); err != nil || w != 0 {
+		t.Fatalf("empty: %v %v", w, err)
+	}
+	if w, err := parseWait("preemptive"); err != nil || w != stm.WaitPreemptive {
+		t.Fatalf("preemptive: %v %v", w, err)
+	}
+	if w, err := parseWait("busy"); err != nil || w != stm.WaitBusy {
+		t.Fatalf("busy: %v %v", w, err)
+	}
+	if _, err := parseWait("nope"); err == nil {
+		t.Fatal("bad wait accepted")
+	}
+}
+
+func TestParseThreads(t *testing.T) {
+	counts, err := parseThreads("")
+	if err != nil || len(counts) == 0 {
+		t.Fatalf("default: %v %v", counts, err)
+	}
+	counts, err = parseThreads("1, 2,8")
+	if err != nil || len(counts) != 3 || counts[2] != 8 {
+		t.Fatalf("explicit: %v %v", counts, err)
+	}
+	if _, err := parseThreads("0"); err == nil {
+		t.Fatal("zero accepted")
+	}
+	if _, err := parseThreads("x"); err == nil {
+		t.Fatal("junk accepted")
+	}
+}
+
+func TestParseMixes(t *testing.T) {
+	ms, err := parseMixes("all")
+	if err != nil || len(ms) != 3 {
+		t.Fatalf("all: %v %v", ms, err)
+	}
+	ms, err = parseMixes("w")
+	if err != nil || len(ms) != 1 {
+		t.Fatalf("w: %v %v", ms, err)
+	}
+	if _, err := parseMixes("zzz"); err == nil {
+		t.Fatal("bad mix accepted")
+	}
+}
+
+func TestSeriesNaming(t *testing.T) {
+	if got := seriesName("swiss", "none"); got != "swiss" {
+		t.Fatalf("base name = %q", got)
+	}
+	if got := seriesName("tiny", "shrink"); got != "shrink-tiny" {
+		t.Fatalf("shrink name = %q", got)
+	}
+	if got := defaultSchedulers("tiny", ""); len(got) != 2 {
+		t.Fatalf("tiny schedulers = %v", got)
+	}
+	if got := defaultSchedulers("swiss", ""); len(got) != 4 {
+		t.Fatalf("swiss schedulers = %v", got)
+	}
+	if got := defaultSchedulers("swiss", "none,shrink"); len(got) != 2 {
+		t.Fatalf("override = %v", got)
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	err := run([]string{"-mix", "r", "-threads", "2", "-dur", "15ms", "-cores", "2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-stm", "bogus"}); err == nil {
+		t.Fatal("bogus engine accepted")
+	}
+	if err := run([]string{"-threads", "junk"}); err == nil {
+		t.Fatal("junk threads accepted")
+	}
+}

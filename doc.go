@@ -1,0 +1,17 @@
+// Package shrink is a Go reproduction of "Preventing versus Curing:
+// Avoiding Conflicts in Transactional Memories" (Dragojević, Singh,
+// Guerraoui, Singh; PODC 2009): the Shrink prediction-based transaction
+// scheduler, two word-based STM engines (SwissTM-like and TinySTM-like) it
+// attaches to, the baseline schedulers and contention managers it is
+// evaluated against, the benchmarks of the paper's evaluation (STMBench7,
+// ten STAMP kernels, a red-black tree microbenchmark), and a simulator for
+// the paper's scheduling theory (Theorems 1-3).
+//
+// The implementation lives under internal/; the runnable entry points are
+// the commands under cmd/ (one per figure family), the examples under
+// examples/, and the per-figure benchmarks in bench_test.go. See README.md
+// for a map and EXPERIMENTS.md for measured-versus-paper results.
+package shrink
+
+// Version identifies the reproduction release.
+const Version = "1.0.0"

@@ -1,0 +1,424 @@
+package bench7
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/shrink-tm/shrink/internal/stm"
+)
+
+// OpKind categorizes an operation for the workload mixes.
+type OpKind int
+
+// Operation categories, mirroring STMBench7's grouping.
+const (
+	// OpRead: short traversals and queries.
+	OpRead OpKind = iota + 1
+	// OpUpdate: traversals/operations with in-place updates.
+	OpUpdate
+	// OpStructural: structural modifications (insert/delete parts).
+	OpStructural
+)
+
+// Operation is one STMBench7 operation template.
+type Operation struct {
+	Name string
+	Kind OpKind
+	Run  func(b *Benchmark, th stm.Thread, rng *rand.Rand) error
+}
+
+// Operations returns the benchmark's operation set: a representative subset
+// of STMBench7's traversals (T), short traversals (ST), queries/operations
+// (OP/Q) and structural modifications (SM), with long traversals excluded
+// (the paper sets long traversals off).
+func Operations() []Operation {
+	return []Operation{
+		{"ST1-assembly-scan", OpRead, opShortTraversal},
+		{"OP1-atomic-by-id", OpRead, opQueryAtomicByID},
+		{"OP2-read-document", OpRead, opReadDocument},
+		{"Q6-date-range", OpRead, opDateRangeQuery},
+		{"ST9-graph-walk", OpRead, opGraphWalk},
+		{"T2a-swap-coords", OpUpdate, opSwapCoordinates},
+		{"T3a-update-dates", OpUpdate, opUpdateBuildDates},
+		{"OP9-touch-document", OpUpdate, opRewriteDocument},
+		{"OP15-bump-composite", OpUpdate, opBumpCompositeDate},
+		{"SM1-insert-atomic", OpStructural, opInsertAtomicPart},
+		{"SM2-delete-atomic", OpStructural, opDeleteAtomicPart},
+		{"SM6-swap-component", OpStructural, opSwapComponent},
+	}
+}
+
+// randomBase picks a random base assembly (immutable array: no tx needed).
+func (b *Benchmark) randomBase(rng *rand.Rand) *BaseAssembly {
+	return b.Bases[rng.Intn(len(b.Bases))]
+}
+
+func (b *Benchmark) randomComposite(rng *rand.Rand) *CompositePart {
+	return b.Composites[rng.Intn(len(b.Composites))]
+}
+
+func (b *Benchmark) randomAtomicID(rng *rand.Rand) uint64 {
+	max := b.Params.CompositeParts * b.Params.AtomicPartsPerComposite
+	return uint64(rng.Intn(max) + 1)
+}
+
+// opShortTraversal (ST1): walk one base assembly's composite parts and read
+// the coordinates of each part's atomic graph entry region.
+func opShortTraversal(b *Benchmark, th stm.Thread, rng *rand.Rand) error {
+	seed := rng.Int63()
+	return th.Atomically(func(tx stm.Tx) error {
+		oprng := rand.New(rand.NewSource(seed))
+		ba, err := b.TraverseToBase(tx, oprng)
+		if err != nil || ba == nil {
+			return err
+		}
+		comps, err := readComponents(tx, ba)
+		if err != nil {
+			return err
+		}
+		sum := 0
+		for _, cp := range comps {
+			parts, err := readParts(tx, cp)
+			if err != nil {
+				return err
+			}
+			limit := len(parts)
+			if limit > 8 {
+				limit = 8
+			}
+			for _, ap := range parts[:limit] {
+				x, err := tx.Read(ap.X)
+				if err != nil {
+					return err
+				}
+				y, err := tx.Read(ap.Y)
+				if err != nil {
+					return err
+				}
+				sum += x.(int) + y.(int)
+			}
+		}
+		_ = sum
+		return nil
+	})
+}
+
+// opQueryAtomicByID (OP1): index lookup plus field reads.
+func opQueryAtomicByID(b *Benchmark, th stm.Thread, rng *rand.Rand) error {
+	id := b.randomAtomicID(rng)
+	return th.Atomically(func(tx stm.Tx) error {
+		raw, ok, err := b.AtomicIndex.Get(tx, id)
+		if err != nil || !ok {
+			return err // deleted by an SM2: a legal miss
+		}
+		ap, ok := raw.(*AtomicPart)
+		if !ok {
+			return fmt.Errorf("index holds %T", raw)
+		}
+		if _, err := tx.Read(ap.X); err != nil {
+			return err
+		}
+		_, err = tx.Read(ap.Date)
+		return err
+	})
+}
+
+// opReadDocument (OP2): read a composite part's documentation.
+func opReadDocument(b *Benchmark, th stm.Thread, rng *rand.Rand) error {
+	seed := rng.Int63()
+	return th.Atomically(func(tx stm.Tx) error {
+		oprng := rand.New(rand.NewSource(seed))
+		cp, err := b.TraverseToComposite(tx, oprng)
+		if err != nil || cp == nil {
+			return err
+		}
+		txt, err := tx.Read(cp.Doc.Text)
+		if err != nil {
+			return err
+		}
+		_ = len(txt.(string))
+		_, err = tx.Read(cp.Date)
+		return err
+	})
+}
+
+// opDateRangeQuery (Q6): count atomic parts in a build-date window through
+// the date index.
+func opDateRangeQuery(b *Benchmark, th stm.Thread, rng *rand.Rand) error {
+	lo := rng.Intn(b.Params.MaxBuildDate - 10)
+	return th.Atomically(func(tx stm.Tx) error {
+		total := 0
+		for d := lo; d < lo+10; d++ {
+			raw, ok, err := b.DateIndex.Get(tx, uint64(d))
+			if err != nil {
+				return err
+			}
+			if ok {
+				n, _ := raw.(int)
+				total += n
+			}
+		}
+		_ = total
+		return nil
+	})
+}
+
+// opGraphWalk (ST9): follow atomic connections from a composite's root.
+func opGraphWalk(b *Benchmark, th stm.Thread, rng *rand.Rand) error {
+	steps := 12
+	seed := rng.Int63()
+	return th.Atomically(func(tx stm.Tx) error {
+		oprng := rand.New(rand.NewSource(seed))
+		cp, err := b.TraverseToComposite(tx, oprng)
+		if err != nil || cp == nil {
+			return err
+		}
+		ap := cp.Root
+		for i := 0; i < steps && ap != nil; i++ {
+			if _, err := tx.Read(ap.X); err != nil {
+				return err
+			}
+			conns, err := readConns(tx, ap)
+			if err != nil {
+				return err
+			}
+			if len(conns) == 0 {
+				break
+			}
+			ap = conns[i%len(conns)]
+		}
+		return nil
+	})
+}
+
+// opSwapCoordinates (T2a): swap x and y of the atomic parts of one
+// composite part in a base assembly.
+func opSwapCoordinates(b *Benchmark, th stm.Thread, rng *rand.Rand) error {
+	seed := rng.Int63()
+	return th.Atomically(func(tx stm.Tx) error {
+		oprng := rand.New(rand.NewSource(seed))
+		ba, err := b.TraverseToBase(tx, oprng)
+		if err != nil || ba == nil {
+			return err
+		}
+		comps, err := readComponents(tx, ba)
+		if err != nil {
+			return err
+		}
+		if len(comps) == 0 {
+			return nil
+		}
+		cp := comps[oprng.Intn(len(comps))]
+		parts, err := readParts(tx, cp)
+		if err != nil {
+			return err
+		}
+		limit := len(parts)
+		if limit > 6 {
+			limit = 6
+		}
+		for _, ap := range parts[:limit] {
+			x, err := tx.Read(ap.X)
+			if err != nil {
+				return err
+			}
+			y, err := tx.Read(ap.Y)
+			if err != nil {
+				return err
+			}
+			if err := tx.Write(ap.X, y); err != nil {
+				return err
+			}
+			if err := tx.Write(ap.Y, x); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// opUpdateBuildDates (T3a): bump the build dates of a composite's atomic
+// parts, maintaining the date index.
+func opUpdateBuildDates(b *Benchmark, th stm.Thread, rng *rand.Rand) error {
+	seed := rng.Int63()
+	return th.Atomically(func(tx stm.Tx) error {
+		oprng := rand.New(rand.NewSource(seed))
+		cp, err := b.TraverseToComposite(tx, oprng)
+		if err != nil || cp == nil {
+			return err
+		}
+		parts, err := readParts(tx, cp)
+		if err != nil {
+			return err
+		}
+		limit := len(parts)
+		if limit > 4 {
+			limit = 4
+		}
+		for _, ap := range parts[:limit] {
+			raw, err := tx.Read(ap.Date)
+			if err != nil {
+				return err
+			}
+			old := raw.(int)
+			nw := (old + 1) % b.Params.MaxBuildDate
+			if err := tx.Write(ap.Date, nw); err != nil {
+				return err
+			}
+			if err := b.bumpDateIndex(tx, old, -1); err != nil {
+				return err
+			}
+			if err := b.bumpDateIndex(tx, nw, +1); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// opRewriteDocument (OP9): replace a document's text.
+func opRewriteDocument(b *Benchmark, th stm.Thread, rng *rand.Rand) error {
+	stamp := rng.Int()
+	seed := rng.Int63()
+	return th.Atomically(func(tx stm.Tx) error {
+		oprng := rand.New(rand.NewSource(seed))
+		cp, err := b.TraverseToComposite(tx, oprng)
+		if err != nil || cp == nil {
+			return err
+		}
+		raw, err := tx.Read(cp.Doc.Text)
+		if err != nil {
+			return err
+		}
+		_ = raw
+		return tx.Write(cp.Doc.Text, fmt.Sprintf("doc %d rev %d", cp.ID, stamp))
+	})
+}
+
+// opBumpCompositeDate (OP15): update a composite part's build date.
+func opBumpCompositeDate(b *Benchmark, th stm.Thread, rng *rand.Rand) error {
+	seed := rng.Int63()
+	return th.Atomically(func(tx stm.Tx) error {
+		oprng := rand.New(rand.NewSource(seed))
+		cp, err := b.TraverseToComposite(tx, oprng)
+		if err != nil || cp == nil {
+			return err
+		}
+		raw, err := tx.Read(cp.Date)
+		if err != nil {
+			return err
+		}
+		return tx.Write(cp.Date, (raw.(int)+1)%b.Params.MaxBuildDate)
+	})
+}
+
+// opInsertAtomicPart (SM1): create an atomic part inside a random composite
+// part, wire it to existing parts, and index it.
+func opInsertAtomicPart(b *Benchmark, th stm.Thread, rng *rand.Rand) error {
+	date := rng.Intn(b.Params.MaxBuildDate)
+	x, y := rng.Intn(1000), rng.Intn(1000)
+	seed := rng.Int63()
+	return th.Atomically(func(tx stm.Tx) error {
+		oprng := rand.New(rand.NewSource(seed))
+		cp, err := b.TraverseToComposite(tx, oprng)
+		if err != nil || cp == nil {
+			return err
+		}
+		raw, err := tx.Read(b.nextAtomicID)
+		if err != nil {
+			return err
+		}
+		id := raw.(int64) + 1
+		if err := tx.Write(b.nextAtomicID, id); err != nil {
+			return err
+		}
+		parts, err := readParts(tx, cp)
+		if err != nil {
+			return err
+		}
+		ap := &AtomicPart{
+			ID:    id,
+			X:     stm.NewVar(x),
+			Y:     stm.NewVar(y),
+			Date:  stm.NewVar(date),
+			Owner: cp,
+		}
+		conns := make([]*AtomicPart, 0, b.Params.ConnectionsPerAtomic)
+		for i := 0; i < b.Params.ConnectionsPerAtomic && len(parts) > 0; i++ {
+			conns = append(conns, parts[oprng.Intn(len(parts))])
+		}
+		ap.Conns = stm.NewVar(conns)
+		newParts := make([]*AtomicPart, 0, len(parts)+1)
+		newParts = append(newParts, parts...)
+		newParts = append(newParts, ap)
+		if err := tx.Write(cp.Parts, newParts); err != nil {
+			return err
+		}
+		if _, err := b.AtomicIndex.Put(tx, uint64(id), ap); err != nil {
+			return err
+		}
+		return b.bumpDateIndex(tx, date, +1)
+	})
+}
+
+// opDeleteAtomicPart (SM2): remove a non-root atomic part from a composite
+// part and from the indexes.
+func opDeleteAtomicPart(b *Benchmark, th stm.Thread, rng *rand.Rand) error {
+	seed := rng.Int63()
+	return th.Atomically(func(tx stm.Tx) error {
+		oprng := rand.New(rand.NewSource(seed))
+		cp, err := b.TraverseToComposite(tx, oprng)
+		if err != nil || cp == nil {
+			return err
+		}
+		parts, err := readParts(tx, cp)
+		if err != nil {
+			return err
+		}
+		if len(parts) <= 2 {
+			return nil // keep the graph non-degenerate
+		}
+		idx := 1 + oprng.Intn(len(parts)-1) // never the root (index 0)
+		victim := parts[idx]
+		newParts := make([]*AtomicPart, 0, len(parts)-1)
+		newParts = append(newParts, parts[:idx]...)
+		newParts = append(newParts, parts[idx+1:]...)
+		if err := tx.Write(cp.Parts, newParts); err != nil {
+			return err
+		}
+		if _, err := b.AtomicIndex.Delete(tx, uint64(victim.ID)); err != nil {
+			return err
+		}
+		raw, err := tx.Read(victim.Date)
+		if err != nil {
+			return err
+		}
+		return b.bumpDateIndex(tx, raw.(int), -1)
+	})
+}
+
+// opSwapComponent (SM6): replace one composite reference of a base assembly
+// with a random composite from the pool.
+func opSwapComponent(b *Benchmark, th stm.Thread, rng *rand.Rand) error {
+	replacement := b.randomComposite(rng)
+	seed := rng.Int63()
+	return th.Atomically(func(tx stm.Tx) error {
+		oprng := rand.New(rand.NewSource(seed))
+		ba, err := b.TraverseToBase(tx, oprng)
+		if err != nil || ba == nil {
+			return err
+		}
+		comps, err := readComponents(tx, ba)
+		if err != nil {
+			return err
+		}
+		if len(comps) == 0 {
+			return nil
+		}
+		idx := oprng.Intn(len(comps))
+		newComps := make([]*CompositePart, len(comps))
+		copy(newComps, comps)
+		newComps[idx] = replacement
+		return tx.Write(ba.Components, newComps)
+	})
+}

@@ -1,0 +1,278 @@
+package bench7
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/shrink-tm/shrink/internal/stm"
+)
+
+// ExtendedOperations returns the full operation set: Operations() plus the
+// second tier of STMBench7 operations (deeper traversals, index range
+// queries, document searches, and the heavier structural modifications).
+// NewWorkload uses the base set by default; NewExtendedWorkload uses this
+// one.
+func ExtendedOperations() []Operation {
+	return append(Operations(),
+		Operation{"T1-full-traversal", OpRead, opFullTraversal},
+		Operation{"Q7-scan-composites", OpRead, opScanComposites},
+		Operation{"ST3-count-connections", OpRead, opCountConnections},
+		Operation{"OP6-assembly-of-part", OpRead, opAssemblyLookup},
+		Operation{"T5-touch-documents", OpUpdate, opTouchDocuments},
+		Operation{"OP10-rewire-connection", OpUpdate, opRewireConnection},
+		Operation{"SM3-grow-assembly", OpStructural, opGrowAssembly},
+		Operation{"SM4-shrink-assembly", OpStructural, opShrinkAssembly},
+	)
+}
+
+// NewExtendedWorkload is NewWorkload over ExtendedOperations.
+func NewExtendedWorkload(mix Mix, p Params) *Workload {
+	w := &Workload{Mix: mix, Params: p}
+	for _, op := range ExtendedOperations() {
+		switch op.Kind {
+		case OpRead:
+			w.reads = append(w.reads, op)
+		case OpUpdate:
+			w.updates = append(w.updates, op)
+		default:
+			w.structural = append(w.structural, op)
+		}
+	}
+	return w
+}
+
+// opFullTraversal (T1, scaled): depth-first walk of the whole assembly
+// tree, reading every base assembly's component list and sampling each
+// composite's parts — the longest read-only transaction in the benchmark
+// (the paper turns the *long* T1 off; this scaled version reads a bounded
+// sample per composite, keeping it within the "short" regime while
+// preserving the access shape).
+func opFullTraversal(b *Benchmark, th stm.Thread, rng *rand.Rand) error {
+	return th.Atomically(func(tx stm.Tx) error {
+		sum := 0
+		var walk func(ca *ComplexAssembly) error
+		walk = func(ca *ComplexAssembly) error {
+			if ca.Level == 2 {
+				raw, err := tx.Read(ca.Bases)
+				if err != nil {
+					return err
+				}
+				bases, _ := raw.([]*BaseAssembly)
+				for _, ba := range bases {
+					comps, err := readComponents(tx, ba)
+					if err != nil {
+						return err
+					}
+					for _, cp := range comps {
+						x, err := tx.Read(cp.Root.X)
+						if err != nil {
+							return err
+						}
+						sum += x.(int)
+					}
+				}
+				return nil
+			}
+			raw, err := tx.Read(ca.Subs)
+			if err != nil {
+				return err
+			}
+			subs, _ := raw.([]*ComplexAssembly)
+			for _, sub := range subs {
+				if err := walk(sub); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		if err := walk(b.Root); err != nil {
+			return err
+		}
+		_ = sum
+		return nil
+	})
+}
+
+// opScanComposites (Q7, scaled): scan a window of the composite pool,
+// reading each part's build date.
+func opScanComposites(b *Benchmark, th stm.Thread, rng *rand.Rand) error {
+	start := rng.Intn(len(b.Composites))
+	span := 10
+	return th.Atomically(func(tx stm.Tx) error {
+		newest := -1
+		for i := 0; i < span; i++ {
+			cp := b.Composites[(start+i)%len(b.Composites)]
+			raw, err := tx.Read(cp.Date)
+			if err != nil {
+				return err
+			}
+			if d := raw.(int); d > newest {
+				newest = d
+			}
+		}
+		_ = newest
+		return nil
+	})
+}
+
+// opCountConnections (ST3): traverse to a composite and count the edges of
+// its atomic graph.
+func opCountConnections(b *Benchmark, th stm.Thread, rng *rand.Rand) error {
+	seed := rng.Int63()
+	return th.Atomically(func(tx stm.Tx) error {
+		oprng := rand.New(rand.NewSource(seed))
+		cp, err := b.TraverseToComposite(tx, oprng)
+		if err != nil || cp == nil {
+			return err
+		}
+		parts, err := readParts(tx, cp)
+		if err != nil {
+			return err
+		}
+		edges := 0
+		limit := len(parts)
+		if limit > 10 {
+			limit = 10
+		}
+		for _, ap := range parts[:limit] {
+			conns, err := readConns(tx, ap)
+			if err != nil {
+				return err
+			}
+			edges += len(conns)
+		}
+		_ = edges
+		return nil
+	})
+}
+
+// opAssemblyLookup (OP6): find which base assemblies reference a random
+// composite part (reverse lookup across the base array).
+func opAssemblyLookup(b *Benchmark, th stm.Thread, rng *rand.Rand) error {
+	target := b.randomComposite(rng)
+	return th.Atomically(func(tx stm.Tx) error {
+		found := 0
+		for _, ba := range b.Bases {
+			comps, err := readComponents(tx, ba)
+			if err != nil {
+				return err
+			}
+			for _, cp := range comps {
+				if cp == target {
+					found++
+					break
+				}
+			}
+		}
+		_ = found
+		return nil
+	})
+}
+
+// opTouchDocuments (T5, scaled): traverse to a base assembly and append a
+// revision marker to each component's document.
+func opTouchDocuments(b *Benchmark, th stm.Thread, rng *rand.Rand) error {
+	seed := rng.Int63()
+	stamp := rng.Int()
+	return th.Atomically(func(tx stm.Tx) error {
+		oprng := rand.New(rand.NewSource(seed))
+		ba, err := b.TraverseToBase(tx, oprng)
+		if err != nil || ba == nil {
+			return err
+		}
+		comps, err := readComponents(tx, ba)
+		if err != nil {
+			return err
+		}
+		for _, cp := range comps {
+			if _, err := tx.Read(cp.Doc.Text); err != nil {
+				return err
+			}
+			if err := tx.Write(cp.Doc.Text, fmt.Sprintf("doc %d rev %d", cp.ID, stamp)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// opRewireConnection (OP10): replace one connection of a random atomic part
+// with an edge to another part of the same composite.
+func opRewireConnection(b *Benchmark, th stm.Thread, rng *rand.Rand) error {
+	seed := rng.Int63()
+	return th.Atomically(func(tx stm.Tx) error {
+		oprng := rand.New(rand.NewSource(seed))
+		cp, err := b.TraverseToComposite(tx, oprng)
+		if err != nil || cp == nil {
+			return err
+		}
+		parts, err := readParts(tx, cp)
+		if err != nil {
+			return err
+		}
+		if len(parts) < 2 {
+			return nil
+		}
+		ap := parts[oprng.Intn(len(parts))]
+		target := parts[oprng.Intn(len(parts))]
+		conns, err := readConns(tx, ap)
+		if err != nil {
+			return err
+		}
+		if len(conns) == 0 {
+			return nil
+		}
+		newConns := make([]*AtomicPart, len(conns))
+		copy(newConns, conns)
+		newConns[oprng.Intn(len(newConns))] = target
+		return tx.Write(ap.Conns, newConns)
+	})
+}
+
+// opGrowAssembly (SM3): add a composite reference to a base assembly.
+func opGrowAssembly(b *Benchmark, th stm.Thread, rng *rand.Rand) error {
+	seed := rng.Int63()
+	addition := b.randomComposite(rng)
+	return th.Atomically(func(tx stm.Tx) error {
+		oprng := rand.New(rand.NewSource(seed))
+		ba, err := b.TraverseToBase(tx, oprng)
+		if err != nil || ba == nil {
+			return err
+		}
+		comps, err := readComponents(tx, ba)
+		if err != nil {
+			return err
+		}
+		if len(comps) >= b.Params.ComponentsPerAssembly*2 {
+			return nil // bounded growth keeps the benchmark stationary
+		}
+		newComps := make([]*CompositePart, 0, len(comps)+1)
+		newComps = append(newComps, comps...)
+		newComps = append(newComps, addition)
+		return tx.Write(ba.Components, newComps)
+	})
+}
+
+// opShrinkAssembly (SM4): drop a composite reference from a base assembly.
+func opShrinkAssembly(b *Benchmark, th stm.Thread, rng *rand.Rand) error {
+	seed := rng.Int63()
+	return th.Atomically(func(tx stm.Tx) error {
+		oprng := rand.New(rand.NewSource(seed))
+		ba, err := b.TraverseToBase(tx, oprng)
+		if err != nil || ba == nil {
+			return err
+		}
+		comps, err := readComponents(tx, ba)
+		if err != nil {
+			return err
+		}
+		if len(comps) <= 1 {
+			return nil // keep every assembly populated
+		}
+		idx := oprng.Intn(len(comps))
+		newComps := make([]*CompositePart, 0, len(comps)-1)
+		newComps = append(newComps, comps[:idx]...)
+		newComps = append(newComps, comps[idx+1:]...)
+		return tx.Write(ba.Components, newComps)
+	})
+}

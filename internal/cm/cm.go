@@ -1,0 +1,285 @@
+// Package cm implements the contention managers used as the reactive
+// ("curing") layer of the STM engines: Suicide (TinySTM's default), Polite,
+// Karma, Greedy/Timestamp, and the CAR-STM Serializer. Contention managers
+// resolve conflicts after they are detected; they are complementary to the
+// preventive schedulers in package sched, exactly as the paper frames them.
+package cm
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/shrink-tm/shrink/internal/stm"
+)
+
+// Suicide aborts the asking transaction on every conflict and retries
+// immediately. This is TinySTM 0.9.5's default policy and the cheapest
+// manager; under overload it produces the repetitive-abort collapse that the
+// paper's Figure 8 shows for base TinySTM.
+type Suicide struct{}
+
+var _ stm.ContentionManager = Suicide{}
+
+// RegisterThread implements stm.ContentionManager.
+func (Suicide) RegisterThread(*stm.ThreadCtx) {}
+
+// OnStart implements stm.ContentionManager.
+func (Suicide) OnStart(*stm.ThreadCtx, int) {}
+
+// OnConflict implements stm.ContentionManager.
+func (Suicide) OnConflict(_, _ *stm.ThreadCtx, _ stm.ConflictKind) stm.Resolution {
+	return stm.AbortSelf
+}
+
+// OnCommit implements stm.ContentionManager.
+func (Suicide) OnCommit(*stm.ThreadCtx) {}
+
+// OnAbort implements stm.ContentionManager.
+func (Suicide) OnAbort(*stm.ThreadCtx) {}
+
+// Polite waits politely for the enemy a bounded number of times per attempt
+// before giving up and aborting itself. The per-thread wait budget resets at
+// the start of each attempt.
+type Polite struct {
+	// MaxWaits is the number of conflicts per attempt resolved by waiting
+	// before the manager switches to aborting itself. Zero means 4.
+	MaxWaits int
+}
+
+type politeState struct{ waits int }
+
+var _ stm.ContentionManager = (*Polite)(nil)
+
+// RegisterThread implements stm.ContentionManager.
+func (p *Polite) RegisterThread(t *stm.ThreadCtx) { t.CMState = &politeState{} }
+
+// OnStart implements stm.ContentionManager.
+func (p *Polite) OnStart(t *stm.ThreadCtx, _ int) {
+	if s, ok := t.CMState.(*politeState); ok {
+		s.waits = 0
+	}
+}
+
+// OnConflict implements stm.ContentionManager.
+func (p *Polite) OnConflict(t, _ *stm.ThreadCtx, _ stm.ConflictKind) stm.Resolution {
+	maxWaits := p.MaxWaits
+	if maxWaits == 0 {
+		maxWaits = 4
+	}
+	s, ok := t.CMState.(*politeState)
+	if !ok {
+		return stm.AbortSelf
+	}
+	if s.waits < maxWaits {
+		s.waits++
+		return stm.WaitRetry
+	}
+	return stm.AbortSelf
+}
+
+// OnCommit implements stm.ContentionManager.
+func (p *Polite) OnCommit(*stm.ThreadCtx) {}
+
+// OnAbort implements stm.ContentionManager.
+func (p *Polite) OnAbort(*stm.ThreadCtx) {}
+
+// Greedy implements timestamp-based conflict resolution in the spirit of the
+// Greedy contention manager (Guerraoui et al.): the transaction that started
+// earlier (smaller timestamp) wins; the younger transaction aborts itself if
+// it is the asker, or is doomed if it is the enemy. Timestamps are assigned
+// at the first attempt of a transaction and kept across retries, which gives
+// the pending-commit property (the oldest running transaction is never
+// aborted).
+type Greedy struct {
+	clock atomic.Uint64
+}
+
+var _ stm.ContentionManager = (*Greedy)(nil)
+
+// RegisterThread implements stm.ContentionManager.
+func (g *Greedy) RegisterThread(*stm.ThreadCtx) {}
+
+// OnStart implements stm.ContentionManager.
+func (g *Greedy) OnStart(t *stm.ThreadCtx, attempt int) {
+	if attempt == 0 {
+		t.Priority.Store(g.clock.Add(1))
+	}
+}
+
+// OnConflict implements stm.ContentionManager.
+func (g *Greedy) OnConflict(t, enemy *stm.ThreadCtx, _ stm.ConflictKind) stm.Resolution {
+	if enemy == nil {
+		return stm.AbortSelf
+	}
+	mine, theirs := t.Priority.Load(), enemy.Priority.Load()
+	if mine != 0 && (theirs == 0 || mine < theirs) {
+		return stm.AbortOther
+	}
+	return stm.AbortSelf
+}
+
+// OnCommit implements stm.ContentionManager.
+func (g *Greedy) OnCommit(t *stm.ThreadCtx) { t.Priority.Store(0) }
+
+// OnAbort implements stm.ContentionManager.
+func (g *Greedy) OnAbort(*stm.ThreadCtx) {}
+
+// Karma resolves conflicts by accumulated work: each commit raises a
+// thread's karma by the attempt count, and the transaction with less karma
+// yields. Ties go to the asker aborting itself.
+type Karma struct{}
+
+var _ stm.ContentionManager = Karma{}
+
+// RegisterThread implements stm.ContentionManager.
+func (Karma) RegisterThread(*stm.ThreadCtx) {}
+
+// OnStart implements stm.ContentionManager.
+func (Karma) OnStart(t *stm.ThreadCtx, attempt int) {
+	// Karma grows with invested work: count attempts.
+	t.Priority.Add(1)
+}
+
+// OnConflict implements stm.ContentionManager.
+func (Karma) OnConflict(t, enemy *stm.ThreadCtx, _ stm.ConflictKind) stm.Resolution {
+	if enemy == nil {
+		return stm.AbortSelf
+	}
+	if t.Priority.Load() > enemy.Priority.Load() {
+		return stm.AbortOther
+	}
+	return stm.AbortSelf
+}
+
+// OnCommit implements stm.ContentionManager.
+func (Karma) OnCommit(t *stm.ThreadCtx) { t.Priority.Store(0) }
+
+// OnAbort implements stm.ContentionManager.
+func (Karma) OnAbort(*stm.ThreadCtx) {}
+
+// Serializer is the CAR-STM contention manager analyzed in Theorem 1: after
+// a conflict between two transactions, the loser is scheduled strictly after
+// the winner, so the same pair never conflicts twice. We realize "after" by
+// having the loser wait until the winner's current transaction finishes
+// (tracked by an epoch counter per thread) before restarting.
+type Serializer struct {
+	mu     sync.Mutex
+	waitOn map[int]chan struct{} // loser thread ID -> winner-done channel
+	active map[int]chan struct{} // thread ID -> channel closed at tx end
+}
+
+var _ stm.ContentionManager = (*Serializer)(nil)
+
+// NewSerializer returns a ready Serializer.
+func NewSerializer() *Serializer {
+	return &Serializer{
+		waitOn: make(map[int]chan struct{}),
+		active: make(map[int]chan struct{}),
+	}
+}
+
+// RegisterThread implements stm.ContentionManager.
+func (s *Serializer) RegisterThread(*stm.ThreadCtx) {}
+
+// OnStart implements stm.ContentionManager. If the thread lost a previous
+// conflict, it blocks here until the winner's transaction has finished. The
+// wait is bounded: CAR-STM moves the loser onto the winner's core, which
+// cannot deadlock; our wait-based rendering could (two losers waiting on
+// each other's unfinished transactions), so a timeout breaks such cycles.
+func (s *Serializer) OnStart(t *stm.ThreadCtx, _ int) {
+	s.mu.Lock()
+	ch := s.waitOn[t.ID]
+	delete(s.waitOn, t.ID)
+	if _, ok := s.active[t.ID]; !ok {
+		s.active[t.ID] = make(chan struct{})
+	}
+	s.mu.Unlock()
+	if ch != nil {
+		select {
+		case <-ch:
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+}
+
+// OnConflict implements stm.ContentionManager: the asker loses, aborts, and
+// is queued behind the enemy.
+func (s *Serializer) OnConflict(t, enemy *stm.ThreadCtx, _ stm.ConflictKind) stm.Resolution {
+	if enemy != nil {
+		s.mu.Lock()
+		if ch, ok := s.active[enemy.ID]; ok {
+			s.waitOn[t.ID] = ch
+		}
+		s.mu.Unlock()
+	}
+	return stm.AbortSelf
+}
+
+func (s *Serializer) finish(t *stm.ThreadCtx) {
+	s.mu.Lock()
+	ch, ok := s.active[t.ID]
+	delete(s.active, t.ID)
+	s.mu.Unlock()
+	if ok {
+		close(ch)
+	}
+}
+
+// OnCommit implements stm.ContentionManager.
+func (s *Serializer) OnCommit(t *stm.ThreadCtx) { s.finish(t) }
+
+// OnAbort implements stm.ContentionManager.
+func (s *Serializer) OnAbort(*stm.ThreadCtx) {}
+
+// Polka combines Karma's priority accumulation with Polite's bounded
+// waiting (Scherer & Scott's hybrid, the manager SwissTM's two-phase
+// scheme descends from): on conflict, a transaction with more accumulated
+// karma than its enemy dooms it; otherwise it waits politely up to
+// (enemyKarma - myKarma) capped rounds before aborting itself.
+type Polka struct {
+	// MaxWaits caps the polite phase per attempt (0 means 3).
+	MaxWaits int
+}
+
+type polkaState struct{ waits int }
+
+var _ stm.ContentionManager = (*Polka)(nil)
+
+// RegisterThread implements stm.ContentionManager.
+func (p *Polka) RegisterThread(t *stm.ThreadCtx) { t.CMState = &polkaState{} }
+
+// OnStart implements stm.ContentionManager: karma grows with invested
+// attempts and resets only at commit.
+func (p *Polka) OnStart(t *stm.ThreadCtx, attempt int) {
+	if s, ok := t.CMState.(*polkaState); ok {
+		s.waits = 0
+	}
+	t.Priority.Add(1)
+}
+
+// OnConflict implements stm.ContentionManager.
+func (p *Polka) OnConflict(t, enemy *stm.ThreadCtx, _ stm.ConflictKind) stm.Resolution {
+	if enemy == nil {
+		return stm.AbortSelf
+	}
+	mine, theirs := t.Priority.Load(), enemy.Priority.Load()
+	if mine > theirs {
+		return stm.AbortOther
+	}
+	maxWaits := p.MaxWaits
+	if maxWaits == 0 {
+		maxWaits = 3
+	}
+	if s, ok := t.CMState.(*polkaState); ok && s.waits < maxWaits {
+		s.waits++
+		return stm.WaitRetry
+	}
+	return stm.AbortSelf
+}
+
+// OnCommit implements stm.ContentionManager.
+func (p *Polka) OnCommit(t *stm.ThreadCtx) { t.Priority.Store(0) }
+
+// OnAbort implements stm.ContentionManager.
+func (p *Polka) OnAbort(*stm.ThreadCtx) {}

@@ -1,0 +1,348 @@
+// Package harness runs the paper's throughput experiments: it builds a TM
+// engine with a chosen scheduler, spawns worker goroutines ("threads"),
+// drives a workload for a fixed duration, and reports committed-transaction
+// throughput, abort rates, and (for Shrink) prediction accuracy and
+// serialization counts — the series behind Figures 3 and 5–11.
+//
+// The paper's machine had 8 cores; this harness emulates "cores" with
+// GOMAXPROCS, so a run is overloaded when Threads exceeds Cores. On hosts
+// with fewer physical CPUs the absolute throughput shrinks but the
+// contention dynamics (conflicts, aborts, serialization) are logical and
+// preserved.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/shrink-tm/shrink/internal/cm"
+	"github.com/shrink-tm/shrink/internal/predict"
+	"github.com/shrink-tm/shrink/internal/sched"
+	"github.com/shrink-tm/shrink/internal/stm"
+	"github.com/shrink-tm/shrink/internal/stm/swiss"
+	"github.com/shrink-tm/shrink/internal/stm/tiny"
+	"github.com/shrink-tm/shrink/internal/trace"
+)
+
+// Workload is one benchmark: shared state plus a per-thread operation mix.
+type Workload interface {
+	Name() string
+	// Setup populates the shared state using the given thread.
+	Setup(th stm.Thread) error
+	// Op runs one application-level operation (one or more transactions)
+	// on the given thread. rng is private to the calling worker.
+	Op(th stm.Thread, rng *rand.Rand) error
+}
+
+// Engine names.
+const (
+	EngineSwiss = "swiss"
+	EngineTiny  = "tiny"
+)
+
+// Scheduler names.
+const (
+	SchedNone   = "none"
+	SchedShrink = "shrink"
+	SchedATS    = "ats"
+	SchedPool   = "pool"
+	// SchedAdaptive is this reproduction's extension: Shrink with
+	// feedback-tuned serialization aggressiveness (see sched.AdaptiveShrink).
+	SchedAdaptive = "adaptive"
+)
+
+// Config describes one experiment cell.
+type Config struct {
+	Engine    string
+	Scheduler string
+	Wait      stm.WaitPolicy
+	Threads   int
+	Duration  time.Duration
+	// Cores emulates the paper's 8-core machine via GOMAXPROCS; 0 keeps
+	// the current setting.
+	Cores int
+	// Seed makes worker RNG streams reproducible.
+	Seed int64
+	// ShrinkConfig overrides the Shrink parameters (nil = paper values).
+	ShrinkConfig *sched.ShrinkConfig
+	// TrackAccuracy turns on prediction-accuracy instrumentation for
+	// Shrink runs (Figure 3). It adds per-read bookkeeping, so the
+	// throughput figures leave it off.
+	TrackAccuracy bool
+	// Trace collects per-operation latency and retry distributions into
+	// the Result (two clock reads per operation when enabled).
+	Trace bool
+}
+
+// Result is one measured cell.
+type Result struct {
+	Config
+	Workload   string
+	Elapsed    time.Duration
+	Commits    uint64
+	Aborts     uint64
+	UserAborts uint64
+	Ops        uint64
+	// Throughput is committed transactions per second.
+	Throughput float64
+	// AbortRate is aborts / (commits + aborts).
+	AbortRate float64
+	// Prediction accuracy and serializations (Shrink runs only).
+	ReadAccuracy   float64
+	WriteAccuracy  float64
+	Serializations uint64
+	// OpLatency and Retries are populated when Config.Trace is set.
+	OpLatency *trace.Histogram
+	Retries   *trace.RetryDist
+}
+
+// String formats the result as one table row.
+func (r Result) String() string {
+	row := fmt.Sprintf("%-14s %-6s %-7s %-10s thr=%2d  tx/s=%10.0f  commits=%8d  abortRate=%.3f",
+		r.Workload, r.Engine, r.Scheduler, r.Wait, r.Threads, r.Throughput, r.Commits, r.AbortRate)
+	if r.Scheduler == SchedShrink {
+		row += fmt.Sprintf("  readAcc=%.2f writeAcc=%.2f serial=%d",
+			r.ReadAccuracy, r.WriteAccuracy, r.Serializations)
+	}
+	return row
+}
+
+// buildTM constructs the engine/scheduler/CM combination for a config. It
+// returns the TM and, when applicable, the Shrink instance for accuracy
+// reporting.
+func buildTM(cfg Config) (stm.TM, *sched.Shrink, error) {
+	var scheduler stm.Scheduler = stm.NopScheduler{}
+	var shrink *sched.Shrink
+	switch cfg.Scheduler {
+	case SchedNone, "":
+	case SchedShrink:
+		sc := sched.DefaultShrinkConfig()
+		if cfg.ShrinkConfig != nil {
+			sc = *cfg.ShrinkConfig
+		}
+		if cfg.TrackAccuracy {
+			sc.Predict.TrackAccuracy = true
+			sc.EagerPrediction = true
+		}
+		shrink = sched.NewShrink(sc)
+		scheduler = shrink
+	case SchedAdaptive:
+		sc := sched.DefaultShrinkConfig()
+		if cfg.ShrinkConfig != nil {
+			sc = *cfg.ShrinkConfig
+		}
+		scheduler = sched.NewAdaptiveShrink(sc)
+	case SchedATS:
+		scheduler = sched.NewATS()
+	case SchedPool:
+		scheduler = sched.NewPool()
+	default:
+		return nil, nil, fmt.Errorf("unknown scheduler %q", cfg.Scheduler)
+	}
+	switch cfg.Engine {
+	case EngineSwiss, "":
+		wait := cfg.Wait
+		if wait == 0 {
+			wait = stm.WaitPreemptive
+		}
+		return swiss.New(swiss.Options{Scheduler: scheduler, CM: &cm.Greedy{}, Wait: wait}), shrink, nil
+	case EngineTiny:
+		wait := cfg.Wait
+		if wait == 0 {
+			wait = stm.WaitBusy
+		}
+		return tiny.New(tiny.Options{Scheduler: scheduler, CM: cm.Suicide{}, Wait: wait}), shrink, nil
+	default:
+		return nil, nil, fmt.Errorf("unknown engine %q", cfg.Engine)
+	}
+}
+
+// NewTM builds the engine/scheduler/CM combination of a config without
+// running a workload (microbenchmarks and examples use it directly).
+func NewTM(cfg Config) (stm.TM, error) {
+	tm, _, err := buildTM(cfg)
+	return tm, err
+}
+
+// Run executes one experiment cell: setup, then Threads workers running ops
+// until the duration elapses.
+func Run(cfg Config, newWorkload func() Workload) (Result, error) {
+	if cfg.Threads <= 0 {
+		cfg.Threads = 1
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 100 * time.Millisecond
+	}
+	if cfg.Cores > 0 {
+		prev := runtime.GOMAXPROCS(cfg.Cores)
+		defer runtime.GOMAXPROCS(prev)
+	}
+	tm, shrink, err := buildTM(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	w := newWorkload()
+	setupThread := tm.Register("setup")
+	if err := w.Setup(setupThread); err != nil {
+		return Result{}, fmt.Errorf("setup %s: %w", w.Name(), err)
+	}
+	setupStats := stm.AggregateStats(tm.Threads())
+
+	threads := make([]stm.Thread, cfg.Threads)
+	for i := range threads {
+		threads[i] = tm.Register(fmt.Sprintf("worker-%d", i))
+	}
+
+	var (
+		wg      sync.WaitGroup
+		stop    = make(chan struct{})
+		ops     = make([]uint64, cfg.Threads)
+		latency *trace.Histogram
+		retries *trace.RetryDist
+	)
+	if cfg.Trace {
+		latency = &trace.Histogram{}
+		retries = &trace.RetryDist{}
+	}
+	start := time.Now()
+	for i := 0; i < cfg.Threads; i++ {
+		i := i
+		th := threads[i]
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*7919 + 1))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var opStart time.Time
+				var abortsBefore uint64
+				if cfg.Trace {
+					opStart = time.Now()
+					abortsBefore = th.Ctx().Aborts.Load()
+				}
+				if err := w.Op(th, rng); err != nil {
+					// Workload errors are programming errors in
+					// this repo; surface them loudly.
+					panic(fmt.Sprintf("workload %s op: %v", w.Name(), err))
+				}
+				if cfg.Trace {
+					latency.ObserveDuration(time.Since(opStart))
+					retries.Record(int(th.Ctx().Aborts.Load() - abortsBefore))
+				}
+				ops[i]++
+			}
+		}()
+	}
+	timer := time.NewTimer(cfg.Duration)
+	<-timer.C
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	agg := stm.AggregateStats(tm.Threads())
+	res := Result{
+		Config:     cfg,
+		Workload:   w.Name(),
+		Elapsed:    elapsed,
+		Commits:    agg.Commits - setupStats.Commits,
+		Aborts:     agg.Aborts - setupStats.Aborts,
+		UserAborts: agg.UserAborts - setupStats.UserAborts,
+	}
+	for _, n := range ops {
+		res.Ops += n
+	}
+	res.Throughput = float64(res.Commits) / elapsed.Seconds()
+	if total := res.Commits + res.Aborts; total > 0 {
+		res.AbortRate = float64(res.Aborts) / float64(total)
+	}
+	if shrink != nil {
+		acc := shrink.Accuracy(tm.Threads())
+		res.ReadAccuracy = acc.ReadAccuracy()
+		res.WriteAccuracy = acc.WriteAccuracy()
+		res.Serializations = shrink.Serializations()
+	}
+	res.OpLatency = latency
+	res.Retries = retries
+	return res, nil
+}
+
+// RunMedian runs the cell reps times and returns the run with the median
+// throughput, damping the scheduling noise of short-duration cells (the
+// paper averaged 20 runs per point).
+func RunMedian(cfg Config, reps int, newWorkload func() Workload) (Result, error) {
+	if reps <= 1 {
+		return Run(cfg, newWorkload)
+	}
+	results := make([]Result, 0, reps)
+	for i := 0; i < reps; i++ {
+		c := cfg
+		c.Seed = cfg.Seed + int64(i)*104729
+		r, err := Run(c, newWorkload)
+		if err != nil {
+			return Result{}, err
+		}
+		results = append(results, r)
+	}
+	sort.Slice(results, func(a, b int) bool {
+		return results[a].Throughput < results[b].Throughput
+	})
+	return results[len(results)/2], nil
+}
+
+// RunSeries sweeps thread counts for one workload/config template.
+func RunSeries(base Config, threadCounts []int, newWorkload func() Workload) ([]Result, error) {
+	out := make([]Result, 0, len(threadCounts))
+	for _, n := range threadCounts {
+		cfg := base
+		cfg.Threads = n
+		r, err := Run(cfg, newWorkload)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// PrintSeries writes results as an aligned table.
+func PrintSeries(w io.Writer, title string, results []Result) {
+	fmt.Fprintf(w, "## %s\n", title)
+	for _, r := range results {
+		fmt.Fprintln(w, r.String())
+	}
+	fmt.Fprintln(w)
+}
+
+// Speedup returns with.Throughput / without.Throughput, the metric of the
+// STAMP figures (reported there as "speedup - 1").
+func Speedup(with, without Result) float64 {
+	if without.Throughput == 0 {
+		return 0
+	}
+	return with.Throughput / without.Throughput
+}
+
+// PaperThreadCounts is the x-axis the paper uses for STMBench7 and the
+// red-black tree: 1..24 threads on an 8-core machine.
+func PaperThreadCounts() []int { return []int{1, 2, 3, 4, 6, 8, 10, 12, 16, 20, 24} }
+
+// StampUnderloaded and StampOverloaded are the STAMP thread counts.
+func StampUnderloaded() []int { return []int{2, 4, 8} }
+
+// StampOverloaded returns the overloaded STAMP thread counts.
+func StampOverloaded() []int { return []int{16, 32, 64} }
+
+// AccuracyStatsOf exposes a Shrink scheduler's aggregate prediction
+// accuracy for a finished TM (used by the Figure 3 harness).
+func AccuracyStatsOf(s *sched.Shrink, tm stm.TM) predict.AccuracyStats {
+	return s.Accuracy(tm.Threads())
+}

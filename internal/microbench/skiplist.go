@@ -1,0 +1,87 @@
+package microbench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/shrink-tm/shrink/internal/stm"
+	"github.com/shrink-tm/shrink/internal/stmds"
+)
+
+// SkipListWorkload mirrors RBTreeWorkload over the transactional skip list,
+// for the set-structure ablation (BenchmarkAblationSetStructure): same key
+// range and update mix, different write-set shape (tower splices instead of
+// rebalancing rotations).
+type SkipListWorkload struct {
+	Range         int
+	UpdatePercent int
+
+	list *stmds.SkipList
+}
+
+// NewSkipListSet returns the workload with rbtree-equivalent defaults.
+func NewSkipListSet(keyRange, updatePercent int) *SkipListWorkload {
+	if keyRange <= 0 {
+		keyRange = 16384
+	}
+	if updatePercent <= 0 {
+		updatePercent = 20
+	}
+	return &SkipListWorkload{Range: keyRange, UpdatePercent: updatePercent}
+}
+
+// Name implements harness.Workload.
+func (w *SkipListWorkload) Name() string {
+	return fmt.Sprintf("skiplist-%d%%", w.UpdatePercent)
+}
+
+// Setup fills the set to half capacity.
+func (w *SkipListWorkload) Setup(th stm.Thread) error {
+	level := 4
+	for n := w.Range; n > 16; n >>= 1 {
+		level++
+	}
+	w.list = stmds.NewSkipList(level)
+	rng := rand.New(rand.NewSource(99))
+	const batch = 256
+	for filled := 0; filled < w.Range/2; filled += batch {
+		if err := th.Atomically(func(tx stm.Tx) error {
+			for i := 0; i < batch; i++ {
+				k := int64(rng.Intn(w.Range))
+				if _, err := w.list.Insert(tx, k, k); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Op implements harness.Workload.
+func (w *SkipListWorkload) Op(th stm.Thread, rng *rand.Rand) error {
+	k := int64(rng.Intn(w.Range))
+	p := rng.Intn(100)
+	switch {
+	case p < w.UpdatePercent/2:
+		return th.Atomically(func(tx stm.Tx) error {
+			_, err := w.list.Insert(tx, k, k)
+			return err
+		})
+	case p < w.UpdatePercent:
+		return th.Atomically(func(tx stm.Tx) error {
+			_, err := w.list.Delete(tx, k)
+			return err
+		})
+	default:
+		return th.Atomically(func(tx stm.Tx) error {
+			_, err := w.list.Contains(tx, k)
+			return err
+		})
+	}
+}
+
+// List exposes the underlying set for verification in tests.
+func (w *SkipListWorkload) List() *stmds.SkipList { return w.list }

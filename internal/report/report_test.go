@@ -1,0 +1,97 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := NewTable("Fig X", "threads", "tx/s")
+	t.Add("base", 1, 100)
+	t.Add("base", 2, 150)
+	t.Add("shrink", 1, 90)
+	t.Add("shrink", 2, 200)
+	return t
+}
+
+func TestAddGet(t *testing.T) {
+	tb := sample()
+	if y, ok := tb.Get("base", 2); !ok || y != 150 {
+		t.Fatalf("Get = %f,%v", y, ok)
+	}
+	if _, ok := tb.Get("missing", 1); ok {
+		t.Fatal("phantom series")
+	}
+	if _, ok := tb.Get("base", 99); ok {
+		t.Fatal("phantom point")
+	}
+	tb.Add("base", 2, 175) // overwrite
+	if y, _ := tb.Get("base", 2); y != 175 {
+		t.Fatalf("overwrite failed: %f", y)
+	}
+}
+
+func TestSeriesNamesOrdered(t *testing.T) {
+	tb := sample()
+	names := tb.SeriesNames()
+	if len(names) != 2 || names[0] != "base" || names[1] != "shrink" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	var sb strings.Builder
+	sample().WriteText(&sb)
+	out := sb.String()
+	for _, want := range []string{"# Fig X", "threads", "base", "shrink", "150.00"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("text output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteTextHolesDashed(t *testing.T) {
+	tb := sample()
+	tb.Add("late", 2, 1)
+	var sb strings.Builder
+	tb.WriteText(&sb)
+	if !strings.Contains(sb.String(), "-") {
+		t.Fatal("missing point not dashed")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var sb strings.Builder
+	sample().WriteCSV(&sb)
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if lines[0] != "threads,base,shrink" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if len(lines) != 3 {
+		t.Fatalf("rows = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[1], "1,100.0000,90.0000") {
+		t.Fatalf("row 1 = %q", lines[1])
+	}
+}
+
+func TestRatioSeries(t *testing.T) {
+	tb := sample()
+	r := tb.RatioSeries("shrink", "base", "speedup")
+	if r.Points[1] != 0.9 {
+		t.Fatalf("ratio@1 = %f", r.Points[1])
+	}
+	if got := r.Points[2]; got < 1.33 || got > 1.34 {
+		t.Fatalf("ratio@2 = %f", got)
+	}
+}
+
+func TestCrossoverX(t *testing.T) {
+	tb := sample()
+	if x := tb.CrossoverX("shrink", "base"); x != 2 {
+		t.Fatalf("crossover = %d, want 2", x)
+	}
+	if x := tb.CrossoverX("base", "base"); x != -1 {
+		t.Fatalf("self crossover = %d, want -1", x)
+	}
+}

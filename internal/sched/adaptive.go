@@ -1,0 +1,186 @@
+package sched
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"github.com/shrink-tm/shrink/internal/predict"
+	"github.com/shrink-tm/shrink/internal/stm"
+)
+
+// AdaptiveShrink is this reproduction's extension along the paper's
+// future-work axis ("a formalism to reason about the average case ...
+// integrating prediction techniques"): Shrink with a feedback loop on its
+// own serialization decisions. Each thread tracks whether serializing
+// actually paid off — a serialized transaction that then commits on its
+// first attempt confirms the prediction; one that aborts anyway refutes
+// it — and scales its serialization aggressiveness multiplicatively. Threads
+// whose predictions are reliable serialize sooner (the affinity coin is
+// biased up); threads whose predictions misfire back off toward pure
+// speculation, bounding the cost of the Theorem 3 failure mode (a wrong
+// prediction serializing conflict-free work).
+type AdaptiveShrink struct {
+	cfg ShrinkConfig
+	// Aggressiveness bounds and feedback factors.
+	minAggr, maxAggr float64
+	rewardFactor     float64
+	penaltyFactor    float64
+
+	globalMu  sync.Mutex
+	waitCount atomic.Int64
+	serials   atomic.Uint64
+	confirmed atomic.Uint64
+	refuted   atomic.Uint64
+}
+
+type adaptiveThread struct {
+	pred          *predict.Predictor
+	rng           *rand.Rand
+	succRate      float64
+	aggr          float64
+	holdsGlobal   bool
+	wasSerialized bool // the running attempt was serialized
+}
+
+var _ stm.Scheduler = (*AdaptiveShrink)(nil)
+
+// NewAdaptiveShrink returns the adaptive variant with the paper's base
+// parameters and feedback factors 1.15 (confirm) / 1.4 (refute), bounded to
+// [1/4, 4].
+func NewAdaptiveShrink(cfg ShrinkConfig) *AdaptiveShrink {
+	if cfg.AffinityDenominator <= 0 {
+		cfg.AffinityDenominator = 32
+	}
+	if cfg.Predict.LocalityWindow == 0 {
+		cfg.Predict = predict.DefaultConfig()
+	}
+	return &AdaptiveShrink{
+		cfg:           cfg,
+		minAggr:       0.25,
+		maxAggr:       4,
+		rewardFactor:  1.15,
+		penaltyFactor: 1.4,
+	}
+}
+
+// RegisterThread implements stm.Scheduler.
+func (s *AdaptiveShrink) RegisterThread(t *stm.ThreadCtx) {
+	t.SchedState = &adaptiveThread{
+		pred:     predict.New(s.cfg.Predict),
+		rng:      rand.New(rand.NewSource(int64(t.ID)*0x51f15eed + 7)),
+		succRate: 1,
+		aggr:     1,
+	}
+	t.ReadHook = s.cfg.EagerPrediction
+}
+
+func (s *AdaptiveShrink) state(t *stm.ThreadCtx) *adaptiveThread {
+	st, _ := t.SchedState.(*adaptiveThread)
+	return st
+}
+
+// BeforeStart implements stm.Scheduler: Algorithm 1 with the affinity coin
+// biased by the thread's aggressiveness.
+func (s *AdaptiveShrink) BeforeStart(t *stm.ThreadCtx, attempt int) {
+	st := s.state(t)
+	if st == nil || st.holdsGlobal {
+		return
+	}
+	st.wasSerialized = false
+	if st.succRate >= s.cfg.SuccessThreshold {
+		return
+	}
+	checkReads := s.cfg.DisableAffinity
+	if !checkReads {
+		r := float64(st.rng.Intn(s.cfg.AffinityDenominator) + 1)
+		checkReads = r < float64(s.waitCount.Load())*st.aggr
+	}
+	if st.pred.PredictedConflict(t.ID, checkReads) {
+		s.waitCount.Add(1)
+		s.globalMu.Lock()
+		st.holdsGlobal = true
+		st.wasSerialized = true
+		s.serials.Add(1)
+	}
+}
+
+// AfterRead implements stm.Scheduler.
+func (s *AdaptiveShrink) AfterRead(t *stm.ThreadCtx, v *stm.Var) {
+	if st := s.state(t); st != nil {
+		st.pred.OnRead(v)
+	}
+}
+
+// AfterCommit implements stm.Scheduler: a commit from a serialized start
+// confirms the decision and raises aggressiveness.
+func (s *AdaptiveShrink) AfterCommit(t *stm.ThreadCtx, writeSet []*stm.Var) {
+	st := s.state(t)
+	if st == nil {
+		return
+	}
+	st.succRate = (st.succRate + s.cfg.Success) / 2
+	st.pred.OnCommit(writeSet)
+	if st.wasSerialized {
+		s.confirmed.Add(1)
+		st.aggr *= s.rewardFactor
+		if st.aggr > s.maxAggr {
+			st.aggr = s.maxAggr
+		}
+	}
+	s.updateReadHook(t, st)
+	s.release(st)
+}
+
+// AfterAbort implements stm.Scheduler: an abort despite serialization
+// refutes the prediction and lowers aggressiveness.
+func (s *AdaptiveShrink) AfterAbort(t *stm.ThreadCtx, writeSet []*stm.Var) {
+	st := s.state(t)
+	if st == nil {
+		return
+	}
+	st.succRate /= 2
+	if s.cfg.DisableWritePrediction {
+		st.pred.OnAbort(nil)
+	} else {
+		st.pred.OnAbort(writeSet)
+	}
+	if st.wasSerialized {
+		s.refuted.Add(1)
+		st.aggr /= s.penaltyFactor
+		if st.aggr < s.minAggr {
+			st.aggr = s.minAggr
+		}
+	}
+	s.updateReadHook(t, st)
+	s.release(st)
+}
+
+func (s *AdaptiveShrink) updateReadHook(t *stm.ThreadCtx, st *adaptiveThread) {
+	t.ReadHook = s.cfg.EagerPrediction ||
+		st.succRate < s.cfg.SuccessThreshold*activationFactor
+}
+
+func (s *AdaptiveShrink) release(st *adaptiveThread) {
+	if st.holdsGlobal {
+		st.holdsGlobal = false
+		s.globalMu.Unlock()
+		s.waitCount.Add(-1)
+	}
+}
+
+// Serializations returns the total serialized starts.
+func (s *AdaptiveShrink) Serializations() uint64 { return s.serials.Load() }
+
+// Feedback returns (confirmed, refuted) serialization outcomes.
+func (s *AdaptiveShrink) Feedback() (confirmed, refuted uint64) {
+	return s.confirmed.Load(), s.refuted.Load()
+}
+
+// Aggressiveness returns a thread's current bias (tests/introspection).
+func (s *AdaptiveShrink) Aggressiveness(t *stm.ThreadCtx) float64 {
+	if st := s.state(t); st != nil {
+		return st.aggr
+	}
+	return 0
+}

@@ -1,0 +1,123 @@
+package sched_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/shrink-tm/shrink/internal/sched"
+	"github.com/shrink-tm/shrink/internal/stm"
+	"github.com/shrink-tm/shrink/internal/stm/swiss"
+)
+
+func TestAdaptiveAggressivenessFeedback(t *testing.T) {
+	cfg := sched.DefaultShrinkConfig()
+	cfg.DisableAffinity = true
+	s := sched.NewAdaptiveShrink(cfg)
+	ctx := &stm.ThreadCtx{ID: 0}
+	s.RegisterThread(ctx)
+	if got := s.Aggressiveness(ctx); got != 1 {
+		t.Fatalf("initial aggressiveness = %f", got)
+	}
+
+	v := stm.NewVar(0)
+	if !v.TryLock(v.Meta(), 9) {
+		t.Fatal("setup")
+	}
+	defer v.Unlock(1)
+
+	// Drive the success rate down with a write prediction in place, so
+	// the next starts serialize (the last setup cycle may itself count
+	// as a refuted serialization).
+	for i := 0; i < 3; i++ {
+		s.BeforeStart(ctx, i)
+		s.AfterAbort(ctx, []*stm.Var{v})
+	}
+	before := s.Aggressiveness(ctx)
+	// Serialized start that commits: confirmation raises aggressiveness.
+	s.BeforeStart(ctx, 0)
+	if got := s.Serializations(); got == 0 {
+		t.Fatal("expected a serialized start")
+	}
+	s.AfterCommit(ctx, nil)
+	confirmed, _ := s.Feedback()
+	if confirmed != 1 {
+		t.Fatalf("confirmed = %d", confirmed)
+	}
+	if got := s.Aggressiveness(ctx); got <= before {
+		t.Fatalf("aggressiveness after confirmation = %f, want > %f", got, before)
+	}
+
+	// Refutations push it below 1 eventually.
+	for i := 0; i < 12; i++ {
+		s.BeforeStart(ctx, 0)
+		s.AfterAbort(ctx, []*stm.Var{v})
+	}
+	if got := s.Aggressiveness(ctx); got >= 1 {
+		t.Fatalf("aggressiveness after refutations = %f, want < 1", got)
+	}
+	_, refuted := s.Feedback()
+	if refuted == 0 {
+		t.Fatal("no refutations recorded")
+	}
+	// Bounded below.
+	for i := 0; i < 50; i++ {
+		s.BeforeStart(ctx, 0)
+		s.AfterAbort(ctx, []*stm.Var{v})
+	}
+	if got := s.Aggressiveness(ctx); got < 0.25 {
+		t.Fatalf("aggressiveness below floor: %f", got)
+	}
+}
+
+func TestAdaptiveUnderRealLoad(t *testing.T) {
+	s := sched.NewAdaptiveShrink(sched.DefaultShrinkConfig())
+	tm := swiss.New(swiss.Options{Scheduler: s})
+	counter := stm.NewVar(0)
+	const threads, iters = 6, 150
+	var wg sync.WaitGroup
+	for i := 0; i < threads; i++ {
+		th := tm.Register(fmt.Sprintf("t%d", i))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < iters; j++ {
+				_ = th.Atomically(func(tx stm.Tx) error {
+					n, err := tx.Read(counter)
+					if err != nil {
+						return err
+					}
+					return tx.Write(counter, n.(int)+1)
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	th := tm.Register("check")
+	_ = th.Atomically(func(tx stm.Tx) error {
+		n, err := tx.Read(counter)
+		if err != nil {
+			return err
+		}
+		if n.(int) != threads*iters {
+			t.Errorf("counter = %d, want %d", n.(int), threads*iters)
+		}
+		return nil
+	})
+}
+
+func TestAdaptiveLazyReadHook(t *testing.T) {
+	s := sched.NewAdaptiveShrink(sched.DefaultShrinkConfig())
+	ctx := &stm.ThreadCtx{ID: 0}
+	s.RegisterThread(ctx)
+	if ctx.ReadHook {
+		t.Fatal("healthy adaptive thread should not track reads")
+	}
+	s.BeforeStart(ctx, 0)
+	s.AfterAbort(ctx, nil)
+	s.BeforeStart(ctx, 1)
+	s.AfterAbort(ctx, nil)
+	if !ctx.ReadHook {
+		t.Fatal("contended adaptive thread must track reads")
+	}
+}

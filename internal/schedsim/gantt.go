@@ -1,0 +1,60 @@
+package schedsim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Gantt renders a committed schedule as an ASCII chart: one row per
+// transaction, '.' for waiting after release, '#' for the final (committing)
+// execution, which for these simulators always ends at the recorded finish
+// time. It is a debugging and teaching aid for the theory examples
+// (cmd/schedsim, examples/scheduling); aborted attempts are not tracked by
+// the simulators' Results and hence not drawn.
+func Gantt(ins *Instance, res Result) string {
+	n := ins.N()
+	if n == 0 {
+		return "(empty instance)\n"
+	}
+	makespan := res.Makespan
+	if makespan <= 0 {
+		return "(empty schedule)\n"
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "time      0")
+	for t := 5; t <= makespan; t += 5 {
+		fmt.Fprintf(&sb, "%5d", t)
+	}
+	sb.WriteByte('\n')
+
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if res.Finish[order[a]] != res.Finish[order[b]] {
+			return res.Finish[order[a]] < res.Finish[order[b]]
+		}
+		return order[a] < order[b]
+	})
+
+	for _, i := range order {
+		finish := res.Finish[i]
+		start := finish - ins.Exec[i]
+		row := make([]byte, makespan)
+		for t := 0; t < makespan; t++ {
+			switch {
+			case t >= start && t < finish:
+				row[t] = '#'
+			case t >= ins.Release[i] && t < start:
+				row[t] = '.'
+			default:
+				row[t] = ' '
+			}
+		}
+		fmt.Fprintf(&sb, "T%-4d    |%s|\n", i+1, string(row))
+	}
+	fmt.Fprintf(&sb, "makespan = %d, aborts = %d\n", res.Makespan, res.Aborts)
+	return sb.String()
+}

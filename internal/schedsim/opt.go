@@ -1,0 +1,214 @@
+package schedsim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// OptimalMakespan returns the offline-optimal makespan of the instance. It
+// uses, in order: the analytically known value attached by a scenario
+// constructor; an exact chromatic-number computation for unit-time,
+// all-released-at-zero instances up to ~20 transactions (color classes run
+// sequentially, which is optimal for unit jobs); otherwise it returns the
+// best of the generic lower bounds (so callers must treat the value as a
+// lower bound in that case, reported by the bool).
+func OptimalMakespan(ins *Instance) (opt int, exact bool) {
+	if ins.KnownOPT > 0 {
+		return ins.KnownOPT, true
+	}
+	if unitAllReleased(ins) && ins.N() <= 20 {
+		return chromaticNumber(ins), true
+	}
+	return LowerBound(ins), false
+}
+
+// LowerBound returns max(Rm, Em, clique-based bound): every valid schedule
+// takes at least the latest release, at least the longest job, and at least
+// the total work of any conflict clique.
+func LowerBound(ins *Instance) int {
+	lb := ins.Rm()
+	if em := ins.Em(); em > lb {
+		lb = em
+	}
+	if cl := greedyCliqueWork(ins); cl > lb {
+		lb = cl
+	}
+	return lb
+}
+
+func unitAllReleased(ins *Instance) bool {
+	for i := 0; i < ins.N(); i++ {
+		if ins.Exec[i] != 1 || ins.Release[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// chromaticNumber computes the exact chromatic number of the conflict graph
+// by iterative-deepening backtracking (fine for the <=20-node instances the
+// tests use).
+func chromaticNumber(ins *Instance) int {
+	n := ins.N()
+	if n == 0 {
+		return 0
+	}
+	// Order vertices by degree, descending: better pruning.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return ins.Degree(order[a]) > ins.Degree(order[b]) })
+
+	colors := make([]int, n) // 0 = uncolored
+	var try func(pos, k int) bool
+	try = func(pos, k int) bool {
+		if pos == n {
+			return true
+		}
+		v := order[pos]
+		used := make([]bool, k+1)
+		for u := 0; u < n; u++ {
+			if colors[u] > 0 && ins.Conflicts(v, u) {
+				used[colors[u]] = true
+			}
+		}
+		maxSoFar := 0
+		for _, c := range colors {
+			if c > maxSoFar {
+				maxSoFar = c
+			}
+		}
+		for c := 1; c <= k && c <= maxSoFar+1; c++ {
+			if used[c] {
+				continue
+			}
+			colors[v] = c
+			if try(pos+1, k) {
+				return true
+			}
+			colors[v] = 0
+		}
+		return false
+	}
+	for k := 1; k <= n; k++ {
+		for i := range colors {
+			colors[i] = 0
+		}
+		if try(0, k) {
+			return k
+		}
+	}
+	return n
+}
+
+// greedyCliqueWork finds a heavy clique greedily and returns its total
+// execution time (a valid makespan lower bound).
+func greedyCliqueWork(ins *Instance) int {
+	n := ins.N()
+	best := 0
+	for seed := 0; seed < n; seed++ {
+		clique := []int{seed}
+		work := ins.Exec[seed]
+		// Candidates sorted by execution time, descending.
+		cands := make([]int, 0, n)
+		for v := 0; v < n; v++ {
+			if v != seed && ins.Conflicts(seed, v) {
+				cands = append(cands, v)
+			}
+		}
+		sort.Slice(cands, func(a, b int) bool { return ins.Exec[cands[a]] > ins.Exec[cands[b]] })
+		for _, v := range cands {
+			ok := true
+			for _, u := range clique {
+				if !ins.Conflicts(v, u) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				clique = append(clique, v)
+				work += ins.Exec[v]
+			}
+		}
+		if work > best {
+			best = work
+		}
+	}
+	return best
+}
+
+// ScenarioReport is one row of the theory tables: a scheduler's makespan on
+// an instance, against the offline optimum.
+type ScenarioReport struct {
+	Scenario  string
+	Scheduler string
+	Makespan  int
+	Opt       int
+	OptExact  bool
+	Aborts    int
+}
+
+// Ratio returns Makespan/Opt.
+func (r ScenarioReport) Ratio() float64 {
+	if r.Opt == 0 {
+		return 0
+	}
+	return float64(r.Makespan) / float64(r.Opt)
+}
+
+// String formats the row.
+func (r ScenarioReport) String() string {
+	mark := "="
+	if !r.OptExact {
+		mark = ">="
+	}
+	return fmt.Sprintf("%-28s %-12s makespan=%4d  OPT%s%3d  ratio=%.2f  aborts=%d",
+		r.Scenario, r.Scheduler, r.Makespan, mark, r.Opt, r.Ratio(), r.Aborts)
+}
+
+// RunTheoremSuite produces the rows verifying Theorems 1-3 for a sweep of
+// instance sizes: Serializer and ATS on their lower-bound families (ratio
+// grows linearly with n), Restart on the same families plus staggered
+// cliques (ratio <= 2), and Inaccurate on the disjoint-resource family
+// (ratio = n).
+func RunTheoremSuite(sizes []int, atsK int) []ScenarioReport {
+	var out []ScenarioReport
+	for _, n := range sizes {
+		// Theorem 1(i): Serializer.
+		ins := SerializerLowerBound(n)
+		opt, exact := OptimalMakespan(ins)
+		res := SimulateSerializer(ins)
+		out = append(out, ScenarioReport{ins.Name, "Serializer", res.Makespan, opt, exact, res.Aborts})
+		res = SimulateRestart(ins, ins)
+		out = append(out, ScenarioReport{ins.Name, "Restart", res.Makespan, opt, exact, res.Aborts})
+
+		// Theorem 1(ii): ATS.
+		ins = ATSLowerBound(n, atsK)
+		opt, exact = OptimalMakespan(ins)
+		res = SimulateATS(ins, atsK)
+		out = append(out, ScenarioReport{ins.Name, "ATS", res.Makespan, opt, exact, res.Aborts})
+		res = SimulateRestart(ins, ins)
+		out = append(out, ScenarioReport{ins.Name, "Restart", res.Makespan, opt, exact, res.Aborts})
+
+		// Theorem 3: Inaccurate.
+		actual, predicted := InaccurateLowerBound(n)
+		opt, exact = OptimalMakespan(actual)
+		res = SimulateInaccurate(actual, predicted)
+		out = append(out, ScenarioReport{actual.Name, "Inaccurate", res.Makespan, opt, exact, res.Aborts})
+		res = SimulateRestart(actual, actual)
+		out = append(out, ScenarioReport{actual.Name, "Restart", res.Makespan, opt, exact, res.Aborts})
+	}
+	// Theorem 2 stress: staggered cliques exercise the release-driven
+	// rescheduling; Restart must stay within twice the optimum.
+	sizesList := [][]int{{3, 3, 3}, {5, 1, 4, 2}, {2, 6, 2, 6}}
+	for _, sz := range sizesList {
+		ins := StaggeredCliques(sz)
+		opt, exact := OptimalMakespan(ins)
+		res := SimulateRestart(ins, ins)
+		out = append(out, ScenarioReport{ins.Name, "Restart", res.Makespan, opt, exact, res.Aborts})
+		res = SimulateGreedyPC(ins)
+		out = append(out, ScenarioReport{ins.Name, "GreedyPC", res.Makespan, opt, exact, res.Aborts})
+	}
+	return out
+}

@@ -1,0 +1,475 @@
+package schedsim
+
+import (
+	"sort"
+)
+
+// Result carries a simulated schedule's outcome.
+type Result struct {
+	Makespan int
+	// Aborts counts abort events across all transactions.
+	Aborts int
+	// Finish holds per-transaction commit times.
+	Finish []int
+}
+
+// Ratio returns Makespan / opt as a float.
+func (r Result) Ratio(opt int) float64 {
+	if opt <= 0 {
+		return 0
+	}
+	return float64(r.Makespan) / float64(opt)
+}
+
+// SimulateSerializer simulates the CAR-STM Serializer of Theorem 1: every
+// transaction starts as soon as it is released on its own processor; when a
+// starting (or restarting) transaction conflicts with a running one, it
+// aborts immediately (zero cost) and is appended to the running
+// transaction's queue, executing after everything already in that queue.
+// Ties at equal start times favor the lower-numbered transaction, matching
+// the paper's lower-bound narrative.
+func SimulateSerializer(ins *Instance) Result {
+	n := ins.N()
+	type core struct {
+		queue []int // waiting transactions, FIFO
+	}
+	cores := make([]*core, n)
+	coreOf := make([]int, n) // which core each transaction sits on
+	for i := 0; i < n; i++ {
+		cores[i] = &core{queue: []int{i}}
+		coreOf[i] = i
+	}
+	running := make(map[int]int) // txn -> finish time
+	startedAt := make(map[int]int)
+	finish := make([]int, n)
+	done := make([]bool, n)
+	aborts := 0
+	completed := 0
+
+	// Event-driven loop over integer times: at each time step, start
+	// eligible transactions (released, at the head of their core's queue,
+	// core idle), resolving conflicts against running transactions.
+	t := 0
+	for completed < n {
+		// Finish transactions completing at time t.
+		for tx, ft := range running {
+			if ft == t {
+				delete(running, tx)
+				done[tx] = true
+				finish[tx] = ft
+				completed++
+				// Pop it from its core's queue head.
+				c := cores[coreOf[tx]]
+				if len(c.queue) > 0 && c.queue[0] == tx {
+					c.queue = c.queue[1:]
+				}
+			}
+		}
+		// Try to start heads of queues, lowest transaction ID first
+		// (deterministic ties).
+		for {
+			startedOne := false
+			candidates := make([]int, 0, n)
+			for _, c := range cores {
+				if len(c.queue) == 0 {
+					continue
+				}
+				head := c.queue[0]
+				if done[head] || ins.Release[head] > t {
+					continue
+				}
+				if _, isRunning := running[head]; isRunning {
+					continue
+				}
+				candidates = append(candidates, head)
+			}
+			sort.Ints(candidates)
+			for _, tx := range candidates {
+				if _, isRunning := running[tx]; isRunning {
+					continue
+				}
+				// Conflict with a running transaction?
+				enemy := -1
+				for r := range running {
+					if ins.Conflicts(tx, r) {
+						enemy = r
+						break
+					}
+				}
+				if enemy >= 0 {
+					// Abort: move tx to the enemy's core queue.
+					aborts++
+					src := cores[coreOf[tx]]
+					if len(src.queue) > 0 && src.queue[0] == tx {
+						src.queue = src.queue[1:]
+					}
+					dst := cores[coreOf[enemy]]
+					dst.queue = append(dst.queue, tx)
+					coreOf[tx] = coreOf[enemy]
+					startedOne = true
+					continue
+				}
+				running[tx] = t + ins.Exec[tx]
+				startedAt[tx] = t
+				startedOne = true
+			}
+			if !startedOne {
+				break
+			}
+		}
+		t++
+		if t > 10*(ins.TotalWork()+ins.Rm())+100 {
+			break // safety net against livelock in malformed instances
+		}
+	}
+	_ = startedAt
+	return Result{Makespan: maxInt(finish), Aborts: aborts, Finish: finish}
+}
+
+// SimulateATS simulates the ATS scheduler of Theorem 1: transactions run as
+// soon as available; at its commit point, a transaction aborts if a
+// conflicting transaction that started no later is still running. After k
+// aborts a transaction joins the FIFO queue Q, whose members run strictly
+// one after another (and win all conflicts against non-queued work).
+func SimulateATS(ins *Instance, k int) Result {
+	n := ins.N()
+	if k < 1 {
+		k = 1
+	}
+	abortCount := make([]int, n)
+	inQ := make([]bool, n)
+	queue := []int{}
+	qBusy := -1                  // transaction from Q currently running
+	running := make(map[int]int) // txn -> finish time
+	started := make(map[int]int) // txn -> start time
+	finish := make([]int, n)
+	done := make([]bool, n)
+	aborts := 0
+	completed := 0
+
+	t := 0
+	for completed < n {
+		// Commit attempts at time t, lowest ID first for determinism.
+		// The conflict snapshot is taken before any of them commits so
+		// that simultaneous finishers resolve by the adversarial
+		// "earlier starter wins, ties to the lower ID" rule — the TM
+		// behavior behind the paper's lower-bound narrative.
+		var finishing []int
+		snapshot := make(map[int]int, len(running))
+		for tx, ft := range running {
+			snapshot[tx] = started[tx]
+			if ft == t {
+				finishing = append(finishing, tx)
+			}
+		}
+		sort.Ints(finishing)
+		victimized := make(map[int]bool)
+		for _, tx := range finishing {
+			if victimized[tx] {
+				continue // aborted by an earlier commit this instant
+			}
+			// A queued transaction always commits; a non-queued one
+			// aborts if it conflicts with a transaction that
+			// started no later (still running or committing now).
+			enemyRunning := false
+			if !inQ[tx] {
+				for r, st := range snapshot {
+					if r == tx || !ins.Conflicts(tx, r) {
+						continue
+					}
+					if st < started[tx] || (st == started[tx] && r < tx) {
+						enemyRunning = true
+						break
+					}
+				}
+				if !enemyRunning && qBusy >= 0 && qBusy != tx && ins.Conflicts(tx, qBusy) {
+					enemyRunning = true
+				}
+			}
+			delete(running, tx)
+			if enemyRunning {
+				aborts++
+				abortCount[tx]++
+				if abortCount[tx] >= k && !inQ[tx] {
+					inQ[tx] = true
+					queue = append(queue, tx)
+				} else if !inQ[tx] {
+					// Restart immediately.
+					running[tx] = t + ins.Exec[tx]
+					started[tx] = t
+				}
+				continue
+			}
+			done[tx] = true
+			finish[tx] = t
+			completed++
+			if qBusy == tx {
+				qBusy = -1
+			}
+			// A commit aborts every running conflicting transaction:
+			// conflicting executions may not overlap, and tx just
+			// committed out of such an overlap.
+			var victims []int
+			for r := range running {
+				if ins.Conflicts(tx, r) {
+					victims = append(victims, r)
+				}
+			}
+			sort.Ints(victims)
+			for _, r := range victims {
+				delete(running, r)
+				victimized[r] = true
+				aborts++
+				abortCount[r]++
+				if abortCount[r] >= k && !inQ[r] {
+					inQ[r] = true
+					queue = append(queue, r)
+					if qBusy == r {
+						qBusy = -1
+					}
+				} else if inQ[r] {
+					// Queued victim restarts in its lane.
+					running[r] = t + ins.Exec[r]
+					started[r] = t
+				} else {
+					running[r] = t + ins.Exec[r]
+					started[r] = t
+				}
+			}
+		}
+		// Start the next queued transaction if the queue lane is idle.
+		if qBusy < 0 && len(queue) > 0 {
+			tx := queue[0]
+			queue = queue[1:]
+			qBusy = tx
+			running[tx] = t + ins.Exec[tx]
+			started[tx] = t
+		}
+		// Start released non-queued transactions.
+		for tx := 0; tx < n; tx++ {
+			if done[tx] || inQ[tx] || ins.Release[tx] > t {
+				continue
+			}
+			if _, isRunning := running[tx]; isRunning {
+				continue
+			}
+			running[tx] = t + ins.Exec[tx]
+			started[tx] = t
+		}
+		t++
+		if t > 10*(ins.TotalWork()+ins.Rm())+k*ins.TotalWork()+100 {
+			break
+		}
+	}
+	return Result{Makespan: maxInt(finish), Aborts: aborts, Finish: finish}
+}
+
+// SimulateRestart simulates the online clairvoyant Restart scheduler of
+// Theorem 2: at every release time, all running transactions abort (zero
+// cost, restart from scratch) and the set of released unfinished
+// transactions is rescheduled with the conflict-respecting parallel
+// scheduler. conflicts selects the conflict relation the scheduler believes
+// (pass ins itself for accurate clairvoyance; a different graph yields the
+// Inaccurate scheduler).
+func SimulateRestart(ins *Instance, believed *Instance) Result {
+	n := ins.N()
+	finish := make([]int, n)
+	done := make([]bool, n)
+	aborts := 0
+
+	// Distinct release times, ascending.
+	releaseSet := map[int]bool{}
+	for _, r := range ins.Release {
+		releaseSet[r] = true
+	}
+	releases := make([]int, 0, len(releaseSet))
+	for r := range releaseSet {
+		releases = append(releases, r)
+	}
+	sort.Ints(releases)
+
+	for idx, rt := range releases {
+		horizon := -1 // next release time, -1 = none
+		if idx+1 < len(releases) {
+			horizon = releases[idx+1]
+		}
+		// Schedule all released unfinished transactions from rt using
+		// the believed conflict graph; run until the horizon.
+		var pending []int
+		for i := 0; i < n; i++ {
+			if !done[i] && ins.Release[i] <= rt {
+				pending = append(pending, i)
+			}
+		}
+		fin, _ := scheduleParallel(believed, pending, rt)
+		for _, i := range pending {
+			if horizon < 0 || fin[i] <= horizon {
+				done[i] = true
+				finish[i] = fin[i]
+			} else {
+				aborts++ // will restart at the next release
+			}
+		}
+	}
+	return Result{Makespan: maxInt(finish), Aborts: aborts, Finish: finish}
+}
+
+// SimulateInaccurate runs Restart with a wrong conflict prediction
+// (Theorem 3).
+func SimulateInaccurate(ins *Instance, predicted *Instance) Result {
+	return SimulateRestart(ins, predicted)
+}
+
+// SimulateGreedyPC simulates the pending-commit greedy scheduler (Motwani's
+// Greedy, 3-competitive): at every moment a maximal non-conflicting set of
+// released unfinished transactions runs, preferring longer remaining work;
+// newly released transactions join whenever compatible (running work is
+// never aborted — the pending commit property).
+func SimulateGreedyPC(ins *Instance) Result {
+	n := ins.N()
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	fin, aborts := scheduleParallelWithReleases(ins, all)
+	return Result{Makespan: maxInt(fin), Aborts: aborts, Finish: fin}
+}
+
+// scheduleParallel schedules the given transactions (all available at
+// startTime) with the conflict-respecting parallel policy: whenever a
+// processor decision is needed, start every transaction, longest execution
+// first, that does not conflict with anything running. For unit-time
+// instances on the paper's families and for disjoint-clique instances this
+// matches the offline optimum. Returns per-transaction finish times.
+func scheduleParallel(conflicts *Instance, txns []int, startTime int) (map[int]int, int) {
+	fin := make(map[int]int, len(txns))
+	remaining := append([]int(nil), txns...)
+	// Longest-first, ties by ID.
+	sort.Slice(remaining, func(a, b int) bool {
+		ea, eb := conflicts.Exec[remaining[a]], conflicts.Exec[remaining[b]]
+		if ea != eb {
+			return ea > eb
+		}
+		return remaining[a] < remaining[b]
+	})
+	running := map[int]int{}
+	t := startTime
+	for len(remaining) > 0 || len(running) > 0 {
+		// Retire finished.
+		for tx, ft := range running {
+			if ft == t {
+				delete(running, tx)
+				fin[tx] = ft
+			}
+		}
+		// Start compatible transactions.
+		rest := remaining[:0]
+		for _, tx := range remaining {
+			ok := true
+			for r := range running {
+				if conflicts.Conflicts(tx, r) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				running[tx] = t + conflicts.Exec[tx]
+			} else {
+				rest = append(rest, tx)
+			}
+		}
+		remaining = rest
+		if len(running) == 0 && len(remaining) > 0 {
+			t++ // cannot happen with a consistent graph, but stay safe
+			continue
+		}
+		// Advance to the next completion.
+		next := -1
+		for _, ft := range running {
+			if next < 0 || ft < next {
+				next = ft
+			}
+		}
+		if next < 0 {
+			break
+		}
+		t = next
+	}
+	return fin, 0
+}
+
+// scheduleParallelWithReleases is scheduleParallel honoring release times
+// (transactions become available when released; running work is never
+// aborted).
+func scheduleParallelWithReleases(ins *Instance, txns []int) ([]int, int) {
+	n := ins.N()
+	fin := make([]int, n)
+	var waiting []int
+	waiting = append(waiting, txns...)
+	sort.Slice(waiting, func(a, b int) bool {
+		if ins.Release[waiting[a]] != ins.Release[waiting[b]] {
+			return ins.Release[waiting[a]] < ins.Release[waiting[b]]
+		}
+		if ins.Exec[waiting[a]] != ins.Exec[waiting[b]] {
+			return ins.Exec[waiting[a]] > ins.Exec[waiting[b]]
+		}
+		return waiting[a] < waiting[b]
+	})
+	running := map[int]int{}
+	t := 0
+	for len(waiting) > 0 || len(running) > 0 {
+		for tx, ft := range running {
+			if ft == t {
+				delete(running, tx)
+				fin[tx] = ft
+			}
+		}
+		rest := waiting[:0]
+		for _, tx := range waiting {
+			if ins.Release[tx] > t {
+				rest = append(rest, tx)
+				continue
+			}
+			ok := true
+			for r := range running {
+				if ins.Conflicts(tx, r) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				running[tx] = t + ins.Exec[tx]
+			} else {
+				rest = append(rest, tx)
+			}
+		}
+		waiting = rest
+		// Advance to next event: completion or release.
+		next := -1
+		for _, ft := range running {
+			if next < 0 || ft < next {
+				next = ft
+			}
+		}
+		for _, tx := range waiting {
+			if r := ins.Release[tx]; r > t && (next < 0 || r < next) {
+				next = r
+			}
+		}
+		if next < 0 {
+			break
+		}
+		t = next
+	}
+	return fin, 0
+}
+
+func maxInt(xs []int) int {
+	m := 0
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

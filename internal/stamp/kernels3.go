@@ -1,0 +1,224 @@
+package stamp
+
+import (
+	"math/rand"
+
+	"github.com/shrink-tm/shrink/internal/stm"
+	"github.com/shrink-tm/shrink/internal/stmds"
+)
+
+// --- vacation: travel reservation system ---
+
+// vacation runs an OLTP-style reservation mix over three red-black-tree
+// tables (cars, rooms, flights; key -> remaining capacity) and a customer
+// map. The high-contention configuration queries a narrow key range with a
+// write-heavy mix; the low one spreads over a wide range.
+type vacation struct {
+	high      bool
+	relations int // key range per table
+	queries   int // resources touched per reservation
+
+	cars, rooms, flights *stmds.RBTree
+	customers            *stmds.HashMap
+}
+
+func newVacation(high bool) *vacation {
+	v := &vacation{high: high}
+	if high {
+		v.relations, v.queries = 128, 8
+	} else {
+		v.relations, v.queries = 2048, 4
+	}
+	return v
+}
+
+func (v *vacation) Name() string {
+	if v.high {
+		return "vacation-high"
+	}
+	return "vacation-low"
+}
+
+func (v *vacation) Setup(th stm.Thread) error {
+	v.cars = stmds.NewRBTree()
+	v.rooms = stmds.NewRBTree()
+	v.flights = stmds.NewRBTree()
+	v.customers = stmds.NewHashMap(512)
+	rng := rand.New(rand.NewSource(17))
+	const batch = 64
+	for start := 0; start < v.relations; start += batch {
+		start := start
+		if err := th.Atomically(func(tx stm.Tx) error {
+			for k := start; k < start+batch && k < v.relations; k++ {
+				capacity := 10 + rng.Intn(90)
+				if _, err := v.cars.Insert(tx, int64(k), capacity); err != nil {
+					return err
+				}
+				if _, err := v.rooms.Insert(tx, int64(k), capacity); err != nil {
+					return err
+				}
+				if _, err := v.flights.Insert(tx, int64(k), capacity); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (v *vacation) table(i int) *stmds.RBTree {
+	switch i % 3 {
+	case 0:
+		return v.cars
+	case 1:
+		return v.rooms
+	default:
+		return v.flights
+	}
+}
+
+func (v *vacation) Op(th stm.Thread, rng *rand.Rand) error {
+	action := rng.Intn(100)
+	writeHeavyCut := 10 // low contention: 90% reservations
+	if v.high {
+		writeHeavyCut = 30
+	}
+	switch {
+	case action < writeHeavyCut:
+		// Update tables: change a resource's capacity.
+		t := v.table(rng.Intn(3))
+		key := int64(rng.Intn(v.relations))
+		delta := rng.Intn(10) - 5
+		return th.Atomically(func(tx stm.Tx) error {
+			raw, ok, err := t.Get(tx, key)
+			if err != nil || !ok {
+				return err
+			}
+			capacity, _ := raw.(int)
+			capacity += delta
+			if capacity < 0 {
+				capacity = 0
+			}
+			_, err = t.Insert(tx, key, capacity)
+			return err
+		})
+	default:
+		// Make a reservation: scan q random resources across the
+		// tables, then book the best available one and record the
+		// customer.
+		custID := uint64(rng.Intn(4096))
+		keys := make([]int64, v.queries)
+		for i := range keys {
+			keys[i] = int64(rng.Intn(v.relations))
+		}
+		return th.Atomically(func(tx stm.Tx) error {
+			bestTable := -1
+			var bestKey int64
+			bestCap := 0
+			for i, k := range keys {
+				t := v.table(i)
+				raw, ok, err := t.Get(tx, k)
+				if err != nil {
+					return err
+				}
+				if !ok {
+					continue
+				}
+				capacity, _ := raw.(int)
+				if capacity > bestCap {
+					bestTable, bestKey, bestCap = i, k, capacity
+				}
+			}
+			if bestTable < 0 {
+				return nil
+			}
+			t := v.table(bestTable)
+			if _, err := t.Insert(tx, bestKey, bestCap-1); err != nil {
+				return err
+			}
+			_, err := v.customers.Put(tx, custID, bestKey)
+			return err
+		})
+	}
+}
+
+// --- yada: Delaunay mesh refinement ---
+
+// yada refines a mesh: a worklist of bad elements feeds transactions that
+// read the element's cavity (a neighborhood of cells), rewrite the cavity,
+// and push newly created bad elements back onto the worklist — queue
+// contention plus clustered region writes.
+type yada struct {
+	meshSize int
+	cavity   int
+	mesh     *stmds.Array // per-cell quality counter
+	work     *stmds.Queue
+}
+
+func newYada() *yada { return &yada{meshSize: 4096, cavity: 8} }
+
+func (y *yada) Name() string { return "yada" }
+
+func (y *yada) Setup(th stm.Thread) error {
+	y.mesh = stmds.NewArray(y.meshSize, 0)
+	y.work = stmds.NewQueue()
+	rng := rand.New(rand.NewSource(19))
+	for i := 0; i < 128; i += 32 {
+		if err := th.Atomically(func(tx stm.Tx) error {
+			for j := 0; j < 32; j++ {
+				if err := y.work.Enqueue(tx, rng.Intn(y.meshSize)); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (y *yada) Op(th stm.Thread, rng *rand.Rand) error {
+	// Keep the worklist primed (the original's initial work queue is
+	// consumed and regrown by retriangulation).
+	seed := rng.Intn(y.meshSize)
+	spawn := rng.Intn(100) < 50
+	return th.Atomically(func(tx stm.Tx) error {
+		raw, ok, err := y.work.Dequeue(tx)
+		var elem int
+		if err != nil {
+			return err
+		}
+		if ok {
+			elem, _ = raw.(int)
+		} else {
+			elem = seed
+		}
+		// Read and rewrite the cavity around the element.
+		base := elem - y.cavity/2
+		if base < 0 {
+			base = 0
+		}
+		if base+y.cavity > y.meshSize {
+			base = y.meshSize - y.cavity
+		}
+		for c := base; c < base+y.cavity; c++ {
+			q, err := y.mesh.GetInt(tx, c)
+			if err != nil {
+				return err
+			}
+			if err := y.mesh.Set(tx, c, q+1); err != nil {
+				return err
+			}
+		}
+		if spawn {
+			if err := y.work.Enqueue(tx, (elem+y.cavity)%y.meshSize); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}

@@ -1,0 +1,389 @@
+// Package enginetest provides a conformance suite that both STM engines
+// (swiss and tiny) must pass: atomicity, isolation, conservation under
+// concurrency, abort semantics, and scheduler/contention-manager plumbing.
+// Engine test packages call Run with a factory.
+package enginetest
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"github.com/shrink-tm/shrink/internal/cm"
+	"github.com/shrink-tm/shrink/internal/sched"
+	"github.com/shrink-tm/shrink/internal/stm"
+)
+
+// Factory builds a TM with the given policies.
+type Factory func(s stm.Scheduler, c stm.ContentionManager, w stm.WaitPolicy) stm.TM
+
+// Run executes the full conformance suite against the factory.
+func Run(t *testing.T, name string, factory Factory) {
+	t.Run("SequentialReadWrite", func(t *testing.T) { testSequential(t, factory) })
+	t.Run("ReadYourWrites", func(t *testing.T) { testReadYourWrites(t, factory) })
+	t.Run("UserAbortDiscards", func(t *testing.T) { testUserAbort(t, factory) })
+	t.Run("CounterAtomicity", func(t *testing.T) { testCounter(t, factory) })
+	t.Run("BankConservation", func(t *testing.T) { testBank(t, factory, stm.NopScheduler{}, nil, "none") })
+	t.Run("BankConservationShrink", func(t *testing.T) {
+		testBank(t, factory, sched.NewShrink(sched.DefaultShrinkConfig()), nil, "shrink")
+	})
+	t.Run("BankConservationATS", func(t *testing.T) { testBank(t, factory, sched.NewATS(), nil, "ats") })
+	t.Run("BankConservationPool", func(t *testing.T) { testBank(t, factory, sched.NewPool(), nil, "pool") })
+	t.Run("BankConservationGreedyCM", func(t *testing.T) {
+		testBank(t, factory, stm.NopScheduler{}, &cm.Greedy{}, "greedy")
+	})
+	t.Run("BankConservationKarmaCM", func(t *testing.T) {
+		testBank(t, factory, stm.NopScheduler{}, cm.Karma{}, "karma")
+	})
+	t.Run("BankConservationPoliteCM", func(t *testing.T) {
+		testBank(t, factory, stm.NopScheduler{}, &cm.Polite{}, "polite")
+	})
+	t.Run("InvariantPairNeverTorn", func(t *testing.T) { testInvariantPair(t, factory) })
+	t.Run("WriteSkewPrevented", func(t *testing.T) { testWriteSkew(t, factory) })
+	t.Run("StatsAccounting", func(t *testing.T) { testStats(t, factory) })
+}
+
+func testSequential(t *testing.T, factory Factory) {
+	tm := factory(nil, nil, stm.WaitPreemptive)
+	th := tm.Register("t0")
+	v := stm.NewVar(10)
+	err := th.Atomically(func(tx stm.Tx) error {
+		got, err := tx.Read(v)
+		if err != nil {
+			return err
+		}
+		if got.(int) != 10 {
+			return fmt.Errorf("got %v, want 10", got)
+		}
+		return tx.Write(v, 20)
+	})
+	if err != nil {
+		t.Fatalf("tx1: %v", err)
+	}
+	err = th.Atomically(func(tx stm.Tx) error {
+		got, err := tx.Read(v)
+		if err != nil {
+			return err
+		}
+		if got.(int) != 20 {
+			return fmt.Errorf("got %v, want 20", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("tx2: %v", err)
+	}
+}
+
+func testReadYourWrites(t *testing.T, factory Factory) {
+	tm := factory(nil, nil, stm.WaitPreemptive)
+	th := tm.Register("t0")
+	v := stm.NewVar(1)
+	err := th.Atomically(func(tx stm.Tx) error {
+		if err := tx.Write(v, 2); err != nil {
+			return err
+		}
+		got, err := tx.Read(v)
+		if err != nil {
+			return err
+		}
+		if got.(int) != 2 {
+			return fmt.Errorf("read-own-write got %v, want 2", got)
+		}
+		if err := tx.Write(v, 3); err != nil {
+			return err
+		}
+		got, err = tx.Read(v)
+		if err != nil {
+			return err
+		}
+		if got.(int) != 3 {
+			return fmt.Errorf("second read-own-write got %v, want 3", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func testUserAbort(t *testing.T, factory Factory) {
+	tm := factory(nil, nil, stm.WaitPreemptive)
+	th := tm.Register("t0")
+	v := stm.NewVar(100)
+	errBoom := errors.New("boom")
+	err := th.Atomically(func(tx stm.Tx) error {
+		if err := tx.Write(v, 999); err != nil {
+			return err
+		}
+		return errBoom
+	})
+	if !errors.Is(err, errBoom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	err = th.Atomically(func(tx stm.Tx) error {
+		got, err := tx.Read(v)
+		if err != nil {
+			return err
+		}
+		if got.(int) != 100 {
+			return fmt.Errorf("user abort leaked write: got %v, want 100", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ua := tm.Stats().UserAborts; ua != 1 {
+		t.Fatalf("UserAborts = %d, want 1", ua)
+	}
+}
+
+func testCounter(t *testing.T, factory Factory) {
+	const threads, increments = 6, 300
+	tm := factory(nil, nil, stm.WaitPreemptive)
+	counter := stm.NewVar(0)
+	var wg sync.WaitGroup
+	for i := 0; i < threads; i++ {
+		th := tm.Register(fmt.Sprintf("t%d", i))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < increments; j++ {
+				_ = th.Atomically(func(tx stm.Tx) error {
+					n, err := tx.Read(counter)
+					if err != nil {
+						return err
+					}
+					return tx.Write(counter, n.(int)+1)
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	th := tm.Register("checker")
+	_ = th.Atomically(func(tx stm.Tx) error {
+		n, err := tx.Read(counter)
+		if err != nil {
+			return err
+		}
+		if n.(int) != threads*increments {
+			t.Errorf("counter = %d, want %d", n.(int), threads*increments)
+		}
+		return nil
+	})
+}
+
+func testBank(t *testing.T, factory Factory, s stm.Scheduler, c stm.ContentionManager, label string) {
+	const (
+		threads   = 6
+		accounts  = 16
+		transfers = 250
+		initial   = 1000
+	)
+	tm := factory(s, c, stm.WaitPreemptive)
+	vars := make([]*stm.Var, accounts)
+	for i := range vars {
+		vars[i] = stm.NewVar(initial)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < threads; i++ {
+		th := tm.Register(fmt.Sprintf("t%d", i))
+		rng := rand.New(rand.NewSource(int64(i) + 42))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < transfers; j++ {
+				from, to := rng.Intn(accounts), rng.Intn(accounts)
+				if from == to {
+					to = (to + 1) % accounts
+				}
+				amount := rng.Intn(50)
+				_ = th.Atomically(func(tx stm.Tx) error {
+					fb, err := tx.Read(vars[from])
+					if err != nil {
+						return err
+					}
+					tb, err := tx.Read(vars[to])
+					if err != nil {
+						return err
+					}
+					if err := tx.Write(vars[from], fb.(int)-amount); err != nil {
+						return err
+					}
+					return tx.Write(vars[to], tb.(int)+amount)
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	th := tm.Register("auditor")
+	err := th.Atomically(func(tx stm.Tx) error {
+		total := 0
+		for _, v := range vars {
+			b, err := tx.Read(v)
+			if err != nil {
+				return err
+			}
+			total += b.(int)
+		}
+		if total != accounts*initial {
+			t.Errorf("[%s] total = %d, want %d (money not conserved)", label, total, accounts*initial)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("[%s] audit: %v", label, err)
+	}
+}
+
+// testInvariantPair maintains x + y == 0 under concurrent updates while
+// readers verify the invariant inside transactions: any torn (non-atomic)
+// view would be observed.
+func testInvariantPair(t *testing.T, factory Factory) {
+	const threads, iters = 4, 300
+	tm := factory(nil, nil, stm.WaitPreemptive)
+	x, y := stm.NewVar(0), stm.NewVar(0)
+	var wg sync.WaitGroup
+	for i := 0; i < threads; i++ {
+		th := tm.Register(fmt.Sprintf("w%d", i))
+		rng := rand.New(rand.NewSource(int64(i)))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < iters; j++ {
+				d := rng.Intn(100) - 50
+				_ = th.Atomically(func(tx stm.Tx) error {
+					xv, err := tx.Read(x)
+					if err != nil {
+						return err
+					}
+					yv, err := tx.Read(y)
+					if err != nil {
+						return err
+					}
+					if xv.(int)+yv.(int) != 0 {
+						t.Errorf("invariant torn inside writer: x=%d y=%d", xv.(int), yv.(int))
+					}
+					if err := tx.Write(x, xv.(int)+d); err != nil {
+						return err
+					}
+					return tx.Write(y, yv.(int)-d)
+				})
+			}
+		}()
+	}
+	for i := 0; i < 2; i++ {
+		th := tm.Register(fmt.Sprintf("r%d", i))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < iters; j++ {
+				_ = th.Atomically(func(tx stm.Tx) error {
+					xv, err := tx.Read(x)
+					if err != nil {
+						return err
+					}
+					yv, err := tx.Read(y)
+					if err != nil {
+						return err
+					}
+					if xv.(int)+yv.(int) != 0 {
+						t.Errorf("invariant torn in reader: x=%d y=%d", xv.(int), yv.(int))
+					}
+					return nil
+				})
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// testWriteSkew checks serializability beyond snapshot isolation: two
+// transactions each read both vars and write one; under the constraint
+// x + y <= 1 starting from 0,0 a serializable execution can never make both
+// writes (x=1 and y=1) from the same initial snapshot.
+func testWriteSkew(t *testing.T, factory Factory) {
+	const iters = 200
+	tm := factory(nil, nil, stm.WaitPreemptive)
+	x, y := stm.NewVar(0), stm.NewVar(0)
+	t1 := tm.Register("t1")
+	t2 := tm.Register("t2")
+	reset := tm.Register("reset")
+
+	for i := 0; i < iters; i++ {
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		body := func(th stm.Thread, mine, other *stm.Var) {
+			defer wg.Done()
+			<-start
+			_ = th.Atomically(func(tx stm.Tx) error {
+				mv, err := tx.Read(mine)
+				if err != nil {
+					return err
+				}
+				ov, err := tx.Read(other)
+				if err != nil {
+					return err
+				}
+				if mv.(int)+ov.(int) == 0 {
+					return tx.Write(mine, 1)
+				}
+				return nil
+			})
+		}
+		wg.Add(2)
+		go body(t1, x, y)
+		go body(t2, y, x)
+		close(start)
+		wg.Wait()
+
+		err := reset.Atomically(func(tx stm.Tx) error {
+			xv, err := tx.Read(x)
+			if err != nil {
+				return err
+			}
+			yv, err := tx.Read(y)
+			if err != nil {
+				return err
+			}
+			if xv.(int)+yv.(int) > 1 {
+				t.Errorf("write skew: x=%d y=%d", xv.(int), yv.(int))
+			}
+			if err := tx.Write(x, 0); err != nil {
+				return err
+			}
+			return tx.Write(y, 0)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func testStats(t *testing.T, factory Factory) {
+	tm := factory(nil, nil, stm.WaitPreemptive)
+	th := tm.Register("t0")
+	v := stm.NewVar(0)
+	for i := 0; i < 5; i++ {
+		_ = th.Atomically(func(tx stm.Tx) error {
+			n, err := tx.Read(v)
+			if err != nil {
+				return err
+			}
+			return tx.Write(v, n.(int)+1)
+		})
+	}
+	s := tm.Stats()
+	if s.Commits != 5 {
+		t.Errorf("commits = %d, want 5", s.Commits)
+	}
+	if got := len(tm.Threads()); got != 1 {
+		t.Errorf("threads = %d, want 1", got)
+	}
+	if s.CommitRate() != 1 {
+		t.Errorf("commit rate = %f, want 1 (no contention)", s.CommitRate())
+	}
+}

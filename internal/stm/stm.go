@@ -1,0 +1,237 @@
+package stm
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrConflict is the sentinel returned by transactional operations when the
+// enclosing transaction must abort and retry. User transaction bodies must
+// propagate it unchanged; Thread.Atomically recognizes it (via errors.Is) and
+// restarts the transaction.
+var ErrConflict = errors.New("stm: transaction conflict")
+
+// Tx is the interface transaction bodies program against. Both engines
+// (SwissTM-like and TinySTM-like) implement it, so transactional data
+// structures and benchmarks are engine-agnostic.
+type Tx interface {
+	// Read returns the value of v as observed by this transaction. A
+	// non-nil error is always ErrConflict (possibly wrapped) and must be
+	// propagated out of the transaction body.
+	Read(v *Var) (any, error)
+	// Write sets the value of v in this transaction.
+	Write(v *Var, val any) error
+	// ThreadID returns the executing thread's ID, for workloads that key
+	// per-thread state.
+	ThreadID() int
+}
+
+// Thread is a per-worker handle onto a TM. A Thread must be used by a single
+// goroutine at a time.
+type Thread interface {
+	ID() int
+	// Atomically runs fn as a transaction, retrying on conflicts until it
+	// commits. A non-conflict error returned by fn aborts the transaction
+	// and is returned to the caller without retry.
+	Atomically(fn func(tx Tx) error) error
+	// Ctx exposes the thread context (statistics, scheduler state).
+	Ctx() *ThreadCtx
+}
+
+// TM is a transactional memory engine instance.
+type TM interface {
+	// Register creates a new Thread. Thread IDs are dense, starting at 0.
+	Register(name string) Thread
+	// Threads returns the contexts of all registered threads.
+	Threads() []*ThreadCtx
+	// Stats aggregates commit/abort counters across threads.
+	Stats() Stats
+}
+
+// ThreadCtx carries the engine-independent per-thread state: identity,
+// statistics, the doomed flag used by contention managers that abort other
+// transactions, and a slot for scheduler-private state.
+type ThreadCtx struct {
+	ID   int
+	Name string
+
+	Commits    atomic.Uint64
+	Aborts     atomic.Uint64
+	UserAborts atomic.Uint64
+
+	// Doomed is set by a contention manager running in another thread to
+	// request that this thread's current transaction abort at its next
+	// transactional operation.
+	Doomed atomic.Bool
+
+	// Priority is maintained by contention managers that order conflicts
+	// (Karma: work done; Greedy/Timestamp: transaction start time).
+	Priority atomic.Uint64
+
+	// ReadHook, when set, makes the engine invoke Scheduler.AfterRead on
+	// every transactional read. It is read and written only by the owner
+	// thread (engines on the hot path, schedulers in their hooks), so it
+	// is deliberately an unsynchronized bool: schedulers that need read
+	// tracking only under contention (Shrink's lazy activation) can turn
+	// it off for healthy threads and make the hook cost one predictable
+	// branch.
+	ReadHook bool
+
+	// SchedState is owned by the Scheduler attached to the TM.
+	SchedState any
+	// CMState is owned by the ContentionManager attached to the TM.
+	CMState any
+}
+
+// Stats is an aggregated snapshot of commit/abort counters.
+type Stats struct {
+	Commits    uint64
+	Aborts     uint64
+	UserAborts uint64
+}
+
+// CommitRate returns commits / (commits + aborts), or 1 if nothing ran.
+func (s Stats) CommitRate() float64 {
+	total := s.Commits + s.Aborts
+	if total == 0 {
+		return 1
+	}
+	return float64(s.Commits) / float64(total)
+}
+
+// AggregateStats sums the counters of the given thread contexts.
+func AggregateStats(threads []*ThreadCtx) Stats {
+	var s Stats
+	for _, t := range threads {
+		s.Commits += t.Commits.Load()
+		s.Aborts += t.Aborts.Load()
+		s.UserAborts += t.UserAborts.Load()
+	}
+	return s
+}
+
+// Scheduler is the transaction-scheduling hook interface. The engine invokes
+// the hooks at the boundaries of every transaction attempt. BeforeStart may
+// block (that is how serializing schedulers such as Shrink, ATS and Pool
+// implement serialization); the matching release must happen in AfterCommit
+// or AfterAbort.
+type Scheduler interface {
+	// RegisterThread is called once per thread, before any other hook.
+	RegisterThread(t *ThreadCtx)
+	// BeforeStart is called before each transaction attempt. attempt is 0
+	// for the first try of a given Atomically call.
+	BeforeStart(t *ThreadCtx, attempt int)
+	// AfterRead is called after each successful transactional read.
+	AfterRead(t *ThreadCtx, v *Var)
+	// AfterCommit is called after a successful commit, with the write set
+	// of the committed transaction.
+	AfterCommit(t *ThreadCtx, writeSet []*Var)
+	// AfterAbort is called after an abort, with the write set of the
+	// aborted attempt.
+	AfterAbort(t *ThreadCtx, writeSet []*Var)
+}
+
+// NopScheduler is the base-STM scheduler: every hook is a no-op.
+type NopScheduler struct{}
+
+var _ Scheduler = NopScheduler{}
+
+// RegisterThread implements Scheduler.
+func (NopScheduler) RegisterThread(*ThreadCtx) {}
+
+// BeforeStart implements Scheduler.
+func (NopScheduler) BeforeStart(*ThreadCtx, int) {}
+
+// AfterRead implements Scheduler.
+func (NopScheduler) AfterRead(*ThreadCtx, *Var) {}
+
+// AfterCommit implements Scheduler.
+func (NopScheduler) AfterCommit(*ThreadCtx, []*Var) {}
+
+// AfterAbort implements Scheduler.
+func (NopScheduler) AfterAbort(*ThreadCtx, []*Var) {}
+
+// ConflictKind classifies a detected conflict for the contention manager.
+type ConflictKind int
+
+// Conflict kinds.
+const (
+	// ReadWrite: the transaction tried to read a Var locked by a writer.
+	ReadWrite ConflictKind = iota + 1
+	// WriteWrite: the transaction tried to lock a Var already locked.
+	WriteWrite
+	// Validation: read-set validation failed (no identifiable enemy).
+	Validation
+)
+
+// Resolution is a contention manager's decision.
+type Resolution int
+
+// Resolutions.
+const (
+	// AbortSelf: the asking transaction aborts and retries.
+	AbortSelf Resolution = iota + 1
+	// WaitRetry: the asking transaction waits briefly for the enemy to
+	// finish, then re-attempts the operation.
+	WaitRetry
+	// AbortOther: the enemy transaction is doomed; the asking transaction
+	// waits for it to release its locks.
+	AbortOther
+)
+
+// ContentionManager resolves detected conflicts. It is called from the
+// conflicting thread; enemy may be nil when the conflict has no identifiable
+// owner (validation failures).
+type ContentionManager interface {
+	RegisterThread(t *ThreadCtx)
+	// OnStart is called when a transaction attempt begins.
+	OnStart(t *ThreadCtx, attempt int)
+	// OnConflict resolves a conflict between t and enemy.
+	OnConflict(t, enemy *ThreadCtx, kind ConflictKind) Resolution
+	// OnCommit and OnAbort maintain manager-private accounting.
+	OnCommit(t *ThreadCtx)
+	OnAbort(t *ThreadCtx)
+}
+
+// Registry tracks the thread contexts of one TM instance so that engines can
+// map an orec owner ID back to a ThreadCtx for the contention manager.
+type Registry struct {
+	mu      sync.RWMutex
+	threads []*ThreadCtx
+}
+
+// Add registers a new thread context and returns its dense ID.
+func (r *Registry) Add(name string) *ThreadCtx {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t := &ThreadCtx{ID: len(r.threads), Name: name}
+	r.threads = append(r.threads, t)
+	return t
+}
+
+// Get returns the context for the given thread ID, or nil if out of range.
+func (r *Registry) Get(id int) *ThreadCtx {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if id < 0 || id >= len(r.threads) {
+		return nil
+	}
+	return r.threads[id]
+}
+
+// All returns a copy of the registered contexts.
+func (r *Registry) All() []*ThreadCtx {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*ThreadCtx, len(r.threads))
+	copy(out, r.threads)
+	return out
+}
+
+// Len returns the number of registered threads.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.threads)
+}

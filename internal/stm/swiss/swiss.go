@@ -1,0 +1,387 @@
+// Package swiss implements a SwissTM-like software transactional memory
+// engine (Dragojević, Guerraoui, Kapalka, PLDI 2009) on the shared substrate
+// of package stm:
+//
+//   - word-based, lock-based, with invisible reads and visible writes;
+//   - eager (encounter-time) write locking, so write/write conflicts are
+//     detected immediately;
+//   - lazy (commit-time) read validation over a TL2-style global version
+//     clock with timestamp extension, so read/write conflicts are detected
+//     late — SwissTM's mixed conflict detection;
+//   - write-back: speculative values live in the transaction's write log
+//     until commit.
+//
+// The engine takes a Scheduler (e.g. Shrink) and a ContentionManager, and a
+// WaitPolicy that selects preemptive or busy waiting between retries — the
+// knob behind Figures 5 versus 9 of the paper.
+package swiss
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/shrink-tm/shrink/internal/stm"
+)
+
+// Options configures a TM instance. Zero fields fall back to defaults:
+// NopScheduler, a Suicide-like manager, preemptive waiting.
+type Options struct {
+	Scheduler stm.Scheduler
+	CM        stm.ContentionManager
+	Wait      stm.WaitPolicy
+	// MaxRetries aborts an Atomically call with ErrLivelock after this
+	// many conflicts; 0 means unbounded (the paper's setting).
+	MaxRetries int
+}
+
+// ErrLivelock is returned by Atomically when Options.MaxRetries is exceeded.
+var ErrLivelock = errors.New("swiss: retry budget exhausted")
+
+// defaultCM aborts the asking transaction on every conflict.
+type defaultCM struct{}
+
+func (defaultCM) RegisterThread(*stm.ThreadCtx) {}
+func (defaultCM) OnStart(*stm.ThreadCtx, int)   {}
+func (defaultCM) OnConflict(_, _ *stm.ThreadCtx, _ stm.ConflictKind) stm.Resolution {
+	return stm.AbortSelf
+}
+func (defaultCM) OnCommit(*stm.ThreadCtx) {}
+func (defaultCM) OnAbort(*stm.ThreadCtx)  {}
+
+// TM is a SwissTM-like engine instance.
+type TM struct {
+	clock    stm.Clock
+	sched    stm.Scheduler
+	cm       stm.ContentionManager
+	wait     stm.WaitPolicy
+	maxRetry int
+	reg      stm.Registry
+}
+
+var _ stm.TM = (*TM)(nil)
+
+// New returns a TM with the given options.
+func New(opts Options) *TM {
+	if opts.Scheduler == nil {
+		opts.Scheduler = stm.NopScheduler{}
+	}
+	if opts.CM == nil {
+		opts.CM = defaultCM{}
+	}
+	if opts.Wait == 0 {
+		opts.Wait = stm.WaitPreemptive
+	}
+	return &TM{
+		sched:    opts.Scheduler,
+		cm:       opts.CM,
+		wait:     opts.Wait,
+		maxRetry: opts.MaxRetries,
+	}
+}
+
+// Register implements stm.TM.
+func (tm *TM) Register(name string) stm.Thread {
+	ctx := tm.reg.Add(name)
+	tm.sched.RegisterThread(ctx)
+	tm.cm.RegisterThread(ctx)
+	th := &Thread{tm: tm, ctx: ctx}
+	th.tx.th = th
+	return th
+}
+
+// Threads implements stm.TM.
+func (tm *TM) Threads() []*stm.ThreadCtx { return tm.reg.All() }
+
+// Stats implements stm.TM.
+func (tm *TM) Stats() stm.Stats { return stm.AggregateStats(tm.reg.All()) }
+
+// Clock exposes the global version clock (tests and diagnostics).
+func (tm *TM) Clock() uint64 { return tm.clock.Now() }
+
+// Thread is a per-worker handle. It must be used by one goroutine at a time.
+type Thread struct {
+	tm  *TM
+	ctx *stm.ThreadCtx
+	tx  txn
+}
+
+var _ stm.Thread = (*Thread)(nil)
+
+// ID implements stm.Thread.
+func (th *Thread) ID() int { return th.ctx.ID }
+
+// Ctx implements stm.Thread.
+func (th *Thread) Ctx() *stm.ThreadCtx { return th.ctx }
+
+// Atomically implements stm.Thread: it runs fn transactionally, retrying on
+// conflicts. Every attempt is bracketed by the scheduler hooks; the
+// contention manager is consulted on each detected conflict and notified of
+// commits and aborts.
+func (th *Thread) Atomically(fn func(tx stm.Tx) error) error {
+	tm := th.tm
+	for attempt := 0; ; attempt++ {
+		tm.sched.BeforeStart(th.ctx, attempt)
+		tm.cm.OnStart(th.ctx, attempt)
+		th.ctx.Doomed.Store(false)
+		th.tx.begin(tm.clock.Now())
+
+		err := fn(&th.tx)
+		var ws []*stm.Var
+		if err == nil {
+			ws = th.tx.writeVars()
+			err = th.tx.commit()
+		}
+		if err == nil {
+			th.ctx.Commits.Add(1)
+			tm.cm.OnCommit(th.ctx)
+			tm.sched.AfterCommit(th.ctx, ws)
+			return nil
+		}
+
+		if ws == nil {
+			ws = th.tx.writeVars()
+		}
+		th.tx.rollback()
+		if errors.Is(err, stm.ErrConflict) {
+			th.ctx.Aborts.Add(1)
+			tm.cm.OnAbort(th.ctx)
+			tm.sched.AfterAbort(th.ctx, ws)
+			if tm.maxRetry > 0 && attempt+1 >= tm.maxRetry {
+				return fmt.Errorf("%w after %d attempts", ErrLivelock, attempt+1)
+			}
+			tm.wait.Backoff(attempt + 1)
+			continue
+		}
+		// User abort: the transaction's effects are discarded and the
+		// error propagates without retry.
+		th.ctx.UserAborts.Add(1)
+		tm.cm.OnAbort(th.ctx)
+		tm.sched.AfterAbort(th.ctx, ws)
+		return err
+	}
+}
+
+// readEntry records a validated read: the Var and the version it had.
+type readEntry struct {
+	v   *stm.Var
+	ver uint64
+}
+
+// writeEntry records an acquired write lock and the speculative value.
+type writeEntry struct {
+	v       *stm.Var
+	val     any
+	oldMeta uint64 // unlocked orec word to restore on abort
+}
+
+// txn is the per-thread transaction descriptor, reused across attempts.
+type txn struct {
+	th     *Thread
+	rv     uint64 // read version (snapshot timestamp)
+	reads  []readEntry
+	writes []writeEntry
+	windex map[*stm.Var]int // Var -> index into writes
+}
+
+var _ stm.Tx = (*txn)(nil)
+
+func (tx *txn) begin(now uint64) {
+	tx.rv = now
+	tx.reads = tx.reads[:0]
+	tx.writes = tx.writes[:0]
+	if tx.windex == nil {
+		tx.windex = make(map[*stm.Var]int, 16)
+	} else {
+		clear(tx.windex)
+	}
+}
+
+// ThreadID implements stm.Tx.
+func (tx *txn) ThreadID() int { return tx.th.ctx.ID }
+
+// conflict consults the contention manager about a conflict on v currently
+// owned by ownerID and acts on the resolution. It returns nil when the
+// caller should re-attempt the operation, or ErrConflict to abort.
+func (tx *txn) conflict(v *stm.Var, ownerID int, kind stm.ConflictKind) error {
+	tm := tx.th.tm
+	enemy := tm.reg.Get(ownerID)
+	switch tm.cm.OnConflict(tx.th.ctx, enemy, kind) {
+	case stm.WaitRetry:
+		if tm.wait.SpinWhileLocked(v, tx.th.ctx.ID, 256) {
+			return nil
+		}
+		return stm.ErrConflict
+	case stm.AbortOther:
+		if enemy != nil {
+			enemy.Doomed.Store(true)
+		}
+		if tm.wait.SpinWhileLocked(v, tx.th.ctx.ID, 1024) {
+			return nil
+		}
+		return stm.ErrConflict
+	default:
+		return stm.ErrConflict
+	}
+}
+
+// Read implements stm.Tx. Reads are invisible: the Var's orec is sampled
+// around the value load and validated against the transaction's snapshot,
+// extending the snapshot (with full read-set validation) when the Var is
+// newer — the LSA-style timestamp extension SwissTM uses.
+func (tx *txn) Read(v *stm.Var) (any, error) {
+	if tx.th.ctx.Doomed.Load() {
+		return nil, stm.ErrConflict
+	}
+	if i, ok := tx.windex[v]; ok {
+		return tx.writes[i].val, nil
+	}
+	for {
+		val, meta := v.Snapshot()
+		if stm.IsLocked(meta) {
+			if err := tx.conflict(v, stm.OwnerOf(meta), stm.ReadWrite); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		ver := stm.VersionOf(meta)
+		if ver > tx.rv {
+			if !tx.extend() {
+				return nil, stm.ErrConflict
+			}
+			continue
+		}
+		tx.reads = append(tx.reads, readEntry{v: v, ver: ver})
+		if tx.th.ctx.ReadHook {
+			tx.th.tm.sched.AfterRead(tx.th.ctx, v)
+		}
+		return val, nil
+	}
+}
+
+// Write implements stm.Tx. Write locks are acquired at encounter time
+// (eager), so a write/write conflict surfaces immediately; the value is
+// buffered until commit (write-back).
+func (tx *txn) Write(v *stm.Var, val any) error {
+	if tx.th.ctx.Doomed.Load() {
+		return stm.ErrConflict
+	}
+	if i, ok := tx.windex[v]; ok {
+		tx.writes[i].val = val
+		return nil
+	}
+	for {
+		meta := v.Meta()
+		if stm.IsLocked(meta) {
+			owner := stm.OwnerOf(meta)
+			if owner == tx.th.ctx.ID {
+				// Locked by this thread but missing from the
+				// write index: a stale lock cannot occur
+				// because rollback/commit always release;
+				// treat defensively as conflict.
+				return stm.ErrConflict
+			}
+			if err := tx.conflict(v, owner, stm.WriteWrite); err != nil {
+				return err
+			}
+			continue
+		}
+		if ver := stm.VersionOf(meta); ver > tx.rv {
+			if !tx.extend() {
+				return stm.ErrConflict
+			}
+			continue
+		}
+		if !v.TryLock(meta, tx.th.ctx.ID) {
+			continue
+		}
+		tx.windex[v] = len(tx.writes)
+		tx.writes = append(tx.writes, writeEntry{v: v, val: val, oldMeta: meta})
+		return nil
+	}
+}
+
+// extend tries to advance the transaction's snapshot to the current clock by
+// revalidating the entire read set, and reports success.
+func (tx *txn) extend() bool {
+	now := tx.th.tm.clock.Now()
+	if !tx.validate() {
+		return false
+	}
+	tx.rv = now
+	return true
+}
+
+// validate checks that every read is still consistent: the Var is unlocked
+// (or locked by this transaction) and its version is unchanged.
+func (tx *txn) validate() bool {
+	me := tx.th.ctx.ID
+	for i := range tx.reads {
+		e := &tx.reads[i]
+		meta := e.v.Meta()
+		if stm.IsLocked(meta) {
+			if stm.OwnerOf(meta) != me {
+				return false
+			}
+			continue // our own eager lock; value unchanged until commit
+		}
+		if stm.VersionOf(meta) != e.ver {
+			return false
+		}
+	}
+	return true
+}
+
+// commit finalizes the transaction: read-only transactions are already
+// consistent by incremental validation; update transactions take a commit
+// timestamp from the global clock, validate the read set, write back and
+// release their locks at the new version.
+func (tx *txn) commit() error {
+	if tx.th.ctx.Doomed.Load() {
+		return stm.ErrConflict
+	}
+	if len(tx.writes) == 0 {
+		return nil
+	}
+	wt := tx.th.tm.clock.Tick()
+	// If no other transaction committed since our snapshot, the read set
+	// cannot have changed (TL2 fast path); otherwise validate.
+	if wt != tx.rv+1 && !tx.validate() {
+		return stm.ErrConflict
+	}
+	for i := range tx.writes {
+		e := &tx.writes[i]
+		e.v.StoreValue(e.val)
+		e.v.Unlock(wt)
+	}
+	tx.writes = tx.writes[:0]
+	clear(tx.windex)
+	return nil
+}
+
+// rollback releases any write locks, restoring the pre-lock orec words, and
+// clears the logs. It is idempotent for a committed transaction (whose write
+// log is already empty).
+func (tx *txn) rollback() {
+	for i := range tx.writes {
+		e := &tx.writes[i]
+		e.v.UnlockRestore(e.oldMeta)
+	}
+	tx.writes = tx.writes[:0]
+	if tx.windex != nil {
+		clear(tx.windex)
+	}
+	tx.reads = tx.reads[:0]
+}
+
+// writeVars returns the Vars in the write set (for the scheduler's write-set
+// prediction). The slice is freshly allocated because the caller retains it.
+func (tx *txn) writeVars() []*stm.Var {
+	if len(tx.writes) == 0 {
+		return nil
+	}
+	out := make([]*stm.Var, len(tx.writes))
+	for i := range tx.writes {
+		out[i] = tx.writes[i].v
+	}
+	return out
+}

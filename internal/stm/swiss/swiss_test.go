@@ -1,0 +1,105 @@
+package swiss_test
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/shrink-tm/shrink/internal/stm"
+	"github.com/shrink-tm/shrink/internal/stm/enginetest"
+	"github.com/shrink-tm/shrink/internal/stm/swiss"
+)
+
+func factory(s stm.Scheduler, c stm.ContentionManager, w stm.WaitPolicy) stm.TM {
+	return swiss.New(swiss.Options{Scheduler: s, CM: c, Wait: w})
+}
+
+func TestConformance(t *testing.T) {
+	enginetest.Run(t, "swiss", factory)
+}
+
+func TestConformanceBusyWaiting(t *testing.T) {
+	enginetest.Run(t, "swiss-busy", func(s stm.Scheduler, c stm.ContentionManager, _ stm.WaitPolicy) stm.TM {
+		return swiss.New(swiss.Options{Scheduler: s, CM: c, Wait: stm.WaitBusy})
+	})
+}
+
+func TestClockAdvancesOnUpdate(t *testing.T) {
+	tm := swiss.New(swiss.Options{})
+	th := tm.Register("t0")
+	v := stm.NewVar(0)
+	before := tm.Clock()
+	if err := th.Atomically(func(tx stm.Tx) error { return tx.Write(v, 1) }); err != nil {
+		t.Fatal(err)
+	}
+	if tm.Clock() != before+1 {
+		t.Fatalf("clock = %d, want %d", tm.Clock(), before+1)
+	}
+	// Read-only transactions must not tick the clock.
+	if err := th.Atomically(func(tx stm.Tx) error { _, err := tx.Read(v); return err }); err != nil {
+		t.Fatal(err)
+	}
+	if tm.Clock() != before+1 {
+		t.Fatalf("read-only tx advanced clock to %d", tm.Clock())
+	}
+}
+
+func TestMaxRetries(t *testing.T) {
+	tm := swiss.New(swiss.Options{MaxRetries: 3})
+	th1 := tm.Register("t1")
+	th2 := tm.Register("t2")
+	v := stm.NewVar(0)
+
+	// th1 locks v by writing inside a transaction that blocks until th2
+	// exhausts its retry budget against the held lock.
+	locked := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- th1.Atomically(func(tx stm.Tx) error {
+			if err := tx.Write(v, 1); err != nil {
+				return err
+			}
+			close(locked)
+			<-release
+			return nil
+		})
+	}()
+	<-locked
+	err := th2.Atomically(func(tx stm.Tx) error { return tx.Write(v, 2) })
+	if !errors.Is(err, swiss.ErrLivelock) {
+		t.Fatalf("err = %v, want ErrLivelock", err)
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("holder: %v", err)
+	}
+}
+
+func TestVisibleWrites(t *testing.T) {
+	tm := swiss.New(swiss.Options{})
+	th := tm.Register("t0")
+	v := stm.NewVar(0)
+	saw := false
+	err := th.Atomically(func(tx stm.Tx) error {
+		if err := tx.Write(v, 7); err != nil {
+			return err
+		}
+		// Eager locking makes the write visible to other threads via
+		// the orec while the transaction runs.
+		saw = v.LockedByOther(999) && v.LockedBy(th.ID())
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !saw {
+		t.Fatal("write was not visible (orec not locked) during the transaction")
+	}
+	if v.LockedBy(th.ID()) {
+		t.Fatal("lock leaked after commit")
+	}
+}
+
+func TestProperty(t *testing.T) {
+	enginetest.RunProperty(t, factory)
+}

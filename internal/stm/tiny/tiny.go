@@ -1,0 +1,357 @@
+// Package tiny implements a TinySTM-like software transactional memory
+// engine (Riegel, Fetzer, Felber) on the shared substrate of package stm:
+//
+//   - word-based, lock-based, time-based (LSA) with a global version clock;
+//   - encounter-time locking with write-through: a write acquires the lock
+//     and updates the Var in place immediately, keeping an undo log;
+//   - aborts restore the undo log and the pre-lock orec words;
+//   - the default conflict policy is suicide (abort self, retry at once)
+//     with busy waiting, matching the TinySTM 0.9.5 configuration the paper
+//     evaluated — the combination whose throughput collapses under overload
+//     in Figures 8, 10 and 11, and that Shrink rescues.
+package tiny
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/shrink-tm/shrink/internal/stm"
+)
+
+// Options configures a TM instance. Zero fields fall back to defaults:
+// NopScheduler, suicide contention management, busy waiting.
+type Options struct {
+	Scheduler stm.Scheduler
+	CM        stm.ContentionManager
+	Wait      stm.WaitPolicy
+	// MaxRetries aborts an Atomically call with ErrLivelock after this
+	// many conflicts; 0 means unbounded (the paper's setting).
+	MaxRetries int
+}
+
+// ErrLivelock is returned by Atomically when Options.MaxRetries is exceeded.
+var ErrLivelock = errors.New("tiny: retry budget exhausted")
+
+type defaultCM struct{}
+
+func (defaultCM) RegisterThread(*stm.ThreadCtx) {}
+func (defaultCM) OnStart(*stm.ThreadCtx, int)   {}
+func (defaultCM) OnConflict(_, _ *stm.ThreadCtx, _ stm.ConflictKind) stm.Resolution {
+	return stm.AbortSelf
+}
+func (defaultCM) OnCommit(*stm.ThreadCtx) {}
+func (defaultCM) OnAbort(*stm.ThreadCtx)  {}
+
+// TM is a TinySTM-like engine instance.
+type TM struct {
+	clock    stm.Clock
+	sched    stm.Scheduler
+	cm       stm.ContentionManager
+	wait     stm.WaitPolicy
+	maxRetry int
+	reg      stm.Registry
+}
+
+var _ stm.TM = (*TM)(nil)
+
+// New returns a TM with the given options.
+func New(opts Options) *TM {
+	if opts.Scheduler == nil {
+		opts.Scheduler = stm.NopScheduler{}
+	}
+	if opts.CM == nil {
+		opts.CM = defaultCM{}
+	}
+	if opts.Wait == 0 {
+		opts.Wait = stm.WaitBusy
+	}
+	return &TM{
+		sched:    opts.Scheduler,
+		cm:       opts.CM,
+		wait:     opts.Wait,
+		maxRetry: opts.MaxRetries,
+	}
+}
+
+// Register implements stm.TM.
+func (tm *TM) Register(name string) stm.Thread {
+	ctx := tm.reg.Add(name)
+	tm.sched.RegisterThread(ctx)
+	tm.cm.RegisterThread(ctx)
+	th := &Thread{tm: tm, ctx: ctx}
+	th.tx.th = th
+	return th
+}
+
+// Threads implements stm.TM.
+func (tm *TM) Threads() []*stm.ThreadCtx { return tm.reg.All() }
+
+// Stats implements stm.TM.
+func (tm *TM) Stats() stm.Stats { return stm.AggregateStats(tm.reg.All()) }
+
+// Clock exposes the global version clock (tests and diagnostics).
+func (tm *TM) Clock() uint64 { return tm.clock.Now() }
+
+// Thread is a per-worker handle. It must be used by one goroutine at a time.
+type Thread struct {
+	tm  *TM
+	ctx *stm.ThreadCtx
+	tx  txn
+}
+
+var _ stm.Thread = (*Thread)(nil)
+
+// ID implements stm.Thread.
+func (th *Thread) ID() int { return th.ctx.ID }
+
+// Ctx implements stm.Thread.
+func (th *Thread) Ctx() *stm.ThreadCtx { return th.ctx }
+
+// Atomically implements stm.Thread.
+func (th *Thread) Atomically(fn func(tx stm.Tx) error) error {
+	tm := th.tm
+	for attempt := 0; ; attempt++ {
+		tm.sched.BeforeStart(th.ctx, attempt)
+		tm.cm.OnStart(th.ctx, attempt)
+		th.ctx.Doomed.Store(false)
+		th.tx.begin(tm.clock.Now())
+
+		err := fn(&th.tx)
+		var ws []*stm.Var
+		if err == nil {
+			ws = th.tx.writeVars()
+			err = th.tx.commit()
+		}
+		if err == nil {
+			th.ctx.Commits.Add(1)
+			tm.cm.OnCommit(th.ctx)
+			tm.sched.AfterCommit(th.ctx, ws)
+			return nil
+		}
+
+		if ws == nil {
+			ws = th.tx.writeVars()
+		}
+		th.tx.rollback()
+		if errors.Is(err, stm.ErrConflict) {
+			th.ctx.Aborts.Add(1)
+			tm.cm.OnAbort(th.ctx)
+			tm.sched.AfterAbort(th.ctx, ws)
+			if tm.maxRetry > 0 && attempt+1 >= tm.maxRetry {
+				return fmt.Errorf("%w after %d attempts", ErrLivelock, attempt+1)
+			}
+			tm.wait.Backoff(attempt + 1)
+			continue
+		}
+		th.ctx.UserAborts.Add(1)
+		tm.cm.OnAbort(th.ctx)
+		tm.sched.AfterAbort(th.ctx, ws)
+		return err
+	}
+}
+
+type readEntry struct {
+	v   *stm.Var
+	ver uint64
+}
+
+// undoEntry records an acquired lock, the pre-lock orec word and the
+// overwritten value, so aborts can restore both.
+type undoEntry struct {
+	v       *stm.Var
+	oldVal  any
+	oldMeta uint64
+}
+
+type txn struct {
+	th     *Thread
+	rv     uint64
+	reads  []readEntry
+	undo   []undoEntry
+	windex map[*stm.Var]int
+}
+
+var _ stm.Tx = (*txn)(nil)
+
+func (tx *txn) begin(now uint64) {
+	tx.rv = now
+	tx.reads = tx.reads[:0]
+	tx.undo = tx.undo[:0]
+	if tx.windex == nil {
+		tx.windex = make(map[*stm.Var]int, 16)
+	} else {
+		clear(tx.windex)
+	}
+}
+
+// ThreadID implements stm.Tx.
+func (tx *txn) ThreadID() int { return tx.th.ctx.ID }
+
+func (tx *txn) conflict(v *stm.Var, ownerID int, kind stm.ConflictKind) error {
+	tm := tx.th.tm
+	enemy := tm.reg.Get(ownerID)
+	switch tm.cm.OnConflict(tx.th.ctx, enemy, kind) {
+	case stm.WaitRetry:
+		if tm.wait.SpinWhileLocked(v, tx.th.ctx.ID, 256) {
+			return nil
+		}
+		return stm.ErrConflict
+	case stm.AbortOther:
+		if enemy != nil {
+			enemy.Doomed.Store(true)
+		}
+		if tm.wait.SpinWhileLocked(v, tx.th.ctx.ID, 1024) {
+			return nil
+		}
+		return stm.ErrConflict
+	default:
+		return stm.ErrConflict
+	}
+}
+
+// Read implements stm.Tx. With write-through, a Var this transaction has
+// written holds the speculative value in place, so reads of own writes go
+// through the write index to the Var directly.
+func (tx *txn) Read(v *stm.Var) (any, error) {
+	if tx.th.ctx.Doomed.Load() {
+		return nil, stm.ErrConflict
+	}
+	if _, ok := tx.windex[v]; ok {
+		return v.LoadValue(), nil
+	}
+	for {
+		val, meta := v.Snapshot()
+		if stm.IsLocked(meta) {
+			if err := tx.conflict(v, stm.OwnerOf(meta), stm.ReadWrite); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		ver := stm.VersionOf(meta)
+		if ver > tx.rv {
+			if !tx.extend() {
+				return nil, stm.ErrConflict
+			}
+			continue
+		}
+		tx.reads = append(tx.reads, readEntry{v: v, ver: ver})
+		if tx.th.ctx.ReadHook {
+			tx.th.tm.sched.AfterRead(tx.th.ctx, v)
+		}
+		return val, nil
+	}
+}
+
+// Write implements stm.Tx: encounter-time locking with write-through. The
+// lock is acquired and the new value stored in place immediately; the old
+// value goes to the undo log.
+func (tx *txn) Write(v *stm.Var, val any) error {
+	if tx.th.ctx.Doomed.Load() {
+		return stm.ErrConflict
+	}
+	if _, ok := tx.windex[v]; ok {
+		v.StoreValue(val)
+		return nil
+	}
+	for {
+		meta := v.Meta()
+		if stm.IsLocked(meta) {
+			owner := stm.OwnerOf(meta)
+			if owner == tx.th.ctx.ID {
+				return stm.ErrConflict // stale lock: defensive
+			}
+			if err := tx.conflict(v, owner, stm.WriteWrite); err != nil {
+				return err
+			}
+			continue
+		}
+		if ver := stm.VersionOf(meta); ver > tx.rv {
+			if !tx.extend() {
+				return stm.ErrConflict
+			}
+			continue
+		}
+		oldVal := v.LoadValue()
+		if !v.TryLock(meta, tx.th.ctx.ID) {
+			continue
+		}
+		v.StoreValue(val)
+		tx.windex[v] = len(tx.undo)
+		tx.undo = append(tx.undo, undoEntry{v: v, oldVal: oldVal, oldMeta: meta})
+		return nil
+	}
+}
+
+func (tx *txn) extend() bool {
+	now := tx.th.tm.clock.Now()
+	if !tx.validate() {
+		return false
+	}
+	tx.rv = now
+	return true
+}
+
+func (tx *txn) validate() bool {
+	me := tx.th.ctx.ID
+	for i := range tx.reads {
+		e := &tx.reads[i]
+		meta := e.v.Meta()
+		if stm.IsLocked(meta) {
+			if stm.OwnerOf(meta) != me {
+				return false
+			}
+			continue
+		}
+		if stm.VersionOf(meta) != e.ver {
+			return false
+		}
+	}
+	return true
+}
+
+// commit validates the read set and releases the write locks at a fresh
+// commit timestamp. Values are already in place (write-through).
+func (tx *txn) commit() error {
+	if tx.th.ctx.Doomed.Load() {
+		return stm.ErrConflict
+	}
+	if len(tx.undo) == 0 {
+		return nil
+	}
+	wt := tx.th.tm.clock.Tick()
+	if wt != tx.rv+1 && !tx.validate() {
+		return stm.ErrConflict
+	}
+	for i := range tx.undo {
+		tx.undo[i].v.Unlock(wt)
+	}
+	tx.undo = tx.undo[:0]
+	clear(tx.windex)
+	return nil
+}
+
+// rollback restores overwritten values from the undo log (newest first) and
+// the pre-lock orec words.
+func (tx *txn) rollback() {
+	for i := len(tx.undo) - 1; i >= 0; i-- {
+		e := &tx.undo[i]
+		e.v.StoreValue(e.oldVal)
+		e.v.UnlockRestore(e.oldMeta)
+	}
+	tx.undo = tx.undo[:0]
+	if tx.windex != nil {
+		clear(tx.windex)
+	}
+	tx.reads = tx.reads[:0]
+}
+
+func (tx *txn) writeVars() []*stm.Var {
+	if len(tx.undo) == 0 {
+		return nil
+	}
+	out := make([]*stm.Var, len(tx.undo))
+	for i := range tx.undo {
+		out[i] = tx.undo[i].v
+	}
+	return out
+}

@@ -1,0 +1,119 @@
+package tiny_test
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/shrink-tm/shrink/internal/stm"
+	"github.com/shrink-tm/shrink/internal/stm/enginetest"
+	"github.com/shrink-tm/shrink/internal/stm/tiny"
+)
+
+func factory(s stm.Scheduler, c stm.ContentionManager, w stm.WaitPolicy) stm.TM {
+	return tiny.New(tiny.Options{Scheduler: s, CM: c, Wait: w})
+}
+
+func TestConformance(t *testing.T) {
+	enginetest.Run(t, "tiny", factory)
+}
+
+func TestConformanceBusyWaiting(t *testing.T) {
+	enginetest.Run(t, "tiny-busy", func(s stm.Scheduler, c stm.ContentionManager, _ stm.WaitPolicy) stm.TM {
+		return tiny.New(tiny.Options{Scheduler: s, CM: c, Wait: stm.WaitBusy})
+	})
+}
+
+func TestWriteThroughRollback(t *testing.T) {
+	tm := tiny.New(tiny.Options{})
+	th := tm.Register("t0")
+	v := stm.NewVar(5)
+	errBoom := errors.New("boom")
+	err := th.Atomically(func(tx stm.Tx) error {
+		if err := tx.Write(v, 42); err != nil {
+			return err
+		}
+		// Write-through: the speculative value is in place while the
+		// transaction runs (and the orec is locked).
+		if got := v.LoadValue().(int); got != 42 {
+			t.Errorf("in-place value = %d, want 42 (write-through)", got)
+		}
+		if !v.LockedBy(th.ID()) {
+			t.Error("orec not locked during write-through")
+		}
+		return errBoom
+	})
+	if !errors.Is(err, errBoom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	// The undo log must have restored the original value and orec.
+	if got := v.LoadValue().(int); got != 5 {
+		t.Fatalf("value after rollback = %d, want 5", got)
+	}
+	if stm.IsLocked(v.Meta()) {
+		t.Fatal("lock leaked after rollback")
+	}
+}
+
+func TestMaxRetries(t *testing.T) {
+	tm := tiny.New(tiny.Options{MaxRetries: 3})
+	th1 := tm.Register("t1")
+	th2 := tm.Register("t2")
+	v := stm.NewVar(0)
+
+	locked := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- th1.Atomically(func(tx stm.Tx) error {
+			if err := tx.Write(v, 1); err != nil {
+				return err
+			}
+			close(locked)
+			<-release
+			return nil
+		})
+	}()
+	<-locked
+	err := th2.Atomically(func(tx stm.Tx) error { return tx.Write(v, 2) })
+	if !errors.Is(err, tiny.ErrLivelock) {
+		t.Fatalf("err = %v, want ErrLivelock", err)
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("holder: %v", err)
+	}
+}
+
+func TestUndoOrder(t *testing.T) {
+	// Multiple writes to distinct vars must all roll back.
+	tm := tiny.New(tiny.Options{})
+	th := tm.Register("t0")
+	vars := make([]*stm.Var, 8)
+	for i := range vars {
+		vars[i] = stm.NewVar(i)
+	}
+	errBoom := errors.New("boom")
+	err := th.Atomically(func(tx stm.Tx) error {
+		for i, v := range vars {
+			if err := tx.Write(v, i*100); err != nil {
+				return err
+			}
+		}
+		return errBoom
+	})
+	if !errors.Is(err, errBoom) {
+		t.Fatalf("err = %v", err)
+	}
+	for i, v := range vars {
+		if got := v.LoadValue().(int); got != i {
+			t.Errorf("vars[%d] = %d after rollback, want %d", i, got, i)
+		}
+		if stm.IsLocked(v.Meta()) {
+			t.Errorf("vars[%d] lock leaked", i)
+		}
+	}
+}
+
+func TestProperty(t *testing.T) {
+	enginetest.RunProperty(t, factory)
+}

@@ -1,0 +1,137 @@
+// Package stm provides the shared substrate for the software transactional
+// memory engines in this repository: transactional variables with versioned
+// ownership records, a global version clock, per-thread contexts and
+// statistics, and the hook interfaces (Scheduler, ContentionManager) through
+// which transaction scheduling policies such as Shrink are attached.
+//
+// The substrate implements visible writes: any thread can ask whether a Var
+// is currently write-locked by another thread, which is the primitive the
+// Shrink scheduler's conflict prediction relies on.
+package stm
+
+import (
+	"sync/atomic"
+)
+
+// Var is a transactional memory word. It pairs a versioned ownership record
+// (orec) with the value storage. The orec word encodes either a commit
+// version (even values) or a writer lock with the owner's thread ID (odd
+// values). Values are stored behind an atomic pointer so that a reader racing
+// with a writeback observes either the old or the new value, never a torn
+// one; the STM protocol's version validation then decides whether the read
+// is consistent.
+type Var struct {
+	id   uint64
+	meta atomic.Uint64
+	val  atomic.Pointer[box]
+}
+
+type box struct{ v any }
+
+// _varIDs assigns a process-unique identity to every Var. The identity is
+// what Bloom-filter based predictors hash; it is stable for the lifetime of
+// the Var and independent of the garbage collector.
+var _varIDs atomic.Uint64
+
+// NewVar returns a Var holding the given initial value at version 0.
+func NewVar(initial any) *Var {
+	v := &Var{id: _varIDs.Add(1)}
+	v.val.Store(&box{v: initial})
+	return v
+}
+
+// ID returns the process-unique identity of the Var.
+func (v *Var) ID() uint64 { return v.id }
+
+// Orec word encoding:
+//
+//	even: version<<1            (unlocked, last committed at `version`)
+//	odd:  (owner+1)<<1 | 1      (write-locked by thread `owner`)
+const lockBit = 1
+
+func lockWord(owner int) uint64 { return (uint64(owner)+1)<<1 | lockBit }
+
+func versionWord(version uint64) uint64 { return version << 1 }
+
+// IsLocked reports whether the orec word m encodes a writer lock.
+func IsLocked(m uint64) bool { return m&lockBit != 0 }
+
+// OwnerOf returns the thread ID encoded in a locked orec word. The result is
+// meaningless if IsLocked(m) is false.
+func OwnerOf(m uint64) int { return int(m>>1) - 1 }
+
+// VersionOf returns the commit version encoded in an unlocked orec word. The
+// result is meaningless if IsLocked(m) is true.
+func VersionOf(m uint64) uint64 { return m >> 1 }
+
+// Meta returns the current raw orec word.
+func (v *Var) Meta() uint64 { return v.meta.Load() }
+
+// LockedByOther reports whether the Var is currently write-locked by a thread
+// other than the given one. This is the "visible writes" primitive used by
+// prediction-based schedulers: Shrink consults it for every address in a
+// starting transaction's predicted access sets.
+func (v *Var) LockedByOther(threadID int) bool {
+	m := v.meta.Load()
+	return IsLocked(m) && OwnerOf(m) != threadID
+}
+
+// LockedBy reports whether the Var is currently write-locked by the given
+// thread.
+func (v *Var) LockedBy(threadID int) bool {
+	m := v.meta.Load()
+	return IsLocked(m) && OwnerOf(m) == threadID
+}
+
+// TryLock attempts to transition the orec from the observed unlocked word m
+// to a lock owned by threadID. It fails if m encodes a lock (stealing another
+// thread's lock is never legal) or if the orec changed concurrently.
+func (v *Var) TryLock(m uint64, threadID int) bool {
+	if IsLocked(m) {
+		return false
+	}
+	return v.meta.CompareAndSwap(m, lockWord(threadID))
+}
+
+// Unlock releases a writer lock, stamping the Var with the given commit
+// version. The caller must hold the lock.
+func (v *Var) Unlock(version uint64) { v.meta.Store(versionWord(version)) }
+
+// UnlockRestore releases a writer lock, restoring a previously observed
+// unlocked orec word (used on abort, where the version must not advance).
+func (v *Var) UnlockRestore(oldMeta uint64) { v.meta.Store(oldMeta) }
+
+// LoadValue returns the value currently stored in the Var without any
+// consistency checks. Engines must validate the orec around the load.
+func (v *Var) LoadValue() any { return v.val.Load().v }
+
+// StoreValue replaces the value stored in the Var. Engines must hold the
+// writer lock (or be initializing the Var) when calling it.
+func (v *Var) StoreValue(val any) { v.val.Store(&box{v: val}) }
+
+// Snapshot returns the value and the orec word observed around it, retrying
+// until a consistent pair is seen. The returned meta may encode a lock; the
+// caller decides how to handle that.
+func (v *Var) Snapshot() (val any, meta uint64) {
+	for {
+		m1 := v.meta.Load()
+		b := v.val.Load()
+		m2 := v.meta.Load()
+		if m1 == m2 {
+			return b.v, m1
+		}
+	}
+}
+
+// Clock is a global version clock shared by all transactions of one TM
+// instance, in the style of TL2 / LSA time-based STMs.
+type Clock struct {
+	t atomic.Uint64
+}
+
+// Now returns the current global version.
+func (c *Clock) Now() uint64 { return c.t.Load() }
+
+// Tick advances the clock and returns the new version, which the committing
+// transaction uses as its write timestamp.
+func (c *Clock) Tick() uint64 { return c.t.Add(1) }

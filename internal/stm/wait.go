@@ -1,0 +1,90 @@
+package stm
+
+import (
+	"runtime"
+	"time"
+)
+
+// WaitPolicy selects how a thread waits between transaction retries and while
+// spinning on a held lock. The paper evaluates both: SwissTM with
+// "preemptive waiting" (yield the processor) degrades gracefully when the
+// system is overloaded, while busy waiting (TinySTM's policy, and SwissTM in
+// the appendix experiments) collapses because waiting transactions keep
+// burning the cores that the lock holders need.
+type WaitPolicy int
+
+// Wait policies.
+const (
+	// WaitPreemptive yields the processor while waiting.
+	WaitPreemptive WaitPolicy = iota + 1
+	// WaitBusy spins without voluntarily yielding.
+	WaitBusy
+)
+
+// String returns the policy name.
+func (p WaitPolicy) String() string {
+	switch p {
+	case WaitPreemptive:
+		return "preemptive"
+	case WaitBusy:
+		return "busy"
+	default:
+		return "unknown"
+	}
+}
+
+// spinUnit burns a few cycles without any scheduler interaction.
+//
+//go:noinline
+func spinUnit() {
+	for i := 0; i < 32; i++ {
+		_ = i
+	}
+}
+
+// Backoff waits between retries of an aborted transaction. attempt counts the
+// aborts of the current Atomically call, so the wait grows with persistent
+// contention (bounded exponential).
+func (p WaitPolicy) Backoff(attempt int) {
+	if attempt <= 0 {
+		return
+	}
+	switch p {
+	case WaitBusy:
+		// Busy waiting: spin proportionally to the contention level,
+		// never yielding. The Go runtime's asynchronous preemption
+		// keeps the program live, mirroring OS time slicing of a
+		// spinning pthread.
+		n := 1 << min(attempt, 10)
+		for i := 0; i < n; i++ {
+			spinUnit()
+		}
+	default:
+		// Preemptive waiting: give the processor away so that a
+		// conflicting transaction can finish.
+		if attempt < 3 {
+			runtime.Gosched()
+			return
+		}
+		d := time.Duration(1<<min(attempt-3, 8)) * time.Microsecond
+		time.Sleep(d)
+	}
+}
+
+// SpinWhileLocked waits until v is no longer locked by a thread other than
+// threadID, up to a bounded number of iterations, and reports whether the
+// lock was released. Bounding the wait keeps two mutually-waiting
+// transactions from deadlocking: the caller treats a timeout as a conflict.
+func (p WaitPolicy) SpinWhileLocked(v *Var, threadID int, bound int) bool {
+	for i := 0; i < bound; i++ {
+		if !v.LockedByOther(threadID) {
+			return true
+		}
+		if p == WaitPreemptive {
+			runtime.Gosched()
+		} else {
+			spinUnit()
+		}
+	}
+	return !v.LockedByOther(threadID)
+}

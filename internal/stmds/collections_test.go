@@ -1,0 +1,316 @@
+package stmds_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"github.com/shrink-tm/shrink/internal/stm"
+	"github.com/shrink-tm/shrink/internal/stm/swiss"
+	"github.com/shrink-tm/shrink/internal/stmds"
+)
+
+func TestHashMapBasic(t *testing.T) {
+	th := newThread(t)
+	m := stmds.NewHashMap(32)
+	err := th.Atomically(func(tx stm.Tx) error {
+		if ok, err := m.Contains(tx, 1); err != nil || ok {
+			return fmt.Errorf("empty map contains 1: %v %v", ok, err)
+		}
+		if isNew, err := m.Put(tx, 1, "a"); err != nil || !isNew {
+			return fmt.Errorf("Put new: %v %v", isNew, err)
+		}
+		if isNew, err := m.Put(tx, 1, "b"); err != nil || isNew {
+			return fmt.Errorf("Put existing: %v %v", isNew, err)
+		}
+		v, ok, err := m.Get(tx, 1)
+		if err != nil || !ok || v.(string) != "b" {
+			return fmt.Errorf("Get = %v %v %v", v, ok, err)
+		}
+		if stored, err := m.PutIfAbsent(tx, 1, "c"); err != nil || stored {
+			return fmt.Errorf("PutIfAbsent existing: %v %v", stored, err)
+		}
+		if stored, err := m.PutIfAbsent(tx, 2, "c"); err != nil || !stored {
+			return fmt.Errorf("PutIfAbsent new: %v %v", stored, err)
+		}
+		if del, err := m.Delete(tx, 1); err != nil || !del {
+			return fmt.Errorf("Delete existing: %v %v", del, err)
+		}
+		if del, err := m.Delete(tx, 1); err != nil || del {
+			return fmt.Errorf("Delete missing: %v %v", del, err)
+		}
+		size, err := m.Size(tx)
+		if err != nil || size != 1 {
+			return fmt.Errorf("Size = %d %v", size, err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashMapModelProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		th := swiss.New(swiss.Options{}).Register("t0")
+		m := stmds.NewHashMap(16) // small bucket count forces chains
+		model := make(map[uint64]uint64)
+		for op := 0; op < 400; op++ {
+			k := uint64(rng.Intn(48))
+			ok := true
+			err := th.Atomically(func(tx stm.Tx) error {
+				switch rng.Intn(3) {
+				case 0:
+					isNew, err := m.Put(tx, k, k)
+					if err != nil {
+						return err
+					}
+					_, existed := model[k]
+					ok = isNew != existed
+					model[k] = k
+				case 1:
+					del, err := m.Delete(tx, k)
+					if err != nil {
+						return err
+					}
+					_, existed := model[k]
+					ok = del == existed
+					delete(model, k)
+				default:
+					has, err := m.Contains(tx, k)
+					if err != nil {
+						return err
+					}
+					_, existed := model[k]
+					ok = has == existed
+				}
+				return nil
+			})
+			if err != nil || !ok {
+				t.Logf("seed %d op %d: err=%v ok=%v", seed, op, err, ok)
+				return false
+			}
+		}
+		var size int
+		err := th.Atomically(func(tx stm.Tx) error {
+			var err error
+			size, err = m.Size(tx)
+			return err
+		})
+		return err == nil && size == len(model)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashMapKeysComplete(t *testing.T) {
+	th := newThread(t)
+	m := stmds.NewHashMap(8)
+	want := map[uint64]bool{3: true, 99: true, 1024: true, 7: true}
+	err := th.Atomically(func(tx stm.Tx) error {
+		for k := range want {
+			if _, err := m.Put(tx, k, nil); err != nil {
+				return err
+			}
+		}
+		keys, err := m.Keys(tx)
+		if err != nil {
+			return err
+		}
+		if len(keys) != len(want) {
+			return fmt.Errorf("keys = %v", keys)
+		}
+		for _, k := range keys {
+			if !want[k] {
+				return fmt.Errorf("unexpected key %d", k)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortedListBasic(t *testing.T) {
+	th := newThread(t)
+	l := stmds.NewSortedList()
+	err := th.Atomically(func(tx stm.Tx) error {
+		for _, k := range []int64{5, 1, 9, 3} {
+			if ins, err := l.Insert(tx, k, k); err != nil || !ins {
+				return fmt.Errorf("insert %d: %v %v", k, ins, err)
+			}
+		}
+		if ins, err := l.Insert(tx, 5, nil); err != nil || ins {
+			return fmt.Errorf("dup insert: %v %v", ins, err)
+		}
+		keys, err := l.Keys(tx)
+		if err != nil {
+			return err
+		}
+		want := []int64{1, 3, 5, 9}
+		for i := range want {
+			if keys[i] != want[i] {
+				return fmt.Errorf("keys = %v, want sorted %v", keys, want)
+			}
+		}
+		v, ok, err := l.Get(tx, 3)
+		if err != nil || !ok || v.(int64) != 3 {
+			return fmt.Errorf("Get(3) = %v %v %v", v, ok, err)
+		}
+		if del, err := l.Delete(tx, 5); err != nil || !del {
+			return fmt.Errorf("delete: %v %v", del, err)
+		}
+		if ok, err := l.Contains(tx, 5); err != nil || ok {
+			return fmt.Errorf("contains after delete: %v %v", ok, err)
+		}
+		size, err := l.Size(tx)
+		if err != nil || size != 3 {
+			return fmt.Errorf("size = %d", size)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueueFIFO(t *testing.T) {
+	th := newThread(t)
+	q := stmds.NewQueue()
+	err := th.Atomically(func(tx stm.Tx) error {
+		if _, ok, err := q.Dequeue(tx); err != nil || ok {
+			return fmt.Errorf("dequeue empty = %v %v", ok, err)
+		}
+		for i := 0; i < 5; i++ {
+			if err := q.Enqueue(tx, i); err != nil {
+				return err
+			}
+		}
+		if size, err := q.Size(tx); err != nil || size != 5 {
+			return fmt.Errorf("size = %d", size)
+		}
+		for i := 0; i < 5; i++ {
+			v, ok, err := q.Dequeue(tx)
+			if err != nil || !ok || v.(int) != i {
+				return fmt.Errorf("dequeue %d = %v %v %v", i, v, ok, err)
+			}
+		}
+		if size, err := q.Size(tx); err != nil || size != 0 {
+			return fmt.Errorf("final size = %d", size)
+		}
+		// Refill after drain exercises the tail-reset path.
+		if err := q.Enqueue(tx, 42); err != nil {
+			return err
+		}
+		v, ok, err := q.Dequeue(tx)
+		if err != nil || !ok || v.(int) != 42 {
+			return fmt.Errorf("after drain: %v %v %v", v, ok, err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueueConcurrentConservation(t *testing.T) {
+	tm := swiss.New(swiss.Options{})
+	q := stmds.NewQueue()
+	const producers, consumers, perProducer = 3, 3, 100
+	var produced, consumed sync.Map
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		th := tm.Register(fmt.Sprintf("p%d", p))
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				item := p*perProducer + i
+				_ = th.Atomically(func(tx stm.Tx) error { return q.Enqueue(tx, item) })
+				produced.Store(item, true)
+			}
+		}()
+	}
+	var consumedCount sync.WaitGroup
+	consumedCount.Add(producers * perProducer)
+	for c := 0; c < consumers; c++ {
+		th := tm.Register(fmt.Sprintf("c%d", c))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				var item any
+				var got bool
+				_ = th.Atomically(func(tx stm.Tx) error {
+					v, ok, err := q.Dequeue(tx)
+					item, got = v, ok
+					return err
+				})
+				if !got {
+					// Check whether all items were consumed.
+					done := true
+					count := 0
+					consumed.Range(func(_, _ any) bool { count++; return true })
+					if count < producers*perProducer {
+						done = false
+					}
+					if done {
+						return
+					}
+					continue
+				}
+				if _, dup := consumed.LoadOrStore(item, true); dup {
+					t.Errorf("item %v consumed twice", item)
+					return
+				}
+				consumedCount.Done()
+			}
+		}()
+	}
+	consumedCount.Wait()
+	wg.Wait()
+	total := 0
+	consumed.Range(func(_, _ any) bool { total++; return true })
+	if total != producers*perProducer {
+		t.Fatalf("consumed %d items, want %d", total, producers*perProducer)
+	}
+}
+
+func TestArrayOps(t *testing.T) {
+	th := newThread(t)
+	a := stmds.NewArray(10, 0)
+	if a.Len() != 10 {
+		t.Fatalf("len = %d", a.Len())
+	}
+	err := th.Atomically(func(tx stm.Tx) error {
+		if n, err := a.AddInt(tx, 3, 5); err != nil || n != 5 {
+			return fmt.Errorf("AddInt = %d %v", n, err)
+		}
+		if n, err := a.GetInt(tx, 3); err != nil || n != 5 {
+			return fmt.Errorf("GetInt = %d %v", n, err)
+		}
+		if err := a.Set(tx, 4, 2.5); err != nil {
+			return err
+		}
+		if f, err := a.AddFloat(tx, 4, 1.5); err != nil || f != 4.0 {
+			return fmt.Errorf("AddFloat = %f %v", f, err)
+		}
+		v, err := a.Get(tx, 4)
+		if err != nil || v.(float64) != 4.0 {
+			return fmt.Errorf("Get = %v %v", v, err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Var(3) == nil || a.Var(3) == a.Var(4) {
+		t.Fatal("Var accessor broken")
+	}
+}

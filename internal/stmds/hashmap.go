@@ -1,0 +1,185 @@
+package stmds
+
+import (
+	"github.com/shrink-tm/shrink/internal/stm"
+)
+
+// HashMap is a transactional hash map from uint64 keys to arbitrary values,
+// with a fixed number of buckets, each a transactional sorted singly-linked
+// list. A fixed bucket count keeps resizes (which would conflict with every
+// concurrent operation) out of the picture, like the hash tables in the
+// STAMP kernels.
+type HashMap struct {
+	buckets []*stm.Var // each holds *hmNode (head of a sorted chain)
+	mask    uint64
+}
+
+type hmNode struct {
+	key  uint64
+	val  *stm.Var // any
+	next *stm.Var // *hmNode
+}
+
+// NewHashMap returns a map with at least nBuckets buckets (rounded up to a
+// power of two, minimum 16).
+func NewHashMap(nBuckets int) *HashMap {
+	n := 16
+	for n < nBuckets {
+		n <<= 1
+	}
+	m := &HashMap{buckets: make([]*stm.Var, n), mask: uint64(n - 1)}
+	for i := range m.buckets {
+		m.buckets[i] = stm.NewVar((*hmNode)(nil))
+	}
+	return m
+}
+
+func hashKey(k uint64) uint64 {
+	k ^= k >> 33
+	k *= 0xff51afd7ed558ccd
+	k ^= k >> 33
+	k *= 0xc4ceb9fe1a85ec53
+	return k ^ (k >> 33)
+}
+
+func (m *HashMap) bucket(key uint64) *stm.Var {
+	return m.buckets[hashKey(key)&m.mask]
+}
+
+func readHMNode(tx stm.Tx, v *stm.Var) (*hmNode, error) {
+	raw, err := tx.Read(v)
+	if err != nil {
+		return nil, err
+	}
+	n, _ := raw.(*hmNode)
+	return n, nil
+}
+
+// find locates key's node in its bucket, returning the Var pointing at it
+// (for unlinking) and the node, or the insertion point (prevSlot, nil).
+func (m *HashMap) find(tx stm.Tx, key uint64) (slot *stm.Var, n *hmNode, err error) {
+	slot = m.bucket(key)
+	for {
+		n, err = readHMNode(tx, slot)
+		if err != nil {
+			return nil, nil, err
+		}
+		if n == nil || n.key >= key {
+			return slot, n, nil
+		}
+		slot = n.next
+	}
+}
+
+// Get returns the value under key.
+func (m *HashMap) Get(tx stm.Tx, key uint64) (any, bool, error) {
+	_, n, err := m.find(tx, key)
+	if err != nil {
+		return nil, false, err
+	}
+	if n == nil || n.key != key {
+		return nil, false, nil
+	}
+	v, err := tx.Read(n.val)
+	if err != nil {
+		return nil, false, err
+	}
+	return v, true, nil
+}
+
+// Contains reports whether key is present.
+func (m *HashMap) Contains(tx stm.Tx, key uint64) (bool, error) {
+	_, ok, err := m.Get(tx, key)
+	return ok, err
+}
+
+// Put stores val under key, reporting whether the key was new.
+func (m *HashMap) Put(tx stm.Tx, key uint64, val any) (bool, error) {
+	slot, n, err := m.find(tx, key)
+	if err != nil {
+		return false, err
+	}
+	if n != nil && n.key == key {
+		if err := tx.Write(n.val, val); err != nil {
+			return false, err
+		}
+		return false, nil
+	}
+	node := &hmNode{key: key, val: stm.NewVar(val), next: stm.NewVar(n)}
+	if err := tx.Write(slot, node); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// PutIfAbsent stores val under key only if absent, reporting whether it
+// stored (genome's segment de-duplication pattern).
+func (m *HashMap) PutIfAbsent(tx stm.Tx, key uint64, val any) (bool, error) {
+	slot, n, err := m.find(tx, key)
+	if err != nil {
+		return false, err
+	}
+	if n != nil && n.key == key {
+		return false, nil
+	}
+	node := &hmNode{key: key, val: stm.NewVar(val), next: stm.NewVar(n)}
+	if err := tx.Write(slot, node); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// Delete removes key, reporting whether it was present.
+func (m *HashMap) Delete(tx stm.Tx, key uint64) (bool, error) {
+	slot, n, err := m.find(tx, key)
+	if err != nil {
+		return false, err
+	}
+	if n == nil || n.key != key {
+		return false, nil
+	}
+	next, err := readHMNode(tx, n.next)
+	if err != nil {
+		return false, err
+	}
+	if err := tx.Write(slot, next); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// Size counts the entries (reads every bucket).
+func (m *HashMap) Size(tx stm.Tx) (int, error) {
+	total := 0
+	for _, b := range m.buckets {
+		n, err := readHMNode(tx, b)
+		if err != nil {
+			return 0, err
+		}
+		for n != nil {
+			total++
+			if n, err = readHMNode(tx, n.next); err != nil {
+				return 0, err
+			}
+		}
+	}
+	return total, nil
+}
+
+// Keys returns all keys (bucket order, ascending within buckets).
+func (m *HashMap) Keys(tx stm.Tx) ([]uint64, error) {
+	var out []uint64
+	for _, b := range m.buckets {
+		n, err := readHMNode(tx, b)
+		if err != nil {
+			return nil, err
+		}
+		for n != nil {
+			out = append(out, n.key)
+			if n, err = readHMNode(tx, n.next); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}

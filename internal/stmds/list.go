@@ -1,0 +1,311 @@
+package stmds
+
+import (
+	"github.com/shrink-tm/shrink/internal/stm"
+)
+
+// SortedList is a transactional sorted singly-linked list set over int64
+// keys, the classic STM linked-list microstructure (and genome's segment
+// chain). Operations read the prefix up to the key's position, so write
+// transactions conflict with anything modifying that prefix — deliberately
+// coarse, like the original.
+type SortedList struct {
+	head *stm.Var // *listNode
+}
+
+type listNode struct {
+	key  int64
+	val  *stm.Var
+	next *stm.Var // *listNode
+}
+
+// NewSortedList returns an empty list.
+func NewSortedList() *SortedList {
+	return &SortedList{head: stm.NewVar((*listNode)(nil))}
+}
+
+func readListNode(tx stm.Tx, v *stm.Var) (*listNode, error) {
+	raw, err := tx.Read(v)
+	if err != nil {
+		return nil, err
+	}
+	n, _ := raw.(*listNode)
+	return n, nil
+}
+
+func (l *SortedList) find(tx stm.Tx, key int64) (slot *stm.Var, n *listNode, err error) {
+	slot = l.head
+	for {
+		n, err = readListNode(tx, slot)
+		if err != nil {
+			return nil, nil, err
+		}
+		if n == nil || n.key >= key {
+			return slot, n, nil
+		}
+		slot = n.next
+	}
+}
+
+// Contains reports whether key is present.
+func (l *SortedList) Contains(tx stm.Tx, key int64) (bool, error) {
+	_, n, err := l.find(tx, key)
+	if err != nil {
+		return false, err
+	}
+	return n != nil && n.key == key, nil
+}
+
+// Get returns the value stored under key.
+func (l *SortedList) Get(tx stm.Tx, key int64) (any, bool, error) {
+	_, n, err := l.find(tx, key)
+	if err != nil {
+		return nil, false, err
+	}
+	if n == nil || n.key != key {
+		return nil, false, nil
+	}
+	v, err := tx.Read(n.val)
+	if err != nil {
+		return nil, false, err
+	}
+	return v, true, nil
+}
+
+// Insert adds key (with val), reporting whether it was new.
+func (l *SortedList) Insert(tx stm.Tx, key int64, val any) (bool, error) {
+	slot, n, err := l.find(tx, key)
+	if err != nil {
+		return false, err
+	}
+	if n != nil && n.key == key {
+		return false, nil
+	}
+	node := &listNode{key: key, val: stm.NewVar(val), next: stm.NewVar(n)}
+	if err := tx.Write(slot, node); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// Delete removes key, reporting whether it was present.
+func (l *SortedList) Delete(tx stm.Tx, key int64) (bool, error) {
+	slot, n, err := l.find(tx, key)
+	if err != nil {
+		return false, err
+	}
+	if n == nil || n.key != key {
+		return false, nil
+	}
+	next, err := readListNode(tx, n.next)
+	if err != nil {
+		return false, err
+	}
+	if err := tx.Write(slot, next); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// Size counts the elements.
+func (l *SortedList) Size(tx stm.Tx) (int, error) {
+	count := 0
+	n, err := readListNode(tx, l.head)
+	if err != nil {
+		return 0, err
+	}
+	for n != nil {
+		count++
+		if n, err = readListNode(tx, n.next); err != nil {
+			return 0, err
+		}
+	}
+	return count, nil
+}
+
+// Keys returns the keys in ascending order.
+func (l *SortedList) Keys(tx stm.Tx) ([]int64, error) {
+	var out []int64
+	n, err := readListNode(tx, l.head)
+	if err != nil {
+		return nil, err
+	}
+	for n != nil {
+		out = append(out, n.key)
+		if n, err = readListNode(tx, n.next); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Queue is a transactional FIFO queue, the structure at the heart of the
+// intruder kernel (a single dequeue point contended by all threads — the
+// paper's Figure 1(b) motivation and the case where Shrink's serialization
+// shines).
+type Queue struct {
+	head *stm.Var // *qNode: next to dequeue
+	tail *stm.Var // *qNode: last enqueued (nil when empty)
+	size *stm.Var // int
+}
+
+type qNode struct {
+	val  any
+	next *stm.Var // *qNode
+}
+
+// NewQueue returns an empty queue.
+func NewQueue() *Queue {
+	return &Queue{
+		head: stm.NewVar((*qNode)(nil)),
+		tail: stm.NewVar((*qNode)(nil)),
+		size: stm.NewVar(0),
+	}
+}
+
+func readQNode(tx stm.Tx, v *stm.Var) (*qNode, error) {
+	raw, err := tx.Read(v)
+	if err != nil {
+		return nil, err
+	}
+	n, _ := raw.(*qNode)
+	return n, nil
+}
+
+// Enqueue appends val.
+func (q *Queue) Enqueue(tx stm.Tx, val any) error {
+	node := &qNode{val: val, next: stm.NewVar((*qNode)(nil))}
+	tail, err := readQNode(tx, q.tail)
+	if err != nil {
+		return err
+	}
+	if tail == nil {
+		if err := tx.Write(q.head, node); err != nil {
+			return err
+		}
+	} else if err := tx.Write(tail.next, node); err != nil {
+		return err
+	}
+	if err := tx.Write(q.tail, node); err != nil {
+		return err
+	}
+	return q.addSize(tx, 1)
+}
+
+// Dequeue removes and returns the oldest element; ok is false when empty.
+func (q *Queue) Dequeue(tx stm.Tx) (val any, ok bool, err error) {
+	head, err := readQNode(tx, q.head)
+	if err != nil {
+		return nil, false, err
+	}
+	if head == nil {
+		return nil, false, nil
+	}
+	next, err := readQNode(tx, head.next)
+	if err != nil {
+		return nil, false, err
+	}
+	if err := tx.Write(q.head, next); err != nil {
+		return nil, false, err
+	}
+	if next == nil {
+		if err := tx.Write(q.tail, (*qNode)(nil)); err != nil {
+			return nil, false, err
+		}
+	}
+	if err := q.addSize(tx, -1); err != nil {
+		return nil, false, err
+	}
+	return head.val, true, nil
+}
+
+func (q *Queue) addSize(tx stm.Tx, d int) error {
+	raw, err := tx.Read(q.size)
+	if err != nil {
+		return err
+	}
+	n, _ := raw.(int)
+	return tx.Write(q.size, n+d)
+}
+
+// Size returns the element count.
+func (q *Queue) Size(tx stm.Tx) (int, error) {
+	raw, err := tx.Read(q.size)
+	if err != nil {
+		return 0, err
+	}
+	n, _ := raw.(int)
+	return n, nil
+}
+
+// Array is a fixed-size transactional array of words, the substrate for the
+// grid-like kernels (kmeans centroids, labyrinth's maze, ssca2's adjacency
+// slots).
+type Array struct {
+	cells []*stm.Var
+}
+
+// NewArray returns an array of n cells initialized to the given value.
+func NewArray(n int, initial any) *Array {
+	a := &Array{cells: make([]*stm.Var, n)}
+	for i := range a.cells {
+		a.cells[i] = stm.NewVar(initial)
+	}
+	return a
+}
+
+// Len returns the number of cells.
+func (a *Array) Len() int { return len(a.cells) }
+
+// Var returns the i-th cell's Var (for predictors and direct access).
+func (a *Array) Var(i int) *stm.Var { return a.cells[i] }
+
+// Get reads cell i.
+func (a *Array) Get(tx stm.Tx, i int) (any, error) { return tx.Read(a.cells[i]) }
+
+// Set writes cell i.
+func (a *Array) Set(tx stm.Tx, i int, val any) error { return tx.Write(a.cells[i], val) }
+
+// GetInt reads cell i as an int (zero if it holds another type).
+func (a *Array) GetInt(tx stm.Tx, i int) (int, error) {
+	raw, err := tx.Read(a.cells[i])
+	if err != nil {
+		return 0, err
+	}
+	n, _ := raw.(int)
+	return n, nil
+}
+
+// AddInt adds d to cell i, returning the new value.
+func (a *Array) AddInt(tx stm.Tx, i, d int) (int, error) {
+	n, err := a.GetInt(tx, i)
+	if err != nil {
+		return 0, err
+	}
+	if err := tx.Write(a.cells[i], n+d); err != nil {
+		return 0, err
+	}
+	return n + d, nil
+}
+
+// GetFloat reads cell i as a float64.
+func (a *Array) GetFloat(tx stm.Tx, i int) (float64, error) {
+	raw, err := tx.Read(a.cells[i])
+	if err != nil {
+		return 0, err
+	}
+	f, _ := raw.(float64)
+	return f, nil
+}
+
+// AddFloat adds d to cell i, returning the new value.
+func (a *Array) AddFloat(tx stm.Tx, i int, d float64) (float64, error) {
+	f, err := a.GetFloat(tx, i)
+	if err != nil {
+		return 0, err
+	}
+	if err := tx.Write(a.cells[i], f+d); err != nil {
+		return 0, err
+	}
+	return f + d, nil
+}

@@ -1,0 +1,217 @@
+package stmds_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/shrink-tm/shrink/internal/stm"
+	"github.com/shrink-tm/shrink/internal/stm/swiss"
+	"github.com/shrink-tm/shrink/internal/stmds"
+)
+
+// TestSortedListModelProperty compares the list against a map model.
+func TestSortedListModelProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		th := swiss.New(swiss.Options{}).Register("t0")
+		l := stmds.NewSortedList()
+		model := make(map[int64]bool)
+		for op := 0; op < 250; op++ {
+			k := int64(rng.Intn(32))
+			ok := true
+			err := th.Atomically(func(tx stm.Tx) error {
+				switch rng.Intn(3) {
+				case 0:
+					ins, err := l.Insert(tx, k, k)
+					if err != nil {
+						return err
+					}
+					ok = ins == !model[k]
+					model[k] = true
+				case 1:
+					del, err := l.Delete(tx, k)
+					if err != nil {
+						return err
+					}
+					ok = del == model[k]
+					delete(model, k)
+				default:
+					has, err := l.Contains(tx, k)
+					if err != nil {
+						return err
+					}
+					ok = has == model[k]
+				}
+				return nil
+			})
+			if err != nil || !ok {
+				t.Logf("seed %d op %d: err=%v ok=%v", seed, op, err, ok)
+				return false
+			}
+		}
+		// Keys must be sorted and match the model.
+		var keys []int64
+		err := th.Atomically(func(tx stm.Tx) error {
+			var err error
+			keys, err = l.Keys(tx)
+			return err
+		})
+		if err != nil || len(keys) != len(model) {
+			return false
+		}
+		for i := 1; i < len(keys); i++ {
+			if keys[i-1] >= keys[i] {
+				t.Logf("seed %d: keys unsorted: %v", seed, keys)
+				return false
+			}
+		}
+		for _, k := range keys {
+			if !model[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQueueModelProperty compares the queue against a slice model under
+// random enqueue/dequeue sequences.
+func TestQueueModelProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		th := swiss.New(swiss.Options{}).Register("t0")
+		q := stmds.NewQueue()
+		var model []int
+		for op := 0; op < 300; op++ {
+			ok := true
+			err := th.Atomically(func(tx stm.Tx) error {
+				if rng.Intn(2) == 0 {
+					item := rng.Intn(1000)
+					if err := q.Enqueue(tx, item); err != nil {
+						return err
+					}
+					model = append(model, item)
+					return nil
+				}
+				v, got, err := q.Dequeue(tx)
+				if err != nil {
+					return err
+				}
+				if len(model) == 0 {
+					ok = !got
+					return nil
+				}
+				ok = got && v.(int) == model[0]
+				model = model[1:]
+				return nil
+			})
+			if err != nil || !ok {
+				t.Logf("seed %d op %d: err=%v ok=%v", seed, op, err, ok)
+				return false
+			}
+			var size int
+			err = th.Atomically(func(tx stm.Tx) error {
+				var err error
+				size, err = q.Size(tx)
+				return err
+			})
+			if err != nil || size != len(model) {
+				t.Logf("seed %d op %d: size=%d model=%d", seed, op, size, len(model))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHashMapConcurrentDisjoint: threads on disjoint key ranges never
+// conflict logically; all inserts must survive.
+func TestHashMapConcurrentDisjoint(t *testing.T) {
+	tm := swiss.New(swiss.Options{})
+	m := stmds.NewHashMap(64)
+	const threads, perThread = 4, 100
+	done := make(chan error, threads)
+	for w := 0; w < threads; w++ {
+		th := tm.Register(fmt.Sprintf("t%d", w))
+		base := uint64(w * 1000)
+		go func() {
+			for i := uint64(0); i < perThread; i++ {
+				if err := th.Atomically(func(tx stm.Tx) error {
+					_, err := m.Put(tx, base+i, i)
+					return err
+				}); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for w := 0; w < threads; w++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	th := tm.Register("check")
+	err := th.Atomically(func(tx stm.Tx) error {
+		size, err := m.Size(tx)
+		if err != nil {
+			return err
+		}
+		if size != threads*perThread {
+			return fmt.Errorf("size = %d, want %d", size, threads*perThread)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRBTreeValueTypes: the tree stores arbitrary values.
+func TestRBTreeValueTypes(t *testing.T) {
+	th := newThread(t)
+	tree := stmds.NewRBTree()
+	type payload struct{ s string }
+	err := th.Atomically(func(tx stm.Tx) error {
+		if _, err := tree.Insert(tx, 1, "str"); err != nil {
+			return err
+		}
+		if _, err := tree.Insert(tx, 2, 3.14); err != nil {
+			return err
+		}
+		if _, err := tree.Insert(tx, 3, &payload{s: "p"}); err != nil {
+			return err
+		}
+		if _, err := tree.Insert(tx, 4, nil); err != nil {
+			return err
+		}
+		v1, _, err := tree.Get(tx, 1)
+		if err != nil {
+			return err
+		}
+		v3, _, err := tree.Get(tx, 3)
+		if err != nil {
+			return err
+		}
+		v4, ok, err := tree.Get(tx, 4)
+		if err != nil {
+			return err
+		}
+		if v1.(string) != "str" || v3.(*payload).s != "p" || !ok || v4 != nil {
+			return fmt.Errorf("mixed values broken: %v %v %v", v1, v3, v4)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,769 @@
+// Package stmds provides transactional data structures built on the
+// engine-agnostic stm.Tx interface: a red-black tree (the paper's
+// microbenchmark and the tables of the vacation kernel), a hash map, a
+// sorted linked list, a FIFO queue and a fixed array. All operations take a
+// transaction and propagate stm.ErrConflict unchanged, so they compose into
+// larger transactions.
+package stmds
+
+import (
+	"github.com/shrink-tm/shrink/internal/stm"
+)
+
+// RBTree is a transactional left-leaning red-black tree keyed by int64. The
+// paper's red-black tree microbenchmark (integer set, range 16384, 20%/70%
+// update mixes) runs on this structure. Structural fields (children, color)
+// and values are transactional Vars; keys are immutable per node.
+type RBTree struct {
+	root *stm.Var // *rbNode (nil when empty)
+}
+
+type rbNode struct {
+	key   int64
+	val   *stm.Var // any
+	left  *stm.Var // *rbNode
+	right *stm.Var // *rbNode
+	red   *stm.Var // bool
+}
+
+// NewRBTree returns an empty tree.
+func NewRBTree() *RBTree {
+	return &RBTree{root: stm.NewVar((*rbNode)(nil))}
+}
+
+func newRBNode(key int64, val any) *rbNode {
+	return &rbNode{
+		key:   key,
+		val:   stm.NewVar(val),
+		left:  stm.NewVar((*rbNode)(nil)),
+		right: stm.NewVar((*rbNode)(nil)),
+		red:   stm.NewVar(true),
+	}
+}
+
+func readNode(tx stm.Tx, v *stm.Var) (*rbNode, error) {
+	raw, err := tx.Read(v)
+	if err != nil {
+		return nil, err
+	}
+	n, _ := raw.(*rbNode)
+	return n, nil
+}
+
+func isRed(tx stm.Tx, n *rbNode) (bool, error) {
+	if n == nil {
+		return false, nil
+	}
+	raw, err := tx.Read(n.red)
+	if err != nil {
+		return false, err
+	}
+	b, _ := raw.(bool)
+	return b, nil
+}
+
+func setRed(tx stm.Tx, n *rbNode, red bool) error {
+	return tx.Write(n.red, red)
+}
+
+// writeChild stores child into the given child Var only if it changed,
+// keeping write sets (and hence conflicts) minimal.
+func writeChild(tx stm.Tx, slot *stm.Var, oldChild, newChild *rbNode) error {
+	if oldChild == newChild {
+		return nil
+	}
+	return tx.Write(slot, newChild)
+}
+
+// Get returns the value stored under key.
+func (t *RBTree) Get(tx stm.Tx, key int64) (any, bool, error) {
+	n, err := readNode(tx, t.root)
+	if err != nil {
+		return nil, false, err
+	}
+	for n != nil {
+		switch {
+		case key < n.key:
+			if n, err = readNode(tx, n.left); err != nil {
+				return nil, false, err
+			}
+		case key > n.key:
+			if n, err = readNode(tx, n.right); err != nil {
+				return nil, false, err
+			}
+		default:
+			v, err := tx.Read(n.val)
+			if err != nil {
+				return nil, false, err
+			}
+			return v, true, nil
+		}
+	}
+	return nil, false, nil
+}
+
+// Contains reports whether key is in the set.
+func (t *RBTree) Contains(tx stm.Tx, key int64) (bool, error) {
+	_, ok, err := t.Get(tx, key)
+	return ok, err
+}
+
+// Insert adds key with the given value and reports whether the key was new
+// (false means the value of an existing key was updated).
+func (t *RBTree) Insert(tx stm.Tx, key int64, val any) (bool, error) {
+	oldRoot, err := readNode(tx, t.root)
+	if err != nil {
+		return false, err
+	}
+	inserted := false
+	newRoot, err := t.insert(tx, oldRoot, key, val, &inserted)
+	if err != nil {
+		return false, err
+	}
+	if err := writeChild(tx, t.root, oldRoot, newRoot); err != nil {
+		return false, err
+	}
+	if red, err := isRed(tx, newRoot); err != nil {
+		return false, err
+	} else if red {
+		if err := setRed(tx, newRoot, false); err != nil {
+			return false, err
+		}
+	}
+	return inserted, nil
+}
+
+func (t *RBTree) insert(tx stm.Tx, h *rbNode, key int64, val any, inserted *bool) (*rbNode, error) {
+	if h == nil {
+		*inserted = true
+		return newRBNode(key, val), nil
+	}
+	switch {
+	case key < h.key:
+		old, err := readNode(tx, h.left)
+		if err != nil {
+			return nil, err
+		}
+		nw, err := t.insert(tx, old, key, val, inserted)
+		if err != nil {
+			return nil, err
+		}
+		if err := writeChild(tx, h.left, old, nw); err != nil {
+			return nil, err
+		}
+	case key > h.key:
+		old, err := readNode(tx, h.right)
+		if err != nil {
+			return nil, err
+		}
+		nw, err := t.insert(tx, old, key, val, inserted)
+		if err != nil {
+			return nil, err
+		}
+		if err := writeChild(tx, h.right, old, nw); err != nil {
+			return nil, err
+		}
+	default:
+		if err := tx.Write(h.val, val); err != nil {
+			return nil, err
+		}
+		return h, nil
+	}
+	return t.fixUp(tx, h)
+}
+
+// fixUp restores the left-leaning invariants around h on the way up.
+func (t *RBTree) fixUp(tx stm.Tx, h *rbNode) (*rbNode, error) {
+	l, err := readNode(tx, h.left)
+	if err != nil {
+		return nil, err
+	}
+	r, err := readNode(tx, h.right)
+	if err != nil {
+		return nil, err
+	}
+	rRed, err := isRed(tx, r)
+	if err != nil {
+		return nil, err
+	}
+	lRed, err := isRed(tx, l)
+	if err != nil {
+		return nil, err
+	}
+	if rRed && !lRed {
+		if h, err = t.rotateLeft(tx, h); err != nil {
+			return nil, err
+		}
+		if l, err = readNode(tx, h.left); err != nil {
+			return nil, err
+		}
+		if lRed, err = isRed(tx, l); err != nil {
+			return nil, err
+		}
+	}
+	if lRed {
+		var ll *rbNode
+		if ll, err = readNode(tx, l.left); err != nil {
+			return nil, err
+		}
+		llRed, err := isRed(tx, ll)
+		if err != nil {
+			return nil, err
+		}
+		if llRed {
+			if h, err = t.rotateRight(tx, h); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if l, err = readNode(tx, h.left); err != nil {
+		return nil, err
+	}
+	if r, err = readNode(tx, h.right); err != nil {
+		return nil, err
+	}
+	if lRed, err = isRed(tx, l); err != nil {
+		return nil, err
+	}
+	if rRed, err = isRed(tx, r); err != nil {
+		return nil, err
+	}
+	if lRed && rRed {
+		if err := t.colorFlip(tx, h, l, r); err != nil {
+			return nil, err
+		}
+	}
+	return h, nil
+}
+
+// rotateLeft rotates h's red right child up.
+func (t *RBTree) rotateLeft(tx stm.Tx, h *rbNode) (*rbNode, error) {
+	x, err := readNode(tx, h.right)
+	if err != nil {
+		return nil, err
+	}
+	xl, err := readNode(tx, x.left)
+	if err != nil {
+		return nil, err
+	}
+	if err := tx.Write(h.right, xl); err != nil {
+		return nil, err
+	}
+	if err := tx.Write(x.left, h); err != nil {
+		return nil, err
+	}
+	hRed, err := isRed(tx, h)
+	if err != nil {
+		return nil, err
+	}
+	if err := setRed(tx, x, hRed); err != nil {
+		return nil, err
+	}
+	if err := setRed(tx, h, true); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// rotateRight rotates h's red left child up.
+func (t *RBTree) rotateRight(tx stm.Tx, h *rbNode) (*rbNode, error) {
+	x, err := readNode(tx, h.left)
+	if err != nil {
+		return nil, err
+	}
+	xr, err := readNode(tx, x.right)
+	if err != nil {
+		return nil, err
+	}
+	if err := tx.Write(h.left, xr); err != nil {
+		return nil, err
+	}
+	if err := tx.Write(x.right, h); err != nil {
+		return nil, err
+	}
+	hRed, err := isRed(tx, h)
+	if err != nil {
+		return nil, err
+	}
+	if err := setRed(tx, x, hRed); err != nil {
+		return nil, err
+	}
+	if err := setRed(tx, h, true); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+func (t *RBTree) colorFlip(tx stm.Tx, h, l, r *rbNode) error {
+	hRed, err := isRed(tx, h)
+	if err != nil {
+		return err
+	}
+	if err := setRed(tx, h, !hRed); err != nil {
+		return err
+	}
+	if l != nil {
+		lRed, err := isRed(tx, l)
+		if err != nil {
+			return err
+		}
+		if err := setRed(tx, l, !lRed); err != nil {
+			return err
+		}
+	}
+	if r != nil {
+		rRed, err := isRed(tx, r)
+		if err != nil {
+			return err
+		}
+		if err := setRed(tx, r, !rRed); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// moveRedLeft ensures h.left or one of its children is red, on the way down
+// a deletion in the left subtree.
+func (t *RBTree) moveRedLeft(tx stm.Tx, h *rbNode) (*rbNode, error) {
+	l, err := readNode(tx, h.left)
+	if err != nil {
+		return nil, err
+	}
+	r, err := readNode(tx, h.right)
+	if err != nil {
+		return nil, err
+	}
+	if err := t.colorFlip(tx, h, l, r); err != nil {
+		return nil, err
+	}
+	if r != nil {
+		rl, err := readNode(tx, r.left)
+		if err != nil {
+			return nil, err
+		}
+		rlRed, err := isRed(tx, rl)
+		if err != nil {
+			return nil, err
+		}
+		if rlRed {
+			nr, err := t.rotateRight(tx, r)
+			if err != nil {
+				return nil, err
+			}
+			if err := tx.Write(h.right, nr); err != nil {
+				return nil, err
+			}
+			if h, err = t.rotateLeft(tx, h); err != nil {
+				return nil, err
+			}
+			nl, err := readNode(tx, h.left)
+			if err != nil {
+				return nil, err
+			}
+			nrr, err := readNode(tx, h.right)
+			if err != nil {
+				return nil, err
+			}
+			if err := t.colorFlip(tx, h, nl, nrr); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return h, nil
+}
+
+// moveRedRight ensures h.right or one of its children is red, on the way
+// down a deletion in the right subtree.
+func (t *RBTree) moveRedRight(tx stm.Tx, h *rbNode) (*rbNode, error) {
+	l, err := readNode(tx, h.left)
+	if err != nil {
+		return nil, err
+	}
+	r, err := readNode(tx, h.right)
+	if err != nil {
+		return nil, err
+	}
+	if err := t.colorFlip(tx, h, l, r); err != nil {
+		return nil, err
+	}
+	if l != nil {
+		ll, err := readNode(tx, l.left)
+		if err != nil {
+			return nil, err
+		}
+		llRed, err := isRed(tx, ll)
+		if err != nil {
+			return nil, err
+		}
+		if llRed {
+			if h, err = t.rotateRight(tx, h); err != nil {
+				return nil, err
+			}
+			nl, err := readNode(tx, h.left)
+			if err != nil {
+				return nil, err
+			}
+			nr, err := readNode(tx, h.right)
+			if err != nil {
+				return nil, err
+			}
+			if err := t.colorFlip(tx, h, nl, nr); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return h, nil
+}
+
+// deleteMin removes the minimum node of the subtree rooted at h, returning
+// the new subtree root and the removed node.
+func (t *RBTree) deleteMin(tx stm.Tx, h *rbNode) (*rbNode, *rbNode, error) {
+	l, err := readNode(tx, h.left)
+	if err != nil {
+		return nil, nil, err
+	}
+	if l == nil {
+		return nil, h, nil
+	}
+	lRed, err := isRed(tx, l)
+	if err != nil {
+		return nil, nil, err
+	}
+	ll, err := readNode(tx, l.left)
+	if err != nil {
+		return nil, nil, err
+	}
+	llRed, err := isRed(tx, ll)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !lRed && !llRed {
+		if h, err = t.moveRedLeft(tx, h); err != nil {
+			return nil, nil, err
+		}
+	}
+	if l, err = readNode(tx, h.left); err != nil {
+		return nil, nil, err
+	}
+	nl, removed, err := t.deleteMin(tx, l)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := writeChild(tx, h.left, l, nl); err != nil {
+		return nil, nil, err
+	}
+	h, err = t.fixUp(tx, h)
+	if err != nil {
+		return nil, nil, err
+	}
+	return h, removed, nil
+}
+
+// Delete removes key and reports whether it was present.
+func (t *RBTree) Delete(tx stm.Tx, key int64) (bool, error) {
+	present, err := t.Contains(tx, key)
+	if err != nil || !present {
+		return false, err
+	}
+	oldRoot, err := readNode(tx, t.root)
+	if err != nil {
+		return false, err
+	}
+	newRoot, err := t.delete(tx, oldRoot, key)
+	if err != nil {
+		return false, err
+	}
+	if err := writeChild(tx, t.root, oldRoot, newRoot); err != nil {
+		return false, err
+	}
+	if newRoot != nil {
+		if red, err := isRed(tx, newRoot); err != nil {
+			return false, err
+		} else if red {
+			if err := setRed(tx, newRoot, false); err != nil {
+				return false, err
+			}
+		}
+	}
+	return true, nil
+}
+
+func (t *RBTree) delete(tx stm.Tx, h *rbNode, key int64) (*rbNode, error) {
+	var err error
+	if key < h.key {
+		l, err := readNode(tx, h.left)
+		if err != nil {
+			return nil, err
+		}
+		lRed, err := isRed(tx, l)
+		if err != nil {
+			return nil, err
+		}
+		var llRed bool
+		if l != nil {
+			ll, err := readNode(tx, l.left)
+			if err != nil {
+				return nil, err
+			}
+			if llRed, err = isRed(tx, ll); err != nil {
+				return nil, err
+			}
+		}
+		if !lRed && !llRed {
+			if h, err = t.moveRedLeft(tx, h); err != nil {
+				return nil, err
+			}
+		}
+		if l, err = readNode(tx, h.left); err != nil {
+			return nil, err
+		}
+		nl, err := t.delete(tx, l, key)
+		if err != nil {
+			return nil, err
+		}
+		if err := writeChild(tx, h.left, l, nl); err != nil {
+			return nil, err
+		}
+	} else {
+		l, err := readNode(tx, h.left)
+		if err != nil {
+			return nil, err
+		}
+		lRed, err := isRed(tx, l)
+		if err != nil {
+			return nil, err
+		}
+		if lRed {
+			if h, err = t.rotateRight(tx, h); err != nil {
+				return nil, err
+			}
+		}
+		r, err := readNode(tx, h.right)
+		if err != nil {
+			return nil, err
+		}
+		if key == h.key && r == nil {
+			return nil, nil
+		}
+		rRed, err := isRed(tx, r)
+		if err != nil {
+			return nil, err
+		}
+		var rlRed bool
+		if r != nil {
+			rl, err := readNode(tx, r.left)
+			if err != nil {
+				return nil, err
+			}
+			if rlRed, err = isRed(tx, rl); err != nil {
+				return nil, err
+			}
+		}
+		if !rRed && !rlRed {
+			if h, err = t.moveRedRight(tx, h); err != nil {
+				return nil, err
+			}
+		}
+		if key == h.key {
+			r, err := readNode(tx, h.right)
+			if err != nil {
+				return nil, err
+			}
+			nr, minNode, err := t.deleteMin(tx, r)
+			if err != nil {
+				return nil, err
+			}
+			// Splice the successor into h's position: a fresh node
+			// carries the successor's key/value with h's children
+			// and color (keys are immutable per node).
+			minVal, err := tx.Read(minNode.val)
+			if err != nil {
+				return nil, err
+			}
+			hl, err := readNode(tx, h.left)
+			if err != nil {
+				return nil, err
+			}
+			hRed, err := isRed(tx, h)
+			if err != nil {
+				return nil, err
+			}
+			repl := &rbNode{
+				key:   minNode.key,
+				val:   stm.NewVar(minVal),
+				left:  stm.NewVar(hl),
+				right: stm.NewVar(nr),
+				red:   stm.NewVar(hRed),
+			}
+			return t.fixUp(tx, repl)
+		}
+		r, err = readNode(tx, h.right)
+		if err != nil {
+			return nil, err
+		}
+		nr, err := t.delete(tx, r, key)
+		if err != nil {
+			return nil, err
+		}
+		if err := writeChild(tx, h.right, r, nr); err != nil {
+			return nil, err
+		}
+	}
+	h, err = t.fixUp(tx, h)
+	if err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// Size counts the keys (a read-only full traversal).
+func (t *RBTree) Size(tx stm.Tx) (int, error) {
+	n, err := readNode(tx, t.root)
+	if err != nil {
+		return 0, err
+	}
+	return t.size(tx, n)
+}
+
+func (t *RBTree) size(tx stm.Tx, n *rbNode) (int, error) {
+	if n == nil {
+		return 0, nil
+	}
+	l, err := readNode(tx, n.left)
+	if err != nil {
+		return 0, err
+	}
+	nl, err := t.size(tx, l)
+	if err != nil {
+		return 0, err
+	}
+	r, err := readNode(tx, n.right)
+	if err != nil {
+		return 0, err
+	}
+	nr, err := t.size(tx, r)
+	if err != nil {
+		return 0, err
+	}
+	return nl + nr + 1, nil
+}
+
+// Keys returns all keys in ascending order (read-only traversal).
+func (t *RBTree) Keys(tx stm.Tx) ([]int64, error) {
+	var out []int64
+	n, err := readNode(tx, t.root)
+	if err != nil {
+		return nil, err
+	}
+	if err := t.inorder(tx, n, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (t *RBTree) inorder(tx stm.Tx, n *rbNode, out *[]int64) error {
+	if n == nil {
+		return nil
+	}
+	l, err := readNode(tx, n.left)
+	if err != nil {
+		return err
+	}
+	if err := t.inorder(tx, l, out); err != nil {
+		return err
+	}
+	*out = append(*out, n.key)
+	r, err := readNode(tx, n.right)
+	if err != nil {
+		return err
+	}
+	return t.inorder(tx, r, out)
+}
+
+// CheckInvariants verifies the red-black invariants inside a transaction:
+// BST order, no red node with a red left-left or red right child
+// (left-leaning form), and equal black height on all paths. It returns the
+// black height.
+func (t *RBTree) CheckInvariants(tx stm.Tx) (int, error) {
+	n, err := readNode(tx, t.root)
+	if err != nil {
+		return 0, err
+	}
+	if n != nil {
+		red, err := isRed(tx, n)
+		if err != nil {
+			return 0, err
+		}
+		if red {
+			return 0, errInvariant("root is red")
+		}
+	}
+	bh, _, _, err := t.check(tx, n)
+	return bh, err
+}
+
+type errInvariant string
+
+func (e errInvariant) Error() string { return "rbtree invariant violated: " + string(e) }
+
+func (t *RBTree) check(tx stm.Tx, n *rbNode) (blackHeight int, minKey, maxKey int64, err error) {
+	if n == nil {
+		return 1, 0, 0, nil
+	}
+	l, err := readNode(tx, n.left)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	r, err := readNode(tx, n.right)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	nRed, err := isRed(tx, n)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	rRed, err := isRed(tx, r)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if rRed {
+		return 0, 0, 0, errInvariant("right child is red (not left-leaning)")
+	}
+	lRed, err := isRed(tx, l)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if nRed && lRed {
+		return 0, 0, 0, errInvariant("red node with red left child")
+	}
+	lbh, lmin, lmax, err := t.check(tx, l)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	rbh, rmin, rmax, err := t.check(tx, r)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if lbh != rbh {
+		return 0, 0, 0, errInvariant("unequal black heights")
+	}
+	if l != nil && lmax >= n.key {
+		return 0, 0, 0, errInvariant("BST order violated on left")
+	}
+	if r != nil && rmin <= n.key {
+		return 0, 0, 0, errInvariant("BST order violated on right")
+	}
+	minKey, maxKey = n.key, n.key
+	if l != nil {
+		minKey = lmin
+	}
+	if r != nil {
+		maxKey = rmax
+	}
+	bh := lbh
+	if !nRed {
+		bh++
+	}
+	return bh, minKey, maxKey, nil
+}

@@ -1,0 +1,313 @@
+package stmds_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"github.com/shrink-tm/shrink/internal/stm"
+	"github.com/shrink-tm/shrink/internal/stm/swiss"
+	"github.com/shrink-tm/shrink/internal/stm/tiny"
+	"github.com/shrink-tm/shrink/internal/stmds"
+)
+
+func newThread(t *testing.T) stm.Thread {
+	t.Helper()
+	return swiss.New(swiss.Options{}).Register("t0")
+}
+
+func TestRBTreeBasicOps(t *testing.T) {
+	th := newThread(t)
+	tree := stmds.NewRBTree()
+	err := th.Atomically(func(tx stm.Tx) error {
+		for _, k := range []int64{5, 3, 8, 1, 4, 7, 9} {
+			ins, err := tree.Insert(tx, k, k*10)
+			if err != nil {
+				return err
+			}
+			if !ins {
+				return fmt.Errorf("Insert(%d) reported duplicate", k)
+			}
+		}
+		if ins, err := tree.Insert(tx, 5, int64(999)); err != nil {
+			return err
+		} else if ins {
+			return fmt.Errorf("duplicate insert reported new")
+		}
+		v, ok, err := tree.Get(tx, 5)
+		if err != nil {
+			return err
+		}
+		if !ok || v.(int64) != 999 {
+			return fmt.Errorf("Get(5) = %v,%v", v, ok)
+		}
+		if ok, err := tree.Contains(tx, 6); err != nil || ok {
+			return fmt.Errorf("Contains(6) = %v, %v", ok, err)
+		}
+		keys, err := tree.Keys(tx)
+		if err != nil {
+			return err
+		}
+		want := []int64{1, 3, 4, 5, 7, 8, 9}
+		if len(keys) != len(want) {
+			return fmt.Errorf("keys = %v", keys)
+		}
+		for i := range want {
+			if keys[i] != want[i] {
+				return fmt.Errorf("keys = %v, want %v", keys, want)
+			}
+		}
+		if _, err := tree.CheckInvariants(tx); err != nil {
+			return err
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRBTreeDeleteAll(t *testing.T) {
+	th := newThread(t)
+	tree := stmds.NewRBTree()
+	const n = 200
+	err := th.Atomically(func(tx stm.Tx) error {
+		for i := int64(0); i < n; i++ {
+			if _, err := tree.Insert(tx, i, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm := rand.New(rand.NewSource(2)).Perm(n)
+	for _, k := range perm {
+		k := int64(k)
+		err := th.Atomically(func(tx stm.Tx) error {
+			del, err := tree.Delete(tx, k)
+			if err != nil {
+				return err
+			}
+			if !del {
+				return fmt.Errorf("Delete(%d) missed existing key", k)
+			}
+			if _, err := tree.CheckInvariants(tx); err != nil {
+				return fmt.Errorf("after Delete(%d): %w", k, err)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	err = th.Atomically(func(tx stm.Tx) error {
+		size, err := tree.Size(tx)
+		if err != nil {
+			return err
+		}
+		if size != 0 {
+			return fmt.Errorf("size = %d after deleting everything", size)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRBTreeDeleteMissing(t *testing.T) {
+	th := newThread(t)
+	tree := stmds.NewRBTree()
+	err := th.Atomically(func(tx stm.Tx) error {
+		if del, err := tree.Delete(tx, 42); err != nil || del {
+			return fmt.Errorf("Delete on empty = %v, %v", del, err)
+		}
+		if _, err := tree.Insert(tx, 1, nil); err != nil {
+			return err
+		}
+		if del, err := tree.Delete(tx, 42); err != nil || del {
+			return fmt.Errorf("Delete missing = %v, %v", del, err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRBTreeModelProperty drives the tree with random operation sequences
+// and compares every answer against a map model, checking the red-black
+// invariants along the way.
+func TestRBTreeModelProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		th := swiss.New(swiss.Options{}).Register("t0")
+		tree := stmds.NewRBTree()
+		model := make(map[int64]int64)
+		for op := 0; op < 300; op++ {
+			k := int64(rng.Intn(64))
+			var fail error
+			err := th.Atomically(func(tx stm.Tx) error {
+				switch rng.Intn(3) {
+				case 0:
+					ins, err := tree.Insert(tx, k, k)
+					if err != nil {
+						return err
+					}
+					_, existed := model[k]
+					if ins == existed {
+						fail = fmt.Errorf("insert(%d): ins=%v existed=%v", k, ins, existed)
+						return nil
+					}
+					model[k] = k
+				case 1:
+					del, err := tree.Delete(tx, k)
+					if err != nil {
+						return err
+					}
+					_, existed := model[k]
+					if del != existed {
+						fail = fmt.Errorf("delete(%d): del=%v existed=%v", k, del, existed)
+						return nil
+					}
+					delete(model, k)
+				default:
+					ok, err := tree.Contains(tx, k)
+					if err != nil {
+						return err
+					}
+					_, existed := model[k]
+					if ok != existed {
+						fail = fmt.Errorf("contains(%d): ok=%v existed=%v", k, ok, existed)
+						return nil
+					}
+				}
+				_, err := tree.CheckInvariants(tx)
+				return err
+			})
+			if err != nil {
+				t.Logf("seed %d op %d: %v", seed, op, err)
+				return false
+			}
+			if fail != nil {
+				t.Logf("seed %d op %d: %v", seed, op, fail)
+				return false
+			}
+		}
+		// Final sweep: tree contents equal model contents.
+		var keys []int64
+		err := th.Atomically(func(tx stm.Tx) error {
+			var err error
+			keys, err = tree.Keys(tx)
+			return err
+		})
+		if err != nil {
+			return false
+		}
+		want := make([]int64, 0, len(model))
+		for k := range model {
+			want = append(want, k)
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		if len(keys) != len(want) {
+			t.Logf("seed %d: keys %v want %v", seed, keys, want)
+			return false
+		}
+		for i := range want {
+			if keys[i] != want[i] {
+				t.Logf("seed %d: keys %v want %v", seed, keys, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRBTreeConcurrent hammers one tree from several threads on both
+// engines and verifies invariants and final consistency.
+func TestRBTreeConcurrent(t *testing.T) {
+	engines := map[string]stm.TM{
+		"swiss": swiss.New(swiss.Options{}),
+		"tiny":  tiny.New(tiny.Options{Wait: stm.WaitPreemptive}),
+	}
+	for name, tmEngine := range engines {
+		tm := tmEngine
+		t.Run(name, func(t *testing.T) {
+			tree := stmds.NewRBTree()
+			const threads, ops, keyRange = 4, 150, 128
+			var wg sync.WaitGroup
+			for i := 0; i < threads; i++ {
+				th := tm.Register(fmt.Sprintf("t%d", i))
+				rng := rand.New(rand.NewSource(int64(i) * 977))
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for j := 0; j < ops; j++ {
+						k := int64(rng.Intn(keyRange))
+						switch rng.Intn(3) {
+						case 0:
+							_ = th.Atomically(func(tx stm.Tx) error {
+								_, err := tree.Insert(tx, k, k)
+								return err
+							})
+						case 1:
+							_ = th.Atomically(func(tx stm.Tx) error {
+								_, err := tree.Delete(tx, k)
+								return err
+							})
+						default:
+							_ = th.Atomically(func(tx stm.Tx) error {
+								_, err := tree.Contains(tx, k)
+								return err
+							})
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			th := tm.Register("checker")
+			err := th.Atomically(func(tx stm.Tx) error {
+				_, err := tree.CheckInvariants(tx)
+				return err
+			})
+			if err != nil {
+				t.Fatalf("invariants after concurrent run: %v", err)
+			}
+		})
+	}
+}
+
+func TestRBTreeSizeMatchesKeys(t *testing.T) {
+	th := newThread(t)
+	tree := stmds.NewRBTree()
+	err := th.Atomically(func(tx stm.Tx) error {
+		for _, k := range []int64{10, 20, 5, 15} {
+			if _, err := tree.Insert(tx, k, nil); err != nil {
+				return err
+			}
+		}
+		size, err := tree.Size(tx)
+		if err != nil {
+			return err
+		}
+		keys, err := tree.Keys(tx)
+		if err != nil {
+			return err
+		}
+		if size != len(keys) || size != 4 {
+			return fmt.Errorf("size=%d keys=%v", size, keys)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

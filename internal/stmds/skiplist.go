@@ -1,0 +1,252 @@
+package stmds
+
+import (
+	"github.com/shrink-tm/shrink/internal/stm"
+)
+
+// SkipList is a transactional skip list over int64 keys — the other classic
+// STM set structure. Compared with the red-black tree it trades rebalancing
+// writes for towers of forward pointers: updates touch only the search-path
+// predecessors (no rotations), so write sets are smaller and conflicts more
+// localized. BenchmarkAblationSetStructure compares the two under Shrink.
+type SkipList struct {
+	maxLevel int
+	head     *slNode // sentinel: key = -inf, full-height tower
+}
+
+type slNode struct {
+	key     int64
+	val     *stm.Var
+	forward []*stm.Var // next node per level, each holds *slNode
+}
+
+func newSLNode(key int64, val any, height int) *slNode {
+	n := &slNode{key: key, val: stm.NewVar(val), forward: make([]*stm.Var, height)}
+	for i := range n.forward {
+		n.forward[i] = stm.NewVar((*slNode)(nil))
+	}
+	return n
+}
+
+// NewSkipList returns an empty skip list with the given maximum level
+// (clamped to 2..24; 12 suits a 16384-key range).
+func NewSkipList(maxLevel int) *SkipList {
+	if maxLevel < 2 {
+		maxLevel = 2
+	}
+	if maxLevel > 24 {
+		maxLevel = 24
+	}
+	return &SkipList{
+		maxLevel: maxLevel,
+		head:     newSLNode(-1<<63, nil, maxLevel),
+	}
+}
+
+func readSLNode(tx stm.Tx, v *stm.Var) (*slNode, error) {
+	raw, err := tx.Read(v)
+	if err != nil {
+		return nil, err
+	}
+	n, _ := raw.(*slNode)
+	return n, nil
+}
+
+// findPredecessors returns the predecessor node per level and the first
+// node with key >= key (or nil).
+func (s *SkipList) findPredecessors(tx stm.Tx, key int64) ([]*slNode, *slNode, error) {
+	preds := make([]*slNode, s.maxLevel)
+	cur := s.head
+	for level := s.maxLevel - 1; level >= 0; level-- {
+		for {
+			next, err := readSLNode(tx, cur.forward[level])
+			if err != nil {
+				return nil, nil, err
+			}
+			if next == nil || next.key >= key {
+				break
+			}
+			cur = next
+		}
+		preds[level] = cur
+	}
+	candidate, err := readSLNode(tx, preds[0].forward[0])
+	if err != nil {
+		return nil, nil, err
+	}
+	return preds, candidate, nil
+}
+
+// towerHeight derives a deterministic pseudo-random tower height from the
+// key (1..maxLevel with geometric distribution), so retries of the same
+// insert build the same tower — keeping write sets stable across restarts,
+// which is exactly what Shrink's write prediction wants.
+func (s *SkipList) towerHeight(key int64) int {
+	x := uint64(key) * 0x9e3779b97f4a7c15
+	x ^= x >> 29
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 32
+	h := 1
+	for x&1 == 1 && h < s.maxLevel {
+		h++
+		x >>= 1
+	}
+	return h
+}
+
+// Contains reports whether key is present.
+func (s *SkipList) Contains(tx stm.Tx, key int64) (bool, error) {
+	_, candidate, err := s.findPredecessors(tx, key)
+	if err != nil {
+		return false, err
+	}
+	return candidate != nil && candidate.key == key, nil
+}
+
+// Get returns the value under key.
+func (s *SkipList) Get(tx stm.Tx, key int64) (any, bool, error) {
+	_, candidate, err := s.findPredecessors(tx, key)
+	if err != nil {
+		return nil, false, err
+	}
+	if candidate == nil || candidate.key != key {
+		return nil, false, nil
+	}
+	v, err := tx.Read(candidate.val)
+	if err != nil {
+		return nil, false, err
+	}
+	return v, true, nil
+}
+
+// Insert adds key with val, reporting whether the key was new.
+func (s *SkipList) Insert(tx stm.Tx, key int64, val any) (bool, error) {
+	preds, candidate, err := s.findPredecessors(tx, key)
+	if err != nil {
+		return false, err
+	}
+	if candidate != nil && candidate.key == key {
+		if err := tx.Write(candidate.val, val); err != nil {
+			return false, err
+		}
+		return false, nil
+	}
+	height := s.towerHeight(key)
+	node := newSLNode(key, val, height)
+	for level := 0; level < height; level++ {
+		next, err := readSLNode(tx, preds[level].forward[level])
+		if err != nil {
+			return false, err
+		}
+		if err := tx.Write(node.forward[level], next); err != nil {
+			return false, err
+		}
+		if err := tx.Write(preds[level].forward[level], node); err != nil {
+			return false, err
+		}
+	}
+	return true, nil
+}
+
+// Delete removes key, reporting whether it was present.
+func (s *SkipList) Delete(tx stm.Tx, key int64) (bool, error) {
+	preds, candidate, err := s.findPredecessors(tx, key)
+	if err != nil {
+		return false, err
+	}
+	if candidate == nil || candidate.key != key {
+		return false, nil
+	}
+	for level := 0; level < len(candidate.forward); level++ {
+		next, err := readSLNode(tx, candidate.forward[level])
+		if err != nil {
+			return false, err
+		}
+		cur, err := readSLNode(tx, preds[level].forward[level])
+		if err != nil {
+			return false, err
+		}
+		if cur == candidate {
+			if err := tx.Write(preds[level].forward[level], next); err != nil {
+				return false, err
+			}
+		}
+	}
+	return true, nil
+}
+
+// Size counts the keys (level-0 walk).
+func (s *SkipList) Size(tx stm.Tx) (int, error) {
+	count := 0
+	n, err := readSLNode(tx, s.head.forward[0])
+	if err != nil {
+		return 0, err
+	}
+	for n != nil {
+		count++
+		if n, err = readSLNode(tx, n.forward[0]); err != nil {
+			return 0, err
+		}
+	}
+	return count, nil
+}
+
+// Keys returns all keys in ascending order.
+func (s *SkipList) Keys(tx stm.Tx) ([]int64, error) {
+	var out []int64
+	n, err := readSLNode(tx, s.head.forward[0])
+	if err != nil {
+		return nil, err
+	}
+	for n != nil {
+		out = append(out, n.key)
+		if n, err = readSLNode(tx, n.forward[0]); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// CheckInvariants verifies level-0 ordering and that every higher-level
+// link points to a node also reachable at level 0.
+func (s *SkipList) CheckInvariants(tx stm.Tx) error {
+	level0 := make(map[*slNode]bool)
+	n, err := readSLNode(tx, s.head.forward[0])
+	if err != nil {
+		return err
+	}
+	var prev *slNode
+	for n != nil {
+		if prev != nil && prev.key >= n.key {
+			return errInvariant("skiplist level-0 order violated")
+		}
+		level0[n] = true
+		prev = n
+		if n, err = readSLNode(tx, n.forward[0]); err != nil {
+			return err
+		}
+	}
+	for level := 1; level < s.maxLevel; level++ {
+		n, err := readSLNode(tx, s.head.forward[level])
+		if err != nil {
+			return err
+		}
+		var prevK *slNode
+		for n != nil {
+			if !level0[n] {
+				return errInvariant("skiplist node reachable above level 0 only")
+			}
+			if prevK != nil && prevK.key >= n.key {
+				return errInvariant("skiplist upper-level order violated")
+			}
+			if level >= len(n.forward) {
+				return errInvariant("skiplist node linked above its tower height")
+			}
+			prevK = n
+			if n, err = readSLNode(tx, n.forward[level]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

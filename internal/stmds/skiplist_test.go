@@ -1,0 +1,211 @@
+package stmds_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"github.com/shrink-tm/shrink/internal/stm"
+	"github.com/shrink-tm/shrink/internal/stm/swiss"
+	"github.com/shrink-tm/shrink/internal/stmds"
+)
+
+func TestSkipListBasic(t *testing.T) {
+	th := newThread(t)
+	s := stmds.NewSkipList(8)
+	err := th.Atomically(func(tx stm.Tx) error {
+		for _, k := range []int64{5, 1, 9, 3, 7} {
+			if ins, err := s.Insert(tx, k, k*2); err != nil || !ins {
+				return fmt.Errorf("insert %d: %v %v", k, ins, err)
+			}
+		}
+		if ins, err := s.Insert(tx, 5, int64(50)); err != nil || ins {
+			return fmt.Errorf("dup insert: %v %v", ins, err)
+		}
+		v, ok, err := s.Get(tx, 5)
+		if err != nil || !ok || v.(int64) != 50 {
+			return fmt.Errorf("Get(5) = %v %v %v", v, ok, err)
+		}
+		keys, err := s.Keys(tx)
+		if err != nil {
+			return err
+		}
+		want := []int64{1, 3, 5, 7, 9}
+		for i := range want {
+			if keys[i] != want[i] {
+				return fmt.Errorf("keys = %v", keys)
+			}
+		}
+		if del, err := s.Delete(tx, 3); err != nil || !del {
+			return fmt.Errorf("delete 3: %v %v", del, err)
+		}
+		if del, err := s.Delete(tx, 3); err != nil || del {
+			return fmt.Errorf("double delete: %v %v", del, err)
+		}
+		if ok, err := s.Contains(tx, 3); err != nil || ok {
+			return fmt.Errorf("contains deleted: %v %v", ok, err)
+		}
+		size, err := s.Size(tx)
+		if err != nil || size != 4 {
+			return fmt.Errorf("size = %d", size)
+		}
+		return s.CheckInvariants(tx)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSkipListModelProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		th := swiss.New(swiss.Options{}).Register("t0")
+		s := stmds.NewSkipList(10)
+		model := make(map[int64]bool)
+		for op := 0; op < 300; op++ {
+			k := int64(rng.Intn(64))
+			ok := true
+			err := th.Atomically(func(tx stm.Tx) error {
+				switch rng.Intn(3) {
+				case 0:
+					ins, err := s.Insert(tx, k, k)
+					if err != nil {
+						return err
+					}
+					ok = ins == !model[k]
+					model[k] = true
+				case 1:
+					del, err := s.Delete(tx, k)
+					if err != nil {
+						return err
+					}
+					ok = del == model[k]
+					delete(model, k)
+				default:
+					has, err := s.Contains(tx, k)
+					if err != nil {
+						return err
+					}
+					ok = has == model[k]
+				}
+				return s.CheckInvariants(tx)
+			})
+			if err != nil || !ok {
+				t.Logf("seed %d op %d: err=%v ok=%v", seed, op, err, ok)
+				return false
+			}
+		}
+		var size int
+		err := th.Atomically(func(tx stm.Tx) error {
+			var err error
+			size, err = s.Size(tx)
+			return err
+		})
+		return err == nil && size == len(model)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSkipListConcurrent(t *testing.T) {
+	tm := swiss.New(swiss.Options{})
+	s := stmds.NewSkipList(10)
+	const threads, ops, keyRange = 4, 120, 96
+	var wg sync.WaitGroup
+	for i := 0; i < threads; i++ {
+		th := tm.Register(fmt.Sprintf("t%d", i))
+		rng := rand.New(rand.NewSource(int64(i) * 31))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < ops; j++ {
+				k := int64(rng.Intn(keyRange))
+				switch rng.Intn(3) {
+				case 0:
+					_ = th.Atomically(func(tx stm.Tx) error {
+						_, err := s.Insert(tx, k, k)
+						return err
+					})
+				case 1:
+					_ = th.Atomically(func(tx stm.Tx) error {
+						_, err := s.Delete(tx, k)
+						return err
+					})
+				default:
+					_ = th.Atomically(func(tx stm.Tx) error {
+						_, err := s.Contains(tx, k)
+						return err
+					})
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	th := tm.Register("check")
+	if err := th.Atomically(s.CheckInvariants); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSkipListDeterministicTowers(t *testing.T) {
+	// Same key => same tower height: inserts replay identically across
+	// transaction retries (stable write sets for prediction).
+	a := stmds.NewSkipList(12)
+	b := stmds.NewSkipList(12)
+	tmA := swiss.New(swiss.Options{})
+	thA := tmA.Register("a")
+	for _, s := range []*stmds.SkipList{a, b} {
+		s := s
+		err := thA.Atomically(func(tx stm.Tx) error {
+			for k := int64(0); k < 64; k++ {
+				if _, err := s.Insert(tx, k, nil); err != nil {
+					return err
+				}
+			}
+			return s.CheckInvariants(tx)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	err := thA.Atomically(func(tx stm.Tx) error {
+		ka, err := a.Keys(tx)
+		if err != nil {
+			return err
+		}
+		kb, err := b.Keys(tx)
+		if err != nil {
+			return err
+		}
+		if len(ka) != len(kb) {
+			return fmt.Errorf("diverged: %d vs %d", len(ka), len(kb))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSkipListLevelClamping(t *testing.T) {
+	if s := stmds.NewSkipList(0); s == nil {
+		t.Fatal("nil list")
+	}
+	if s := stmds.NewSkipList(100); s == nil {
+		t.Fatal("nil list")
+	}
+	th := newThread(t)
+	s := stmds.NewSkipList(1) // clamped to 2
+	err := th.Atomically(func(tx stm.Tx) error {
+		if _, err := s.Insert(tx, 1, nil); err != nil {
+			return err
+		}
+		return s.CheckInvariants(tx)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
