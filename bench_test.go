@@ -7,6 +7,7 @@
 package shrink
 
 import (
+	"math/rand"
 	"testing"
 	"time"
 
@@ -17,6 +18,7 @@ import (
 	"github.com/shrink-tm/shrink/internal/schedsim"
 	"github.com/shrink-tm/shrink/internal/stamp"
 	"github.com/shrink-tm/shrink/internal/stm"
+	"github.com/shrink-tm/shrink/internal/stmds"
 )
 
 const benchDur = 30 * time.Millisecond
@@ -516,4 +518,116 @@ func itoa(n int) string {
 		n /= 10
 	}
 	return string(buf[i:])
+}
+
+// --- Typed versus boxed hot path (the TVar refactor's target metric) ---
+
+// BenchmarkTypedReadOnlyTx is BenchmarkSwissReadOnlyTx on the typed layer:
+// the same one-read transaction with the value moving unboxed. Allocations
+// per op must be 0 (the regression test in internal/stm pins this).
+func BenchmarkTypedReadOnlyTx(b *testing.B) {
+	for _, engine := range []string{harness.EngineSwiss, harness.EngineTiny} {
+		engine := engine
+		b.Run(engine, func(b *testing.B) {
+			tm := newEngine(b, engine)
+			th := tm.Register("b")
+			v := stm.NewT[int64](1)
+			body := func(tx stm.Tx) error {
+				_, err := stm.ReadT(tx, v)
+				return err
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = th.Atomically(body)
+			}
+		})
+	}
+}
+
+// BenchmarkTypedUpdateTx mirrors BenchmarkSwissUpdateTx on the typed layer.
+func BenchmarkTypedUpdateTx(b *testing.B) {
+	for _, engine := range []string{harness.EngineSwiss, harness.EngineTiny} {
+		engine := engine
+		b.Run(engine, func(b *testing.B) {
+			tm := newEngine(b, engine)
+			th := tm.Register("b")
+			v := stm.NewT[int64](0)
+			body := func(tx stm.Tx) error {
+				n, err := stm.ReadT(tx, v)
+				if err != nil {
+					return err
+				}
+				return stm.WriteT(tx, v, n+1)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = th.Atomically(body)
+			}
+		})
+	}
+}
+
+// benchRBTreeMix drives the paper's red-black tree integer-set mix (range
+// 16384, 20% updates) over a tree of value type V and reports committed
+// ops/sec. val maps a key to the stored value, which is the only difference
+// between the typed and boxed variants — everything else is byte-identical,
+// so the gap between the two sub-benchmarks is pure boxing overhead.
+func benchRBTreeMix[V any](b *testing.B, val func(int64) V) {
+	const keyRange = 16384
+	const updatePct = 20
+	tm := newEngine(b, harness.EngineSwiss)
+	th := tm.Register("b")
+	tree := stmds.NewRBTree[V]()
+	rng := rand.New(rand.NewSource(99))
+	for filled := 0; filled < keyRange/2; filled += 256 {
+		_ = th.Atomically(func(tx stm.Tx) error {
+			for i := 0; i < 256; i++ {
+				k := int64(rng.Intn(keyRange))
+				if _, err := tree.Insert(tx, k, val(k)); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	}
+	rng = rand.New(rand.NewSource(1))
+	var k int64
+	var p int
+	body := func(tx stm.Tx) error {
+		switch {
+		case p < updatePct/2:
+			_, err := tree.Insert(tx, k, val(k))
+			return err
+		case p < updatePct:
+			_, err := tree.Delete(tx, k)
+			return err
+		default:
+			_, err := tree.Contains(tx, k)
+			return err
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		k = int64(rng.Intn(keyRange))
+		p = rng.Intn(100)
+		_ = th.Atomically(body)
+	}
+	b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "tx/s")
+}
+
+// BenchmarkRBTreeTypedVsBoxed runs the mix once over RBTree[int64] (typed,
+// unboxed) and once over RBTree[any] (the boxed path the untyped Var API
+// used to impose on every structure). The typed variant must at least match
+// the boxed one in committed ops/sec.
+func BenchmarkRBTreeTypedVsBoxed(b *testing.B) {
+	b.Run("typed", func(b *testing.B) {
+		benchRBTreeMix(b, func(k int64) int64 { return k })
+	})
+	b.Run("boxed", func(b *testing.B) {
+		benchRBTreeMix(b, func(k int64) any { return k })
+	})
 }

@@ -11,6 +11,12 @@
 // the commands under cmd/ (one per figure family), the examples under
 // examples/, and the per-figure benchmarks in bench_test.go. See README.md
 // for a map and EXPERIMENTS.md for measured-versus-paper results.
+//
+// Transactional state is held in typed variables (stm.TVar[T], read and
+// written with stm.ReadT/stm.WriteT), which move values through the
+// engines unboxed: an uncontended typed read allocates nothing. The
+// untyped stm.Var API remains as a compatibility shim for code that does
+// not know its value types statically.
 package shrink
 
 // Version identifies the reproduction release.

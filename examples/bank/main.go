@@ -19,15 +19,15 @@ import (
 // hotBank is a harness workload: 64 accounts, 80% of transfers touch the
 // 4 hot accounts.
 type hotBank struct {
-	accounts []*stm.Var
+	accounts []*stm.TVar[int]
 }
 
 func (b *hotBank) Name() string { return "hot-bank" }
 
 func (b *hotBank) Setup(th stm.Thread) error {
-	b.accounts = make([]*stm.Var, 64)
+	b.accounts = make([]*stm.TVar[int], 64)
 	for i := range b.accounts {
-		b.accounts[i] = stm.NewVar(1000)
+		b.accounts[i] = stm.NewT(1000)
 	}
 	return nil
 }
@@ -46,18 +46,18 @@ func (b *hotBank) Op(th stm.Thread, rng *rand.Rand) error {
 	}
 	amount := rng.Intn(10)
 	return th.Atomically(func(tx stm.Tx) error {
-		f, err := tx.Read(b.accounts[from])
+		f, err := stm.ReadT(tx, b.accounts[from])
 		if err != nil {
 			return err
 		}
-		t, err := tx.Read(b.accounts[to])
+		t, err := stm.ReadT(tx, b.accounts[to])
 		if err != nil {
 			return err
 		}
-		if err := tx.Write(b.accounts[from], f.(int)-amount); err != nil {
+		if err := stm.WriteT(tx, b.accounts[from], f-amount); err != nil {
 			return err
 		}
-		return tx.Write(b.accounts[to], t.(int)+amount)
+		return stm.WriteT(tx, b.accounts[to], t+amount)
 	})
 }
 

@@ -32,11 +32,12 @@ func run() error {
 		Wait:      stm.WaitPreemptive,
 	})
 
-	// 2. Shared state is held in transactional Vars.
+	// 2. Shared state is held in typed transactional vars: reads and
+	//    writes move int values without interface boxing.
 	const accounts = 8
-	balance := make([]*stm.Var, accounts)
+	balance := make([]*stm.TVar[int], accounts)
 	for i := range balance {
-		balance[i] = stm.NewVar(100)
+		balance[i] = stm.NewT(100)
 	}
 
 	// 3. Each goroutine registers a Thread and runs transactions with
@@ -58,18 +59,18 @@ func run() error {
 				}
 				amount := rng.Intn(20)
 				_ = th.Atomically(func(tx stm.Tx) error {
-					f, err := tx.Read(balance[from])
+					f, err := stm.ReadT(tx, balance[from])
 					if err != nil {
 						return err
 					}
-					t, err := tx.Read(balance[to])
+					t, err := stm.ReadT(tx, balance[to])
 					if err != nil {
 						return err
 					}
-					if err := tx.Write(balance[from], f.(int)-amount); err != nil {
+					if err := stm.WriteT(tx, balance[from], f-amount); err != nil {
 						return err
 					}
-					return tx.Write(balance[to], t.(int)+amount)
+					return stm.WriteT(tx, balance[to], t+amount)
 				})
 			}
 		}()
@@ -82,11 +83,11 @@ func run() error {
 	if err := auditor.Atomically(func(tx stm.Tx) error {
 		total = 0
 		for _, v := range balance {
-			b, err := tx.Read(v)
+			b, err := stm.ReadT(tx, v)
 			if err != nil {
 				return err
 			}
-			total += b.(int)
+			total += b
 		}
 		return nil
 	}); err != nil {

@@ -1,0 +1,3 @@
+module github.com/shrink-tm/shrink
+
+go 1.24

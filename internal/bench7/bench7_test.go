@@ -64,11 +64,10 @@ func TestBuildGeometry(t *testing.T) {
 		t.Fatalf("root level = %d", b.Root.Level)
 	}
 	err = th.Atomically(func(tx stm.Tx) error {
-		raw, err := tx.Read(b.Root.Subs)
+		subs, err := stm.ReadT(tx, b.Root.Subs)
 		if err != nil {
 			return err
 		}
-		subs, _ := raw.([]*bench7.ComplexAssembly)
 		if len(subs) != 2 {
 			return fmt.Errorf("root subs = %d, want 2", len(subs))
 		}
@@ -142,11 +141,10 @@ func TestDateIndexConsistency(t *testing.T) {
 			return err
 		}
 		for _, k := range keys {
-			raw, _, err := b.DateIndex.Get(tx, k)
+			n, _, err := b.DateIndex.Get(tx, k)
 			if err != nil {
 				return err
 			}
-			n, _ := raw.(int)
 			total += n
 		}
 		if total != indexed {
@@ -270,11 +268,10 @@ func TestAssemblyMembershipStable(t *testing.T) {
 	}
 	err := th.Atomically(func(tx stm.Tx) error {
 		for _, ba := range b.Bases {
-			raw, err := tx.Read(ba.Components)
+			comps, err := stm.ReadT(tx, ba.Components)
 			if err != nil {
 				return err
 			}
-			comps, _ := raw.([]*bench7.CompositePart)
 			if len(comps) < 1 || len(comps) > smallParams().ComponentsPerAssembly*2 {
 				return fmt.Errorf("assembly %d has %d components", ba.ID, len(comps))
 			}

@@ -11,7 +11,9 @@
 // The structure is scaled down from the original's defaults so that a full
 // multi-series sweep completes on a laptop, preserving the shape: deep
 // assembly hierarchy, shared composite parts, per-part atomic graphs with
-// cross connections, and index-mediated random access.
+// cross connections, and index-mediated random access. All transactional
+// fields are typed TVars, so traversals (the benchmark's hot path) read
+// child lists and coordinates without interface boxing.
 package bench7
 
 import (
@@ -59,13 +61,13 @@ func DefaultParams() Params {
 }
 
 // AtomicPart is a node of a composite part's graph. ID and the connection
-// wiring Var are fixed; coordinates and build date are transactional.
+// wiring var are fixed; coordinates and build date are transactional.
 type AtomicPart struct {
 	ID   int64
-	X, Y *stm.Var // int
-	Date *stm.Var // int
-	// Conns holds []*AtomicPart, copy-on-write.
-	Conns *stm.Var
+	X, Y *stm.TVar[int]
+	Date *stm.TVar[int]
+	// Conns is the connection slice, copy-on-write.
+	Conns *stm.TVar[[]*AtomicPart]
 	// Owner is the composite part this atomic part belongs to.
 	Owner *CompositePart
 }
@@ -74,39 +76,39 @@ type AtomicPart struct {
 type Document struct {
 	ID    int64
 	Title string
-	Text  *stm.Var // string
+	Text  *stm.TVar[string]
 }
 
 // CompositePart aggregates a document and a graph of atomic parts.
 type CompositePart struct {
 	ID   int64
-	Date *stm.Var // int
+	Date *stm.TVar[int]
 	Doc  *Document
 	// Root is the entry point of the atomic graph.
 	Root *AtomicPart
-	// Parts holds []*AtomicPart, copy-on-write.
-	Parts *stm.Var
+	// Parts is the atomic-part slice, copy-on-write.
+	Parts *stm.TVar[[]*AtomicPart]
 }
 
 // BaseAssembly references composite parts from the shared pool.
 type BaseAssembly struct {
 	ID int64
-	// Components holds []*CompositePart, copy-on-write.
-	Components *stm.Var
+	// Components is the composite slice, copy-on-write.
+	Components *stm.TVar[[]*CompositePart]
 }
 
 // ComplexAssembly is an inner node of the assembly tree. The child lists
 // are transactional (as in STMBench7, where structural operations may
 // rewire the hierarchy), which also means every root-down traversal reads
-// the same upper-level Vars — the temporal locality Shrink's read
+// the same upper-level vars — the temporal locality Shrink's read
 // prediction exploits.
 type ComplexAssembly struct {
 	ID    int64
 	Level int
-	// Subs holds []*ComplexAssembly (inner levels).
-	Subs *stm.Var
-	// Bases holds []*BaseAssembly (level 2 only).
-	Bases *stm.Var
+	// Subs holds the subassemblies (inner levels).
+	Subs *stm.TVar[[]*ComplexAssembly]
+	// Bases holds the base assemblies (level 2 only).
+	Bases *stm.TVar[[]*BaseAssembly]
 }
 
 // Benchmark is the shared STMBench7 state.
@@ -118,14 +120,14 @@ type Benchmark struct {
 	Composites []*CompositePart
 
 	// AtomicIndex maps atomic part ID -> *AtomicPart.
-	AtomicIndex *stmds.HashMap
+	AtomicIndex *stmds.HashMap[*AtomicPart]
 	// CompositeIndex maps composite part ID -> *CompositePart.
-	CompositeIndex *stmds.HashMap
+	CompositeIndex *stmds.HashMap[*CompositePart]
 	// DateIndex maps build date -> count of atomic parts with that date
 	// (a simplified build-date index supporting range queries).
-	DateIndex *stmds.HashMap
+	DateIndex *stmds.HashMap[int]
 
-	nextAtomicID *stm.Var // int64, for structural modifications
+	nextAtomicID *stm.TVar[int64] // for structural modifications
 }
 
 // New allocates an empty benchmark; call Build within a thread to populate.
@@ -140,9 +142,9 @@ func New(p Params) *Benchmark {
 // single transaction becomes pathological).
 func (b *Benchmark) Build(th stm.Thread) error {
 	p := b.Params
-	b.AtomicIndex = stmds.NewHashMap(p.CompositeParts * p.AtomicPartsPerComposite)
-	b.CompositeIndex = stmds.NewHashMap(p.CompositeParts * 2)
-	b.DateIndex = stmds.NewHashMap(p.MaxBuildDate)
+	b.AtomicIndex = stmds.NewHashMap[*AtomicPart](p.CompositeParts * p.AtomicPartsPerComposite)
+	b.CompositeIndex = stmds.NewHashMap[*CompositePart](p.CompositeParts * 2)
+	b.DateIndex = stmds.NewHashMap[int](p.MaxBuildDate)
 	rng := rand.New(rand.NewSource(7))
 
 	// Composite parts with their atomic graphs and documents.
@@ -153,11 +155,11 @@ func (b *Benchmark) Build(th stm.Thread) error {
 		if err := th.Atomically(func(tx stm.Tx) error {
 			cp := &CompositePart{
 				ID:   int64(c + 1),
-				Date: stm.NewVar(rng.Intn(p.MaxBuildDate)),
+				Date: stm.NewT(rng.Intn(p.MaxBuildDate)),
 				Doc: &Document{
 					ID:    int64(c + 1),
 					Title: fmt.Sprintf("doc-%d", c+1),
-					Text:  stm.NewVar(fmt.Sprintf("documentation for composite part %d", c+1)),
+					Text:  stm.NewT(fmt.Sprintf("documentation for composite part %d", c+1)),
 				},
 			}
 			parts := make([]*AtomicPart, p.AtomicPartsPerComposite)
@@ -166,10 +168,10 @@ func (b *Benchmark) Build(th stm.Thread) error {
 				date := rng.Intn(p.MaxBuildDate)
 				parts[i] = &AtomicPart{
 					ID:    atomicID,
-					X:     stm.NewVar(rng.Intn(1000)),
-					Y:     stm.NewVar(rng.Intn(1000)),
-					Date:  stm.NewVar(date),
-					Conns: stm.NewVar([]*AtomicPart(nil)),
+					X:     stm.NewT(rng.Intn(1000)),
+					Y:     stm.NewT(rng.Intn(1000)),
+					Date:  stm.NewT(date),
+					Conns: stm.NewT[[]*AtomicPart](nil),
 					Owner: cp,
 				}
 				if _, err := b.AtomicIndex.Put(tx, uint64(atomicID), parts[i]); err != nil {
@@ -187,12 +189,12 @@ func (b *Benchmark) Build(th stm.Thread) error {
 				for len(conns) < p.ConnectionsPerAtomic {
 					conns = append(conns, parts[rng.Intn(len(parts))])
 				}
-				if err := tx.Write(ap.Conns, conns); err != nil {
+				if err := stm.WriteT(tx, ap.Conns, conns); err != nil {
 					return err
 				}
 			}
 			cp.Root = parts[0]
-			cp.Parts = stm.NewVar(parts)
+			cp.Parts = stm.NewT(parts)
 			b.Composites[c] = cp
 			_, err := b.CompositeIndex.Put(tx, uint64(cp.ID), cp)
 			return err
@@ -200,7 +202,7 @@ func (b *Benchmark) Build(th stm.Thread) error {
 			return err
 		}
 	}
-	b.nextAtomicID = stm.NewVar(atomicID)
+	b.nextAtomicID = stm.NewT(atomicID)
 
 	// Assembly tree.
 	baseID := int64(0)
@@ -219,20 +221,20 @@ func (b *Benchmark) Build(th stm.Thread) error {
 				}
 				bases[i] = &BaseAssembly{
 					ID:         baseID,
-					Components: stm.NewVar(comps),
+					Components: stm.NewT(comps),
 				}
 				b.Bases = append(b.Bases, bases[i])
 			}
-			ca.Bases = stm.NewVar(bases)
-			ca.Subs = stm.NewVar([]*ComplexAssembly(nil))
+			ca.Bases = stm.NewT(bases)
+			ca.Subs = stm.NewT[[]*ComplexAssembly](nil)
 			return ca
 		}
 		subs := make([]*ComplexAssembly, p.AssemblyFanout)
 		for i := range subs {
 			subs[i] = build(level - 1)
 		}
-		ca.Subs = stm.NewVar(subs)
-		ca.Bases = stm.NewVar([]*BaseAssembly(nil))
+		ca.Subs = stm.NewT(subs)
+		ca.Bases = stm.NewT[[]*BaseAssembly](nil)
 		return ca
 	}
 	b.Root = build(p.AssemblyLevels)
@@ -246,21 +248,19 @@ func (b *Benchmark) Build(th stm.Thread) error {
 func (b *Benchmark) TraverseToBase(tx stm.Tx, rng *rand.Rand) (*BaseAssembly, error) {
 	ca := b.Root
 	for ca.Level > 2 {
-		raw, err := tx.Read(ca.Subs)
+		subs, err := stm.ReadT(tx, ca.Subs)
 		if err != nil {
 			return nil, err
 		}
-		subs, _ := raw.([]*ComplexAssembly)
 		if len(subs) == 0 {
 			return nil, nil
 		}
 		ca = subs[rng.Intn(len(subs))]
 	}
-	raw, err := tx.Read(ca.Bases)
+	bases, err := stm.ReadT(tx, ca.Bases)
 	if err != nil {
 		return nil, err
 	}
-	bases, _ := raw.([]*BaseAssembly)
 	if len(bases) == 0 {
 		return nil, nil
 	}
@@ -285,13 +285,9 @@ func (b *Benchmark) TraverseToComposite(tx stm.Tx, rng *rand.Rand) (*CompositePa
 
 // bumpDateIndex adjusts the count of atomic parts carrying the given date.
 func (b *Benchmark) bumpDateIndex(tx stm.Tx, date, delta int) error {
-	raw, ok, err := b.DateIndex.Get(tx, uint64(date))
+	count, _, err := b.DateIndex.Get(tx, uint64(date))
 	if err != nil {
 		return err
-	}
-	count := 0
-	if ok {
-		count, _ = raw.(int)
 	}
 	count += delta
 	if count < 0 {
@@ -303,32 +299,17 @@ func (b *Benchmark) bumpDateIndex(tx stm.Tx, date, delta int) error {
 
 // readParts reads a composite part's atomic slice.
 func readParts(tx stm.Tx, cp *CompositePart) ([]*AtomicPart, error) {
-	raw, err := tx.Read(cp.Parts)
-	if err != nil {
-		return nil, err
-	}
-	parts, _ := raw.([]*AtomicPart)
-	return parts, nil
+	return stm.ReadT(tx, cp.Parts)
 }
 
 // readConns reads an atomic part's connection slice.
 func readConns(tx stm.Tx, ap *AtomicPart) ([]*AtomicPart, error) {
-	raw, err := tx.Read(ap.Conns)
-	if err != nil {
-		return nil, err
-	}
-	conns, _ := raw.([]*AtomicPart)
-	return conns, nil
+	return stm.ReadT(tx, ap.Conns)
 }
 
 // readComponents reads a base assembly's composite slice.
 func readComponents(tx stm.Tx, ba *BaseAssembly) ([]*CompositePart, error) {
-	raw, err := tx.Read(ba.Components)
-	if err != nil {
-		return nil, err
-	}
-	comps, _ := raw.([]*CompositePart)
-	return comps, nil
+	return stm.ReadT(tx, ba.Components)
 }
 
 // TotalAtomicParts counts the atomic parts via the index (for tests).

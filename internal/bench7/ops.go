@@ -87,15 +87,15 @@ func opShortTraversal(b *Benchmark, th stm.Thread, rng *rand.Rand) error {
 				limit = 8
 			}
 			for _, ap := range parts[:limit] {
-				x, err := tx.Read(ap.X)
+				x, err := stm.ReadT(tx, ap.X)
 				if err != nil {
 					return err
 				}
-				y, err := tx.Read(ap.Y)
+				y, err := stm.ReadT(tx, ap.Y)
 				if err != nil {
 					return err
 				}
-				sum += x.(int) + y.(int)
+				sum += x + y
 			}
 		}
 		_ = sum
@@ -107,18 +107,14 @@ func opShortTraversal(b *Benchmark, th stm.Thread, rng *rand.Rand) error {
 func opQueryAtomicByID(b *Benchmark, th stm.Thread, rng *rand.Rand) error {
 	id := b.randomAtomicID(rng)
 	return th.Atomically(func(tx stm.Tx) error {
-		raw, ok, err := b.AtomicIndex.Get(tx, id)
+		ap, ok, err := b.AtomicIndex.Get(tx, id)
 		if err != nil || !ok {
 			return err // deleted by an SM2: a legal miss
 		}
-		ap, ok := raw.(*AtomicPart)
-		if !ok {
-			return fmt.Errorf("index holds %T", raw)
-		}
-		if _, err := tx.Read(ap.X); err != nil {
+		if _, err := stm.ReadT(tx, ap.X); err != nil {
 			return err
 		}
-		_, err = tx.Read(ap.Date)
+		_, err = stm.ReadT(tx, ap.Date)
 		return err
 	})
 }
@@ -132,12 +128,12 @@ func opReadDocument(b *Benchmark, th stm.Thread, rng *rand.Rand) error {
 		if err != nil || cp == nil {
 			return err
 		}
-		txt, err := tx.Read(cp.Doc.Text)
+		txt, err := stm.ReadT(tx, cp.Doc.Text)
 		if err != nil {
 			return err
 		}
-		_ = len(txt.(string))
-		_, err = tx.Read(cp.Date)
+		_ = len(txt)
+		_, err = stm.ReadT(tx, cp.Date)
 		return err
 	})
 }
@@ -149,12 +145,11 @@ func opDateRangeQuery(b *Benchmark, th stm.Thread, rng *rand.Rand) error {
 	return th.Atomically(func(tx stm.Tx) error {
 		total := 0
 		for d := lo; d < lo+10; d++ {
-			raw, ok, err := b.DateIndex.Get(tx, uint64(d))
+			n, ok, err := b.DateIndex.Get(tx, uint64(d))
 			if err != nil {
 				return err
 			}
 			if ok {
-				n, _ := raw.(int)
 				total += n
 			}
 		}
@@ -175,7 +170,7 @@ func opGraphWalk(b *Benchmark, th stm.Thread, rng *rand.Rand) error {
 		}
 		ap := cp.Root
 		for i := 0; i < steps && ap != nil; i++ {
-			if _, err := tx.Read(ap.X); err != nil {
+			if _, err := stm.ReadT(tx, ap.X); err != nil {
 				return err
 			}
 			conns, err := readConns(tx, ap)
@@ -218,18 +213,18 @@ func opSwapCoordinates(b *Benchmark, th stm.Thread, rng *rand.Rand) error {
 			limit = 6
 		}
 		for _, ap := range parts[:limit] {
-			x, err := tx.Read(ap.X)
+			x, err := stm.ReadT(tx, ap.X)
 			if err != nil {
 				return err
 			}
-			y, err := tx.Read(ap.Y)
+			y, err := stm.ReadT(tx, ap.Y)
 			if err != nil {
 				return err
 			}
-			if err := tx.Write(ap.X, y); err != nil {
+			if err := stm.WriteT(tx, ap.X, y); err != nil {
 				return err
 			}
-			if err := tx.Write(ap.Y, x); err != nil {
+			if err := stm.WriteT(tx, ap.Y, x); err != nil {
 				return err
 			}
 		}
@@ -256,13 +251,12 @@ func opUpdateBuildDates(b *Benchmark, th stm.Thread, rng *rand.Rand) error {
 			limit = 4
 		}
 		for _, ap := range parts[:limit] {
-			raw, err := tx.Read(ap.Date)
+			old, err := stm.ReadT(tx, ap.Date)
 			if err != nil {
 				return err
 			}
-			old := raw.(int)
 			nw := (old + 1) % b.Params.MaxBuildDate
-			if err := tx.Write(ap.Date, nw); err != nil {
+			if err := stm.WriteT(tx, ap.Date, nw); err != nil {
 				return err
 			}
 			if err := b.bumpDateIndex(tx, old, -1); err != nil {
@@ -286,12 +280,10 @@ func opRewriteDocument(b *Benchmark, th stm.Thread, rng *rand.Rand) error {
 		if err != nil || cp == nil {
 			return err
 		}
-		raw, err := tx.Read(cp.Doc.Text)
-		if err != nil {
+		if _, err := stm.ReadT(tx, cp.Doc.Text); err != nil {
 			return err
 		}
-		_ = raw
-		return tx.Write(cp.Doc.Text, fmt.Sprintf("doc %d rev %d", cp.ID, stamp))
+		return stm.WriteT(tx, cp.Doc.Text, fmt.Sprintf("doc %d rev %d", cp.ID, stamp))
 	})
 }
 
@@ -304,11 +296,11 @@ func opBumpCompositeDate(b *Benchmark, th stm.Thread, rng *rand.Rand) error {
 		if err != nil || cp == nil {
 			return err
 		}
-		raw, err := tx.Read(cp.Date)
+		d, err := stm.ReadT(tx, cp.Date)
 		if err != nil {
 			return err
 		}
-		return tx.Write(cp.Date, (raw.(int)+1)%b.Params.MaxBuildDate)
+		return stm.WriteT(tx, cp.Date, (d+1)%b.Params.MaxBuildDate)
 	})
 }
 
@@ -324,12 +316,12 @@ func opInsertAtomicPart(b *Benchmark, th stm.Thread, rng *rand.Rand) error {
 		if err != nil || cp == nil {
 			return err
 		}
-		raw, err := tx.Read(b.nextAtomicID)
+		next, err := stm.ReadT(tx, b.nextAtomicID)
 		if err != nil {
 			return err
 		}
-		id := raw.(int64) + 1
-		if err := tx.Write(b.nextAtomicID, id); err != nil {
+		id := next + 1
+		if err := stm.WriteT(tx, b.nextAtomicID, id); err != nil {
 			return err
 		}
 		parts, err := readParts(tx, cp)
@@ -338,20 +330,20 @@ func opInsertAtomicPart(b *Benchmark, th stm.Thread, rng *rand.Rand) error {
 		}
 		ap := &AtomicPart{
 			ID:    id,
-			X:     stm.NewVar(x),
-			Y:     stm.NewVar(y),
-			Date:  stm.NewVar(date),
+			X:     stm.NewT(x),
+			Y:     stm.NewT(y),
+			Date:  stm.NewT(date),
 			Owner: cp,
 		}
 		conns := make([]*AtomicPart, 0, b.Params.ConnectionsPerAtomic)
 		for i := 0; i < b.Params.ConnectionsPerAtomic && len(parts) > 0; i++ {
 			conns = append(conns, parts[oprng.Intn(len(parts))])
 		}
-		ap.Conns = stm.NewVar(conns)
+		ap.Conns = stm.NewT(conns)
 		newParts := make([]*AtomicPart, 0, len(parts)+1)
 		newParts = append(newParts, parts...)
 		newParts = append(newParts, ap)
-		if err := tx.Write(cp.Parts, newParts); err != nil {
+		if err := stm.WriteT(tx, cp.Parts, newParts); err != nil {
 			return err
 		}
 		if _, err := b.AtomicIndex.Put(tx, uint64(id), ap); err != nil {
@@ -383,17 +375,17 @@ func opDeleteAtomicPart(b *Benchmark, th stm.Thread, rng *rand.Rand) error {
 		newParts := make([]*AtomicPart, 0, len(parts)-1)
 		newParts = append(newParts, parts[:idx]...)
 		newParts = append(newParts, parts[idx+1:]...)
-		if err := tx.Write(cp.Parts, newParts); err != nil {
+		if err := stm.WriteT(tx, cp.Parts, newParts); err != nil {
 			return err
 		}
 		if _, err := b.AtomicIndex.Delete(tx, uint64(victim.ID)); err != nil {
 			return err
 		}
-		raw, err := tx.Read(victim.Date)
+		d, err := stm.ReadT(tx, victim.Date)
 		if err != nil {
 			return err
 		}
-		return b.bumpDateIndex(tx, raw.(int), -1)
+		return b.bumpDateIndex(tx, d, -1)
 	})
 }
 
@@ -419,6 +411,6 @@ func opSwapComponent(b *Benchmark, th stm.Thread, rng *rand.Rand) error {
 		newComps := make([]*CompositePart, len(comps))
 		copy(newComps, comps)
 		newComps[idx] = replacement
-		return tx.Write(ba.Components, newComps)
+		return stm.WriteT(tx, ba.Components, newComps)
 	})
 }

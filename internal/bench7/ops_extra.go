@@ -53,31 +53,29 @@ func opFullTraversal(b *Benchmark, th stm.Thread, rng *rand.Rand) error {
 		var walk func(ca *ComplexAssembly) error
 		walk = func(ca *ComplexAssembly) error {
 			if ca.Level == 2 {
-				raw, err := tx.Read(ca.Bases)
+				bases, err := stm.ReadT(tx, ca.Bases)
 				if err != nil {
 					return err
 				}
-				bases, _ := raw.([]*BaseAssembly)
 				for _, ba := range bases {
 					comps, err := readComponents(tx, ba)
 					if err != nil {
 						return err
 					}
 					for _, cp := range comps {
-						x, err := tx.Read(cp.Root.X)
+						x, err := stm.ReadT(tx, cp.Root.X)
 						if err != nil {
 							return err
 						}
-						sum += x.(int)
+						sum += x
 					}
 				}
 				return nil
 			}
-			raw, err := tx.Read(ca.Subs)
+			subs, err := stm.ReadT(tx, ca.Subs)
 			if err != nil {
 				return err
 			}
-			subs, _ := raw.([]*ComplexAssembly)
 			for _, sub := range subs {
 				if err := walk(sub); err != nil {
 					return err
@@ -102,11 +100,11 @@ func opScanComposites(b *Benchmark, th stm.Thread, rng *rand.Rand) error {
 		newest := -1
 		for i := 0; i < span; i++ {
 			cp := b.Composites[(start+i)%len(b.Composites)]
-			raw, err := tx.Read(cp.Date)
+			d, err := stm.ReadT(tx, cp.Date)
 			if err != nil {
 				return err
 			}
-			if d := raw.(int); d > newest {
+			if d > newest {
 				newest = d
 			}
 		}
@@ -185,10 +183,10 @@ func opTouchDocuments(b *Benchmark, th stm.Thread, rng *rand.Rand) error {
 			return err
 		}
 		for _, cp := range comps {
-			if _, err := tx.Read(cp.Doc.Text); err != nil {
+			if _, err := stm.ReadT(tx, cp.Doc.Text); err != nil {
 				return err
 			}
-			if err := tx.Write(cp.Doc.Text, fmt.Sprintf("doc %d rev %d", cp.ID, stamp)); err != nil {
+			if err := stm.WriteT(tx, cp.Doc.Text, fmt.Sprintf("doc %d rev %d", cp.ID, stamp)); err != nil {
 				return err
 			}
 		}
@@ -225,7 +223,7 @@ func opRewireConnection(b *Benchmark, th stm.Thread, rng *rand.Rand) error {
 		newConns := make([]*AtomicPart, len(conns))
 		copy(newConns, conns)
 		newConns[oprng.Intn(len(newConns))] = target
-		return tx.Write(ap.Conns, newConns)
+		return stm.WriteT(tx, ap.Conns, newConns)
 	})
 }
 
@@ -249,7 +247,7 @@ func opGrowAssembly(b *Benchmark, th stm.Thread, rng *rand.Rand) error {
 		newComps := make([]*CompositePart, 0, len(comps)+1)
 		newComps = append(newComps, comps...)
 		newComps = append(newComps, addition)
-		return tx.Write(ba.Components, newComps)
+		return stm.WriteT(tx, ba.Components, newComps)
 	})
 }
 
@@ -273,6 +271,6 @@ func opShrinkAssembly(b *Benchmark, th stm.Thread, rng *rand.Rand) error {
 		newComps := make([]*CompositePart, 0, len(comps)-1)
 		newComps = append(newComps, comps[:idx]...)
 		newComps = append(newComps, comps[idx+1:]...)
-		return tx.Write(ba.Components, newComps)
+		return stm.WriteT(tx, ba.Components, newComps)
 	})
 }

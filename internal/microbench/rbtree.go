@@ -20,7 +20,7 @@ type RBTreeWorkload struct {
 	// (paper: 20 or 70).
 	UpdatePercent int
 
-	tree *stmds.RBTree
+	tree *stmds.RBTree[int64]
 }
 
 // NewRBTree returns the workload with the paper's defaults when fields are
@@ -42,7 +42,7 @@ func (w *RBTreeWorkload) Name() string {
 
 // Setup fills the set to half capacity, the customary steady-state start.
 func (w *RBTreeWorkload) Setup(th stm.Thread) error {
-	w.tree = stmds.NewRBTree()
+	w.tree = stmds.NewRBTree[int64]()
 	rng := rand.New(rand.NewSource(99))
 	const batch = 256
 	for filled := 0; filled < w.Range/2; {
@@ -86,4 +86,4 @@ func (w *RBTreeWorkload) Op(th stm.Thread, rng *rand.Rand) error {
 }
 
 // Tree exposes the underlying set for verification in tests.
-func (w *RBTreeWorkload) Tree() *stmds.RBTree { return w.tree }
+func (w *RBTreeWorkload) Tree() *stmds.RBTree[int64] { return w.tree }

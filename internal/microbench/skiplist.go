@@ -16,7 +16,7 @@ type SkipListWorkload struct {
 	Range         int
 	UpdatePercent int
 
-	list *stmds.SkipList
+	list *stmds.SkipList[int64]
 }
 
 // NewSkipListSet returns the workload with rbtree-equivalent defaults.
@@ -41,7 +41,7 @@ func (w *SkipListWorkload) Setup(th stm.Thread) error {
 	for n := w.Range; n > 16; n >>= 1 {
 		level++
 	}
-	w.list = stmds.NewSkipList(level)
+	w.list = stmds.NewSkipList[int64](level)
 	rng := rand.New(rand.NewSource(99))
 	const batch = 256
 	for filled := 0; filled < w.Range/2; filled += batch {
@@ -84,4 +84,4 @@ func (w *SkipListWorkload) Op(th stm.Thread, rng *rand.Rand) error {
 }
 
 // List exposes the underlying set for verification in tests.
-func (w *SkipListWorkload) List() *stmds.SkipList { return w.list }
+func (w *SkipListWorkload) List() *stmds.SkipList[int64] { return w.list }

@@ -16,8 +16,8 @@ import (
 // scans), then occasionally flips the edge and adjusts scores.
 type bayes struct {
 	vars   int
-	adj    *stmds.Array // vars*vars ints (0/1)
-	scores *stmds.Array // vars float64
+	adj    *stmds.Array[int]     // vars*vars cells (0/1)
+	scores *stmds.Array[float64] // vars cells
 }
 
 func newBayes() *bayes { return &bayes{vars: 32} }
@@ -26,7 +26,7 @@ func (b *bayes) Name() string { return "bayes" }
 
 func (b *bayes) Setup(th stm.Thread) error {
 	b.adj = stmds.NewArray(b.vars*b.vars, 0)
-	b.scores = stmds.NewArray(b.vars, float64(0))
+	b.scores = stmds.NewArray[float64](b.vars, 0)
 	rng := rand.New(rand.NewSource(11))
 	return th.Atomically(func(tx stm.Tx) error {
 		for i := 0; i < b.vars; i++ {
@@ -55,12 +55,12 @@ func (b *bayes) Op(th stm.Thread, rng *rand.Rand) error {
 		// and all scores the row points at.
 		total := 0.0
 		for j := 0; j < b.vars; j++ {
-			edge, err := b.adj.GetInt(tx, target*b.vars+j)
+			edge, err := b.adj.Get(tx, target*b.vars+j)
 			if err != nil {
 				return err
 			}
 			if edge != 0 {
-				s, err := b.scores.GetFloat(tx, j)
+				s, err := b.scores.Get(tx, j)
 				if err != nil {
 					return err
 				}
@@ -71,14 +71,14 @@ func (b *bayes) Op(th stm.Thread, rng *rand.Rand) error {
 			return nil
 		}
 		cell := target*b.vars + src
-		cur, err := b.adj.GetInt(tx, cell)
+		cur, err := b.adj.Get(tx, cell)
 		if err != nil {
 			return err
 		}
 		if err := b.adj.Set(tx, cell, 1-cur); err != nil {
 			return err
 		}
-		_, err = b.scores.AddFloat(tx, target, total*0.001)
+		_, err = b.scores.Add(tx, target, total*0.001)
 		return err
 	})
 }
@@ -89,8 +89,8 @@ func (b *bayes) Op(th stm.Thread, rng *rand.Rand) error {
 // unique segments into per-bucket chains (sorted lists), mimicking the two
 // transactional phases of the original.
 type genome struct {
-	segments *stmds.HashMap
-	chains   []*stmds.SortedList
+	segments *stmds.HashMap[uint64]
+	chains   []*stmds.SortedList[int64]
 	space    uint64
 }
 
@@ -99,10 +99,10 @@ func newGenome() *genome { return &genome{space: 8192} }
 func (g *genome) Name() string { return "genome" }
 
 func (g *genome) Setup(th stm.Thread) error {
-	g.segments = stmds.NewHashMap(1024)
-	g.chains = make([]*stmds.SortedList, 16)
+	g.segments = stmds.NewHashMap[uint64](1024)
+	g.chains = make([]*stmds.SortedList[int64], 16)
 	for i := range g.chains {
-		g.chains[i] = stmds.NewSortedList()
+		g.chains[i] = stmds.NewSortedList[int64]()
 	}
 	return nil
 }
@@ -123,7 +123,7 @@ func (g *genome) Op(th stm.Thread, rng *rand.Rand) error {
 		if err != nil || !ok {
 			return err
 		}
-		_, err = chain.Insert(tx, int64(seg), nil)
+		_, err = chain.Insert(tx, int64(seg), int64(seg))
 		return err
 	})
 }
@@ -136,9 +136,9 @@ func (g *genome) Op(th stm.Thread, rng *rand.Rand) error {
 // head is the contention locus. Each op also produces a packet so the queue
 // never empties.
 type intruder struct {
-	queue     *stmds.Queue
-	flows     *stmds.HashMap // flowID -> fragments seen (int)
-	detector  *stmds.Array   // signature table, read-only after setup
+	queue     *stmds.Queue[packet]
+	flows     *stmds.HashMap[int] // flowID -> fragments seen
+	detector  *stmds.Array[int]   // signature table, read-only after setup
 	flowSpace int
 	fragments int
 }
@@ -153,8 +153,8 @@ type packet struct {
 }
 
 func (in *intruder) Setup(th stm.Thread) error {
-	in.queue = stmds.NewQueue()
-	in.flows = stmds.NewHashMap(512)
+	in.queue = stmds.NewQueue[packet]()
+	in.flows = stmds.NewHashMap[int](512)
 	in.detector = stmds.NewArray(256, 1)
 	rng := rand.New(rand.NewSource(5))
 	// Prime the queue.
@@ -188,19 +188,14 @@ func (in *intruder) Op(th stm.Thread, rng *rand.Rand) error {
 	var flowID int
 	if err := th.Atomically(func(tx stm.Tx) error {
 		complete = false
-		raw, ok, err := in.queue.Dequeue(tx)
+		pk, ok, err := in.queue.Dequeue(tx)
 		if err != nil || !ok {
 			return err
 		}
-		pk, _ := raw.(packet)
 		flowID = pk.flow
-		cur, found, err := in.flows.Get(tx, uint64(pk.flow))
+		seen, _, err := in.flows.Get(tx, uint64(pk.flow))
 		if err != nil {
 			return err
-		}
-		seen := 0
-		if found {
-			seen, _ = cur.(int)
 		}
 		seen++
 		if seen >= in.fragments {
@@ -221,7 +216,7 @@ func (in *intruder) Op(th stm.Thread, rng *rand.Rand) error {
 		base := flowID % (in.detector.Len() - 8)
 		acc := 0
 		for i := 0; i < 8; i++ {
-			n, err := in.detector.GetInt(tx, base+i)
+			n, err := in.detector.Get(tx, base+i)
 			if err != nil {
 				return err
 			}

@@ -17,8 +17,8 @@ import (
 type kmeans struct {
 	k, dims int
 	high    bool
-	centers *stmds.Array // k*(dims+1) float64: [sum_d..., count]
-	points  [][]float64  // immutable input data
+	centers *stmds.Array[float64] // k*(dims+1) cells: [sum_d..., count]
+	points  [][]float64           // immutable input data
 }
 
 func newKMeans(high bool) *kmeans {
@@ -37,7 +37,7 @@ func (km *kmeans) Name() string {
 }
 
 func (km *kmeans) Setup(th stm.Thread) error {
-	km.centers = stmds.NewArray(km.k*(km.dims+1), float64(0))
+	km.centers = stmds.NewArray[float64](km.k*(km.dims+1), 0)
 	rng := rand.New(rand.NewSource(13))
 	km.points = make([][]float64, 512)
 	for i := range km.points {
@@ -70,7 +70,7 @@ func (km *kmeans) Op(th stm.Thread, rng *rand.Rand) error {
 		// original reads the shared centers each pass).
 		best, bestDist := 0, 0.0
 		for c := 0; c < km.k; c++ {
-			cnt, err := km.centers.GetFloat(tx, c*(km.dims+1)+km.dims)
+			cnt, err := km.centers.Get(tx, c*(km.dims+1)+km.dims)
 			if err != nil {
 				return err
 			}
@@ -79,7 +79,7 @@ func (km *kmeans) Op(th stm.Thread, rng *rand.Rand) error {
 			}
 			dist := 0.0
 			for d := 0; d < km.dims; d++ {
-				s, err := km.centers.GetFloat(tx, c*(km.dims+1)+d)
+				s, err := km.centers.Get(tx, c*(km.dims+1)+d)
 				if err != nil {
 					return err
 				}
@@ -92,11 +92,11 @@ func (km *kmeans) Op(th stm.Thread, rng *rand.Rand) error {
 		}
 		// Fold the point into the winner's accumulators.
 		for d := 0; d < km.dims; d++ {
-			if _, err := km.centers.AddFloat(tx, best*(km.dims+1)+d, pt[d]); err != nil {
+			if _, err := km.centers.Add(tx, best*(km.dims+1)+d, pt[d]); err != nil {
 				return err
 			}
 		}
-		_, err := km.centers.AddFloat(tx, best*(km.dims+1)+km.dims, 1)
+		_, err := km.centers.Add(tx, best*(km.dims+1)+km.dims, 1)
 		return err
 	})
 }
@@ -109,7 +109,7 @@ func (km *kmeans) Op(th stm.Thread, rng *rand.Rand) error {
 // dozens of cells, the longest in STAMP.
 type labyrinth struct {
 	w, h int
-	grid *stmds.Array // 0 = free, else path ID
+	grid *stmds.Array[int] // 0 = free, else path ID
 }
 
 func newLabyrinth() *labyrinth { return &labyrinth{w: 64, h: 64} }
@@ -156,7 +156,7 @@ func (l *labyrinth) Op(th stm.Thread, rng *rand.Rand) error {
 		}
 		// Validate the whole path, then claim it.
 		for _, c := range cells {
-			v, err := l.grid.GetInt(tx, c)
+			v, err := l.grid.Get(tx, c)
 			if err != nil {
 				return err
 			}
@@ -182,8 +182,8 @@ func (l *labyrinth) Op(th stm.Thread, rng *rand.Rand) error {
 type ssca2 struct {
 	nodes   int
 	slots   int
-	adj     *stmds.Array // nodes*slots edge targets
-	degrees *stmds.Array // nodes ints
+	adj     *stmds.Array[int] // nodes*slots edge targets
+	degrees *stmds.Array[int] // nodes counters
 }
 
 func newSSCA2() *ssca2 { return &ssca2{nodes: 2048, slots: 8} }
@@ -200,7 +200,7 @@ func (s *ssca2) Op(th stm.Thread, rng *rand.Rand) error {
 	u := rng.Intn(s.nodes)
 	v := rng.Intn(s.nodes)
 	return th.Atomically(func(tx stm.Tx) error {
-		deg, err := s.degrees.GetInt(tx, u)
+		deg, err := s.degrees.Get(tx, u)
 		if err != nil {
 			return err
 		}
@@ -208,7 +208,7 @@ func (s *ssca2) Op(th stm.Thread, rng *rand.Rand) error {
 		if err := s.adj.Set(tx, slot, v+1); err != nil {
 			return err
 		}
-		_, err = s.degrees.AddInt(tx, u, 1)
+		_, err = s.degrees.Add(tx, u, 1)
 		return err
 	})
 }

@@ -18,8 +18,8 @@ type vacation struct {
 	relations int // key range per table
 	queries   int // resources touched per reservation
 
-	cars, rooms, flights *stmds.RBTree
-	customers            *stmds.HashMap
+	cars, rooms, flights *stmds.RBTree[int]
+	customers            *stmds.HashMap[int64]
 }
 
 func newVacation(high bool) *vacation {
@@ -40,10 +40,10 @@ func (v *vacation) Name() string {
 }
 
 func (v *vacation) Setup(th stm.Thread) error {
-	v.cars = stmds.NewRBTree()
-	v.rooms = stmds.NewRBTree()
-	v.flights = stmds.NewRBTree()
-	v.customers = stmds.NewHashMap(512)
+	v.cars = stmds.NewRBTree[int]()
+	v.rooms = stmds.NewRBTree[int]()
+	v.flights = stmds.NewRBTree[int]()
+	v.customers = stmds.NewHashMap[int64](512)
 	rng := rand.New(rand.NewSource(17))
 	const batch = 64
 	for start := 0; start < v.relations; start += batch {
@@ -69,7 +69,7 @@ func (v *vacation) Setup(th stm.Thread) error {
 	return nil
 }
 
-func (v *vacation) table(i int) *stmds.RBTree {
+func (v *vacation) table(i int) *stmds.RBTree[int] {
 	switch i % 3 {
 	case 0:
 		return v.cars
@@ -93,11 +93,10 @@ func (v *vacation) Op(th stm.Thread, rng *rand.Rand) error {
 		key := int64(rng.Intn(v.relations))
 		delta := rng.Intn(10) - 5
 		return th.Atomically(func(tx stm.Tx) error {
-			raw, ok, err := t.Get(tx, key)
+			capacity, ok, err := t.Get(tx, key)
 			if err != nil || !ok {
 				return err
 			}
-			capacity, _ := raw.(int)
 			capacity += delta
 			if capacity < 0 {
 				capacity = 0
@@ -120,14 +119,13 @@ func (v *vacation) Op(th stm.Thread, rng *rand.Rand) error {
 			bestCap := 0
 			for i, k := range keys {
 				t := v.table(i)
-				raw, ok, err := t.Get(tx, k)
+				capacity, ok, err := t.Get(tx, k)
 				if err != nil {
 					return err
 				}
 				if !ok {
 					continue
 				}
-				capacity, _ := raw.(int)
 				if capacity > bestCap {
 					bestTable, bestKey, bestCap = i, k, capacity
 				}
@@ -154,8 +152,8 @@ func (v *vacation) Op(th stm.Thread, rng *rand.Rand) error {
 type yada struct {
 	meshSize int
 	cavity   int
-	mesh     *stmds.Array // per-cell quality counter
-	work     *stmds.Queue
+	mesh     *stmds.Array[int] // per-cell quality counter
+	work     *stmds.Queue[int]
 }
 
 func newYada() *yada { return &yada{meshSize: 4096, cavity: 8} }
@@ -164,7 +162,7 @@ func (y *yada) Name() string { return "yada" }
 
 func (y *yada) Setup(th stm.Thread) error {
 	y.mesh = stmds.NewArray(y.meshSize, 0)
-	y.work = stmds.NewQueue()
+	y.work = stmds.NewQueue[int]()
 	rng := rand.New(rand.NewSource(19))
 	for i := 0; i < 128; i += 32 {
 		if err := th.Atomically(func(tx stm.Tx) error {
@@ -187,14 +185,11 @@ func (y *yada) Op(th stm.Thread, rng *rand.Rand) error {
 	seed := rng.Intn(y.meshSize)
 	spawn := rng.Intn(100) < 50
 	return th.Atomically(func(tx stm.Tx) error {
-		raw, ok, err := y.work.Dequeue(tx)
-		var elem int
+		elem, ok, err := y.work.Dequeue(tx)
 		if err != nil {
 			return err
 		}
-		if ok {
-			elem, _ = raw.(int)
-		} else {
+		if !ok {
 			elem = seed
 		}
 		// Read and rewrite the cavity around the element.
@@ -206,7 +201,7 @@ func (y *yada) Op(th stm.Thread, rng *rand.Rand) error {
 			base = y.meshSize - y.cavity
 		}
 		for c := base; c < base+y.cavity; c++ {
-			q, err := y.mesh.GetInt(tx, c)
+			q, err := y.mesh.Get(tx, c)
 			if err != nil {
 				return err
 			}

@@ -1,0 +1,116 @@
+package stm_test
+
+import (
+	"testing"
+
+	"github.com/shrink-tm/shrink/internal/stm"
+	"github.com/shrink-tm/shrink/internal/stm/swiss"
+	"github.com/shrink-tm/shrink/internal/stm/tiny"
+)
+
+// allocEngines builds one TM per engine with default (no-op) policies.
+func allocEngines() map[string]stm.TM {
+	return map[string]stm.TM{
+		"swiss": swiss.New(swiss.Options{}),
+		"tiny":  tiny.New(tiny.Options{}),
+	}
+}
+
+var allocSink int64
+
+// TestTypedReadZeroAllocs is the allocation regression gate for the TVar
+// refactor: an uncontended read-only transaction over a typed int64 var
+// must not allocate on either engine. The boxed Var API cannot make this
+// guarantee (writing it re-boxes the value per operation), which is why the
+// hot paths were migrated to TVar.
+func TestTypedReadZeroAllocs(t *testing.T) {
+	for name, tm := range allocEngines() {
+		t.Run(name, func(t *testing.T) {
+			th := tm.Register("t0")
+			v := stm.NewT[int64](42)
+			body := func(tx stm.Tx) error {
+				n, err := stm.ReadT(tx, v)
+				if err != nil {
+					return err
+				}
+				allocSink = n
+				return nil
+			}
+			run := func() {
+				if err := th.Atomically(body); err != nil {
+					t.Fatal(err)
+				}
+			}
+			run() // warm the transaction descriptor's logs
+			if allocs := testing.AllocsPerRun(200, run); allocs != 0 {
+				t.Errorf("typed int64 read tx: %.1f allocs/op, want 0", allocs)
+			}
+			if allocSink != 42 {
+				t.Fatalf("read returned %d", allocSink)
+			}
+		})
+	}
+}
+
+// TestTypedReadManyVarsZeroAllocs extends the gate to a transaction reading
+// several typed vars (exercising read-set growth reuse across attempts).
+func TestTypedReadManyVarsZeroAllocs(t *testing.T) {
+	for name, tm := range allocEngines() {
+		t.Run(name, func(t *testing.T) {
+			th := tm.Register("t0")
+			vars := make([]*stm.TVar[int64], 16)
+			for i := range vars {
+				vars[i] = stm.NewT(int64(i))
+			}
+			body := func(tx stm.Tx) error {
+				var sum int64
+				for _, v := range vars {
+					n, err := stm.ReadT(tx, v)
+					if err != nil {
+						return err
+					}
+					sum += n
+				}
+				allocSink = sum
+				return nil
+			}
+			run := func() {
+				if err := th.Atomically(body); err != nil {
+					t.Fatal(err)
+				}
+			}
+			run()
+			if allocs := testing.AllocsPerRun(200, run); allocs != 0 {
+				t.Errorf("16-var typed read tx: %.1f allocs/op, want 0", allocs)
+			}
+		})
+	}
+}
+
+// TestTypedWriteSingleAlloc pins the write-path cost: a typed write spills
+// the value to exactly one heap cell (the pointer the engine logs), no
+// more. A regression to interface boxing would double it.
+func TestTypedWriteSingleAlloc(t *testing.T) {
+	for name, tm := range allocEngines() {
+		t.Run(name, func(t *testing.T) {
+			th := tm.Register("t0")
+			v := stm.NewT[int64](0)
+			body := func(tx stm.Tx) error {
+				n, err := stm.ReadT(tx, v)
+				if err != nil {
+					return err
+				}
+				return stm.WriteT(tx, v, n+1)
+			}
+			run := func() {
+				if err := th.Atomically(body); err != nil {
+					t.Fatal(err)
+				}
+			}
+			run()
+			if allocs := testing.AllocsPerRun(200, run); allocs > 1 {
+				t.Errorf("typed int64 rmw tx: %.1f allocs/op, want <= 1", allocs)
+			}
+		})
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"sync"
 	"sync/atomic"
+	"unsafe"
 )
 
 // ErrConflict is the sentinel returned by transactional operations when the
@@ -15,13 +16,27 @@ var ErrConflict = errors.New("stm: transaction conflict")
 // Tx is the interface transaction bodies program against. Both engines
 // (SwissTM-like and TinySTM-like) implement it, so transactional data
 // structures and benchmarks are engine-agnostic.
+//
+// The engine core is the pointer pair ReadPtr/WritePtr: the engines log,
+// validate and write back opaque value pointers without inspecting the
+// pointee, which is what lets the typed TVar layer run unboxed. Read and
+// Write are the untyped compatibility shims over the same protocol for Vars
+// created by NewVar. Every error returned by the four data operations is
+// ErrConflict (possibly wrapped) and must be propagated out of the
+// transaction body unchanged.
 type Tx interface {
-	// Read returns the value of v as observed by this transaction. A
-	// non-nil error is always ErrConflict (possibly wrapped) and must be
-	// propagated out of the transaction body.
+	// Read returns the value of the untyped Var v as observed by this
+	// transaction.
 	Read(v *Var) (any, error)
-	// Write sets the value of v in this transaction.
+	// Write sets the value of the untyped Var v in this transaction.
 	Write(v *Var, val any) error
+	// ReadPtr returns v's current value pointer under the engine's read
+	// protocol (validated against the transaction's snapshot). Callers
+	// must not retain the pointer across transaction boundaries.
+	ReadPtr(v *Var) (unsafe.Pointer, error)
+	// WritePtr sets v's value pointer in this transaction. The engine
+	// retains p in its write log until commit or rollback.
+	WritePtr(v *Var, p unsafe.Pointer) error
 	// ThreadID returns the executing thread's ID, for workloads that key
 	// per-thread state.
 	ThreadID() int
@@ -136,6 +151,22 @@ type Scheduler interface {
 type NopScheduler struct{}
 
 var _ Scheduler = NopScheduler{}
+
+// IgnoresWriteSets reports whether s declares that its AfterCommit and
+// AfterAbort hooks ignore their write-set argument, which lets engines skip
+// materializing the []*Var per transaction. A scheduler opts in by
+// implementing IgnoresWriteSets() bool; the NopScheduler qualifies
+// implicitly.
+func IgnoresWriteSets(s Scheduler) bool {
+	if m, ok := s.(interface{ IgnoresWriteSets() bool }); ok {
+		return m.IgnoresWriteSets()
+	}
+	switch s.(type) {
+	case NopScheduler, *NopScheduler:
+		return true
+	}
+	return false
+}
 
 // RegisterThread implements Scheduler.
 func (NopScheduler) RegisterThread(*ThreadCtx) {}

@@ -19,6 +19,7 @@ package swiss
 import (
 	"errors"
 	"fmt"
+	"unsafe"
 
 	"github.com/shrink-tm/shrink/internal/stm"
 )
@@ -52,6 +53,7 @@ func (defaultCM) OnAbort(*stm.ThreadCtx)  {}
 type TM struct {
 	clock    stm.Clock
 	sched    stm.Scheduler
+	nopSched bool // write sets need not be materialized for the hooks
 	cm       stm.ContentionManager
 	wait     stm.WaitPolicy
 	maxRetry int
@@ -73,6 +75,7 @@ func New(opts Options) *TM {
 	}
 	return &TM{
 		sched:    opts.Scheduler,
+		nopSched: stm.IgnoresWriteSets(opts.Scheduler),
 		cm:       opts.CM,
 		wait:     opts.Wait,
 		maxRetry: opts.MaxRetries,
@@ -128,7 +131,9 @@ func (th *Thread) Atomically(fn func(tx stm.Tx) error) error {
 		err := fn(&th.tx)
 		var ws []*stm.Var
 		if err == nil {
-			ws = th.tx.writeVars()
+			if !tm.nopSched {
+				ws = th.tx.writeVars()
+			}
 			err = th.tx.commit()
 		}
 		if err == nil {
@@ -138,7 +143,7 @@ func (th *Thread) Atomically(fn func(tx stm.Tx) error) error {
 			return nil
 		}
 
-		if ws == nil {
+		if ws == nil && !tm.nopSched {
 			ws = th.tx.writeVars()
 		}
 		th.tx.rollback()
@@ -167,10 +172,11 @@ type readEntry struct {
 	ver uint64
 }
 
-// writeEntry records an acquired write lock and the speculative value.
+// writeEntry records an acquired write lock and the speculative value
+// pointer.
 type writeEntry struct {
 	v       *stm.Var
-	val     any
+	val     unsafe.Pointer
 	oldMeta uint64 // unlocked orec word to restore on abort
 }
 
@@ -224,11 +230,12 @@ func (tx *txn) conflict(v *stm.Var, ownerID int, kind stm.ConflictKind) error {
 	}
 }
 
-// Read implements stm.Tx. Reads are invisible: the Var's orec is sampled
-// around the value load and validated against the transaction's snapshot,
-// extending the snapshot (with full read-set validation) when the Var is
-// newer — the LSA-style timestamp extension SwissTM uses.
-func (tx *txn) Read(v *stm.Var) (any, error) {
+// ReadPtr implements stm.Tx: the engine's read protocol over the raw value
+// pointer. Reads are invisible: the Var's orec is sampled around the pointer
+// load and validated against the transaction's snapshot, extending the
+// snapshot (with full read-set validation) when the Var is newer — the
+// LSA-style timestamp extension SwissTM uses.
+func (tx *txn) ReadPtr(v *stm.Var) (unsafe.Pointer, error) {
 	if tx.th.ctx.Doomed.Load() {
 		return nil, stm.ErrConflict
 	}
@@ -236,7 +243,7 @@ func (tx *txn) Read(v *stm.Var) (any, error) {
 		return tx.writes[i].val, nil
 	}
 	for {
-		val, meta := v.Snapshot()
+		p, meta := v.SnapshotPtr()
 		if stm.IsLocked(meta) {
 			if err := tx.conflict(v, stm.OwnerOf(meta), stm.ReadWrite); err != nil {
 				return nil, err
@@ -254,19 +261,19 @@ func (tx *txn) Read(v *stm.Var) (any, error) {
 		if tx.th.ctx.ReadHook {
 			tx.th.tm.sched.AfterRead(tx.th.ctx, v)
 		}
-		return val, nil
+		return p, nil
 	}
 }
 
-// Write implements stm.Tx. Write locks are acquired at encounter time
-// (eager), so a write/write conflict surfaces immediately; the value is
-// buffered until commit (write-back).
-func (tx *txn) Write(v *stm.Var, val any) error {
+// WritePtr implements stm.Tx. Write locks are acquired at encounter time
+// (eager), so a write/write conflict surfaces immediately; the value
+// pointer is buffered until commit (write-back).
+func (tx *txn) WritePtr(v *stm.Var, p unsafe.Pointer) error {
 	if tx.th.ctx.Doomed.Load() {
 		return stm.ErrConflict
 	}
 	if i, ok := tx.windex[v]; ok {
-		tx.writes[i].val = val
+		tx.writes[i].val = p
 		return nil
 	}
 	for {
@@ -295,9 +302,24 @@ func (tx *txn) Write(v *stm.Var, val any) error {
 			continue
 		}
 		tx.windex[v] = len(tx.writes)
-		tx.writes = append(tx.writes, writeEntry{v: v, val: val, oldMeta: meta})
+		tx.writes = append(tx.writes, writeEntry{v: v, val: p, oldMeta: meta})
 		return nil
 	}
+}
+
+// Read implements stm.Tx: the untyped shim over ReadPtr for NewVar-created
+// Vars (the pointee is an *any cell).
+func (tx *txn) Read(v *stm.Var) (any, error) {
+	p, err := tx.ReadPtr(v)
+	if err != nil {
+		return nil, err
+	}
+	return *(*any)(p), nil
+}
+
+// Write implements stm.Tx: the untyped shim over WritePtr.
+func (tx *txn) Write(v *stm.Var, val any) error {
+	return tx.WritePtr(v, unsafe.Pointer(&val))
 }
 
 // extend tries to advance the transaction's snapshot to the current clock by
@@ -350,7 +372,7 @@ func (tx *txn) commit() error {
 	}
 	for i := range tx.writes {
 		e := &tx.writes[i]
-		e.v.StoreValue(e.val)
+		e.v.StorePtr(e.val)
 		e.v.Unlock(wt)
 	}
 	tx.writes = tx.writes[:0]

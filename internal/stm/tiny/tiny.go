@@ -14,6 +14,7 @@ package tiny
 import (
 	"errors"
 	"fmt"
+	"unsafe"
 
 	"github.com/shrink-tm/shrink/internal/stm"
 )
@@ -46,6 +47,7 @@ func (defaultCM) OnAbort(*stm.ThreadCtx)  {}
 type TM struct {
 	clock    stm.Clock
 	sched    stm.Scheduler
+	nopSched bool // write sets need not be materialized for the hooks
 	cm       stm.ContentionManager
 	wait     stm.WaitPolicy
 	maxRetry int
@@ -67,6 +69,7 @@ func New(opts Options) *TM {
 	}
 	return &TM{
 		sched:    opts.Scheduler,
+		nopSched: stm.IgnoresWriteSets(opts.Scheduler),
 		cm:       opts.CM,
 		wait:     opts.Wait,
 		maxRetry: opts.MaxRetries,
@@ -119,7 +122,9 @@ func (th *Thread) Atomically(fn func(tx stm.Tx) error) error {
 		err := fn(&th.tx)
 		var ws []*stm.Var
 		if err == nil {
-			ws = th.tx.writeVars()
+			if !tm.nopSched {
+				ws = th.tx.writeVars()
+			}
 			err = th.tx.commit()
 		}
 		if err == nil {
@@ -129,7 +134,7 @@ func (th *Thread) Atomically(fn func(tx stm.Tx) error) error {
 			return nil
 		}
 
-		if ws == nil {
+		if ws == nil && !tm.nopSched {
 			ws = th.tx.writeVars()
 		}
 		th.tx.rollback()
@@ -156,10 +161,10 @@ type readEntry struct {
 }
 
 // undoEntry records an acquired lock, the pre-lock orec word and the
-// overwritten value, so aborts can restore both.
+// overwritten value pointer, so aborts can restore both.
 type undoEntry struct {
 	v       *stm.Var
-	oldVal  any
+	oldVal  unsafe.Pointer
 	oldMeta uint64
 }
 
@@ -209,18 +214,19 @@ func (tx *txn) conflict(v *stm.Var, ownerID int, kind stm.ConflictKind) error {
 	}
 }
 
-// Read implements stm.Tx. With write-through, a Var this transaction has
-// written holds the speculative value in place, so reads of own writes go
-// through the write index to the Var directly.
-func (tx *txn) Read(v *stm.Var) (any, error) {
+// ReadPtr implements stm.Tx: the engine's read protocol over the raw value
+// pointer. With write-through, a Var this transaction has written holds the
+// speculative value in place, so reads of own writes go through the write
+// index to the Var directly.
+func (tx *txn) ReadPtr(v *stm.Var) (unsafe.Pointer, error) {
 	if tx.th.ctx.Doomed.Load() {
 		return nil, stm.ErrConflict
 	}
 	if _, ok := tx.windex[v]; ok {
-		return v.LoadValue(), nil
+		return v.LoadPtr(), nil
 	}
 	for {
-		val, meta := v.Snapshot()
+		p, meta := v.SnapshotPtr()
 		if stm.IsLocked(meta) {
 			if err := tx.conflict(v, stm.OwnerOf(meta), stm.ReadWrite); err != nil {
 				return nil, err
@@ -238,19 +244,19 @@ func (tx *txn) Read(v *stm.Var) (any, error) {
 		if tx.th.ctx.ReadHook {
 			tx.th.tm.sched.AfterRead(tx.th.ctx, v)
 		}
-		return val, nil
+		return p, nil
 	}
 }
 
-// Write implements stm.Tx: encounter-time locking with write-through. The
-// lock is acquired and the new value stored in place immediately; the old
-// value goes to the undo log.
-func (tx *txn) Write(v *stm.Var, val any) error {
+// WritePtr implements stm.Tx: encounter-time locking with write-through. The
+// lock is acquired and the new value pointer stored in place immediately;
+// the old pointer goes to the undo log.
+func (tx *txn) WritePtr(v *stm.Var, p unsafe.Pointer) error {
 	if tx.th.ctx.Doomed.Load() {
 		return stm.ErrConflict
 	}
 	if _, ok := tx.windex[v]; ok {
-		v.StoreValue(val)
+		v.StorePtr(p)
 		return nil
 	}
 	for {
@@ -271,15 +277,30 @@ func (tx *txn) Write(v *stm.Var, val any) error {
 			}
 			continue
 		}
-		oldVal := v.LoadValue()
+		oldVal := v.LoadPtr()
 		if !v.TryLock(meta, tx.th.ctx.ID) {
 			continue
 		}
-		v.StoreValue(val)
+		v.StorePtr(p)
 		tx.windex[v] = len(tx.undo)
 		tx.undo = append(tx.undo, undoEntry{v: v, oldVal: oldVal, oldMeta: meta})
 		return nil
 	}
+}
+
+// Read implements stm.Tx: the untyped shim over ReadPtr for NewVar-created
+// Vars (the pointee is an *any cell).
+func (tx *txn) Read(v *stm.Var) (any, error) {
+	p, err := tx.ReadPtr(v)
+	if err != nil {
+		return nil, err
+	}
+	return *(*any)(p), nil
+}
+
+// Write implements stm.Tx: the untyped shim over WritePtr.
+func (tx *txn) Write(v *stm.Var, val any) error {
+	return tx.WritePtr(v, unsafe.Pointer(&val))
 }
 
 func (tx *txn) extend() bool {
@@ -335,7 +356,7 @@ func (tx *txn) commit() error {
 func (tx *txn) rollback() {
 	for i := len(tx.undo) - 1; i >= 0; i-- {
 		e := &tx.undo[i]
-		e.v.StoreValue(e.oldVal)
+		e.v.StorePtr(e.oldVal)
 		e.v.UnlockRestore(e.oldMeta)
 	}
 	tx.undo = tx.undo[:0]

@@ -1,0 +1,60 @@
+package stm
+
+import (
+	"unsafe"
+)
+
+// TVar is a typed transactional variable: the same orec-backed memory word
+// as Var, but with the value stored as an unboxed *T. The typed accessors
+// ReadT and WriteT move values through the engines as a single pointer word,
+// so an uncontended typed read performs zero heap allocations — the untyped
+// Var API pays an interface-boxing allocation per written value and a type
+// assertion per read, which is measurable tax on exactly the hot path the
+// Shrink scheduler is protecting.
+//
+// A TVar participates in every substrate mechanism through its embedded
+// word: schedulers and predictors see it as a *Var (via Word), so conflict
+// prediction, visible-write queries and Bloom-filter hashing are unchanged.
+type TVar[T any] struct {
+	word Var
+}
+
+// NewT returns a typed Var holding initial at version 0.
+func NewT[T any](initial T) *TVar[T] {
+	v := &TVar[T]{}
+	v.word.initWord(unsafe.Pointer(&initial))
+	return v
+}
+
+// Word returns the underlying engine word, for scheduler hooks, predictors
+// and lock queries. Reading or writing the word through the untyped
+// Tx.Read/Tx.Write shims is illegal (the pointee is a *T, not an *any);
+// value access must go through ReadT/WriteT.
+func (v *TVar[T]) Word() *Var { return &v.word }
+
+// ID returns the process-unique identity of the variable.
+func (v *TVar[T]) ID() uint64 { return v.word.id }
+
+// LockedByOther reports whether the variable is write-locked by a thread
+// other than the given one (the visible-writes primitive, typed flavor).
+func (v *TVar[T]) LockedByOther(threadID int) bool { return v.word.LockedByOther(threadID) }
+
+// ReadT returns the value of v as observed by the transaction. The value
+// travels as a pointer through the engine's validated read protocol and is
+// dereferenced exactly once here: no boxing, no type assertion.
+func ReadT[T any](tx Tx, v *TVar[T]) (T, error) {
+	p, err := tx.ReadPtr(&v.word)
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	return *(*T)(p), nil
+}
+
+// WriteT sets the value of v in the transaction. The value is spilled to one
+// heap cell (the engines retain the pointer in their write logs past the
+// call), which matches the single allocation the boxed API paid — writes
+// gain lock-path savings only, reads are where boxing is eliminated.
+func WriteT[T any](tx Tx, v *TVar[T], val T) error {
+	return tx.WritePtr(&v.word, unsafe.Pointer(&val))
+}

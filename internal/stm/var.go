@@ -7,36 +7,65 @@
 // The substrate implements visible writes: any thread can ask whether a Var
 // is currently write-locked by another thread, which is the primitive the
 // Shrink scheduler's conflict prediction relies on.
+//
+// Value access comes in two layers. The primary layer is the generic
+// TVar[T] with ReadT/WriteT: values move through the engines as a single
+// unboxed pointer word, so the read hot path performs no interface boxing
+// and no type assertions (an uncontended typed read is allocation-free).
+// The untyped Var with Tx.Read/Tx.Write remains as a thin compatibility
+// shim over the same engine protocol — existing scheduler, contention
+// manager and predictor code is written against *Var and keeps working
+// unchanged, because a TVar presents its embedded word to those hooks.
+// New code should build on TVar[T].
 package stm
 
 import (
 	"sync/atomic"
+	"unsafe"
 )
 
 // Var is a transactional memory word. It pairs a versioned ownership record
 // (orec) with the value storage. The orec word encodes either a commit
 // version (even values) or a writer lock with the owner's thread ID (odd
-// values). Values are stored behind an atomic pointer so that a reader racing
+// values). The value is a single atomic pointer word, so a reader racing
 // with a writeback observes either the old or the new value, never a torn
 // one; the STM protocol's version validation then decides whether the read
 // is consistent.
+//
+// The pointee type of the value word is fixed at creation and opaque to the
+// engines, which move the pointer through their logs without inspecting it:
+//
+//   - a Var created by NewVar stores *any and is accessed through the
+//     untyped Tx.Read/Tx.Write shims;
+//   - a Var embedded in a TVar[T] (see tvar.go) stores *T and is accessed
+//     through ReadT/WriteT, which never box the value.
+//
+// Mixing the two access styles on one Var is illegal; the constructors are
+// the only places the pointee type is chosen.
 type Var struct {
 	id   uint64
 	meta atomic.Uint64
-	val  atomic.Pointer[box]
+	val  unsafe.Pointer
 }
-
-type box struct{ v any }
 
 // _varIDs assigns a process-unique identity to every Var. The identity is
 // what Bloom-filter based predictors hash; it is stable for the lifetime of
 // the Var and independent of the garbage collector.
 var _varIDs atomic.Uint64
 
-// NewVar returns a Var holding the given initial value at version 0.
+// initWord stamps a fresh identity and initial value pointer. It is the
+// common constructor step shared by NewVar and NewT.
+func (v *Var) initWord(p unsafe.Pointer) {
+	v.id = _varIDs.Add(1)
+	v.val = p
+}
+
+// NewVar returns an untyped Var holding the given initial value at version
+// 0. The value is stored behind an *any cell; hot paths should prefer the
+// typed TVar layer, which avoids the per-operation boxing this API pays.
 func NewVar(initial any) *Var {
-	v := &Var{id: _varIDs.Add(1)}
-	v.val.Store(&box{v: initial})
+	v := &Var{}
+	v.initWord(unsafe.Pointer(&initial))
 	return v
 }
 
@@ -101,26 +130,40 @@ func (v *Var) Unlock(version uint64) { v.meta.Store(versionWord(version)) }
 // unlocked orec word (used on abort, where the version must not advance).
 func (v *Var) UnlockRestore(oldMeta uint64) { v.meta.Store(oldMeta) }
 
-// LoadValue returns the value currently stored in the Var without any
-// consistency checks. Engines must validate the orec around the load.
-func (v *Var) LoadValue() any { return v.val.Load().v }
+// LoadPtr returns the current value pointer without any consistency checks.
+// Engines must validate the orec around the load.
+func (v *Var) LoadPtr() unsafe.Pointer { return atomic.LoadPointer(&v.val) }
 
-// StoreValue replaces the value stored in the Var. Engines must hold the
-// writer lock (or be initializing the Var) when calling it.
-func (v *Var) StoreValue(val any) { v.val.Store(&box{v: val}) }
+// StorePtr replaces the value pointer. Engines must hold the writer lock (or
+// be initializing the Var) when calling it.
+func (v *Var) StorePtr(p unsafe.Pointer) { atomic.StorePointer(&v.val, p) }
 
-// Snapshot returns the value and the orec word observed around it, retrying
-// until a consistent pair is seen. The returned meta may encode a lock; the
-// caller decides how to handle that.
-func (v *Var) Snapshot() (val any, meta uint64) {
+// SnapshotPtr returns the value pointer and the orec word observed around
+// it, retrying until a consistent pair is seen. The returned meta may encode
+// a lock; the caller decides how to handle that.
+func (v *Var) SnapshotPtr() (p unsafe.Pointer, meta uint64) {
 	for {
 		m1 := v.meta.Load()
-		b := v.val.Load()
+		p = atomic.LoadPointer(&v.val)
 		m2 := v.meta.Load()
 		if m1 == m2 {
-			return b.v, m1
+			return p, m1
 		}
 	}
+}
+
+// LoadValue returns the value of an untyped (NewVar-created) Var without any
+// consistency checks.
+func (v *Var) LoadValue() any { return *(*any)(v.LoadPtr()) }
+
+// StoreValue replaces the value of an untyped Var. Engines must hold the
+// writer lock (or be initializing the Var) when calling it.
+func (v *Var) StoreValue(val any) { v.StorePtr(unsafe.Pointer(&val)) }
+
+// Snapshot is SnapshotPtr for untyped Vars, returning the boxed value.
+func (v *Var) Snapshot() (val any, meta uint64) {
+	p, m := v.SnapshotPtr()
+	return *(*any)(p), m
 }
 
 // Clock is a global version clock shared by all transactions of one TM

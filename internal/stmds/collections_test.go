@@ -14,7 +14,7 @@ import (
 
 func TestHashMapBasic(t *testing.T) {
 	th := newThread(t)
-	m := stmds.NewHashMap(32)
+	m := stmds.NewHashMap[string](32)
 	err := th.Atomically(func(tx stm.Tx) error {
 		if ok, err := m.Contains(tx, 1); err != nil || ok {
 			return fmt.Errorf("empty map contains 1: %v %v", ok, err)
@@ -26,7 +26,7 @@ func TestHashMapBasic(t *testing.T) {
 			return fmt.Errorf("Put existing: %v %v", isNew, err)
 		}
 		v, ok, err := m.Get(tx, 1)
-		if err != nil || !ok || v.(string) != "b" {
+		if err != nil || !ok || v != "b" {
 			return fmt.Errorf("Get = %v %v %v", v, ok, err)
 		}
 		if stored, err := m.PutIfAbsent(tx, 1, "c"); err != nil || stored {
@@ -56,7 +56,7 @@ func TestHashMapModelProperty(t *testing.T) {
 	prop := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		th := swiss.New(swiss.Options{}).Register("t0")
-		m := stmds.NewHashMap(16) // small bucket count forces chains
+		m := stmds.NewHashMap[uint64](16) // small bucket count forces chains
 		model := make(map[uint64]uint64)
 		for op := 0; op < 400; op++ {
 			k := uint64(rng.Intn(48))
@@ -109,11 +109,11 @@ func TestHashMapModelProperty(t *testing.T) {
 
 func TestHashMapKeysComplete(t *testing.T) {
 	th := newThread(t)
-	m := stmds.NewHashMap(8)
+	m := stmds.NewHashMap[int](8)
 	want := map[uint64]bool{3: true, 99: true, 1024: true, 7: true}
 	err := th.Atomically(func(tx stm.Tx) error {
 		for k := range want {
-			if _, err := m.Put(tx, k, nil); err != nil {
+			if _, err := m.Put(tx, k, 0); err != nil {
 				return err
 			}
 		}
@@ -138,14 +138,14 @@ func TestHashMapKeysComplete(t *testing.T) {
 
 func TestSortedListBasic(t *testing.T) {
 	th := newThread(t)
-	l := stmds.NewSortedList()
+	l := stmds.NewSortedList[int64]()
 	err := th.Atomically(func(tx stm.Tx) error {
 		for _, k := range []int64{5, 1, 9, 3} {
 			if ins, err := l.Insert(tx, k, k); err != nil || !ins {
 				return fmt.Errorf("insert %d: %v %v", k, ins, err)
 			}
 		}
-		if ins, err := l.Insert(tx, 5, nil); err != nil || ins {
+		if ins, err := l.Insert(tx, 5, 0); err != nil || ins {
 			return fmt.Errorf("dup insert: %v %v", ins, err)
 		}
 		keys, err := l.Keys(tx)
@@ -159,7 +159,7 @@ func TestSortedListBasic(t *testing.T) {
 			}
 		}
 		v, ok, err := l.Get(tx, 3)
-		if err != nil || !ok || v.(int64) != 3 {
+		if err != nil || !ok || v != 3 {
 			return fmt.Errorf("Get(3) = %v %v %v", v, ok, err)
 		}
 		if del, err := l.Delete(tx, 5); err != nil || !del {
@@ -181,7 +181,7 @@ func TestSortedListBasic(t *testing.T) {
 
 func TestQueueFIFO(t *testing.T) {
 	th := newThread(t)
-	q := stmds.NewQueue()
+	q := stmds.NewQueue[int]()
 	err := th.Atomically(func(tx stm.Tx) error {
 		if _, ok, err := q.Dequeue(tx); err != nil || ok {
 			return fmt.Errorf("dequeue empty = %v %v", ok, err)
@@ -196,7 +196,7 @@ func TestQueueFIFO(t *testing.T) {
 		}
 		for i := 0; i < 5; i++ {
 			v, ok, err := q.Dequeue(tx)
-			if err != nil || !ok || v.(int) != i {
+			if err != nil || !ok || v != i {
 				return fmt.Errorf("dequeue %d = %v %v %v", i, v, ok, err)
 			}
 		}
@@ -208,7 +208,7 @@ func TestQueueFIFO(t *testing.T) {
 			return err
 		}
 		v, ok, err := q.Dequeue(tx)
-		if err != nil || !ok || v.(int) != 42 {
+		if err != nil || !ok || v != 42 {
 			return fmt.Errorf("after drain: %v %v %v", v, ok, err)
 		}
 		return nil
@@ -220,7 +220,7 @@ func TestQueueFIFO(t *testing.T) {
 
 func TestQueueConcurrentConservation(t *testing.T) {
 	tm := swiss.New(swiss.Options{})
-	q := stmds.NewQueue()
+	q := stmds.NewQueue[int]()
 	const producers, consumers, perProducer = 3, 3, 100
 	var produced, consumed sync.Map
 	var wg sync.WaitGroup
@@ -245,7 +245,7 @@ func TestQueueConcurrentConservation(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for {
-				var item any
+				var item int
 				var got bool
 				_ = th.Atomically(func(tx stm.Tx) error {
 					v, ok, err := q.Dequeue(tx)
@@ -285,32 +285,33 @@ func TestQueueConcurrentConservation(t *testing.T) {
 func TestArrayOps(t *testing.T) {
 	th := newThread(t)
 	a := stmds.NewArray(10, 0)
-	if a.Len() != 10 {
-		t.Fatalf("len = %d", a.Len())
+	f := stmds.NewArray(4, float64(0))
+	if a.Len() != 10 || f.Len() != 4 {
+		t.Fatalf("len = %d, %d", a.Len(), f.Len())
 	}
 	err := th.Atomically(func(tx stm.Tx) error {
-		if n, err := a.AddInt(tx, 3, 5); err != nil || n != 5 {
-			return fmt.Errorf("AddInt = %d %v", n, err)
+		if n, err := a.Add(tx, 3, 5); err != nil || n != 5 {
+			return fmt.Errorf("Add = %d %v", n, err)
 		}
-		if n, err := a.GetInt(tx, 3); err != nil || n != 5 {
-			return fmt.Errorf("GetInt = %d %v", n, err)
+		if n, err := a.Get(tx, 3); err != nil || n != 5 {
+			return fmt.Errorf("Get = %d %v", n, err)
 		}
-		if err := a.Set(tx, 4, 2.5); err != nil {
+		if err := f.Set(tx, 1, 2.5); err != nil {
 			return err
 		}
-		if f, err := a.AddFloat(tx, 4, 1.5); err != nil || f != 4.0 {
-			return fmt.Errorf("AddFloat = %f %v", f, err)
+		if v, err := f.Add(tx, 1, 1.5); err != nil || v != 4.0 {
+			return fmt.Errorf("float Add = %f %v", v, err)
 		}
-		v, err := a.Get(tx, 4)
-		if err != nil || v.(float64) != 4.0 {
-			return fmt.Errorf("Get = %v %v", v, err)
+		v, err := f.Get(tx, 1)
+		if err != nil || v != 4.0 {
+			return fmt.Errorf("float Get = %v %v", v, err)
 		}
 		return nil
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if a.Var(3) == nil || a.Var(3) == a.Var(4) {
-		t.Fatal("Var accessor broken")
+	if a.Word(3) == nil || a.Word(3) == a.Word(4) {
+		t.Fatal("Word accessor broken")
 	}
 }

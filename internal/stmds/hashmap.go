@@ -4,32 +4,32 @@ import (
 	"github.com/shrink-tm/shrink/internal/stm"
 )
 
-// HashMap is a transactional hash map from uint64 keys to arbitrary values,
-// with a fixed number of buckets, each a transactional sorted singly-linked
-// list. A fixed bucket count keeps resizes (which would conflict with every
+// HashMap is a transactional hash map from uint64 keys to V, with a fixed
+// number of buckets, each a transactional sorted singly-linked list. A
+// fixed bucket count keeps resizes (which would conflict with every
 // concurrent operation) out of the picture, like the hash tables in the
 // STAMP kernels.
-type HashMap struct {
-	buckets []*stm.Var // each holds *hmNode (head of a sorted chain)
+type HashMap[V any] struct {
+	buckets []*stm.TVar[*hmNode[V]] // each holds the head of a sorted chain
 	mask    uint64
 }
 
-type hmNode struct {
+type hmNode[V any] struct {
 	key  uint64
-	val  *stm.Var // any
-	next *stm.Var // *hmNode
+	val  *stm.TVar[V]
+	next *stm.TVar[*hmNode[V]]
 }
 
 // NewHashMap returns a map with at least nBuckets buckets (rounded up to a
 // power of two, minimum 16).
-func NewHashMap(nBuckets int) *HashMap {
+func NewHashMap[V any](nBuckets int) *HashMap[V] {
 	n := 16
 	for n < nBuckets {
 		n <<= 1
 	}
-	m := &HashMap{buckets: make([]*stm.Var, n), mask: uint64(n - 1)}
+	m := &HashMap[V]{buckets: make([]*stm.TVar[*hmNode[V]], n), mask: uint64(n - 1)}
 	for i := range m.buckets {
-		m.buckets[i] = stm.NewVar((*hmNode)(nil))
+		m.buckets[i] = stm.NewT[*hmNode[V]](nil)
 	}
 	return m
 }
@@ -42,25 +42,16 @@ func hashKey(k uint64) uint64 {
 	return k ^ (k >> 33)
 }
 
-func (m *HashMap) bucket(key uint64) *stm.Var {
+func (m *HashMap[V]) bucket(key uint64) *stm.TVar[*hmNode[V]] {
 	return m.buckets[hashKey(key)&m.mask]
 }
 
-func readHMNode(tx stm.Tx, v *stm.Var) (*hmNode, error) {
-	raw, err := tx.Read(v)
-	if err != nil {
-		return nil, err
-	}
-	n, _ := raw.(*hmNode)
-	return n, nil
-}
-
-// find locates key's node in its bucket, returning the Var pointing at it
+// find locates key's node in its bucket, returning the var pointing at it
 // (for unlinking) and the node, or the insertion point (prevSlot, nil).
-func (m *HashMap) find(tx stm.Tx, key uint64) (slot *stm.Var, n *hmNode, err error) {
+func (m *HashMap[V]) find(tx stm.Tx, key uint64) (slot *stm.TVar[*hmNode[V]], n *hmNode[V], err error) {
 	slot = m.bucket(key)
 	for {
-		n, err = readHMNode(tx, slot)
+		n, err = stm.ReadT(tx, slot)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -72,41 +63,42 @@ func (m *HashMap) find(tx stm.Tx, key uint64) (slot *stm.Var, n *hmNode, err err
 }
 
 // Get returns the value under key.
-func (m *HashMap) Get(tx stm.Tx, key uint64) (any, bool, error) {
+func (m *HashMap[V]) Get(tx stm.Tx, key uint64) (V, bool, error) {
+	var zero V
 	_, n, err := m.find(tx, key)
 	if err != nil {
-		return nil, false, err
+		return zero, false, err
 	}
 	if n == nil || n.key != key {
-		return nil, false, nil
+		return zero, false, nil
 	}
-	v, err := tx.Read(n.val)
+	v, err := stm.ReadT(tx, n.val)
 	if err != nil {
-		return nil, false, err
+		return zero, false, err
 	}
 	return v, true, nil
 }
 
 // Contains reports whether key is present.
-func (m *HashMap) Contains(tx stm.Tx, key uint64) (bool, error) {
+func (m *HashMap[V]) Contains(tx stm.Tx, key uint64) (bool, error) {
 	_, ok, err := m.Get(tx, key)
 	return ok, err
 }
 
 // Put stores val under key, reporting whether the key was new.
-func (m *HashMap) Put(tx stm.Tx, key uint64, val any) (bool, error) {
+func (m *HashMap[V]) Put(tx stm.Tx, key uint64, val V) (bool, error) {
 	slot, n, err := m.find(tx, key)
 	if err != nil {
 		return false, err
 	}
 	if n != nil && n.key == key {
-		if err := tx.Write(n.val, val); err != nil {
+		if err := stm.WriteT(tx, n.val, val); err != nil {
 			return false, err
 		}
 		return false, nil
 	}
-	node := &hmNode{key: key, val: stm.NewVar(val), next: stm.NewVar(n)}
-	if err := tx.Write(slot, node); err != nil {
+	node := &hmNode[V]{key: key, val: stm.NewT(val), next: stm.NewT(n)}
+	if err := stm.WriteT(tx, slot, node); err != nil {
 		return false, err
 	}
 	return true, nil
@@ -114,7 +106,7 @@ func (m *HashMap) Put(tx stm.Tx, key uint64, val any) (bool, error) {
 
 // PutIfAbsent stores val under key only if absent, reporting whether it
 // stored (genome's segment de-duplication pattern).
-func (m *HashMap) PutIfAbsent(tx stm.Tx, key uint64, val any) (bool, error) {
+func (m *HashMap[V]) PutIfAbsent(tx stm.Tx, key uint64, val V) (bool, error) {
 	slot, n, err := m.find(tx, key)
 	if err != nil {
 		return false, err
@@ -122,15 +114,15 @@ func (m *HashMap) PutIfAbsent(tx stm.Tx, key uint64, val any) (bool, error) {
 	if n != nil && n.key == key {
 		return false, nil
 	}
-	node := &hmNode{key: key, val: stm.NewVar(val), next: stm.NewVar(n)}
-	if err := tx.Write(slot, node); err != nil {
+	node := &hmNode[V]{key: key, val: stm.NewT(val), next: stm.NewT(n)}
+	if err := stm.WriteT(tx, slot, node); err != nil {
 		return false, err
 	}
 	return true, nil
 }
 
 // Delete removes key, reporting whether it was present.
-func (m *HashMap) Delete(tx stm.Tx, key uint64) (bool, error) {
+func (m *HashMap[V]) Delete(tx stm.Tx, key uint64) (bool, error) {
 	slot, n, err := m.find(tx, key)
 	if err != nil {
 		return false, err
@@ -138,27 +130,27 @@ func (m *HashMap) Delete(tx stm.Tx, key uint64) (bool, error) {
 	if n == nil || n.key != key {
 		return false, nil
 	}
-	next, err := readHMNode(tx, n.next)
+	next, err := stm.ReadT(tx, n.next)
 	if err != nil {
 		return false, err
 	}
-	if err := tx.Write(slot, next); err != nil {
+	if err := stm.WriteT(tx, slot, next); err != nil {
 		return false, err
 	}
 	return true, nil
 }
 
 // Size counts the entries (reads every bucket).
-func (m *HashMap) Size(tx stm.Tx) (int, error) {
+func (m *HashMap[V]) Size(tx stm.Tx) (int, error) {
 	total := 0
 	for _, b := range m.buckets {
-		n, err := readHMNode(tx, b)
+		n, err := stm.ReadT(tx, b)
 		if err != nil {
 			return 0, err
 		}
 		for n != nil {
 			total++
-			if n, err = readHMNode(tx, n.next); err != nil {
+			if n, err = stm.ReadT(tx, n.next); err != nil {
 				return 0, err
 			}
 		}
@@ -167,16 +159,16 @@ func (m *HashMap) Size(tx stm.Tx) (int, error) {
 }
 
 // Keys returns all keys (bucket order, ascending within buckets).
-func (m *HashMap) Keys(tx stm.Tx) ([]uint64, error) {
+func (m *HashMap[V]) Keys(tx stm.Tx) ([]uint64, error) {
 	var out []uint64
 	for _, b := range m.buckets {
-		n, err := readHMNode(tx, b)
+		n, err := stm.ReadT(tx, b)
 		if err != nil {
 			return nil, err
 		}
 		for n != nil {
 			out = append(out, n.key)
-			if n, err = readHMNode(tx, n.next); err != nil {
+			if n, err = stm.ReadT(tx, n.next); err != nil {
 				return nil, err
 			}
 		}

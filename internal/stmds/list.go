@@ -4,39 +4,30 @@ import (
 	"github.com/shrink-tm/shrink/internal/stm"
 )
 
-// SortedList is a transactional sorted singly-linked list set over int64
-// keys, the classic STM linked-list microstructure (and genome's segment
-// chain). Operations read the prefix up to the key's position, so write
-// transactions conflict with anything modifying that prefix — deliberately
-// coarse, like the original.
-type SortedList struct {
-	head *stm.Var // *listNode
+// SortedList is a transactional sorted singly-linked list mapping int64
+// keys to V, the classic STM linked-list microstructure (and genome's
+// segment chain). Operations read the prefix up to the key's position, so
+// write transactions conflict with anything modifying that prefix —
+// deliberately coarse, like the original.
+type SortedList[V any] struct {
+	head *stm.TVar[*listNode[V]]
 }
 
-type listNode struct {
+type listNode[V any] struct {
 	key  int64
-	val  *stm.Var
-	next *stm.Var // *listNode
+	val  *stm.TVar[V]
+	next *stm.TVar[*listNode[V]]
 }
 
 // NewSortedList returns an empty list.
-func NewSortedList() *SortedList {
-	return &SortedList{head: stm.NewVar((*listNode)(nil))}
+func NewSortedList[V any]() *SortedList[V] {
+	return &SortedList[V]{head: stm.NewT[*listNode[V]](nil)}
 }
 
-func readListNode(tx stm.Tx, v *stm.Var) (*listNode, error) {
-	raw, err := tx.Read(v)
-	if err != nil {
-		return nil, err
-	}
-	n, _ := raw.(*listNode)
-	return n, nil
-}
-
-func (l *SortedList) find(tx stm.Tx, key int64) (slot *stm.Var, n *listNode, err error) {
+func (l *SortedList[V]) find(tx stm.Tx, key int64) (slot *stm.TVar[*listNode[V]], n *listNode[V], err error) {
 	slot = l.head
 	for {
-		n, err = readListNode(tx, slot)
+		n, err = stm.ReadT(tx, slot)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -48,7 +39,7 @@ func (l *SortedList) find(tx stm.Tx, key int64) (slot *stm.Var, n *listNode, err
 }
 
 // Contains reports whether key is present.
-func (l *SortedList) Contains(tx stm.Tx, key int64) (bool, error) {
+func (l *SortedList[V]) Contains(tx stm.Tx, key int64) (bool, error) {
 	_, n, err := l.find(tx, key)
 	if err != nil {
 		return false, err
@@ -57,23 +48,24 @@ func (l *SortedList) Contains(tx stm.Tx, key int64) (bool, error) {
 }
 
 // Get returns the value stored under key.
-func (l *SortedList) Get(tx stm.Tx, key int64) (any, bool, error) {
+func (l *SortedList[V]) Get(tx stm.Tx, key int64) (V, bool, error) {
+	var zero V
 	_, n, err := l.find(tx, key)
 	if err != nil {
-		return nil, false, err
+		return zero, false, err
 	}
 	if n == nil || n.key != key {
-		return nil, false, nil
+		return zero, false, nil
 	}
-	v, err := tx.Read(n.val)
+	v, err := stm.ReadT(tx, n.val)
 	if err != nil {
-		return nil, false, err
+		return zero, false, err
 	}
 	return v, true, nil
 }
 
 // Insert adds key (with val), reporting whether it was new.
-func (l *SortedList) Insert(tx stm.Tx, key int64, val any) (bool, error) {
+func (l *SortedList[V]) Insert(tx stm.Tx, key int64, val V) (bool, error) {
 	slot, n, err := l.find(tx, key)
 	if err != nil {
 		return false, err
@@ -81,15 +73,15 @@ func (l *SortedList) Insert(tx stm.Tx, key int64, val any) (bool, error) {
 	if n != nil && n.key == key {
 		return false, nil
 	}
-	node := &listNode{key: key, val: stm.NewVar(val), next: stm.NewVar(n)}
-	if err := tx.Write(slot, node); err != nil {
+	node := &listNode[V]{key: key, val: stm.NewT(val), next: stm.NewT(n)}
+	if err := stm.WriteT(tx, slot, node); err != nil {
 		return false, err
 	}
 	return true, nil
 }
 
 // Delete removes key, reporting whether it was present.
-func (l *SortedList) Delete(tx stm.Tx, key int64) (bool, error) {
+func (l *SortedList[V]) Delete(tx stm.Tx, key int64) (bool, error) {
 	slot, n, err := l.find(tx, key)
 	if err != nil {
 		return false, err
@@ -97,26 +89,26 @@ func (l *SortedList) Delete(tx stm.Tx, key int64) (bool, error) {
 	if n == nil || n.key != key {
 		return false, nil
 	}
-	next, err := readListNode(tx, n.next)
+	next, err := stm.ReadT(tx, n.next)
 	if err != nil {
 		return false, err
 	}
-	if err := tx.Write(slot, next); err != nil {
+	if err := stm.WriteT(tx, slot, next); err != nil {
 		return false, err
 	}
 	return true, nil
 }
 
 // Size counts the elements.
-func (l *SortedList) Size(tx stm.Tx) (int, error) {
+func (l *SortedList[V]) Size(tx stm.Tx) (int, error) {
 	count := 0
-	n, err := readListNode(tx, l.head)
+	n, err := stm.ReadT(tx, l.head)
 	if err != nil {
 		return 0, err
 	}
 	for n != nil {
 		count++
-		if n, err = readListNode(tx, n.next); err != nil {
+		if n, err = stm.ReadT(tx, n.next); err != nil {
 			return 0, err
 		}
 	}
@@ -124,188 +116,150 @@ func (l *SortedList) Size(tx stm.Tx) (int, error) {
 }
 
 // Keys returns the keys in ascending order.
-func (l *SortedList) Keys(tx stm.Tx) ([]int64, error) {
+func (l *SortedList[V]) Keys(tx stm.Tx) ([]int64, error) {
 	var out []int64
-	n, err := readListNode(tx, l.head)
+	n, err := stm.ReadT(tx, l.head)
 	if err != nil {
 		return nil, err
 	}
 	for n != nil {
 		out = append(out, n.key)
-		if n, err = readListNode(tx, n.next); err != nil {
+		if n, err = stm.ReadT(tx, n.next); err != nil {
 			return nil, err
 		}
 	}
 	return out, nil
 }
 
-// Queue is a transactional FIFO queue, the structure at the heart of the
-// intruder kernel (a single dequeue point contended by all threads — the
-// paper's Figure 1(b) motivation and the case where Shrink's serialization
-// shines).
-type Queue struct {
-	head *stm.Var // *qNode: next to dequeue
-	tail *stm.Var // *qNode: last enqueued (nil when empty)
-	size *stm.Var // int
+// Queue is a transactional FIFO queue over T, the structure at the heart of
+// the intruder kernel (a single dequeue point contended by all threads —
+// the paper's Figure 1(b) motivation and the case where Shrink's
+// serialization shines).
+type Queue[T any] struct {
+	head *stm.TVar[*qNode[T]] // next to dequeue
+	tail *stm.TVar[*qNode[T]] // last enqueued (nil when empty)
+	size *stm.TVar[int]
 }
 
-type qNode struct {
-	val  any
-	next *stm.Var // *qNode
+type qNode[T any] struct {
+	val  T
+	next *stm.TVar[*qNode[T]]
 }
 
 // NewQueue returns an empty queue.
-func NewQueue() *Queue {
-	return &Queue{
-		head: stm.NewVar((*qNode)(nil)),
-		tail: stm.NewVar((*qNode)(nil)),
-		size: stm.NewVar(0),
+func NewQueue[T any]() *Queue[T] {
+	return &Queue[T]{
+		head: stm.NewT[*qNode[T]](nil),
+		tail: stm.NewT[*qNode[T]](nil),
+		size: stm.NewT(0),
 	}
-}
-
-func readQNode(tx stm.Tx, v *stm.Var) (*qNode, error) {
-	raw, err := tx.Read(v)
-	if err != nil {
-		return nil, err
-	}
-	n, _ := raw.(*qNode)
-	return n, nil
 }
 
 // Enqueue appends val.
-func (q *Queue) Enqueue(tx stm.Tx, val any) error {
-	node := &qNode{val: val, next: stm.NewVar((*qNode)(nil))}
-	tail, err := readQNode(tx, q.tail)
+func (q *Queue[T]) Enqueue(tx stm.Tx, val T) error {
+	node := &qNode[T]{val: val, next: stm.NewT[*qNode[T]](nil)}
+	tail, err := stm.ReadT(tx, q.tail)
 	if err != nil {
 		return err
 	}
 	if tail == nil {
-		if err := tx.Write(q.head, node); err != nil {
+		if err := stm.WriteT(tx, q.head, node); err != nil {
 			return err
 		}
-	} else if err := tx.Write(tail.next, node); err != nil {
+	} else if err := stm.WriteT(tx, tail.next, node); err != nil {
 		return err
 	}
-	if err := tx.Write(q.tail, node); err != nil {
+	if err := stm.WriteT(tx, q.tail, node); err != nil {
 		return err
 	}
 	return q.addSize(tx, 1)
 }
 
 // Dequeue removes and returns the oldest element; ok is false when empty.
-func (q *Queue) Dequeue(tx stm.Tx) (val any, ok bool, err error) {
-	head, err := readQNode(tx, q.head)
+func (q *Queue[T]) Dequeue(tx stm.Tx) (val T, ok bool, err error) {
+	var zero T
+	head, err := stm.ReadT(tx, q.head)
 	if err != nil {
-		return nil, false, err
+		return zero, false, err
 	}
 	if head == nil {
-		return nil, false, nil
+		return zero, false, nil
 	}
-	next, err := readQNode(tx, head.next)
+	next, err := stm.ReadT(tx, head.next)
 	if err != nil {
-		return nil, false, err
+		return zero, false, err
 	}
-	if err := tx.Write(q.head, next); err != nil {
-		return nil, false, err
+	if err := stm.WriteT(tx, q.head, next); err != nil {
+		return zero, false, err
 	}
 	if next == nil {
-		if err := tx.Write(q.tail, (*qNode)(nil)); err != nil {
-			return nil, false, err
+		if err := stm.WriteT(tx, q.tail, (*qNode[T])(nil)); err != nil {
+			return zero, false, err
 		}
 	}
 	if err := q.addSize(tx, -1); err != nil {
-		return nil, false, err
+		return zero, false, err
 	}
 	return head.val, true, nil
 }
 
-func (q *Queue) addSize(tx stm.Tx, d int) error {
-	raw, err := tx.Read(q.size)
+func (q *Queue[T]) addSize(tx stm.Tx, d int) error {
+	n, err := stm.ReadT(tx, q.size)
 	if err != nil {
 		return err
 	}
-	n, _ := raw.(int)
-	return tx.Write(q.size, n+d)
+	return stm.WriteT(tx, q.size, n+d)
 }
 
 // Size returns the element count.
-func (q *Queue) Size(tx stm.Tx) (int, error) {
-	raw, err := tx.Read(q.size)
-	if err != nil {
-		return 0, err
-	}
-	n, _ := raw.(int)
-	return n, nil
+func (q *Queue[T]) Size(tx stm.Tx) (int, error) {
+	return stm.ReadT(tx, q.size)
 }
 
-// Array is a fixed-size transactional array of words, the substrate for the
-// grid-like kernels (kmeans centroids, labyrinth's maze, ssca2's adjacency
-// slots).
-type Array struct {
-	cells []*stm.Var
+// Number constrains the element types Array.Add supports.
+type Number interface {
+	~int | ~int8 | ~int16 | ~int32 | ~int64 |
+		~uint | ~uint8 | ~uint16 | ~uint32 | ~uint64 |
+		~float32 | ~float64
+}
+
+// Array is a fixed-size transactional array of typed words, the substrate
+// for the grid-like kernels (kmeans centroids, labyrinth's maze, ssca2's
+// adjacency slots).
+type Array[T Number] struct {
+	cells []*stm.TVar[T]
 }
 
 // NewArray returns an array of n cells initialized to the given value.
-func NewArray(n int, initial any) *Array {
-	a := &Array{cells: make([]*stm.Var, n)}
+func NewArray[T Number](n int, initial T) *Array[T] {
+	a := &Array[T]{cells: make([]*stm.TVar[T], n)}
 	for i := range a.cells {
-		a.cells[i] = stm.NewVar(initial)
+		a.cells[i] = stm.NewT(initial)
 	}
 	return a
 }
 
 // Len returns the number of cells.
-func (a *Array) Len() int { return len(a.cells) }
+func (a *Array[T]) Len() int { return len(a.cells) }
 
-// Var returns the i-th cell's Var (for predictors and direct access).
-func (a *Array) Var(i int) *stm.Var { return a.cells[i] }
+// Word returns the i-th cell's engine word (for predictors and lock
+// queries).
+func (a *Array[T]) Word(i int) *stm.Var { return a.cells[i].Word() }
 
 // Get reads cell i.
-func (a *Array) Get(tx stm.Tx, i int) (any, error) { return tx.Read(a.cells[i]) }
+func (a *Array[T]) Get(tx stm.Tx, i int) (T, error) { return stm.ReadT(tx, a.cells[i]) }
 
 // Set writes cell i.
-func (a *Array) Set(tx stm.Tx, i int, val any) error { return tx.Write(a.cells[i], val) }
+func (a *Array[T]) Set(tx stm.Tx, i int, val T) error { return stm.WriteT(tx, a.cells[i], val) }
 
-// GetInt reads cell i as an int (zero if it holds another type).
-func (a *Array) GetInt(tx stm.Tx, i int) (int, error) {
-	raw, err := tx.Read(a.cells[i])
+// Add adds d to cell i, returning the new value.
+func (a *Array[T]) Add(tx stm.Tx, i int, d T) (T, error) {
+	n, err := stm.ReadT(tx, a.cells[i])
 	if err != nil {
 		return 0, err
 	}
-	n, _ := raw.(int)
-	return n, nil
-}
-
-// AddInt adds d to cell i, returning the new value.
-func (a *Array) AddInt(tx stm.Tx, i, d int) (int, error) {
-	n, err := a.GetInt(tx, i)
-	if err != nil {
-		return 0, err
-	}
-	if err := tx.Write(a.cells[i], n+d); err != nil {
+	if err := stm.WriteT(tx, a.cells[i], n+d); err != nil {
 		return 0, err
 	}
 	return n + d, nil
-}
-
-// GetFloat reads cell i as a float64.
-func (a *Array) GetFloat(tx stm.Tx, i int) (float64, error) {
-	raw, err := tx.Read(a.cells[i])
-	if err != nil {
-		return 0, err
-	}
-	f, _ := raw.(float64)
-	return f, nil
-}
-
-// AddFloat adds d to cell i, returning the new value.
-func (a *Array) AddFloat(tx stm.Tx, i int, d float64) (float64, error) {
-	f, err := a.GetFloat(tx, i)
-	if err != nil {
-		return 0, err
-	}
-	if err := tx.Write(a.cells[i], f+d); err != nil {
-		return 0, err
-	}
-	return f + d, nil
 }

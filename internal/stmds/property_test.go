@@ -16,7 +16,7 @@ func TestSortedListModelProperty(t *testing.T) {
 	prop := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		th := swiss.New(swiss.Options{}).Register("t0")
-		l := stmds.NewSortedList()
+		l := stmds.NewSortedList[int64]()
 		model := make(map[int64]bool)
 		for op := 0; op < 250; op++ {
 			k := int64(rng.Intn(32))
@@ -85,7 +85,7 @@ func TestQueueModelProperty(t *testing.T) {
 	prop := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		th := swiss.New(swiss.Options{}).Register("t0")
-		q := stmds.NewQueue()
+		q := stmds.NewQueue[int]()
 		var model []int
 		for op := 0; op < 300; op++ {
 			ok := true
@@ -106,7 +106,7 @@ func TestQueueModelProperty(t *testing.T) {
 					ok = !got
 					return nil
 				}
-				ok = got && v.(int) == model[0]
+				ok = got && v == model[0]
 				model = model[1:]
 				return nil
 			})
@@ -136,7 +136,7 @@ func TestQueueModelProperty(t *testing.T) {
 // conflict logically; all inserts must survive.
 func TestHashMapConcurrentDisjoint(t *testing.T) {
 	tm := swiss.New(swiss.Options{})
-	m := stmds.NewHashMap(64)
+	m := stmds.NewHashMap[uint64](64)
 	const threads, perThread = 4, 100
 	done := make(chan error, threads)
 	for w := 0; w < threads; w++ {
@@ -179,7 +179,7 @@ func TestHashMapConcurrentDisjoint(t *testing.T) {
 // TestRBTreeValueTypes: the tree stores arbitrary values.
 func TestRBTreeValueTypes(t *testing.T) {
 	th := newThread(t)
-	tree := stmds.NewRBTree()
+	tree := stmds.NewRBTree[any]()
 	type payload struct{ s string }
 	err := th.Atomically(func(tx stm.Tx) error {
 		if _, err := tree.Insert(tx, 1, "str"); err != nil {

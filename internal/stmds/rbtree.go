@@ -4,114 +4,107 @@
 // sorted linked list, a FIFO queue and a fixed array. All operations take a
 // transaction and propagate stm.ErrConflict unchanged, so they compose into
 // larger transactions.
+//
+// Every structure is generic over its element type and stores values and
+// structural links in typed TVars, so the STM hot path (node hops during
+// searches, value reads) runs unboxed: no interface allocation, no type
+// assertion per transactional operation.
 package stmds
 
 import (
 	"github.com/shrink-tm/shrink/internal/stm"
 )
 
-// RBTree is a transactional left-leaning red-black tree keyed by int64. The
-// paper's red-black tree microbenchmark (integer set, range 16384, 20%/70%
-// update mixes) runs on this structure. Structural fields (children, color)
-// and values are transactional Vars; keys are immutable per node.
-type RBTree struct {
-	root *stm.Var // *rbNode (nil when empty)
+// RBTree is a transactional left-leaning red-black tree from int64 keys to
+// V. The paper's red-black tree microbenchmark (integer set, range 16384,
+// 20%/70% update mixes) runs on this structure. Structural fields
+// (children, color) and values are typed transactional vars; keys are
+// immutable per node.
+type RBTree[V any] struct {
+	root *stm.TVar[*rbNode[V]] // nil when empty
 }
 
-type rbNode struct {
+type rbNode[V any] struct {
 	key   int64
-	val   *stm.Var // any
-	left  *stm.Var // *rbNode
-	right *stm.Var // *rbNode
-	red   *stm.Var // bool
+	val   *stm.TVar[V]
+	left  *stm.TVar[*rbNode[V]]
+	right *stm.TVar[*rbNode[V]]
+	red   *stm.TVar[bool]
 }
 
 // NewRBTree returns an empty tree.
-func NewRBTree() *RBTree {
-	return &RBTree{root: stm.NewVar((*rbNode)(nil))}
+func NewRBTree[V any]() *RBTree[V] {
+	return &RBTree[V]{root: stm.NewT[*rbNode[V]](nil)}
 }
 
-func newRBNode(key int64, val any) *rbNode {
-	return &rbNode{
+func newRBNode[V any](key int64, val V) *rbNode[V] {
+	return &rbNode[V]{
 		key:   key,
-		val:   stm.NewVar(val),
-		left:  stm.NewVar((*rbNode)(nil)),
-		right: stm.NewVar((*rbNode)(nil)),
-		red:   stm.NewVar(true),
+		val:   stm.NewT(val),
+		left:  stm.NewT[*rbNode[V]](nil),
+		right: stm.NewT[*rbNode[V]](nil),
+		red:   stm.NewT(true),
 	}
 }
 
-func readNode(tx stm.Tx, v *stm.Var) (*rbNode, error) {
-	raw, err := tx.Read(v)
-	if err != nil {
-		return nil, err
-	}
-	n, _ := raw.(*rbNode)
-	return n, nil
-}
-
-func isRed(tx stm.Tx, n *rbNode) (bool, error) {
+func isRed[V any](tx stm.Tx, n *rbNode[V]) (bool, error) {
 	if n == nil {
 		return false, nil
 	}
-	raw, err := tx.Read(n.red)
-	if err != nil {
-		return false, err
-	}
-	b, _ := raw.(bool)
-	return b, nil
+	return stm.ReadT(tx, n.red)
 }
 
-func setRed(tx stm.Tx, n *rbNode, red bool) error {
-	return tx.Write(n.red, red)
+func setRed[V any](tx stm.Tx, n *rbNode[V], red bool) error {
+	return stm.WriteT(tx, n.red, red)
 }
 
-// writeChild stores child into the given child Var only if it changed,
+// writeChild stores child into the given child var only if it changed,
 // keeping write sets (and hence conflicts) minimal.
-func writeChild(tx stm.Tx, slot *stm.Var, oldChild, newChild *rbNode) error {
+func writeChild[V any](tx stm.Tx, slot *stm.TVar[*rbNode[V]], oldChild, newChild *rbNode[V]) error {
 	if oldChild == newChild {
 		return nil
 	}
-	return tx.Write(slot, newChild)
+	return stm.WriteT(tx, slot, newChild)
 }
 
 // Get returns the value stored under key.
-func (t *RBTree) Get(tx stm.Tx, key int64) (any, bool, error) {
-	n, err := readNode(tx, t.root)
+func (t *RBTree[V]) Get(tx stm.Tx, key int64) (V, bool, error) {
+	var zero V
+	n, err := stm.ReadT(tx, t.root)
 	if err != nil {
-		return nil, false, err
+		return zero, false, err
 	}
 	for n != nil {
 		switch {
 		case key < n.key:
-			if n, err = readNode(tx, n.left); err != nil {
-				return nil, false, err
+			if n, err = stm.ReadT(tx, n.left); err != nil {
+				return zero, false, err
 			}
 		case key > n.key:
-			if n, err = readNode(tx, n.right); err != nil {
-				return nil, false, err
+			if n, err = stm.ReadT(tx, n.right); err != nil {
+				return zero, false, err
 			}
 		default:
-			v, err := tx.Read(n.val)
+			v, err := stm.ReadT(tx, n.val)
 			if err != nil {
-				return nil, false, err
+				return zero, false, err
 			}
 			return v, true, nil
 		}
 	}
-	return nil, false, nil
+	return zero, false, nil
 }
 
 // Contains reports whether key is in the set.
-func (t *RBTree) Contains(tx stm.Tx, key int64) (bool, error) {
+func (t *RBTree[V]) Contains(tx stm.Tx, key int64) (bool, error) {
 	_, ok, err := t.Get(tx, key)
 	return ok, err
 }
 
 // Insert adds key with the given value and reports whether the key was new
 // (false means the value of an existing key was updated).
-func (t *RBTree) Insert(tx stm.Tx, key int64, val any) (bool, error) {
-	oldRoot, err := readNode(tx, t.root)
+func (t *RBTree[V]) Insert(tx stm.Tx, key int64, val V) (bool, error) {
+	oldRoot, err := stm.ReadT(tx, t.root)
 	if err != nil {
 		return false, err
 	}
@@ -133,14 +126,14 @@ func (t *RBTree) Insert(tx stm.Tx, key int64, val any) (bool, error) {
 	return inserted, nil
 }
 
-func (t *RBTree) insert(tx stm.Tx, h *rbNode, key int64, val any, inserted *bool) (*rbNode, error) {
+func (t *RBTree[V]) insert(tx stm.Tx, h *rbNode[V], key int64, val V, inserted *bool) (*rbNode[V], error) {
 	if h == nil {
 		*inserted = true
 		return newRBNode(key, val), nil
 	}
 	switch {
 	case key < h.key:
-		old, err := readNode(tx, h.left)
+		old, err := stm.ReadT(tx, h.left)
 		if err != nil {
 			return nil, err
 		}
@@ -152,7 +145,7 @@ func (t *RBTree) insert(tx stm.Tx, h *rbNode, key int64, val any, inserted *bool
 			return nil, err
 		}
 	case key > h.key:
-		old, err := readNode(tx, h.right)
+		old, err := stm.ReadT(tx, h.right)
 		if err != nil {
 			return nil, err
 		}
@@ -164,7 +157,7 @@ func (t *RBTree) insert(tx stm.Tx, h *rbNode, key int64, val any, inserted *bool
 			return nil, err
 		}
 	default:
-		if err := tx.Write(h.val, val); err != nil {
+		if err := stm.WriteT(tx, h.val, val); err != nil {
 			return nil, err
 		}
 		return h, nil
@@ -173,12 +166,12 @@ func (t *RBTree) insert(tx stm.Tx, h *rbNode, key int64, val any, inserted *bool
 }
 
 // fixUp restores the left-leaning invariants around h on the way up.
-func (t *RBTree) fixUp(tx stm.Tx, h *rbNode) (*rbNode, error) {
-	l, err := readNode(tx, h.left)
+func (t *RBTree[V]) fixUp(tx stm.Tx, h *rbNode[V]) (*rbNode[V], error) {
+	l, err := stm.ReadT(tx, h.left)
 	if err != nil {
 		return nil, err
 	}
-	r, err := readNode(tx, h.right)
+	r, err := stm.ReadT(tx, h.right)
 	if err != nil {
 		return nil, err
 	}
@@ -194,7 +187,7 @@ func (t *RBTree) fixUp(tx stm.Tx, h *rbNode) (*rbNode, error) {
 		if h, err = t.rotateLeft(tx, h); err != nil {
 			return nil, err
 		}
-		if l, err = readNode(tx, h.left); err != nil {
+		if l, err = stm.ReadT(tx, h.left); err != nil {
 			return nil, err
 		}
 		if lRed, err = isRed(tx, l); err != nil {
@@ -202,8 +195,8 @@ func (t *RBTree) fixUp(tx stm.Tx, h *rbNode) (*rbNode, error) {
 		}
 	}
 	if lRed {
-		var ll *rbNode
-		if ll, err = readNode(tx, l.left); err != nil {
+		var ll *rbNode[V]
+		if ll, err = stm.ReadT(tx, l.left); err != nil {
 			return nil, err
 		}
 		llRed, err := isRed(tx, ll)
@@ -216,10 +209,10 @@ func (t *RBTree) fixUp(tx stm.Tx, h *rbNode) (*rbNode, error) {
 			}
 		}
 	}
-	if l, err = readNode(tx, h.left); err != nil {
+	if l, err = stm.ReadT(tx, h.left); err != nil {
 		return nil, err
 	}
-	if r, err = readNode(tx, h.right); err != nil {
+	if r, err = stm.ReadT(tx, h.right); err != nil {
 		return nil, err
 	}
 	if lRed, err = isRed(tx, l); err != nil {
@@ -237,19 +230,19 @@ func (t *RBTree) fixUp(tx stm.Tx, h *rbNode) (*rbNode, error) {
 }
 
 // rotateLeft rotates h's red right child up.
-func (t *RBTree) rotateLeft(tx stm.Tx, h *rbNode) (*rbNode, error) {
-	x, err := readNode(tx, h.right)
+func (t *RBTree[V]) rotateLeft(tx stm.Tx, h *rbNode[V]) (*rbNode[V], error) {
+	x, err := stm.ReadT(tx, h.right)
 	if err != nil {
 		return nil, err
 	}
-	xl, err := readNode(tx, x.left)
+	xl, err := stm.ReadT(tx, x.left)
 	if err != nil {
 		return nil, err
 	}
-	if err := tx.Write(h.right, xl); err != nil {
+	if err := stm.WriteT(tx, h.right, xl); err != nil {
 		return nil, err
 	}
-	if err := tx.Write(x.left, h); err != nil {
+	if err := stm.WriteT(tx, x.left, h); err != nil {
 		return nil, err
 	}
 	hRed, err := isRed(tx, h)
@@ -266,19 +259,19 @@ func (t *RBTree) rotateLeft(tx stm.Tx, h *rbNode) (*rbNode, error) {
 }
 
 // rotateRight rotates h's red left child up.
-func (t *RBTree) rotateRight(tx stm.Tx, h *rbNode) (*rbNode, error) {
-	x, err := readNode(tx, h.left)
+func (t *RBTree[V]) rotateRight(tx stm.Tx, h *rbNode[V]) (*rbNode[V], error) {
+	x, err := stm.ReadT(tx, h.left)
 	if err != nil {
 		return nil, err
 	}
-	xr, err := readNode(tx, x.right)
+	xr, err := stm.ReadT(tx, x.right)
 	if err != nil {
 		return nil, err
 	}
-	if err := tx.Write(h.left, xr); err != nil {
+	if err := stm.WriteT(tx, h.left, xr); err != nil {
 		return nil, err
 	}
-	if err := tx.Write(x.right, h); err != nil {
+	if err := stm.WriteT(tx, x.right, h); err != nil {
 		return nil, err
 	}
 	hRed, err := isRed(tx, h)
@@ -294,7 +287,7 @@ func (t *RBTree) rotateRight(tx stm.Tx, h *rbNode) (*rbNode, error) {
 	return x, nil
 }
 
-func (t *RBTree) colorFlip(tx stm.Tx, h, l, r *rbNode) error {
+func (t *RBTree[V]) colorFlip(tx stm.Tx, h, l, r *rbNode[V]) error {
 	hRed, err := isRed(tx, h)
 	if err != nil {
 		return err
@@ -325,12 +318,12 @@ func (t *RBTree) colorFlip(tx stm.Tx, h, l, r *rbNode) error {
 
 // moveRedLeft ensures h.left or one of its children is red, on the way down
 // a deletion in the left subtree.
-func (t *RBTree) moveRedLeft(tx stm.Tx, h *rbNode) (*rbNode, error) {
-	l, err := readNode(tx, h.left)
+func (t *RBTree[V]) moveRedLeft(tx stm.Tx, h *rbNode[V]) (*rbNode[V], error) {
+	l, err := stm.ReadT(tx, h.left)
 	if err != nil {
 		return nil, err
 	}
-	r, err := readNode(tx, h.right)
+	r, err := stm.ReadT(tx, h.right)
 	if err != nil {
 		return nil, err
 	}
@@ -338,7 +331,7 @@ func (t *RBTree) moveRedLeft(tx stm.Tx, h *rbNode) (*rbNode, error) {
 		return nil, err
 	}
 	if r != nil {
-		rl, err := readNode(tx, r.left)
+		rl, err := stm.ReadT(tx, r.left)
 		if err != nil {
 			return nil, err
 		}
@@ -351,17 +344,17 @@ func (t *RBTree) moveRedLeft(tx stm.Tx, h *rbNode) (*rbNode, error) {
 			if err != nil {
 				return nil, err
 			}
-			if err := tx.Write(h.right, nr); err != nil {
+			if err := stm.WriteT(tx, h.right, nr); err != nil {
 				return nil, err
 			}
 			if h, err = t.rotateLeft(tx, h); err != nil {
 				return nil, err
 			}
-			nl, err := readNode(tx, h.left)
+			nl, err := stm.ReadT(tx, h.left)
 			if err != nil {
 				return nil, err
 			}
-			nrr, err := readNode(tx, h.right)
+			nrr, err := stm.ReadT(tx, h.right)
 			if err != nil {
 				return nil, err
 			}
@@ -375,12 +368,12 @@ func (t *RBTree) moveRedLeft(tx stm.Tx, h *rbNode) (*rbNode, error) {
 
 // moveRedRight ensures h.right or one of its children is red, on the way
 // down a deletion in the right subtree.
-func (t *RBTree) moveRedRight(tx stm.Tx, h *rbNode) (*rbNode, error) {
-	l, err := readNode(tx, h.left)
+func (t *RBTree[V]) moveRedRight(tx stm.Tx, h *rbNode[V]) (*rbNode[V], error) {
+	l, err := stm.ReadT(tx, h.left)
 	if err != nil {
 		return nil, err
 	}
-	r, err := readNode(tx, h.right)
+	r, err := stm.ReadT(tx, h.right)
 	if err != nil {
 		return nil, err
 	}
@@ -388,7 +381,7 @@ func (t *RBTree) moveRedRight(tx stm.Tx, h *rbNode) (*rbNode, error) {
 		return nil, err
 	}
 	if l != nil {
-		ll, err := readNode(tx, l.left)
+		ll, err := stm.ReadT(tx, l.left)
 		if err != nil {
 			return nil, err
 		}
@@ -400,11 +393,11 @@ func (t *RBTree) moveRedRight(tx stm.Tx, h *rbNode) (*rbNode, error) {
 			if h, err = t.rotateRight(tx, h); err != nil {
 				return nil, err
 			}
-			nl, err := readNode(tx, h.left)
+			nl, err := stm.ReadT(tx, h.left)
 			if err != nil {
 				return nil, err
 			}
-			nr, err := readNode(tx, h.right)
+			nr, err := stm.ReadT(tx, h.right)
 			if err != nil {
 				return nil, err
 			}
@@ -418,8 +411,8 @@ func (t *RBTree) moveRedRight(tx stm.Tx, h *rbNode) (*rbNode, error) {
 
 // deleteMin removes the minimum node of the subtree rooted at h, returning
 // the new subtree root and the removed node.
-func (t *RBTree) deleteMin(tx stm.Tx, h *rbNode) (*rbNode, *rbNode, error) {
-	l, err := readNode(tx, h.left)
+func (t *RBTree[V]) deleteMin(tx stm.Tx, h *rbNode[V]) (*rbNode[V], *rbNode[V], error) {
+	l, err := stm.ReadT(tx, h.left)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -430,7 +423,7 @@ func (t *RBTree) deleteMin(tx stm.Tx, h *rbNode) (*rbNode, *rbNode, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	ll, err := readNode(tx, l.left)
+	ll, err := stm.ReadT(tx, l.left)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -443,7 +436,7 @@ func (t *RBTree) deleteMin(tx stm.Tx, h *rbNode) (*rbNode, *rbNode, error) {
 			return nil, nil, err
 		}
 	}
-	if l, err = readNode(tx, h.left); err != nil {
+	if l, err = stm.ReadT(tx, h.left); err != nil {
 		return nil, nil, err
 	}
 	nl, removed, err := t.deleteMin(tx, l)
@@ -461,12 +454,12 @@ func (t *RBTree) deleteMin(tx stm.Tx, h *rbNode) (*rbNode, *rbNode, error) {
 }
 
 // Delete removes key and reports whether it was present.
-func (t *RBTree) Delete(tx stm.Tx, key int64) (bool, error) {
+func (t *RBTree[V]) Delete(tx stm.Tx, key int64) (bool, error) {
 	present, err := t.Contains(tx, key)
 	if err != nil || !present {
 		return false, err
 	}
-	oldRoot, err := readNode(tx, t.root)
+	oldRoot, err := stm.ReadT(tx, t.root)
 	if err != nil {
 		return false, err
 	}
@@ -489,10 +482,10 @@ func (t *RBTree) Delete(tx stm.Tx, key int64) (bool, error) {
 	return true, nil
 }
 
-func (t *RBTree) delete(tx stm.Tx, h *rbNode, key int64) (*rbNode, error) {
+func (t *RBTree[V]) delete(tx stm.Tx, h *rbNode[V], key int64) (*rbNode[V], error) {
 	var err error
 	if key < h.key {
-		l, err := readNode(tx, h.left)
+		l, err := stm.ReadT(tx, h.left)
 		if err != nil {
 			return nil, err
 		}
@@ -502,7 +495,7 @@ func (t *RBTree) delete(tx stm.Tx, h *rbNode, key int64) (*rbNode, error) {
 		}
 		var llRed bool
 		if l != nil {
-			ll, err := readNode(tx, l.left)
+			ll, err := stm.ReadT(tx, l.left)
 			if err != nil {
 				return nil, err
 			}
@@ -515,7 +508,7 @@ func (t *RBTree) delete(tx stm.Tx, h *rbNode, key int64) (*rbNode, error) {
 				return nil, err
 			}
 		}
-		if l, err = readNode(tx, h.left); err != nil {
+		if l, err = stm.ReadT(tx, h.left); err != nil {
 			return nil, err
 		}
 		nl, err := t.delete(tx, l, key)
@@ -526,7 +519,7 @@ func (t *RBTree) delete(tx stm.Tx, h *rbNode, key int64) (*rbNode, error) {
 			return nil, err
 		}
 	} else {
-		l, err := readNode(tx, h.left)
+		l, err := stm.ReadT(tx, h.left)
 		if err != nil {
 			return nil, err
 		}
@@ -539,7 +532,7 @@ func (t *RBTree) delete(tx stm.Tx, h *rbNode, key int64) (*rbNode, error) {
 				return nil, err
 			}
 		}
-		r, err := readNode(tx, h.right)
+		r, err := stm.ReadT(tx, h.right)
 		if err != nil {
 			return nil, err
 		}
@@ -552,7 +545,7 @@ func (t *RBTree) delete(tx stm.Tx, h *rbNode, key int64) (*rbNode, error) {
 		}
 		var rlRed bool
 		if r != nil {
-			rl, err := readNode(tx, r.left)
+			rl, err := stm.ReadT(tx, r.left)
 			if err != nil {
 				return nil, err
 			}
@@ -566,7 +559,7 @@ func (t *RBTree) delete(tx stm.Tx, h *rbNode, key int64) (*rbNode, error) {
 			}
 		}
 		if key == h.key {
-			r, err := readNode(tx, h.right)
+			r, err := stm.ReadT(tx, h.right)
 			if err != nil {
 				return nil, err
 			}
@@ -577,11 +570,11 @@ func (t *RBTree) delete(tx stm.Tx, h *rbNode, key int64) (*rbNode, error) {
 			// Splice the successor into h's position: a fresh node
 			// carries the successor's key/value with h's children
 			// and color (keys are immutable per node).
-			minVal, err := tx.Read(minNode.val)
+			minVal, err := stm.ReadT(tx, minNode.val)
 			if err != nil {
 				return nil, err
 			}
-			hl, err := readNode(tx, h.left)
+			hl, err := stm.ReadT(tx, h.left)
 			if err != nil {
 				return nil, err
 			}
@@ -589,16 +582,16 @@ func (t *RBTree) delete(tx stm.Tx, h *rbNode, key int64) (*rbNode, error) {
 			if err != nil {
 				return nil, err
 			}
-			repl := &rbNode{
+			repl := &rbNode[V]{
 				key:   minNode.key,
-				val:   stm.NewVar(minVal),
-				left:  stm.NewVar(hl),
-				right: stm.NewVar(nr),
-				red:   stm.NewVar(hRed),
+				val:   stm.NewT(minVal),
+				left:  stm.NewT(hl),
+				right: stm.NewT(nr),
+				red:   stm.NewT(hRed),
 			}
 			return t.fixUp(tx, repl)
 		}
-		r, err = readNode(tx, h.right)
+		r, err = stm.ReadT(tx, h.right)
 		if err != nil {
 			return nil, err
 		}
@@ -618,19 +611,19 @@ func (t *RBTree) delete(tx stm.Tx, h *rbNode, key int64) (*rbNode, error) {
 }
 
 // Size counts the keys (a read-only full traversal).
-func (t *RBTree) Size(tx stm.Tx) (int, error) {
-	n, err := readNode(tx, t.root)
+func (t *RBTree[V]) Size(tx stm.Tx) (int, error) {
+	n, err := stm.ReadT(tx, t.root)
 	if err != nil {
 		return 0, err
 	}
 	return t.size(tx, n)
 }
 
-func (t *RBTree) size(tx stm.Tx, n *rbNode) (int, error) {
+func (t *RBTree[V]) size(tx stm.Tx, n *rbNode[V]) (int, error) {
 	if n == nil {
 		return 0, nil
 	}
-	l, err := readNode(tx, n.left)
+	l, err := stm.ReadT(tx, n.left)
 	if err != nil {
 		return 0, err
 	}
@@ -638,7 +631,7 @@ func (t *RBTree) size(tx stm.Tx, n *rbNode) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	r, err := readNode(tx, n.right)
+	r, err := stm.ReadT(tx, n.right)
 	if err != nil {
 		return 0, err
 	}
@@ -650,9 +643,9 @@ func (t *RBTree) size(tx stm.Tx, n *rbNode) (int, error) {
 }
 
 // Keys returns all keys in ascending order (read-only traversal).
-func (t *RBTree) Keys(tx stm.Tx) ([]int64, error) {
+func (t *RBTree[V]) Keys(tx stm.Tx) ([]int64, error) {
 	var out []int64
-	n, err := readNode(tx, t.root)
+	n, err := stm.ReadT(tx, t.root)
 	if err != nil {
 		return nil, err
 	}
@@ -662,11 +655,11 @@ func (t *RBTree) Keys(tx stm.Tx) ([]int64, error) {
 	return out, nil
 }
 
-func (t *RBTree) inorder(tx stm.Tx, n *rbNode, out *[]int64) error {
+func (t *RBTree[V]) inorder(tx stm.Tx, n *rbNode[V], out *[]int64) error {
 	if n == nil {
 		return nil
 	}
-	l, err := readNode(tx, n.left)
+	l, err := stm.ReadT(tx, n.left)
 	if err != nil {
 		return err
 	}
@@ -674,7 +667,7 @@ func (t *RBTree) inorder(tx stm.Tx, n *rbNode, out *[]int64) error {
 		return err
 	}
 	*out = append(*out, n.key)
-	r, err := readNode(tx, n.right)
+	r, err := stm.ReadT(tx, n.right)
 	if err != nil {
 		return err
 	}
@@ -685,8 +678,8 @@ func (t *RBTree) inorder(tx stm.Tx, n *rbNode, out *[]int64) error {
 // BST order, no red node with a red left-left or red right child
 // (left-leaning form), and equal black height on all paths. It returns the
 // black height.
-func (t *RBTree) CheckInvariants(tx stm.Tx) (int, error) {
-	n, err := readNode(tx, t.root)
+func (t *RBTree[V]) CheckInvariants(tx stm.Tx) (int, error) {
+	n, err := stm.ReadT(tx, t.root)
 	if err != nil {
 		return 0, err
 	}
@@ -707,15 +700,15 @@ type errInvariant string
 
 func (e errInvariant) Error() string { return "rbtree invariant violated: " + string(e) }
 
-func (t *RBTree) check(tx stm.Tx, n *rbNode) (blackHeight int, minKey, maxKey int64, err error) {
+func (t *RBTree[V]) check(tx stm.Tx, n *rbNode[V]) (blackHeight int, minKey, maxKey int64, err error) {
 	if n == nil {
 		return 1, 0, 0, nil
 	}
-	l, err := readNode(tx, n.left)
+	l, err := stm.ReadT(tx, n.left)
 	if err != nil {
 		return 0, 0, 0, err
 	}
-	r, err := readNode(tx, n.right)
+	r, err := stm.ReadT(tx, n.right)
 	if err != nil {
 		return 0, 0, 0, err
 	}

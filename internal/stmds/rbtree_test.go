@@ -21,7 +21,7 @@ func newThread(t *testing.T) stm.Thread {
 
 func TestRBTreeBasicOps(t *testing.T) {
 	th := newThread(t)
-	tree := stmds.NewRBTree()
+	tree := stmds.NewRBTree[int64]()
 	err := th.Atomically(func(tx stm.Tx) error {
 		for _, k := range []int64{5, 3, 8, 1, 4, 7, 9} {
 			ins, err := tree.Insert(tx, k, k*10)
@@ -41,7 +41,7 @@ func TestRBTreeBasicOps(t *testing.T) {
 		if err != nil {
 			return err
 		}
-		if !ok || v.(int64) != 999 {
+		if !ok || v != 999 {
 			return fmt.Errorf("Get(5) = %v,%v", v, ok)
 		}
 		if ok, err := tree.Contains(tx, 6); err != nil || ok {
@@ -72,7 +72,7 @@ func TestRBTreeBasicOps(t *testing.T) {
 
 func TestRBTreeDeleteAll(t *testing.T) {
 	th := newThread(t)
-	tree := stmds.NewRBTree()
+	tree := stmds.NewRBTree[int64]()
 	const n = 200
 	err := th.Atomically(func(tx stm.Tx) error {
 		for i := int64(0); i < n; i++ {
@@ -122,12 +122,12 @@ func TestRBTreeDeleteAll(t *testing.T) {
 
 func TestRBTreeDeleteMissing(t *testing.T) {
 	th := newThread(t)
-	tree := stmds.NewRBTree()
+	tree := stmds.NewRBTree[int64]()
 	err := th.Atomically(func(tx stm.Tx) error {
 		if del, err := tree.Delete(tx, 42); err != nil || del {
 			return fmt.Errorf("Delete on empty = %v, %v", del, err)
 		}
-		if _, err := tree.Insert(tx, 1, nil); err != nil {
+		if _, err := tree.Insert(tx, 1, 0); err != nil {
 			return err
 		}
 		if del, err := tree.Delete(tx, 42); err != nil || del {
@@ -147,7 +147,7 @@ func TestRBTreeModelProperty(t *testing.T) {
 	prop := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		th := swiss.New(swiss.Options{}).Register("t0")
-		tree := stmds.NewRBTree()
+		tree := stmds.NewRBTree[int64]()
 		model := make(map[int64]int64)
 		for op := 0; op < 300; op++ {
 			k := int64(rng.Intn(64))
@@ -241,7 +241,7 @@ func TestRBTreeConcurrent(t *testing.T) {
 	for name, tmEngine := range engines {
 		tm := tmEngine
 		t.Run(name, func(t *testing.T) {
-			tree := stmds.NewRBTree()
+			tree := stmds.NewRBTree[int64]()
 			const threads, ops, keyRange = 4, 150, 128
 			var wg sync.WaitGroup
 			for i := 0; i < threads; i++ {
@@ -287,10 +287,10 @@ func TestRBTreeConcurrent(t *testing.T) {
 
 func TestRBTreeSizeMatchesKeys(t *testing.T) {
 	th := newThread(t)
-	tree := stmds.NewRBTree()
+	tree := stmds.NewRBTree[int64]()
 	err := th.Atomically(func(tx stm.Tx) error {
 		for _, k := range []int64{10, 20, 5, 15} {
-			if _, err := tree.Insert(tx, k, nil); err != nil {
+			if _, err := tree.Insert(tx, k, 0); err != nil {
 				return err
 			}
 		}

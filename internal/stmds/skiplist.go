@@ -4,62 +4,55 @@ import (
 	"github.com/shrink-tm/shrink/internal/stm"
 )
 
-// SkipList is a transactional skip list over int64 keys — the other classic
-// STM set structure. Compared with the red-black tree it trades rebalancing
-// writes for towers of forward pointers: updates touch only the search-path
-// predecessors (no rotations), so write sets are smaller and conflicts more
-// localized. BenchmarkAblationSetStructure compares the two under Shrink.
-type SkipList struct {
+// SkipList is a transactional skip list from int64 keys to V — the other
+// classic STM set structure. Compared with the red-black tree it trades
+// rebalancing writes for towers of forward pointers: updates touch only the
+// search-path predecessors (no rotations), so write sets are smaller and
+// conflicts more localized. BenchmarkAblationSetStructure compares the two
+// under Shrink.
+type SkipList[V any] struct {
 	maxLevel int
-	head     *slNode // sentinel: key = -inf, full-height tower
+	head     *slNode[V] // sentinel: key = -inf, full-height tower
 }
 
-type slNode struct {
+type slNode[V any] struct {
 	key     int64
-	val     *stm.Var
-	forward []*stm.Var // next node per level, each holds *slNode
+	val     *stm.TVar[V]
+	forward []*stm.TVar[*slNode[V]] // next node per level
 }
 
-func newSLNode(key int64, val any, height int) *slNode {
-	n := &slNode{key: key, val: stm.NewVar(val), forward: make([]*stm.Var, height)}
+func newSLNode[V any](key int64, val V, height int) *slNode[V] {
+	n := &slNode[V]{key: key, val: stm.NewT(val), forward: make([]*stm.TVar[*slNode[V]], height)}
 	for i := range n.forward {
-		n.forward[i] = stm.NewVar((*slNode)(nil))
+		n.forward[i] = stm.NewT[*slNode[V]](nil)
 	}
 	return n
 }
 
 // NewSkipList returns an empty skip list with the given maximum level
 // (clamped to 2..24; 12 suits a 16384-key range).
-func NewSkipList(maxLevel int) *SkipList {
+func NewSkipList[V any](maxLevel int) *SkipList[V] {
 	if maxLevel < 2 {
 		maxLevel = 2
 	}
 	if maxLevel > 24 {
 		maxLevel = 24
 	}
-	return &SkipList{
+	var zero V
+	return &SkipList[V]{
 		maxLevel: maxLevel,
-		head:     newSLNode(-1<<63, nil, maxLevel),
+		head:     newSLNode(-1<<63, zero, maxLevel),
 	}
-}
-
-func readSLNode(tx stm.Tx, v *stm.Var) (*slNode, error) {
-	raw, err := tx.Read(v)
-	if err != nil {
-		return nil, err
-	}
-	n, _ := raw.(*slNode)
-	return n, nil
 }
 
 // findPredecessors returns the predecessor node per level and the first
 // node with key >= key (or nil).
-func (s *SkipList) findPredecessors(tx stm.Tx, key int64) ([]*slNode, *slNode, error) {
-	preds := make([]*slNode, s.maxLevel)
+func (s *SkipList[V]) findPredecessors(tx stm.Tx, key int64) ([]*slNode[V], *slNode[V], error) {
+	preds := make([]*slNode[V], s.maxLevel)
 	cur := s.head
 	for level := s.maxLevel - 1; level >= 0; level-- {
 		for {
-			next, err := readSLNode(tx, cur.forward[level])
+			next, err := stm.ReadT(tx, cur.forward[level])
 			if err != nil {
 				return nil, nil, err
 			}
@@ -70,7 +63,7 @@ func (s *SkipList) findPredecessors(tx stm.Tx, key int64) ([]*slNode, *slNode, e
 		}
 		preds[level] = cur
 	}
-	candidate, err := readSLNode(tx, preds[0].forward[0])
+	candidate, err := stm.ReadT(tx, preds[0].forward[0])
 	if err != nil {
 		return nil, nil, err
 	}
@@ -81,7 +74,7 @@ func (s *SkipList) findPredecessors(tx stm.Tx, key int64) ([]*slNode, *slNode, e
 // key (1..maxLevel with geometric distribution), so retries of the same
 // insert build the same tower — keeping write sets stable across restarts,
 // which is exactly what Shrink's write prediction wants.
-func (s *SkipList) towerHeight(key int64) int {
+func (s *SkipList[V]) towerHeight(key int64) int {
 	x := uint64(key) * 0x9e3779b97f4a7c15
 	x ^= x >> 29
 	x *= 0xbf58476d1ce4e5b9
@@ -95,7 +88,7 @@ func (s *SkipList) towerHeight(key int64) int {
 }
 
 // Contains reports whether key is present.
-func (s *SkipList) Contains(tx stm.Tx, key int64) (bool, error) {
+func (s *SkipList[V]) Contains(tx stm.Tx, key int64) (bool, error) {
 	_, candidate, err := s.findPredecessors(tx, key)
 	if err != nil {
 		return false, err
@@ -104,29 +97,30 @@ func (s *SkipList) Contains(tx stm.Tx, key int64) (bool, error) {
 }
 
 // Get returns the value under key.
-func (s *SkipList) Get(tx stm.Tx, key int64) (any, bool, error) {
+func (s *SkipList[V]) Get(tx stm.Tx, key int64) (V, bool, error) {
+	var zero V
 	_, candidate, err := s.findPredecessors(tx, key)
 	if err != nil {
-		return nil, false, err
+		return zero, false, err
 	}
 	if candidate == nil || candidate.key != key {
-		return nil, false, nil
+		return zero, false, nil
 	}
-	v, err := tx.Read(candidate.val)
+	v, err := stm.ReadT(tx, candidate.val)
 	if err != nil {
-		return nil, false, err
+		return zero, false, err
 	}
 	return v, true, nil
 }
 
 // Insert adds key with val, reporting whether the key was new.
-func (s *SkipList) Insert(tx stm.Tx, key int64, val any) (bool, error) {
+func (s *SkipList[V]) Insert(tx stm.Tx, key int64, val V) (bool, error) {
 	preds, candidate, err := s.findPredecessors(tx, key)
 	if err != nil {
 		return false, err
 	}
 	if candidate != nil && candidate.key == key {
-		if err := tx.Write(candidate.val, val); err != nil {
+		if err := stm.WriteT(tx, candidate.val, val); err != nil {
 			return false, err
 		}
 		return false, nil
@@ -134,14 +128,14 @@ func (s *SkipList) Insert(tx stm.Tx, key int64, val any) (bool, error) {
 	height := s.towerHeight(key)
 	node := newSLNode(key, val, height)
 	for level := 0; level < height; level++ {
-		next, err := readSLNode(tx, preds[level].forward[level])
+		next, err := stm.ReadT(tx, preds[level].forward[level])
 		if err != nil {
 			return false, err
 		}
-		if err := tx.Write(node.forward[level], next); err != nil {
+		if err := stm.WriteT(tx, node.forward[level], next); err != nil {
 			return false, err
 		}
-		if err := tx.Write(preds[level].forward[level], node); err != nil {
+		if err := stm.WriteT(tx, preds[level].forward[level], node); err != nil {
 			return false, err
 		}
 	}
@@ -149,7 +143,7 @@ func (s *SkipList) Insert(tx stm.Tx, key int64, val any) (bool, error) {
 }
 
 // Delete removes key, reporting whether it was present.
-func (s *SkipList) Delete(tx stm.Tx, key int64) (bool, error) {
+func (s *SkipList[V]) Delete(tx stm.Tx, key int64) (bool, error) {
 	preds, candidate, err := s.findPredecessors(tx, key)
 	if err != nil {
 		return false, err
@@ -158,16 +152,16 @@ func (s *SkipList) Delete(tx stm.Tx, key int64) (bool, error) {
 		return false, nil
 	}
 	for level := 0; level < len(candidate.forward); level++ {
-		next, err := readSLNode(tx, candidate.forward[level])
+		next, err := stm.ReadT(tx, candidate.forward[level])
 		if err != nil {
 			return false, err
 		}
-		cur, err := readSLNode(tx, preds[level].forward[level])
+		cur, err := stm.ReadT(tx, preds[level].forward[level])
 		if err != nil {
 			return false, err
 		}
 		if cur == candidate {
-			if err := tx.Write(preds[level].forward[level], next); err != nil {
+			if err := stm.WriteT(tx, preds[level].forward[level], next); err != nil {
 				return false, err
 			}
 		}
@@ -176,15 +170,15 @@ func (s *SkipList) Delete(tx stm.Tx, key int64) (bool, error) {
 }
 
 // Size counts the keys (level-0 walk).
-func (s *SkipList) Size(tx stm.Tx) (int, error) {
+func (s *SkipList[V]) Size(tx stm.Tx) (int, error) {
 	count := 0
-	n, err := readSLNode(tx, s.head.forward[0])
+	n, err := stm.ReadT(tx, s.head.forward[0])
 	if err != nil {
 		return 0, err
 	}
 	for n != nil {
 		count++
-		if n, err = readSLNode(tx, n.forward[0]); err != nil {
+		if n, err = stm.ReadT(tx, n.forward[0]); err != nil {
 			return 0, err
 		}
 	}
@@ -192,15 +186,15 @@ func (s *SkipList) Size(tx stm.Tx) (int, error) {
 }
 
 // Keys returns all keys in ascending order.
-func (s *SkipList) Keys(tx stm.Tx) ([]int64, error) {
+func (s *SkipList[V]) Keys(tx stm.Tx) ([]int64, error) {
 	var out []int64
-	n, err := readSLNode(tx, s.head.forward[0])
+	n, err := stm.ReadT(tx, s.head.forward[0])
 	if err != nil {
 		return nil, err
 	}
 	for n != nil {
 		out = append(out, n.key)
-		if n, err = readSLNode(tx, n.forward[0]); err != nil {
+		if n, err = stm.ReadT(tx, n.forward[0]); err != nil {
 			return nil, err
 		}
 	}
@@ -209,29 +203,29 @@ func (s *SkipList) Keys(tx stm.Tx) ([]int64, error) {
 
 // CheckInvariants verifies level-0 ordering and that every higher-level
 // link points to a node also reachable at level 0.
-func (s *SkipList) CheckInvariants(tx stm.Tx) error {
-	level0 := make(map[*slNode]bool)
-	n, err := readSLNode(tx, s.head.forward[0])
+func (s *SkipList[V]) CheckInvariants(tx stm.Tx) error {
+	level0 := make(map[*slNode[V]]bool)
+	n, err := stm.ReadT(tx, s.head.forward[0])
 	if err != nil {
 		return err
 	}
-	var prev *slNode
+	var prev *slNode[V]
 	for n != nil {
 		if prev != nil && prev.key >= n.key {
 			return errInvariant("skiplist level-0 order violated")
 		}
 		level0[n] = true
 		prev = n
-		if n, err = readSLNode(tx, n.forward[0]); err != nil {
+		if n, err = stm.ReadT(tx, n.forward[0]); err != nil {
 			return err
 		}
 	}
 	for level := 1; level < s.maxLevel; level++ {
-		n, err := readSLNode(tx, s.head.forward[level])
+		n, err := stm.ReadT(tx, s.head.forward[level])
 		if err != nil {
 			return err
 		}
-		var prevK *slNode
+		var prevK *slNode[V]
 		for n != nil {
 			if !level0[n] {
 				return errInvariant("skiplist node reachable above level 0 only")
@@ -243,7 +237,7 @@ func (s *SkipList) CheckInvariants(tx stm.Tx) error {
 				return errInvariant("skiplist node linked above its tower height")
 			}
 			prevK = n
-			if n, err = readSLNode(tx, n.forward[level]); err != nil {
+			if n, err = stm.ReadT(tx, n.forward[level]); err != nil {
 				return err
 			}
 		}

@@ -14,7 +14,7 @@ import (
 
 func TestSkipListBasic(t *testing.T) {
 	th := newThread(t)
-	s := stmds.NewSkipList(8)
+	s := stmds.NewSkipList[int64](8)
 	err := th.Atomically(func(tx stm.Tx) error {
 		for _, k := range []int64{5, 1, 9, 3, 7} {
 			if ins, err := s.Insert(tx, k, k*2); err != nil || !ins {
@@ -25,7 +25,7 @@ func TestSkipListBasic(t *testing.T) {
 			return fmt.Errorf("dup insert: %v %v", ins, err)
 		}
 		v, ok, err := s.Get(tx, 5)
-		if err != nil || !ok || v.(int64) != 50 {
+		if err != nil || !ok || v != 50 {
 			return fmt.Errorf("Get(5) = %v %v %v", v, ok, err)
 		}
 		keys, err := s.Keys(tx)
@@ -62,7 +62,7 @@ func TestSkipListModelProperty(t *testing.T) {
 	prop := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		th := swiss.New(swiss.Options{}).Register("t0")
-		s := stmds.NewSkipList(10)
+		s := stmds.NewSkipList[int64](10)
 		model := make(map[int64]bool)
 		for op := 0; op < 300; op++ {
 			k := int64(rng.Intn(64))
@@ -112,7 +112,7 @@ func TestSkipListModelProperty(t *testing.T) {
 
 func TestSkipListConcurrent(t *testing.T) {
 	tm := swiss.New(swiss.Options{})
-	s := stmds.NewSkipList(10)
+	s := stmds.NewSkipList[int64](10)
 	const threads, ops, keyRange = 4, 120, 96
 	var wg sync.WaitGroup
 	for i := 0; i < threads; i++ {
@@ -153,15 +153,15 @@ func TestSkipListConcurrent(t *testing.T) {
 func TestSkipListDeterministicTowers(t *testing.T) {
 	// Same key => same tower height: inserts replay identically across
 	// transaction retries (stable write sets for prediction).
-	a := stmds.NewSkipList(12)
-	b := stmds.NewSkipList(12)
+	a := stmds.NewSkipList[int64](12)
+	b := stmds.NewSkipList[int64](12)
 	tmA := swiss.New(swiss.Options{})
 	thA := tmA.Register("a")
-	for _, s := range []*stmds.SkipList{a, b} {
+	for _, s := range []*stmds.SkipList[int64]{a, b} {
 		s := s
 		err := thA.Atomically(func(tx stm.Tx) error {
 			for k := int64(0); k < 64; k++ {
-				if _, err := s.Insert(tx, k, nil); err != nil {
+				if _, err := s.Insert(tx, k, 0); err != nil {
 					return err
 				}
 			}
@@ -191,16 +191,16 @@ func TestSkipListDeterministicTowers(t *testing.T) {
 }
 
 func TestSkipListLevelClamping(t *testing.T) {
-	if s := stmds.NewSkipList(0); s == nil {
+	if s := stmds.NewSkipList[int64](0); s == nil {
 		t.Fatal("nil list")
 	}
-	if s := stmds.NewSkipList(100); s == nil {
+	if s := stmds.NewSkipList[int64](100); s == nil {
 		t.Fatal("nil list")
 	}
 	th := newThread(t)
-	s := stmds.NewSkipList(1) // clamped to 2
+	s := stmds.NewSkipList[int64](1) // clamped to 2
 	err := th.Atomically(func(tx stm.Tx) error {
-		if _, err := s.Insert(tx, 1, nil); err != nil {
+		if _, err := s.Insert(tx, 1, 0); err != nil {
 			return err
 		}
 		return s.CheckInvariants(tx)
