@@ -18,6 +18,8 @@ import (
 	"github.com/shrink-tm/shrink/internal/schedsim"
 	"github.com/shrink-tm/shrink/internal/stamp"
 	"github.com/shrink-tm/shrink/internal/stm"
+	"github.com/shrink-tm/shrink/internal/stm/swiss"
+	"github.com/shrink-tm/shrink/internal/stm/tiny"
 	"github.com/shrink-tm/shrink/internal/stmds"
 )
 
@@ -566,6 +568,55 @@ func BenchmarkTypedUpdateTx(b *testing.B) {
 				_ = th.Atomically(body)
 			}
 		})
+	}
+}
+
+// BenchmarkScheduledUpdateTx measures the scheduler tax on the commit
+// lifecycle: the same typed read-modify-write transaction with no scheduler
+// (NopScheduler) and with Shrink attached, on both engines. The delta
+// between the nop and shrink rows is the cost of running prediction per
+// committed transaction, which this repository keeps allocation-free.
+func BenchmarkScheduledUpdateTx(b *testing.B) {
+	engines := []struct {
+		name  string
+		build func(stm.Scheduler) stm.TM
+	}{
+		{harness.EngineSwiss, func(s stm.Scheduler) stm.TM {
+			return swiss.New(swiss.Options{Scheduler: s})
+		}},
+		{harness.EngineTiny, func(s stm.Scheduler) stm.TM {
+			return tiny.New(tiny.Options{Scheduler: s})
+		}},
+	}
+	schedulers := []struct {
+		name string
+		new  func() stm.Scheduler
+	}{
+		{"nop", func() stm.Scheduler { return stm.NopScheduler{} }},
+		{"shrink", func() stm.Scheduler { return sched.NewShrink(sched.DefaultShrinkConfig()) }},
+	}
+	for _, engine := range engines {
+		for _, scheduler := range schedulers {
+			build := engine.build
+			newSched := scheduler.new
+			b.Run(engine.name+"/"+scheduler.name, func(b *testing.B) {
+				tm := build(newSched())
+				th := tm.Register("b")
+				v := stm.NewT[int64](0)
+				body := func(tx stm.Tx) error {
+					n, err := stm.ReadT(tx, v)
+					if err != nil {
+						return err
+					}
+					return stm.WriteT(tx, v, n+1)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					_ = th.Atomically(body)
+				}
+			})
+		}
 	}
 }
 

@@ -17,6 +17,14 @@
 // engines unboxed: an uncontended typed read allocates nothing. The
 // untyped stm.Var API remains as a compatibility shim for code that does
 // not know its value types statically.
+//
+// The transaction lifecycle is shared between the engines (stm.Core) and
+// allocation-free in steady state under any scheduler: write-set lookups
+// go through an inline index (stm.WriteIndex) instead of a map, and
+// scheduler hooks observe the write set as a zero-copy stm.WriteSet view
+// over the engine's live write log. A committed update transaction costs
+// at most the one heap cell per spilled value, and exactly zero
+// allocations when writing existing pointers — even with Shrink attached.
 package shrink
 
 // Version identifies the reproduction release.

@@ -62,6 +62,12 @@ func DefaultConfig() Config {
 // its predecessor), and buildRead is the prediction under construction for
 // the successor. They swap at commit; an abort keeps both, because the
 // restart is the same logical transaction.
+//
+// All predictor state is recycled across the commit/abort cycle — the two
+// read maps are cleared and swapped rather than reallocated, the write
+// prediction reuses its backing array, and the accuracy scratch map is
+// retained — so the predictor contributes zero steady-state allocations to
+// the commit lifecycle.
 type Predictor struct {
 	cfg    Config
 	window *bloom.Window
@@ -69,7 +75,8 @@ type Predictor struct {
 	activeRead  map[*stm.Var]struct{}
 	buildRead   map[*stm.Var]struct{}
 	activeWrite []*stm.Var
-	curReadIDs  map[uint64]struct{} // reads of the running transaction, for accuracy
+	curReadIDs  map[uint64]struct{}   // reads of the running transaction, for accuracy
+	scoreSet    map[*stm.Var]struct{} // scratch for scoreWritePrediction, reused
 
 	stats AccuracyStats
 }
@@ -157,8 +164,9 @@ func (p *Predictor) OnRead(v *stm.Var) {
 // OnCommit finishes the committed transaction's prediction cycle: the
 // prediction that was in force is scored against the actual read set, the
 // newly built prediction becomes active, the write prediction is retired,
-// and the Bloom filter window rotates.
-func (p *Predictor) OnCommit(writeSet []*stm.Var) {
+// and the Bloom filter window rotates. writeSet is the engine's zero-copy
+// view; it is only inspected here, never retained.
+func (p *Predictor) OnCommit(writeSet stm.WriteSet) {
 	if p.cfg.TrackAccuracy {
 		for v := range p.activeRead {
 			p.stats.ReadPredicted++
@@ -180,26 +188,34 @@ func (p *Predictor) OnCommit(writeSet []*stm.Var) {
 // write set of the restart ("when a transaction repeats, its write set
 // mimics the write set of the immediately previous aborted transaction").
 // The Bloom window is not rotated and the read predictions are kept: the
-// restart is the same logical transaction.
-func (p *Predictor) OnAbort(writeSet []*stm.Var) {
+// restart is the same logical transaction. The view's addresses are copied
+// into the reused activeWrite buffer, because the prediction must outlive
+// the hook call that carries the view.
+func (p *Predictor) OnAbort(writeSet stm.WriteSet) {
 	if p.cfg.TrackAccuracy {
 		p.scoreWritePrediction(writeSet)
 	}
 	p.activeWrite = p.activeWrite[:0]
-	p.activeWrite = append(p.activeWrite, writeSet...)
+	for i := 0; i < writeSet.Len(); i++ {
+		p.activeWrite = append(p.activeWrite, writeSet.At(i))
+	}
 }
 
-func (p *Predictor) scoreWritePrediction(actual []*stm.Var) {
+func (p *Predictor) scoreWritePrediction(actual stm.WriteSet) {
 	if len(p.activeWrite) == 0 {
 		return
 	}
-	set := make(map[*stm.Var]struct{}, len(actual))
-	for _, v := range actual {
-		set[v] = struct{}{}
+	if p.scoreSet == nil {
+		p.scoreSet = make(map[*stm.Var]struct{}, actual.Len())
+	} else {
+		clear(p.scoreSet)
+	}
+	for i := 0; i < actual.Len(); i++ {
+		p.scoreSet[actual.At(i)] = struct{}{}
 	}
 	for _, v := range p.activeWrite {
 		p.stats.WritePredicted++
-		if _, ok := set[v]; ok {
+		if _, ok := p.scoreSet[v]; ok {
 			p.stats.WriteHits++
 		}
 	}

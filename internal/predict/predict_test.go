@@ -19,7 +19,7 @@ func commitTx(p *Predictor, reads []*stm.Var, writes []*stm.Var) {
 	for _, v := range reads {
 		p.OnRead(v)
 	}
-	p.OnCommit(writes)
+	p.OnCommit(stm.MakeWriteSet(writes...))
 }
 
 func testConfig() Config {
@@ -88,12 +88,12 @@ func TestReadAccuracyDropsWhenWorkloadShifts(t *testing.T) {
 func TestWritePredictionAcrossAbort(t *testing.T) {
 	p := New(testConfig())
 	ws := makeVars(4)
-	p.OnAbort(ws) // aborted attempt wrote ws
+	p.OnAbort(stm.MakeWriteSet(ws...)) // aborted attempt wrote ws
 	if p.PredictedWriteSetSize() != len(ws) {
 		t.Fatalf("predicted write set = %d, want %d", p.PredictedWriteSetSize(), len(ws))
 	}
 	// The restart commits with the same write set: all hits.
-	p.OnCommit(ws)
+	p.OnCommit(stm.MakeWriteSet(ws...))
 	st := p.Stats()
 	if st.WritePredicted != uint64(len(ws)) || st.WriteHits != uint64(len(ws)) {
 		t.Fatalf("write accuracy counters = %d/%d", st.WriteHits, st.WritePredicted)
@@ -107,8 +107,8 @@ func TestWritePredictionMiss(t *testing.T) {
 	p := New(testConfig())
 	ws := makeVars(2)
 	other := makeVars(2)
-	p.OnAbort(ws)
-	p.OnCommit(other) // restart wrote something else entirely
+	p.OnAbort(stm.MakeWriteSet(ws...))
+	p.OnCommit(stm.MakeWriteSet(other...)) // restart wrote something else entirely
 	st := p.Stats()
 	if st.WriteHits != 0 || st.WritePredicted != 2 {
 		t.Fatalf("counters = %d/%d, want 0/2", st.WriteHits, st.WritePredicted)
@@ -152,7 +152,7 @@ func TestPredictedConflictReadSet(t *testing.T) {
 func TestPredictedConflictWriteSet(t *testing.T) {
 	p := New(testConfig())
 	ws := makeVars(2)
-	p.OnAbort(ws)
+	p.OnAbort(stm.MakeWriteSet(ws...))
 	m := ws[1].Meta()
 	if !ws[1].TryLock(m, 9) {
 		t.Fatal("lock failed")

@@ -114,7 +114,7 @@ func (s *AdaptiveShrink) AfterRead(t *stm.ThreadCtx, v *stm.Var) {
 
 // AfterCommit implements stm.Scheduler: a commit from a serialized start
 // confirms the decision and raises aggressiveness.
-func (s *AdaptiveShrink) AfterCommit(t *stm.ThreadCtx, writeSet []*stm.Var) {
+func (s *AdaptiveShrink) AfterCommit(t *stm.ThreadCtx, writeSet stm.WriteSet) {
 	st := s.state(t)
 	if st == nil {
 		return
@@ -134,14 +134,14 @@ func (s *AdaptiveShrink) AfterCommit(t *stm.ThreadCtx, writeSet []*stm.Var) {
 
 // AfterAbort implements stm.Scheduler: an abort despite serialization
 // refutes the prediction and lowers aggressiveness.
-func (s *AdaptiveShrink) AfterAbort(t *stm.ThreadCtx, writeSet []*stm.Var) {
+func (s *AdaptiveShrink) AfterAbort(t *stm.ThreadCtx, writeSet stm.WriteSet) {
 	st := s.state(t)
 	if st == nil {
 		return
 	}
 	st.succRate /= 2
 	if s.cfg.DisableWritePrediction {
-		st.pred.OnAbort(nil)
+		st.pred.OnAbort(stm.WriteSet{})
 	} else {
 		st.pred.OnAbort(writeSet)
 	}

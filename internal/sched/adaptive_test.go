@@ -31,7 +31,7 @@ func TestAdaptiveAggressivenessFeedback(t *testing.T) {
 	// as a refuted serialization).
 	for i := 0; i < 3; i++ {
 		s.BeforeStart(ctx, i)
-		s.AfterAbort(ctx, []*stm.Var{v})
+		s.AfterAbort(ctx, stm.MakeWriteSet(v))
 	}
 	before := s.Aggressiveness(ctx)
 	// Serialized start that commits: confirmation raises aggressiveness.
@@ -39,7 +39,7 @@ func TestAdaptiveAggressivenessFeedback(t *testing.T) {
 	if got := s.Serializations(); got == 0 {
 		t.Fatal("expected a serialized start")
 	}
-	s.AfterCommit(ctx, nil)
+	s.AfterCommit(ctx, stm.WriteSet{})
 	confirmed, _ := s.Feedback()
 	if confirmed != 1 {
 		t.Fatalf("confirmed = %d", confirmed)
@@ -51,7 +51,7 @@ func TestAdaptiveAggressivenessFeedback(t *testing.T) {
 	// Refutations push it below 1 eventually.
 	for i := 0; i < 12; i++ {
 		s.BeforeStart(ctx, 0)
-		s.AfterAbort(ctx, []*stm.Var{v})
+		s.AfterAbort(ctx, stm.MakeWriteSet(v))
 	}
 	if got := s.Aggressiveness(ctx); got >= 1 {
 		t.Fatalf("aggressiveness after refutations = %f, want < 1", got)
@@ -63,7 +63,7 @@ func TestAdaptiveAggressivenessFeedback(t *testing.T) {
 	// Bounded below.
 	for i := 0; i < 50; i++ {
 		s.BeforeStart(ctx, 0)
-		s.AfterAbort(ctx, []*stm.Var{v})
+		s.AfterAbort(ctx, stm.MakeWriteSet(v))
 	}
 	if got := s.Aggressiveness(ctx); got < 0.25 {
 		t.Fatalf("aggressiveness below floor: %f", got)
@@ -114,9 +114,9 @@ func TestAdaptiveLazyReadHook(t *testing.T) {
 		t.Fatal("healthy adaptive thread should not track reads")
 	}
 	s.BeforeStart(ctx, 0)
-	s.AfterAbort(ctx, nil)
+	s.AfterAbort(ctx, stm.WriteSet{})
 	s.BeforeStart(ctx, 1)
-	s.AfterAbort(ctx, nil)
+	s.AfterAbort(ctx, stm.WriteSet{})
 	if !ctx.ReadHook {
 		t.Fatal("contended adaptive thread must track reads")
 	}

@@ -65,7 +65,7 @@ func (a *ATS) BeforeStart(t *stm.ThreadCtx, attempt int) {
 func (a *ATS) AfterRead(*stm.ThreadCtx, *stm.Var) {}
 
 // AfterCommit implements stm.Scheduler.
-func (a *ATS) AfterCommit(t *stm.ThreadCtx, _ []*stm.Var) {
+func (a *ATS) AfterCommit(t *stm.ThreadCtx, _ stm.WriteSet) {
 	st := a.state(t)
 	if st == nil {
 		return
@@ -77,7 +77,7 @@ func (a *ATS) AfterCommit(t *stm.ThreadCtx, _ []*stm.Var) {
 // AfterAbort implements stm.Scheduler. A queued transaction stays in the
 // queue (keeps the FIFO lock) across its retries: ATS schedules queued
 // transactions one after another until each commits.
-func (a *ATS) AfterAbort(t *stm.ThreadCtx, _ []*stm.Var) {
+func (a *ATS) AfterAbort(t *stm.ThreadCtx, _ stm.WriteSet) {
 	st := a.state(t)
 	if st == nil {
 		return
@@ -145,7 +145,7 @@ func (p *Pool) BeforeStart(t *stm.ThreadCtx, attempt int) {
 func (p *Pool) AfterRead(*stm.ThreadCtx, *stm.Var) {}
 
 // AfterCommit implements stm.Scheduler.
-func (p *Pool) AfterCommit(t *stm.ThreadCtx, _ []*stm.Var) {
+func (p *Pool) AfterCommit(t *stm.ThreadCtx, _ stm.WriteSet) {
 	st := p.state(t)
 	if st == nil {
 		return
@@ -158,7 +158,7 @@ func (p *Pool) AfterCommit(t *stm.ThreadCtx, _ []*stm.Var) {
 }
 
 // AfterAbort implements stm.Scheduler.
-func (p *Pool) AfterAbort(t *stm.ThreadCtx, _ []*stm.Var) {
+func (p *Pool) AfterAbort(t *stm.ThreadCtx, _ stm.WriteSet) {
 	st := p.state(t)
 	if st == nil {
 		return

@@ -86,13 +86,13 @@ func TestShrinkAblationFlags(t *testing.T) {
 	defer v.Unlock(1)
 	for i := 0; i < 4; i++ {
 		s.BeforeStart(ctx, i)
-		s.AfterAbort(ctx, []*stm.Var{v})
+		s.AfterAbort(ctx, stm.MakeWriteSet(v))
 	}
 	s.BeforeStart(ctx, 0)
 	if s.Serializations() != 0 {
 		t.Fatal("serialized despite write prediction disabled and empty read prediction")
 	}
-	s.AfterCommit(ctx, nil)
+	s.AfterCommit(ctx, stm.WriteSet{})
 }
 
 func TestShrinkLazyReadHook(t *testing.T) {
@@ -104,16 +104,16 @@ func TestShrinkLazyReadHook(t *testing.T) {
 	}
 	// Two aborts: success rate 0.25 < 0.75 => tracking on.
 	s.BeforeStart(ctx, 0)
-	s.AfterAbort(ctx, nil)
+	s.AfterAbort(ctx, stm.WriteSet{})
 	s.BeforeStart(ctx, 1)
-	s.AfterAbort(ctx, nil)
+	s.AfterAbort(ctx, stm.WriteSet{})
 	if !ctx.ReadHook {
 		t.Fatal("contended thread must track reads")
 	}
 	// Recovery: commits push the rate back above the activation band.
 	for i := 0; i < 4; i++ {
 		s.BeforeStart(ctx, 0)
-		s.AfterCommit(ctx, nil)
+		s.AfterCommit(ctx, stm.WriteSet{})
 	}
 	if ctx.ReadHook {
 		t.Fatal("recovered thread should stop tracking reads")
@@ -130,7 +130,7 @@ func TestShrinkEagerReadHook(t *testing.T) {
 		t.Fatal("eager mode must track from the start")
 	}
 	s.BeforeStart(ctx, 0)
-	s.AfterCommit(ctx, nil)
+	s.AfterCommit(ctx, stm.WriteSet{})
 	if !ctx.ReadHook {
 		t.Fatal("eager mode must keep tracking after commits")
 	}
@@ -150,7 +150,7 @@ func TestShrinkAffinityCoin(t *testing.T) {
 	}
 	defer v.Unlock(1)
 	// Hand-plant a read prediction and a low success rate.
-	st.pred.OnAbort(nil)
+	st.pred.OnAbort(stm.WriteSet{})
 	st.succRate = 0.1
 	for i := 0; i < 50; i++ {
 		s.BeforeStart(ctx, 0)

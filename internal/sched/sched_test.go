@@ -20,18 +20,18 @@ func TestShrinkSuccessRateDynamics(t *testing.T) {
 	}
 	// Aborts halve the rate.
 	s.BeforeStart(ctx, 0)
-	s.AfterAbort(ctx, nil)
+	s.AfterAbort(ctx, stm.WriteSet{})
 	if got := s.SuccessRate(ctx); got != 0.5 {
 		t.Fatalf("after one abort = %f, want 0.5", got)
 	}
 	s.BeforeStart(ctx, 1)
-	s.AfterAbort(ctx, nil)
+	s.AfterAbort(ctx, stm.WriteSet{})
 	if got := s.SuccessRate(ctx); got != 0.25 {
 		t.Fatalf("after two aborts = %f, want 0.25", got)
 	}
 	// A commit averages toward 1: (0.25 + 1) / 2.
 	s.BeforeStart(ctx, 2)
-	s.AfterCommit(ctx, nil)
+	s.AfterCommit(ctx, stm.WriteSet{})
 	if got := s.SuccessRate(ctx); got != 0.625 {
 		t.Fatalf("after commit = %f, want 0.625", got)
 	}
@@ -48,7 +48,7 @@ func TestShrinkSerializesOnPredictedConflict(t *testing.T) {
 	// Drive the victim's success rate below the threshold.
 	for i := 0; i < 3; i++ {
 		s.BeforeStart(victim, i)
-		s.AfterAbort(victim, nil)
+		s.AfterAbort(victim, stm.WriteSet{})
 	}
 	if got := s.SuccessRate(victim); got >= 0.5 {
 		t.Fatalf("success rate = %f, want < 0.5", got)
@@ -58,7 +58,7 @@ func TestShrinkSerializesOnPredictedConflict(t *testing.T) {
 	// another thread: the next BeforeStart must serialize.
 	v := stm.NewVar(0)
 	s.BeforeStart(victim, 3)
-	s.AfterAbort(victim, []*stm.Var{v})
+	s.AfterAbort(victim, stm.MakeWriteSet(v))
 	if !v.TryLock(v.Meta(), 7) {
 		t.Fatal("lock setup failed")
 	}
@@ -75,7 +75,7 @@ func TestShrinkSerializesOnPredictedConflict(t *testing.T) {
 		t.Fatalf("wait count = %d, want 1", got)
 	}
 	v.Unlock(1)
-	s.AfterCommit(victim, nil)
+	s.AfterCommit(victim, stm.WriteSet{})
 	if got := s.WaitCount(); got != 0 {
 		t.Fatalf("wait count after release = %d, want 0", got)
 	}
@@ -94,14 +94,14 @@ func TestShrinkNoSerializationWhenHealthy(t *testing.T) {
 	defer v.Unlock(1)
 	// Healthy thread (success rate 1): never serializes even with a
 	// locked var in a (stale) prediction.
-	s.AfterAbort(ctx, []*stm.Var{v})
+	s.AfterAbort(ctx, stm.MakeWriteSet(v))
 	// One commit pushes the rate back up before the check.
-	s.AfterCommit(ctx, nil)
+	s.AfterCommit(ctx, stm.WriteSet{})
 	s.BeforeStart(ctx, 0)
 	if got := s.Serializations(); got != 0 {
 		t.Fatalf("healthy thread serialized %d times", got)
 	}
-	s.AfterCommit(ctx, nil)
+	s.AfterCommit(ctx, stm.WriteSet{})
 }
 
 func TestShrinkMutualExclusionOfSerializedStarts(t *testing.T) {
@@ -123,7 +123,7 @@ func TestShrinkMutualExclusionOfSerializedStarts(t *testing.T) {
 		s.RegisterThread(ctx)
 		for a := 0; a < 3; a++ {
 			s.BeforeStart(ctx, a)
-			s.AfterAbort(ctx, []*stm.Var{v})
+			s.AfterAbort(ctx, stm.MakeWriteSet(v))
 		}
 		wg.Add(1)
 		go func(ctx *stm.ThreadCtx) {
@@ -138,7 +138,7 @@ func TestShrinkMutualExclusionOfSerializedStarts(t *testing.T) {
 			mu.Lock()
 			inCritical--
 			mu.Unlock()
-			s.AfterCommit(ctx, nil)
+			s.AfterCommit(ctx, stm.WriteSet{})
 		}(ctx)
 	}
 	wg.Wait()
@@ -158,21 +158,21 @@ func TestATSContentionIntensity(t *testing.T) {
 	// must then release on commit.
 	for i := 0; i < 6; i++ {
 		a.BeforeStart(ctx, i)
-		a.AfterAbort(ctx, nil)
+		a.AfterAbort(ctx, stm.WriteSet{})
 	}
 	a.BeforeStart(ctx, 0)
 	if got := a.Serializations([]*stm.ThreadCtx{ctx}); got == 0 {
 		t.Fatal("ATS never serialized a high-CI thread")
 	}
-	a.AfterCommit(ctx, nil)
+	a.AfterCommit(ctx, stm.WriteSet{})
 	// Commits decay CI back below threshold eventually.
 	for i := 0; i < 10; i++ {
 		a.BeforeStart(ctx, 0)
-		a.AfterCommit(ctx, nil)
+		a.AfterCommit(ctx, stm.WriteSet{})
 	}
 	before := a.Serializations([]*stm.ThreadCtx{ctx})
 	a.BeforeStart(ctx, 0)
-	a.AfterCommit(ctx, nil)
+	a.AfterCommit(ctx, stm.WriteSet{})
 	if after := a.Serializations([]*stm.ThreadCtx{ctx}); after != before {
 		t.Fatal("ATS serialized a thread whose CI had decayed")
 	}
@@ -183,14 +183,14 @@ func TestPoolSerializesContendedThreads(t *testing.T) {
 	ctx := &stm.ThreadCtx{ID: 0}
 	p.RegisterThread(ctx)
 	p.BeforeStart(ctx, 0)
-	p.AfterAbort(ctx, nil)
+	p.AfterAbort(ctx, stm.WriteSet{})
 	// Next start: thread faced contention, so Pool serializes it.
 	p.BeforeStart(ctx, 1)
-	p.AfterCommit(ctx, nil)
+	p.AfterCommit(ctx, stm.WriteSet{})
 	// After the commit the thread is uncontended again; this start must
 	// not block even though another thread holds nothing.
 	p.BeforeStart(ctx, 0)
-	p.AfterCommit(ctx, nil)
+	p.AfterCommit(ctx, stm.WriteSet{})
 }
 
 // TestSchedulersUnderRealLoad runs each scheduler against a genuinely

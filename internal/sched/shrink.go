@@ -155,8 +155,9 @@ func (s *Shrink) AfterRead(t *stm.ThreadCtx, v *stm.Var) {
 
 // AfterCommit implements stm.Scheduler: success rate is rewarded
 // (succ_rate = (succ_rate + success) / 2), the predictor rotates its window,
-// and the serialization mutex is released if held.
-func (s *Shrink) AfterCommit(t *stm.ThreadCtx, writeSet []*stm.Var) {
+// and the serialization mutex is released if held. writeSet is the engine's
+// zero-copy view and is not retained past the call.
+func (s *Shrink) AfterCommit(t *stm.ThreadCtx, writeSet stm.WriteSet) {
 	st := s.state(t)
 	if st == nil {
 		return
@@ -169,16 +170,17 @@ func (s *Shrink) AfterCommit(t *stm.ThreadCtx, writeSet []*stm.Var) {
 }
 
 // AfterAbort implements stm.Scheduler: success rate is halved, the aborted
-// write set becomes the predicted write set of the restart, and the
-// serialization mutex is released if held.
-func (s *Shrink) AfterAbort(t *stm.ThreadCtx, writeSet []*stm.Var) {
+// write set becomes the predicted write set of the restart (the predictor
+// copies it out of the zero-copy view), and the serialization mutex is
+// released if held.
+func (s *Shrink) AfterAbort(t *stm.ThreadCtx, writeSet stm.WriteSet) {
 	st := s.state(t)
 	if st == nil {
 		return
 	}
 	st.succRate /= 2
 	if s.cfg.DisableWritePrediction {
-		st.pred.OnAbort(nil)
+		st.pred.OnAbort(stm.WriteSet{})
 	} else {
 		st.pred.OnAbort(writeSet)
 	}

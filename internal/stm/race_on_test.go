@@ -1,0 +1,9 @@
+//go:build race
+
+package stm_test
+
+// raceEnabled reports whether this test binary was built with the race
+// detector. The allocation regression tests skip themselves under race,
+// because testing.AllocsPerRun counts the detector's own instrumentation
+// allocations and flakes.
+const raceEnabled = true

@@ -139,34 +139,20 @@ type Scheduler interface {
 	BeforeStart(t *ThreadCtx, attempt int)
 	// AfterRead is called after each successful transactional read.
 	AfterRead(t *ThreadCtx, v *Var)
-	// AfterCommit is called after a successful commit, with the write set
-	// of the committed transaction.
-	AfterCommit(t *ThreadCtx, writeSet []*Var)
-	// AfterAbort is called after an abort, with the write set of the
-	// aborted attempt.
-	AfterAbort(t *ThreadCtx, writeSet []*Var)
+	// AfterCommit is called after a successful commit, with a zero-copy
+	// view of the committed transaction's write set. The view aliases the
+	// engine's live write log and is valid only for the duration of the
+	// call; hooks that retain addresses must copy them out.
+	AfterCommit(t *ThreadCtx, writeSet WriteSet)
+	// AfterAbort is called after an abort, with a view of the aborted
+	// attempt's write set under the same lifetime rule as AfterCommit.
+	AfterAbort(t *ThreadCtx, writeSet WriteSet)
 }
 
 // NopScheduler is the base-STM scheduler: every hook is a no-op.
 type NopScheduler struct{}
 
 var _ Scheduler = NopScheduler{}
-
-// IgnoresWriteSets reports whether s declares that its AfterCommit and
-// AfterAbort hooks ignore their write-set argument, which lets engines skip
-// materializing the []*Var per transaction. A scheduler opts in by
-// implementing IgnoresWriteSets() bool; the NopScheduler qualifies
-// implicitly.
-func IgnoresWriteSets(s Scheduler) bool {
-	if m, ok := s.(interface{ IgnoresWriteSets() bool }); ok {
-		return m.IgnoresWriteSets()
-	}
-	switch s.(type) {
-	case NopScheduler, *NopScheduler:
-		return true
-	}
-	return false
-}
 
 // RegisterThread implements Scheduler.
 func (NopScheduler) RegisterThread(*ThreadCtx) {}
@@ -178,10 +164,10 @@ func (NopScheduler) BeforeStart(*ThreadCtx, int) {}
 func (NopScheduler) AfterRead(*ThreadCtx, *Var) {}
 
 // AfterCommit implements Scheduler.
-func (NopScheduler) AfterCommit(*ThreadCtx, []*Var) {}
+func (NopScheduler) AfterCommit(*ThreadCtx, WriteSet) {}
 
 // AfterAbort implements Scheduler.
-func (NopScheduler) AfterAbort(*ThreadCtx, []*Var) {}
+func (NopScheduler) AfterAbort(*ThreadCtx, WriteSet) {}
 
 // ConflictKind classifies a detected conflict for the contention manager.
 type ConflictKind int

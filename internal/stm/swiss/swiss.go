@@ -13,19 +13,20 @@
 //
 // The engine takes a Scheduler (e.g. Shrink) and a ContentionManager, and a
 // WaitPolicy that selects preemptive or busy waiting between retries — the
-// knob behind Figures 5 versus 9 of the paper.
+// knob behind Figures 5 versus 9 of the paper. The transaction lifecycle
+// (retry loop, hook bracketing, conflict resolution) is the shared stm.Core;
+// this package provides only the read/write/commit/rollback protocol.
 package swiss
 
 import (
 	"errors"
-	"fmt"
 	"unsafe"
 
 	"github.com/shrink-tm/shrink/internal/stm"
 )
 
 // Options configures a TM instance. Zero fields fall back to defaults:
-// NopScheduler, a Suicide-like manager, preemptive waiting.
+// NopScheduler, the suicide manager (stm.SuicideCM), preemptive waiting.
 type Options struct {
 	Scheduler stm.Scheduler
 	CM        stm.ContentionManager
@@ -38,68 +39,40 @@ type Options struct {
 // ErrLivelock is returned by Atomically when Options.MaxRetries is exceeded.
 var ErrLivelock = errors.New("swiss: retry budget exhausted")
 
-// defaultCM aborts the asking transaction on every conflict.
-type defaultCM struct{}
-
-func (defaultCM) RegisterThread(*stm.ThreadCtx) {}
-func (defaultCM) OnStart(*stm.ThreadCtx, int)   {}
-func (defaultCM) OnConflict(_, _ *stm.ThreadCtx, _ stm.ConflictKind) stm.Resolution {
-	return stm.AbortSelf
-}
-func (defaultCM) OnCommit(*stm.ThreadCtx) {}
-func (defaultCM) OnAbort(*stm.ThreadCtx)  {}
-
 // TM is a SwissTM-like engine instance.
 type TM struct {
-	clock    stm.Clock
-	sched    stm.Scheduler
-	nopSched bool // write sets need not be materialized for the hooks
-	cm       stm.ContentionManager
-	wait     stm.WaitPolicy
-	maxRetry int
-	reg      stm.Registry
+	core stm.Core
 }
 
 var _ stm.TM = (*TM)(nil)
 
-// New returns a TM with the given options.
+// New returns a TM with the given options. A zero Wait falls back to
+// NewCore's default, preemptive waiting (the paper's SwissTM setting).
 func New(opts Options) *TM {
-	if opts.Scheduler == nil {
-		opts.Scheduler = stm.NopScheduler{}
-	}
-	if opts.CM == nil {
-		opts.CM = defaultCM{}
-	}
-	if opts.Wait == 0 {
-		opts.Wait = stm.WaitPreemptive
-	}
-	return &TM{
-		sched:    opts.Scheduler,
-		nopSched: stm.IgnoresWriteSets(opts.Scheduler),
-		cm:       opts.CM,
-		wait:     opts.Wait,
-		maxRetry: opts.MaxRetries,
-	}
+	return &TM{core: stm.NewCore(stm.CoreOptions{
+		Scheduler:  opts.Scheduler,
+		CM:         opts.CM,
+		Wait:       opts.Wait,
+		MaxRetries: opts.MaxRetries,
+		Livelock:   ErrLivelock,
+	})}
 }
 
 // Register implements stm.TM.
 func (tm *TM) Register(name string) stm.Thread {
-	ctx := tm.reg.Add(name)
-	tm.sched.RegisterThread(ctx)
-	tm.cm.RegisterThread(ctx)
-	th := &Thread{tm: tm, ctx: ctx}
+	th := &Thread{tm: tm, ctx: tm.core.Register(name)}
 	th.tx.th = th
 	return th
 }
 
 // Threads implements stm.TM.
-func (tm *TM) Threads() []*stm.ThreadCtx { return tm.reg.All() }
+func (tm *TM) Threads() []*stm.ThreadCtx { return tm.core.Threads() }
 
 // Stats implements stm.TM.
-func (tm *TM) Stats() stm.Stats { return stm.AggregateStats(tm.reg.All()) }
+func (tm *TM) Stats() stm.Stats { return tm.core.Stats() }
 
 // Clock exposes the global version clock (tests and diagnostics).
-func (tm *TM) Clock() uint64 { return tm.clock.Now() }
+func (tm *TM) Clock() uint64 { return tm.core.Clock.Now() }
 
 // Thread is a per-worker handle. It must be used by one goroutine at a time.
 type Thread struct {
@@ -116,119 +89,49 @@ func (th *Thread) ID() int { return th.ctx.ID }
 // Ctx implements stm.Thread.
 func (th *Thread) Ctx() *stm.ThreadCtx { return th.ctx }
 
-// Atomically implements stm.Thread: it runs fn transactionally, retrying on
-// conflicts. Every attempt is bracketed by the scheduler hooks; the
-// contention manager is consulted on each detected conflict and notified of
-// commits and aborts.
+// Atomically implements stm.Thread via the shared runner: it runs fn
+// transactionally, retrying on conflicts, with every attempt bracketed by
+// the scheduler hooks and the contention manager consulted on each detected
+// conflict.
 func (th *Thread) Atomically(fn func(tx stm.Tx) error) error {
-	tm := th.tm
-	for attempt := 0; ; attempt++ {
-		tm.sched.BeforeStart(th.ctx, attempt)
-		tm.cm.OnStart(th.ctx, attempt)
-		th.ctx.Doomed.Store(false)
-		th.tx.begin(tm.clock.Now())
-
-		err := fn(&th.tx)
-		var ws []*stm.Var
-		if err == nil {
-			if !tm.nopSched {
-				ws = th.tx.writeVars()
-			}
-			err = th.tx.commit()
-		}
-		if err == nil {
-			th.ctx.Commits.Add(1)
-			tm.cm.OnCommit(th.ctx)
-			tm.sched.AfterCommit(th.ctx, ws)
-			return nil
-		}
-
-		if ws == nil && !tm.nopSched {
-			ws = th.tx.writeVars()
-		}
-		th.tx.rollback()
-		if errors.Is(err, stm.ErrConflict) {
-			th.ctx.Aborts.Add(1)
-			tm.cm.OnAbort(th.ctx)
-			tm.sched.AfterAbort(th.ctx, ws)
-			if tm.maxRetry > 0 && attempt+1 >= tm.maxRetry {
-				return fmt.Errorf("%w after %d attempts", ErrLivelock, attempt+1)
-			}
-			tm.wait.Backoff(attempt + 1)
-			continue
-		}
-		// User abort: the transaction's effects are discarded and the
-		// error propagates without retry.
-		th.ctx.UserAborts.Add(1)
-		tm.cm.OnAbort(th.ctx)
-		tm.sched.AfterAbort(th.ctx, ws)
-		return err
-	}
-}
-
-// readEntry records a validated read: the Var and the version it had.
-type readEntry struct {
-	v   *stm.Var
-	ver uint64
+	return th.tm.core.Run(th.ctx, &th.tx, fn)
 }
 
 // writeEntry records an acquired write lock and the speculative value
-// pointer.
+// pointer. The locked Var itself lives in the write index (windex), which
+// is maintained in lockstep with the log; entry i belongs to windex.At(i).
 type writeEntry struct {
-	v       *stm.Var
 	val     unsafe.Pointer
 	oldMeta uint64 // unlocked orec word to restore on abort
 }
 
-// txn is the per-thread transaction descriptor, reused across attempts.
+// txn is the per-thread transaction descriptor, reused across attempts. All
+// of its state (read log, write log, write index) retains capacity across
+// attempts, so a warmed descriptor runs allocation-free.
 type txn struct {
 	th     *Thread
 	rv     uint64 // read version (snapshot timestamp)
-	reads  []readEntry
+	reads  stm.ReadLog
 	writes []writeEntry
-	windex map[*stm.Var]int // Var -> index into writes
+	windex stm.WriteIndex // *Var -> index into writes
 }
 
-var _ stm.Tx = (*txn)(nil)
+var _ stm.CoreTx = (*txn)(nil)
 
-func (tx *txn) begin(now uint64) {
-	tx.rv = now
-	tx.reads = tx.reads[:0]
+// Begin implements stm.CoreTx.
+func (tx *txn) Begin() {
+	tx.rv = tx.th.tm.core.Clock.Now()
+	tx.reads.Reset()
 	tx.writes = tx.writes[:0]
-	if tx.windex == nil {
-		tx.windex = make(map[*stm.Var]int, 16)
-	} else {
-		clear(tx.windex)
-	}
+	tx.windex.Reset()
 }
+
+// Writes implements stm.CoreTx: the zero-copy write-set view over the write
+// index, valid until the next Begin.
+func (tx *txn) Writes() stm.WriteSet { return tx.windex.Set() }
 
 // ThreadID implements stm.Tx.
 func (tx *txn) ThreadID() int { return tx.th.ctx.ID }
-
-// conflict consults the contention manager about a conflict on v currently
-// owned by ownerID and acts on the resolution. It returns nil when the
-// caller should re-attempt the operation, or ErrConflict to abort.
-func (tx *txn) conflict(v *stm.Var, ownerID int, kind stm.ConflictKind) error {
-	tm := tx.th.tm
-	enemy := tm.reg.Get(ownerID)
-	switch tm.cm.OnConflict(tx.th.ctx, enemy, kind) {
-	case stm.WaitRetry:
-		if tm.wait.SpinWhileLocked(v, tx.th.ctx.ID, 256) {
-			return nil
-		}
-		return stm.ErrConflict
-	case stm.AbortOther:
-		if enemy != nil {
-			enemy.Doomed.Store(true)
-		}
-		if tm.wait.SpinWhileLocked(v, tx.th.ctx.ID, 1024) {
-			return nil
-		}
-		return stm.ErrConflict
-	default:
-		return stm.ErrConflict
-	}
-}
 
 // ReadPtr implements stm.Tx: the engine's read protocol over the raw value
 // pointer. Reads are invisible: the Var's orec is sampled around the pointer
@@ -239,13 +142,13 @@ func (tx *txn) ReadPtr(v *stm.Var) (unsafe.Pointer, error) {
 	if tx.th.ctx.Doomed.Load() {
 		return nil, stm.ErrConflict
 	}
-	if i, ok := tx.windex[v]; ok {
+	if i, ok := tx.windex.Lookup(v); ok {
 		return tx.writes[i].val, nil
 	}
 	for {
 		p, meta := v.SnapshotPtr()
 		if stm.IsLocked(meta) {
-			if err := tx.conflict(v, stm.OwnerOf(meta), stm.ReadWrite); err != nil {
+			if err := tx.th.tm.core.Resolve(tx.th.ctx, v, stm.OwnerOf(meta), stm.ReadWrite); err != nil {
 				return nil, err
 			}
 			continue
@@ -257,9 +160,9 @@ func (tx *txn) ReadPtr(v *stm.Var) (unsafe.Pointer, error) {
 			}
 			continue
 		}
-		tx.reads = append(tx.reads, readEntry{v: v, ver: ver})
+		tx.reads.Record(v, ver)
 		if tx.th.ctx.ReadHook {
-			tx.th.tm.sched.AfterRead(tx.th.ctx, v)
+			tx.th.tm.core.Sched.AfterRead(tx.th.ctx, v)
 		}
 		return p, nil
 	}
@@ -272,7 +175,7 @@ func (tx *txn) WritePtr(v *stm.Var, p unsafe.Pointer) error {
 	if tx.th.ctx.Doomed.Load() {
 		return stm.ErrConflict
 	}
-	if i, ok := tx.windex[v]; ok {
+	if i, ok := tx.windex.Lookup(v); ok {
 		tx.writes[i].val = p
 		return nil
 	}
@@ -287,7 +190,7 @@ func (tx *txn) WritePtr(v *stm.Var, p unsafe.Pointer) error {
 				// treat defensively as conflict.
 				return stm.ErrConflict
 			}
-			if err := tx.conflict(v, owner, stm.WriteWrite); err != nil {
+			if err := tx.th.tm.core.Resolve(tx.th.ctx, v, owner, stm.WriteWrite); err != nil {
 				return err
 			}
 			continue
@@ -301,8 +204,8 @@ func (tx *txn) WritePtr(v *stm.Var, p unsafe.Pointer) error {
 		if !v.TryLock(meta, tx.th.ctx.ID) {
 			continue
 		}
-		tx.windex[v] = len(tx.writes)
-		tx.writes = append(tx.writes, writeEntry{v: v, val: p, oldMeta: meta})
+		tx.windex.Add(v)
+		tx.writes = append(tx.writes, writeEntry{val: p, oldMeta: meta})
 		return nil
 	}
 }
@@ -322,88 +225,50 @@ func (tx *txn) Write(v *stm.Var, val any) error {
 	return tx.WritePtr(v, unsafe.Pointer(&val))
 }
 
-// extend tries to advance the transaction's snapshot to the current clock by
-// revalidating the entire read set, and reports success.
+// extend advances the transaction's snapshot to the current clock via the
+// shared read-log revalidation, and reports success.
 func (tx *txn) extend() bool {
-	now := tx.th.tm.clock.Now()
-	if !tx.validate() {
-		return false
-	}
-	tx.rv = now
-	return true
+	return tx.reads.Extend(&tx.th.tm.core.Clock, &tx.rv, tx.th.ctx.ID)
 }
 
-// validate checks that every read is still consistent: the Var is unlocked
-// (or locked by this transaction) and its version is unchanged.
-func (tx *txn) validate() bool {
-	me := tx.th.ctx.ID
-	for i := range tx.reads {
-		e := &tx.reads[i]
-		meta := e.v.Meta()
-		if stm.IsLocked(meta) {
-			if stm.OwnerOf(meta) != me {
-				return false
-			}
-			continue // our own eager lock; value unchanged until commit
-		}
-		if stm.VersionOf(meta) != e.ver {
-			return false
-		}
-	}
-	return true
-}
-
-// commit finalizes the transaction: read-only transactions are already
+// Commit implements stm.CoreTx: read-only transactions are already
 // consistent by incremental validation; update transactions take a commit
 // timestamp from the global clock, validate the read set, write back and
-// release their locks at the new version.
-func (tx *txn) commit() error {
+// release their locks at the new version. The write log is preserved (for
+// the scheduler's write-set view) until the next Begin.
+func (tx *txn) Commit() error {
 	if tx.th.ctx.Doomed.Load() {
 		return stm.ErrConflict
 	}
 	if len(tx.writes) == 0 {
 		return nil
 	}
-	wt := tx.th.tm.clock.Tick()
+	wt := tx.th.tm.core.Clock.Tick()
 	// If no other transaction committed since our snapshot, the read set
 	// cannot have changed (TL2 fast path); otherwise validate.
-	if wt != tx.rv+1 && !tx.validate() {
+	if wt != tx.rv+1 && !tx.reads.Validate(tx.th.ctx.ID) {
 		return stm.ErrConflict
 	}
 	for i := range tx.writes {
 		e := &tx.writes[i]
-		e.v.StorePtr(e.val)
-		e.v.Unlock(wt)
+		v := tx.windex.At(i)
+		v.StorePtr(e.val)
+		v.Unlock(wt)
+		// Drop the log's value reference: the hooks only need the Vars,
+		// and a retained pointer would pin the value even after another
+		// thread overwrites the Var.
+		e.val = nil
 	}
-	tx.writes = tx.writes[:0]
-	clear(tx.windex)
 	return nil
 }
 
-// rollback releases any write locks, restoring the pre-lock orec words, and
-// clears the logs. It is idempotent for a committed transaction (whose write
-// log is already empty).
-func (tx *txn) rollback() {
+// Rollback implements stm.CoreTx: it releases any write locks, restoring the
+// pre-lock orec words. The write log entries stay readable (for the
+// scheduler's write-set view) until the next Begin.
+func (tx *txn) Rollback() {
 	for i := range tx.writes {
-		e := &tx.writes[i]
-		e.v.UnlockRestore(e.oldMeta)
+		tx.windex.At(i).UnlockRestore(tx.writes[i].oldMeta)
+		tx.writes[i].val = nil // drop the speculative value reference
 	}
-	tx.writes = tx.writes[:0]
-	if tx.windex != nil {
-		clear(tx.windex)
-	}
-	tx.reads = tx.reads[:0]
-}
-
-// writeVars returns the Vars in the write set (for the scheduler's write-set
-// prediction). The slice is freshly allocated because the caller retains it.
-func (tx *txn) writeVars() []*stm.Var {
-	if len(tx.writes) == 0 {
-		return nil
-	}
-	out := make([]*stm.Var, len(tx.writes))
-	for i := range tx.writes {
-		out[i] = tx.writes[i].v
-	}
-	return out
+	tx.reads.Reset()
 }

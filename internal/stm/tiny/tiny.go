@@ -9,18 +9,21 @@
 //     with busy waiting, matching the TinySTM 0.9.5 configuration the paper
 //     evaluated — the combination whose throughput collapses under overload
 //     in Figures 8, 10 and 11, and that Shrink rescues.
+//
+// The transaction lifecycle (retry loop, hook bracketing, conflict
+// resolution) is the shared stm.Core; this package provides only the
+// read/write/commit/rollback protocol.
 package tiny
 
 import (
 	"errors"
-	"fmt"
 	"unsafe"
 
 	"github.com/shrink-tm/shrink/internal/stm"
 )
 
 // Options configures a TM instance. Zero fields fall back to defaults:
-// NopScheduler, suicide contention management, busy waiting.
+// NopScheduler, suicide contention management (stm.SuicideCM), busy waiting.
 type Options struct {
 	Scheduler stm.Scheduler
 	CM        stm.ContentionManager
@@ -33,67 +36,42 @@ type Options struct {
 // ErrLivelock is returned by Atomically when Options.MaxRetries is exceeded.
 var ErrLivelock = errors.New("tiny: retry budget exhausted")
 
-type defaultCM struct{}
-
-func (defaultCM) RegisterThread(*stm.ThreadCtx) {}
-func (defaultCM) OnStart(*stm.ThreadCtx, int)   {}
-func (defaultCM) OnConflict(_, _ *stm.ThreadCtx, _ stm.ConflictKind) stm.Resolution {
-	return stm.AbortSelf
-}
-func (defaultCM) OnCommit(*stm.ThreadCtx) {}
-func (defaultCM) OnAbort(*stm.ThreadCtx)  {}
-
 // TM is a TinySTM-like engine instance.
 type TM struct {
-	clock    stm.Clock
-	sched    stm.Scheduler
-	nopSched bool // write sets need not be materialized for the hooks
-	cm       stm.ContentionManager
-	wait     stm.WaitPolicy
-	maxRetry int
-	reg      stm.Registry
+	core stm.Core
 }
 
 var _ stm.TM = (*TM)(nil)
 
 // New returns a TM with the given options.
 func New(opts Options) *TM {
-	if opts.Scheduler == nil {
-		opts.Scheduler = stm.NopScheduler{}
-	}
-	if opts.CM == nil {
-		opts.CM = defaultCM{}
-	}
 	if opts.Wait == 0 {
 		opts.Wait = stm.WaitBusy
 	}
-	return &TM{
-		sched:    opts.Scheduler,
-		nopSched: stm.IgnoresWriteSets(opts.Scheduler),
-		cm:       opts.CM,
-		wait:     opts.Wait,
-		maxRetry: opts.MaxRetries,
-	}
+	return &TM{core: stm.NewCore(stm.CoreOptions{
+		Scheduler:  opts.Scheduler,
+		CM:         opts.CM,
+		Wait:       opts.Wait,
+		MaxRetries: opts.MaxRetries,
+		Livelock:   ErrLivelock,
+	})}
 }
 
 // Register implements stm.TM.
 func (tm *TM) Register(name string) stm.Thread {
-	ctx := tm.reg.Add(name)
-	tm.sched.RegisterThread(ctx)
-	tm.cm.RegisterThread(ctx)
-	th := &Thread{tm: tm, ctx: ctx}
+	th := &Thread{tm: tm, ctx: tm.core.Register(name)}
 	th.tx.th = th
 	return th
 }
 
 // Threads implements stm.TM.
-func (tm *TM) Threads() []*stm.ThreadCtx { return tm.reg.All() }
+func (tm *TM) Threads() []*stm.ThreadCtx { return tm.core.Threads() }
 
 // Stats implements stm.TM.
-func (tm *TM) Stats() stm.Stats { return stm.AggregateStats(tm.reg.All()) }
+func (tm *TM) Stats() stm.Stats { return tm.core.Stats() }
 
 // Clock exposes the global version clock (tests and diagnostics).
-func (tm *TM) Clock() uint64 { return tm.clock.Now() }
+func (tm *TM) Clock() uint64 { return tm.core.Clock.Now() }
 
 // Thread is a per-worker handle. It must be used by one goroutine at a time.
 type Thread struct {
@@ -110,109 +88,47 @@ func (th *Thread) ID() int { return th.ctx.ID }
 // Ctx implements stm.Thread.
 func (th *Thread) Ctx() *stm.ThreadCtx { return th.ctx }
 
-// Atomically implements stm.Thread.
+// Atomically implements stm.Thread via the shared runner.
 func (th *Thread) Atomically(fn func(tx stm.Tx) error) error {
-	tm := th.tm
-	for attempt := 0; ; attempt++ {
-		tm.sched.BeforeStart(th.ctx, attempt)
-		tm.cm.OnStart(th.ctx, attempt)
-		th.ctx.Doomed.Store(false)
-		th.tx.begin(tm.clock.Now())
-
-		err := fn(&th.tx)
-		var ws []*stm.Var
-		if err == nil {
-			if !tm.nopSched {
-				ws = th.tx.writeVars()
-			}
-			err = th.tx.commit()
-		}
-		if err == nil {
-			th.ctx.Commits.Add(1)
-			tm.cm.OnCommit(th.ctx)
-			tm.sched.AfterCommit(th.ctx, ws)
-			return nil
-		}
-
-		if ws == nil && !tm.nopSched {
-			ws = th.tx.writeVars()
-		}
-		th.tx.rollback()
-		if errors.Is(err, stm.ErrConflict) {
-			th.ctx.Aborts.Add(1)
-			tm.cm.OnAbort(th.ctx)
-			tm.sched.AfterAbort(th.ctx, ws)
-			if tm.maxRetry > 0 && attempt+1 >= tm.maxRetry {
-				return fmt.Errorf("%w after %d attempts", ErrLivelock, attempt+1)
-			}
-			tm.wait.Backoff(attempt + 1)
-			continue
-		}
-		th.ctx.UserAborts.Add(1)
-		tm.cm.OnAbort(th.ctx)
-		tm.sched.AfterAbort(th.ctx, ws)
-		return err
-	}
+	return th.tm.core.Run(th.ctx, &th.tx, fn)
 }
 
-type readEntry struct {
-	v   *stm.Var
-	ver uint64
-}
-
-// undoEntry records an acquired lock, the pre-lock orec word and the
-// overwritten value pointer, so aborts can restore both.
+// undoEntry records an acquired lock's pre-lock orec word and the
+// overwritten value pointer, so aborts can restore both. The locked Var
+// itself lives in the write index (windex), which is maintained in lockstep
+// with the log; entry i belongs to windex.At(i).
 type undoEntry struct {
-	v       *stm.Var
 	oldVal  unsafe.Pointer
 	oldMeta uint64
 }
 
+// txn is the per-thread transaction descriptor, reused across attempts. All
+// of its state (read log, undo log, write index) retains capacity across
+// attempts, so a warmed descriptor runs allocation-free.
 type txn struct {
 	th     *Thread
 	rv     uint64
-	reads  []readEntry
+	reads  stm.ReadLog
 	undo   []undoEntry
-	windex map[*stm.Var]int
+	windex stm.WriteIndex // *Var -> index into undo
 }
 
-var _ stm.Tx = (*txn)(nil)
+var _ stm.CoreTx = (*txn)(nil)
 
-func (tx *txn) begin(now uint64) {
-	tx.rv = now
-	tx.reads = tx.reads[:0]
+// Begin implements stm.CoreTx.
+func (tx *txn) Begin() {
+	tx.rv = tx.th.tm.core.Clock.Now()
+	tx.reads.Reset()
 	tx.undo = tx.undo[:0]
-	if tx.windex == nil {
-		tx.windex = make(map[*stm.Var]int, 16)
-	} else {
-		clear(tx.windex)
-	}
+	tx.windex.Reset()
 }
+
+// Writes implements stm.CoreTx: the zero-copy write-set view over the write
+// index, valid until the next Begin.
+func (tx *txn) Writes() stm.WriteSet { return tx.windex.Set() }
 
 // ThreadID implements stm.Tx.
 func (tx *txn) ThreadID() int { return tx.th.ctx.ID }
-
-func (tx *txn) conflict(v *stm.Var, ownerID int, kind stm.ConflictKind) error {
-	tm := tx.th.tm
-	enemy := tm.reg.Get(ownerID)
-	switch tm.cm.OnConflict(tx.th.ctx, enemy, kind) {
-	case stm.WaitRetry:
-		if tm.wait.SpinWhileLocked(v, tx.th.ctx.ID, 256) {
-			return nil
-		}
-		return stm.ErrConflict
-	case stm.AbortOther:
-		if enemy != nil {
-			enemy.Doomed.Store(true)
-		}
-		if tm.wait.SpinWhileLocked(v, tx.th.ctx.ID, 1024) {
-			return nil
-		}
-		return stm.ErrConflict
-	default:
-		return stm.ErrConflict
-	}
-}
 
 // ReadPtr implements stm.Tx: the engine's read protocol over the raw value
 // pointer. With write-through, a Var this transaction has written holds the
@@ -222,13 +138,13 @@ func (tx *txn) ReadPtr(v *stm.Var) (unsafe.Pointer, error) {
 	if tx.th.ctx.Doomed.Load() {
 		return nil, stm.ErrConflict
 	}
-	if _, ok := tx.windex[v]; ok {
+	if _, ok := tx.windex.Lookup(v); ok {
 		return v.LoadPtr(), nil
 	}
 	for {
 		p, meta := v.SnapshotPtr()
 		if stm.IsLocked(meta) {
-			if err := tx.conflict(v, stm.OwnerOf(meta), stm.ReadWrite); err != nil {
+			if err := tx.th.tm.core.Resolve(tx.th.ctx, v, stm.OwnerOf(meta), stm.ReadWrite); err != nil {
 				return nil, err
 			}
 			continue
@@ -240,9 +156,9 @@ func (tx *txn) ReadPtr(v *stm.Var) (unsafe.Pointer, error) {
 			}
 			continue
 		}
-		tx.reads = append(tx.reads, readEntry{v: v, ver: ver})
+		tx.reads.Record(v, ver)
 		if tx.th.ctx.ReadHook {
-			tx.th.tm.sched.AfterRead(tx.th.ctx, v)
+			tx.th.tm.core.Sched.AfterRead(tx.th.ctx, v)
 		}
 		return p, nil
 	}
@@ -255,7 +171,7 @@ func (tx *txn) WritePtr(v *stm.Var, p unsafe.Pointer) error {
 	if tx.th.ctx.Doomed.Load() {
 		return stm.ErrConflict
 	}
-	if _, ok := tx.windex[v]; ok {
+	if _, ok := tx.windex.Lookup(v); ok {
 		v.StorePtr(p)
 		return nil
 	}
@@ -266,7 +182,7 @@ func (tx *txn) WritePtr(v *stm.Var, p unsafe.Pointer) error {
 			if owner == tx.th.ctx.ID {
 				return stm.ErrConflict // stale lock: defensive
 			}
-			if err := tx.conflict(v, owner, stm.WriteWrite); err != nil {
+			if err := tx.th.tm.core.Resolve(tx.th.ctx, v, owner, stm.WriteWrite); err != nil {
 				return err
 			}
 			continue
@@ -282,8 +198,8 @@ func (tx *txn) WritePtr(v *stm.Var, p unsafe.Pointer) error {
 			continue
 		}
 		v.StorePtr(p)
-		tx.windex[v] = len(tx.undo)
-		tx.undo = append(tx.undo, undoEntry{v: v, oldVal: oldVal, oldMeta: meta})
+		tx.windex.Add(v)
+		tx.undo = append(tx.undo, undoEntry{oldVal: oldVal, oldMeta: meta})
 		return nil
 	}
 }
@@ -304,75 +220,44 @@ func (tx *txn) Write(v *stm.Var, val any) error {
 }
 
 func (tx *txn) extend() bool {
-	now := tx.th.tm.clock.Now()
-	if !tx.validate() {
-		return false
-	}
-	tx.rv = now
-	return true
+	return tx.reads.Extend(&tx.th.tm.core.Clock, &tx.rv, tx.th.ctx.ID)
 }
 
-func (tx *txn) validate() bool {
-	me := tx.th.ctx.ID
-	for i := range tx.reads {
-		e := &tx.reads[i]
-		meta := e.v.Meta()
-		if stm.IsLocked(meta) {
-			if stm.OwnerOf(meta) != me {
-				return false
-			}
-			continue
-		}
-		if stm.VersionOf(meta) != e.ver {
-			return false
-		}
-	}
-	return true
-}
-
-// commit validates the read set and releases the write locks at a fresh
-// commit timestamp. Values are already in place (write-through).
-func (tx *txn) commit() error {
+// Commit implements stm.CoreTx: it validates the read set and releases the
+// write locks at a fresh commit timestamp. Values are already in place
+// (write-through). The undo log is preserved (for the scheduler's write-set
+// view) until the next Begin.
+func (tx *txn) Commit() error {
 	if tx.th.ctx.Doomed.Load() {
 		return stm.ErrConflict
 	}
 	if len(tx.undo) == 0 {
 		return nil
 	}
-	wt := tx.th.tm.clock.Tick()
-	if wt != tx.rv+1 && !tx.validate() {
+	wt := tx.th.tm.core.Clock.Tick()
+	if wt != tx.rv+1 && !tx.reads.Validate(tx.th.ctx.ID) {
 		return stm.ErrConflict
 	}
 	for i := range tx.undo {
-		tx.undo[i].v.Unlock(wt)
+		tx.windex.At(i).Unlock(wt)
+		// Drop the pre-image reference: the hooks only need the Vars, and
+		// a retained pointer would pin the overwritten value until this
+		// thread's next transaction.
+		tx.undo[i].oldVal = nil
 	}
-	tx.undo = tx.undo[:0]
-	clear(tx.windex)
 	return nil
 }
 
-// rollback restores overwritten values from the undo log (newest first) and
-// the pre-lock orec words.
-func (tx *txn) rollback() {
+// Rollback implements stm.CoreTx: it restores overwritten values from the
+// undo log (newest first) and the pre-lock orec words. The undo log entries
+// stay readable (for the scheduler's write-set view) until the next Begin.
+func (tx *txn) Rollback() {
 	for i := len(tx.undo) - 1; i >= 0; i-- {
 		e := &tx.undo[i]
-		e.v.StorePtr(e.oldVal)
-		e.v.UnlockRestore(e.oldMeta)
+		v := tx.windex.At(i)
+		v.StorePtr(e.oldVal)
+		v.UnlockRestore(e.oldMeta)
+		e.oldVal = nil // the reference lives in the Var again
 	}
-	tx.undo = tx.undo[:0]
-	if tx.windex != nil {
-		clear(tx.windex)
-	}
-	tx.reads = tx.reads[:0]
-}
-
-func (tx *txn) writeVars() []*stm.Var {
-	if len(tx.undo) == 0 {
-		return nil
-	}
-	out := make([]*stm.Var, len(tx.undo))
-	for i := range tx.undo {
-		out[i] = tx.undo[i].v
-	}
-	return out
+	tx.reads.Reset()
 }
