@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"github.com/shrink-tm/shrink/internal/bench7"
+	"github.com/shrink-tm/shrink/internal/enginecfg"
 	"github.com/shrink-tm/shrink/internal/harness"
 	"github.com/shrink-tm/shrink/internal/report"
 )
@@ -30,8 +31,8 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("predacc", flag.ContinueOnError)
+	ef := enginecfg.AddFlags(fs)
 	var (
-		engine  = fs.String("stm", "swiss", "STM engine: swiss or tiny")
 		mixName = fs.String("mix", "all", "workload mix: r, rw, w, or all")
 		threads = fs.String("threads", "2,3,4,6,8,10,12,16,20,24", "thread counts")
 		dur     = fs.Duration("dur", 200*time.Millisecond, "measurement duration per cell")
@@ -39,6 +40,10 @@ func run(args []string) error {
 		csv     = fs.Bool("csv", false, "emit CSV instead of text tables")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	wait, err := ef.WaitPolicy()
+	if err != nil {
 		return err
 	}
 	var counts []int
@@ -63,8 +68,9 @@ func run(args []string) error {
 	for _, mix := range mixes {
 		for _, n := range counts {
 			res, err := harness.Run(harness.Config{
-				Engine:        *engine,
+				Engine:        ef.Engine(),
 				Scheduler:     harness.SchedShrink,
+				Wait:          wait,
 				Threads:       n,
 				Duration:      *dur,
 				Cores:         *cores,

@@ -17,6 +17,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/shrink-tm/shrink/internal/enginecfg"
 	"github.com/shrink-tm/shrink/internal/harness"
 	"github.com/shrink-tm/shrink/internal/microbench"
 	"github.com/shrink-tm/shrink/internal/report"
@@ -31,8 +32,8 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("rbtree", flag.ContinueOnError)
+	ef := enginecfg.AddFlags(fs)
 	var (
-		engine  = fs.String("stm", "swiss", "STM engine: swiss or tiny")
 		updates = fs.Int("updates", 0, "update percentage: 20, 70, or 0 for both")
 		keys    = fs.Int("range", 16384, "integer set key range")
 		threads = fs.String("threads", "", "thread counts (default: paper's 1..24)")
@@ -42,6 +43,11 @@ func run(args []string) error {
 		reps    = fs.Int("reps", 1, "runs per cell; the median is reported")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	engine := ef.Engine()
+	wait, err := ef.WaitPolicy()
+	if err != nil {
 		return err
 	}
 
@@ -61,23 +67,24 @@ func run(args []string) error {
 		rates = []int{*updates}
 	}
 	schedulers := []string{harness.SchedNone, harness.SchedShrink, harness.SchedATS}
-	if *engine == harness.EngineTiny {
+	if engine == harness.EngineTiny {
 		schedulers = []string{harness.SchedNone, harness.SchedShrink}
 	}
 
 	for _, rate := range rates {
 		table := report.NewTable(
-			fmt.Sprintf("Red-black tree, %d%% updates, range %d, on %s", rate, *keys, *engine),
+			fmt.Sprintf("Red-black tree, %d%% updates, range %d, on %s (%s waiting)", rate, *keys, engine, ef.WaitLabel()),
 			"threads", "committed tx/s")
 		for _, scheduler := range schedulers {
-			name := *engine
+			name := engine
 			if scheduler != harness.SchedNone {
-				name = scheduler + "-" + *engine
+				name = scheduler + "-" + engine
 			}
 			for _, n := range counts {
 				res, err := harness.RunMedian(harness.Config{
-					Engine:    *engine,
+					Engine:    engine,
 					Scheduler: scheduler,
+					Wait:      wait,
 					Threads:   n,
 					Duration:  *dur,
 					Cores:     *cores,

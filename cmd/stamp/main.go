@@ -17,9 +17,11 @@ import (
 	"strings"
 	"time"
 
+	"github.com/shrink-tm/shrink/internal/enginecfg"
 	"github.com/shrink-tm/shrink/internal/harness"
 	"github.com/shrink-tm/shrink/internal/report"
 	"github.com/shrink-tm/shrink/internal/stamp"
+	"github.com/shrink-tm/shrink/internal/stm"
 )
 
 func main() {
@@ -31,8 +33,8 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("stamp", flag.ContinueOnError)
+	ef := enginecfg.AddFlags(fs)
 	var (
-		engine  = fs.String("stm", "swiss", "STM engine: swiss or tiny")
 		kernels = fs.String("kernels", "", "comma-separated kernels (default: all ten)")
 		threads = fs.String("threads", "", "thread counts (default: 2,4,8,16,32,64)")
 		dur     = fs.Duration("dur", 200*time.Millisecond, "measurement duration per cell")
@@ -41,6 +43,11 @@ func run(args []string) error {
 		reps    = fs.Int("reps", 1, "runs per cell; the median is reported")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	engine := ef.Engine()
+	wait, err := ef.WaitPolicy()
+	if err != nil {
 		return err
 	}
 
@@ -66,15 +73,15 @@ func run(args []string) error {
 	}
 
 	table := report.NewTable(
-		fmt.Sprintf("STAMP speedup-1 of Shrink-%s over base %s", *engine, *engine),
+		fmt.Sprintf("STAMP speedup-1 of Shrink-%s over base %s (%s waiting)", engine, engine, ef.WaitLabel()),
 		"threads", "speedup - 1")
 	for _, name := range names {
 		for _, n := range counts {
-			base, err := measure(*engine, harness.SchedNone, name, n, *dur, *cores, *reps)
+			base, err := measure(engine, harness.SchedNone, wait, name, n, *dur, *cores, *reps)
 			if err != nil {
 				return err
 			}
-			shrink, err := measure(*engine, harness.SchedShrink, name, n, *dur, *cores, *reps)
+			shrink, err := measure(engine, harness.SchedShrink, wait, name, n, *dur, *cores, *reps)
 			if err != nil {
 				return err
 			}
@@ -89,10 +96,11 @@ func run(args []string) error {
 	return nil
 }
 
-func measure(engine, scheduler, kernel string, threads int, dur time.Duration, cores, reps int) (harness.Result, error) {
+func measure(engine, scheduler string, wait stm.WaitPolicy, kernel string, threads int, dur time.Duration, cores, reps int) (harness.Result, error) {
 	return harness.RunMedian(harness.Config{
 		Engine:    engine,
 		Scheduler: scheduler,
+		Wait:      wait,
 		Threads:   threads,
 		Duration:  dur,
 		Cores:     cores,

@@ -18,9 +18,9 @@ import (
 	"time"
 
 	"github.com/shrink-tm/shrink/internal/bench7"
+	"github.com/shrink-tm/shrink/internal/enginecfg"
 	"github.com/shrink-tm/shrink/internal/harness"
 	"github.com/shrink-tm/shrink/internal/report"
-	"github.com/shrink-tm/shrink/internal/stm"
 )
 
 func main() {
@@ -32,9 +32,8 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("stmbench7", flag.ContinueOnError)
+	ef := enginecfg.AddFlags(fs)
 	var (
-		engine    = fs.String("stm", "swiss", "STM engine: swiss or tiny")
-		waitName  = fs.String("wait", "", "waiting policy: preemptive or busy (default: engine's)")
 		mixName   = fs.String("mix", "all", "workload mix: r, rw, w, or all")
 		threads   = fs.String("threads", "", "comma-separated thread counts (default: paper's 1..24)")
 		dur       = fs.Duration("dur", 200*time.Millisecond, "measurement duration per cell")
@@ -47,7 +46,8 @@ func run(args []string) error {
 		return err
 	}
 
-	wait, err := parseWait(*waitName)
+	engine := ef.Engine()
+	wait, err := ef.WaitPolicy()
 	if err != nil {
 		return err
 	}
@@ -59,15 +59,15 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	schedulers := defaultSchedulers(*engine, *schedList)
+	schedulers := defaultSchedulers(engine, *schedList)
 
 	for _, mix := range mixes {
-		title := fmt.Sprintf("STMBench7 %s on %s (%s waiting)", mix, *engine, waitLabel(wait, *engine))
+		title := fmt.Sprintf("STMBench7 %s on %s (%s waiting)", mix, engine, ef.WaitLabel())
 		table := report.NewTable(title, "threads", "committed tx/s")
 		for _, scheduler := range schedulers {
 			for _, n := range counts {
 				res, err := harness.RunMedian(harness.Config{
-					Engine:    *engine,
+					Engine:    engine,
 					Scheduler: scheduler,
 					Wait:      wait,
 					Threads:   n,
@@ -79,7 +79,7 @@ func run(args []string) error {
 				if err != nil {
 					return err
 				}
-				table.Add(seriesName(*engine, scheduler), n, res.Throughput)
+				table.Add(seriesName(engine, scheduler), n, res.Throughput)
 			}
 		}
 		if *csv {
@@ -90,29 +90,6 @@ func run(args []string) error {
 		}
 	}
 	return nil
-}
-
-func parseWait(s string) (stm.WaitPolicy, error) {
-	switch s {
-	case "":
-		return 0, nil
-	case "preemptive":
-		return stm.WaitPreemptive, nil
-	case "busy":
-		return stm.WaitBusy, nil
-	default:
-		return 0, fmt.Errorf("unknown wait policy %q", s)
-	}
-}
-
-func waitLabel(w stm.WaitPolicy, engine string) string {
-	if w != 0 {
-		return w.String()
-	}
-	if engine == harness.EngineTiny {
-		return "busy"
-	}
-	return "preemptive"
 }
 
 func parseThreads(s string) ([]int, error) {

@@ -2,24 +2,7 @@ package main
 
 import (
 	"testing"
-
-	"github.com/shrink-tm/shrink/internal/stm"
 )
-
-func TestParseWait(t *testing.T) {
-	if w, err := parseWait(""); err != nil || w != 0 {
-		t.Fatalf("empty: %v %v", w, err)
-	}
-	if w, err := parseWait("preemptive"); err != nil || w != stm.WaitPreemptive {
-		t.Fatalf("preemptive: %v %v", w, err)
-	}
-	if w, err := parseWait("busy"); err != nil || w != stm.WaitBusy {
-		t.Fatalf("busy: %v %v", w, err)
-	}
-	if _, err := parseWait("nope"); err == nil {
-		t.Fatal("bad wait accepted")
-	}
-}
 
 func TestParseThreads(t *testing.T) {
 	counts, err := parseThreads("")
@@ -80,6 +63,9 @@ func TestRunEndToEnd(t *testing.T) {
 	}
 	if err := run([]string{"-stm", "bogus"}); err == nil {
 		t.Fatal("bogus engine accepted")
+	}
+	if err := run([]string{"-wait", "bogus"}); err == nil {
+		t.Fatal("bogus wait policy accepted")
 	}
 	if err := run([]string{"-threads", "junk"}); err == nil {
 		t.Fatal("junk threads accepted")

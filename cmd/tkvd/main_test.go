@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestServeAndShutdown(t *testing.T) {
+	var out bytes.Buffer
+	ready := make(chan string, 1)
+	stop := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-shards", "2", "-pool", "2"},
+			&out, ready, stop)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("server exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+	base := "http://" + addr
+
+	body := strings.NewReader(`{"value":"hello"}`)
+	req, err := http.NewRequest("PUT", base+"/kv/5", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("PUT = %d", resp.StatusCode)
+	}
+	resp, err = http.Get(base + "/kv/5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Value string `json:"value"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got.Value != "hello" {
+		t.Fatalf("GET = %+v", got)
+	}
+
+	close(stop)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never shut down")
+	}
+	if !strings.Contains(out.String(), "drained") {
+		t.Fatalf("missing shutdown stats:\n%s", out.String())
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-sched", "bogus", "-addr", "127.0.0.1:0"}, &out, nil, nil); err == nil {
+		t.Fatal("bogus scheduler accepted")
+	}
+	if err := run([]string{"-wait", "bogus"}, &out, nil, nil); err == nil {
+		t.Fatal("bogus wait policy accepted")
+	}
+	if err := run([]string{"-stm", "bogus", "-addr", "127.0.0.1:0"}, &out, nil, nil); err == nil {
+		t.Fatal("bogus engine accepted")
+	}
+}

@@ -1,0 +1,503 @@
+// Command tkvload is an open-loop HTTP load driver for tkvd. It generates a
+// mixed workload — reads, client-side CAS read-modify-write increments,
+// blob puts/deletes and cross-shard atomic batch adds — with configurable
+// key skew, read ratio, batch size and connection count, and reports
+// throughput and latency percentiles as a report table over the swept
+// connection counts.
+//
+// The driver doubles as a correctness checker: every increment it performs
+// goes through a transactional server path (CAS or batch add), so at the
+// end of the run the sum of all counter keys must equal the number of
+// increments that reported success. Any lost update — in an engine, in the
+// shard locking protocol, or in the batch two-phase — fails the run, as
+// does a committed-transaction count of zero. Blob values embed their key,
+// so a read returning another key's value is also detected.
+//
+// Usage:
+//
+//	tkvload -url http://127.0.0.1:7070 -dur 5s -conns 4,16,64
+//	tkvload -url http://127.0.0.1:7070 -read 0.9 -zipf 1.2 -batchsize 16
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/shrink-tm/shrink/internal/report"
+	"github.com/shrink-tm/shrink/internal/tkv"
+	"github.com/shrink-tm/shrink/internal/trace"
+)
+
+// blobBase offsets the blob key region away from the counter keys.
+const blobBase = uint64(1) << 32
+
+// casAttempts bounds one CAS increment's retry loop.
+const casAttempts = 64
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tkvload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("tkvload", flag.ContinueOnError)
+	var (
+		url       = fs.String("url", "", "base URL of the tkvd server (required)")
+		dur       = fs.Duration("dur", 2*time.Second, "measurement duration per connection-count cell")
+		connsList = fs.String("conns", "8", "comma-separated connection counts to sweep")
+		rate      = fs.Float64("rate", 0, "open-loop arrival rate in ops/s (0 = closed loop)")
+		keys      = fs.Int("keys", 128, "counter key count (keys 0..n-1, sum-verified)")
+		blobs     = fs.Int("blobs", 128, "blob key count (put/delete/get region)")
+		readFrac  = fs.Float64("read", 0.5, "fraction of operations that are reads")
+		batchFrac = fs.Float64("batch", 0.25, "fraction of updates that are atomic batch adds")
+		batchSize = fs.Int("batchsize", 8, "adds per batch")
+		zipfS     = fs.Float64("zipf", 0, "zipf skew parameter (>1 skews; 0 = uniform)")
+		seed      = fs.Int64("seed", 1, "RNG seed")
+		csv       = fs.Bool("csv", false, "emit CSV instead of a text table")
+		verifyEnd = fs.Bool("verify", true, "verify the zero-lost-update invariant at the end")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *url == "" {
+		return fmt.Errorf("-url is required")
+	}
+	if *keys <= 0 || *blobs <= 0 || *batchSize <= 0 {
+		return fmt.Errorf("-keys, -blobs and -batchsize must be positive")
+	}
+	if *zipfS != 0 && *zipfS <= 1 {
+		return fmt.Errorf("-zipf must be > 1 (or 0 for uniform)")
+	}
+	var conns []int
+	for _, p := range strings.Split(*connsList, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n <= 0 {
+			return fmt.Errorf("bad connection count %q", p)
+		}
+		conns = append(conns, n)
+	}
+
+	d := &driver{
+		base: strings.TrimRight(*url, "/"),
+		cfg: loadConfig{
+			dur:       *dur,
+			rate:      *rate,
+			keys:      *keys,
+			blobs:     *blobs,
+			readFrac:  *readFrac,
+			batchFrac: *batchFrac,
+			batchSize: *batchSize,
+			zipfS:     *zipfS,
+			seed:      *seed,
+		},
+	}
+	maxConns := 0
+	for _, n := range conns {
+		maxConns = max(maxConns, n)
+	}
+	d.client = &http.Client{
+		Timeout: 30 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        maxConns * 2,
+			MaxIdleConnsPerHost: maxConns * 2,
+		},
+	}
+
+	// Seed every counter key so CAS loops always find a value.
+	for k := 0; k < *keys; k++ {
+		if err := d.put(uint64(k), "0"); err != nil {
+			return fmt.Errorf("seeding counters: %w", err)
+		}
+	}
+
+	mode := "closed-loop"
+	if *rate > 0 {
+		mode = fmt.Sprintf("open-loop %.0f ops/s", *rate)
+	}
+	table := report.NewTable(
+		fmt.Sprintf("tkvload %s (%s, read=%.2f batch=%.2f zipf=%g)",
+			d.base, mode, *readFrac, *batchFrac, *zipfS),
+		"conns", "ops/s and latency (us)")
+	for _, n := range conns {
+		cell := d.drive(n)
+		table.Add("ops/s", n, float64(cell.ops)/cell.elapsed.Seconds())
+		table.Add("p50us", n, float64(cell.hist.Quantile(0.50)))
+		table.Add("p95us", n, float64(cell.hist.Quantile(0.95)))
+		table.Add("p99us", n, float64(cell.hist.Quantile(0.99)))
+		table.Add("errors", n, float64(cell.errs))
+	}
+	if *csv {
+		table.WriteCSV(out)
+	} else {
+		table.WriteText(out)
+	}
+
+	if *verifyEnd {
+		return d.verify(out)
+	}
+	return nil
+}
+
+// loadConfig is the per-run workload shape.
+type loadConfig struct {
+	dur                 time.Duration
+	rate                float64
+	keys, blobs         int
+	readFrac, batchFrac float64
+	batchSize           int
+	zipfS               float64
+	seed                int64
+}
+
+// driver owns the HTTP client and the cross-cell increment tally.
+type driver struct {
+	base   string
+	client *http.Client
+	cfg    loadConfig
+
+	// Successful transactional increments, accumulated across cells; the
+	// final counter sum must equal their total.
+	casIncrs  atomic.Uint64
+	batchAdds atomic.Uint64
+	// blobCorrupt counts blob reads whose value named another key.
+	blobCorrupt atomic.Uint64
+}
+
+// cellResult is one swept connection count's measurement.
+type cellResult struct {
+	ops     uint64
+	errs    uint64
+	elapsed time.Duration
+	hist    *trace.Histogram
+}
+
+// drive runs one cell: cfg.dur of traffic over n connections. In open-loop
+// mode arrivals are generated at cfg.rate regardless of completion, so
+// latency includes queueing delay — the serving regime the paper's
+// overload figures are about. (Arrival timestamps have the generator's
+// 5ms tick granularity, which bounds the latency resolution in that mode.)
+func (d *driver) drive(n int) cellResult {
+	cell := cellResult{hist: &trace.Histogram{}}
+	var ops, errs atomic.Uint64
+	stop := make(chan struct{})
+	var arrivals chan time.Time
+	if d.cfg.rate > 0 {
+		arrivals = make(chan time.Time, 1<<16)
+		go func() {
+			// Batch arrivals per tick, scaled by the measured time since
+			// the previous fire: per-arrival tickers undershoot badly at
+			// sub-millisecond intervals, and tickers coalesce fires under
+			// coarse timers, so wall-clock elapsed is the only honest
+			// arrival budget.
+			tick := time.NewTicker(5 * time.Millisecond)
+			defer tick.Stop()
+			last := time.Now()
+			carry := 0.0
+			for {
+				select {
+				case <-stop:
+					return
+				case t := <-tick.C:
+					carry += d.cfg.rate * t.Sub(last).Seconds()
+					last = t
+					n := int(carry)
+					carry -= float64(n)
+					for i := 0; i < n; i++ {
+						select {
+						case arrivals <- t:
+						default: // queue full; drop to keep the driver honest
+						}
+					}
+				}
+			}
+		}()
+	}
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < n; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(d.cfg.seed + int64(w)*6151 + int64(n)))
+			var zipf *rand.Zipf
+			if d.cfg.zipfS > 1 {
+				zipf = rand.NewZipf(rng, d.cfg.zipfS, 1, uint64(d.cfg.keys-1))
+			}
+			for {
+				var issued time.Time
+				if arrivals != nil {
+					select {
+					case <-stop:
+						return
+					case issued = <-arrivals:
+					}
+				} else {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					issued = time.Now()
+				}
+				if err := d.op(rng, zipf); err != nil {
+					errs.Add(1)
+				} else {
+					ops.Add(1)
+				}
+				cell.hist.ObserveDuration(time.Since(issued))
+			}
+		}()
+	}
+	time.Sleep(d.cfg.dur)
+	close(stop)
+	wg.Wait()
+	cell.elapsed = time.Since(start)
+	cell.ops = ops.Load()
+	cell.errs = errs.Load()
+	return cell
+}
+
+// counterKey picks a counter key, honoring the configured skew.
+func (d *driver) counterKey(rng *rand.Rand, zipf *rand.Zipf) uint64 {
+	if zipf != nil {
+		return zipf.Uint64()
+	}
+	return uint64(rng.Intn(d.cfg.keys))
+}
+
+// op issues one operation of the mix.
+func (d *driver) op(rng *rand.Rand, zipf *rand.Zipf) error {
+	if rng.Float64() < d.cfg.readFrac {
+		if rng.Intn(2) == 0 {
+			_, _, err := d.get(d.counterKey(rng, zipf))
+			return err
+		}
+		return d.getBlob(rng)
+	}
+	if rng.Float64() < d.cfg.batchFrac {
+		return d.batchAdd(rng, zipf)
+	}
+	switch rng.Intn(5) {
+	case 0, 1:
+		return d.casIncrement(rng, zipf)
+	case 2, 3:
+		key := blobBase + uint64(rng.Intn(d.cfg.blobs))
+		return d.put(key, fmt.Sprintf("%d:%d", key, rng.Int63()))
+	default:
+		return d.del(blobBase + uint64(rng.Intn(d.cfg.blobs)))
+	}
+}
+
+// casIncrement performs a client-side read-modify-write: read the counter,
+// CAS it one higher, retry on interference.
+func (d *driver) casIncrement(rng *rand.Rand, zipf *rand.Zipf) error {
+	key := d.counterKey(rng, zipf)
+	for attempt := 0; attempt < casAttempts; attempt++ {
+		cur, found, err := d.get(key)
+		if err != nil {
+			return err
+		}
+		if !found {
+			return fmt.Errorf("counter key %d missing", key)
+		}
+		n, err := strconv.ParseInt(cur, 10, 64)
+		if err != nil {
+			return fmt.Errorf("counter key %d holds %q", key, cur)
+		}
+		var resp struct {
+			Swapped bool `json:"swapped"`
+		}
+		err = d.postJSON("/cas", map[string]any{
+			"key": key, "old": cur, "new": strconv.FormatInt(n+1, 10),
+		}, &resp)
+		if err != nil {
+			return err
+		}
+		if resp.Swapped {
+			d.casIncrs.Add(1)
+			return nil
+		}
+	}
+	// The increment never succeeded; nothing was counted, so the
+	// invariant is unaffected. Report it as an error observation.
+	return fmt.Errorf("cas on key %d starved after %d attempts", key, casAttempts)
+}
+
+// batchAdd issues one cross-shard atomic batch of +1 adds.
+func (d *driver) batchAdd(rng *rand.Rand, zipf *rand.Zipf) error {
+	ops := make([]tkv.Op, d.cfg.batchSize)
+	for i := range ops {
+		ops[i] = tkv.Op{Kind: tkv.OpAdd, Key: d.counterKey(rng, zipf), Delta: 1}
+	}
+	var resp struct {
+		Results []tkv.OpResult `json:"results"`
+	}
+	if err := d.postJSON("/batch", map[string]any{"ops": ops}, &resp); err != nil {
+		return err
+	}
+	if len(resp.Results) != len(ops) {
+		return fmt.Errorf("batch returned %d results for %d ops", len(resp.Results), len(ops))
+	}
+	d.batchAdds.Add(uint64(len(ops)))
+	return nil
+}
+
+// getBlob reads a random blob key and cross-checks that the value names the
+// key it was stored under.
+func (d *driver) getBlob(rng *rand.Rand) error {
+	key := blobBase + uint64(rng.Intn(d.cfg.blobs))
+	val, found, err := d.get(key)
+	if err != nil {
+		return err
+	}
+	if found && !strings.HasPrefix(val, fmt.Sprintf("%d:", key)) {
+		d.blobCorrupt.Add(1)
+		return fmt.Errorf("blob key %d holds foreign value %q", key, val)
+	}
+	return nil
+}
+
+// verify pulls a consistent snapshot and the server stats and checks the
+// run's invariants.
+func (d *driver) verify(out io.Writer) error {
+	snap := map[uint64]string{}
+	if err := d.getJSON("/snapshot", &snap); err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	var sum uint64
+	for k := 0; k < d.cfg.keys; k++ {
+		v, ok := snap[uint64(k)]
+		if !ok {
+			return fmt.Errorf("counter key %d vanished", k)
+		}
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			return fmt.Errorf("counter key %d holds %q", k, v)
+		}
+		sum += n
+	}
+	want := d.casIncrs.Load() + d.batchAdds.Load()
+	var stats tkv.Stats
+	if err := d.getJSON("/stats", &stats); err != nil {
+		return fmt.Errorf("stats: %w", err)
+	}
+	fmt.Fprintf(out, "verify: committed=%d aborts=%d serializations=%d counterSum=%d increments=%d (cas=%d batchAdds=%d)\n",
+		stats.Commits, stats.Aborts, stats.Serializations,
+		sum, want, d.casIncrs.Load(), d.batchAdds.Load())
+	if sum < want {
+		return fmt.Errorf("LOST UPDATES: counters sum to %d but %d increments succeeded", sum, want)
+	}
+	if sum > want {
+		// The opposite mismatch is a driver-side undercount: an
+		// increment committed server-side but its response was lost
+		// (timeout, reset), so it was tallied as an error instead.
+		return fmt.Errorf("uncounted increments: counters sum to %d but only %d increments were acknowledged (a CAS/batch response was likely lost in flight)", sum, want)
+	}
+	if d.blobCorrupt.Load() > 0 {
+		return fmt.Errorf("%d blob reads returned foreign values", d.blobCorrupt.Load())
+	}
+	if stats.Commits == 0 {
+		return fmt.Errorf("server committed zero transactions")
+	}
+	fmt.Fprintln(out, "verify: OK (zero lost updates)")
+	return nil
+}
+
+// ---- HTTP plumbing ----
+
+func (d *driver) get(key uint64) (string, bool, error) {
+	resp, err := d.client.Get(fmt.Sprintf("%s/kv/%d", d.base, key))
+	if err != nil {
+		return "", false, err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode == http.StatusNotFound {
+		return "", false, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", false, fmt.Errorf("GET key %d: status %d", key, resp.StatusCode)
+	}
+	var body struct {
+		Value string `json:"value"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return "", false, err
+	}
+	return body.Value, true, nil
+}
+
+func (d *driver) put(key uint64, val string) error {
+	b, err := json.Marshal(map[string]string{"value": val})
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequest(http.MethodPut, fmt.Sprintf("%s/kv/%d", d.base, key), bytes.NewReader(b))
+	if err != nil {
+		return err
+	}
+	return d.do(req, nil)
+}
+
+func (d *driver) del(key uint64) error {
+	req, err := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/kv/%d", d.base, key), nil)
+	if err != nil {
+		return err
+	}
+	return d.do(req, nil)
+}
+
+func (d *driver) postJSON(path string, body, into any) error {
+	b, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequest(http.MethodPost, d.base+path, bytes.NewReader(b))
+	if err != nil {
+		return err
+	}
+	return d.do(req, into)
+}
+
+func (d *driver) getJSON(path string, into any) error {
+	req, err := http.NewRequest(http.MethodGet, d.base+path, nil)
+	if err != nil {
+		return err
+	}
+	return d.do(req, into)
+}
+
+func (d *driver) do(req *http.Request, into any) error {
+	resp, err := d.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s %s: status %d", req.Method, req.URL.Path, resp.StatusCode)
+	}
+	if into != nil {
+		return json.NewDecoder(resp.Body).Decode(into)
+	}
+	return nil
+}

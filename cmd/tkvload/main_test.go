@@ -1,0 +1,100 @@
+package main
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/shrink-tm/shrink/internal/enginecfg"
+	"github.com/shrink-tm/shrink/internal/tkv"
+)
+
+// newServer backs the driver with a real in-process tkv store.
+func newServer(t *testing.T, engine string) *httptest.Server {
+	t.Helper()
+	st, err := tkv.Open(tkv.Config{
+		Shards:    4,
+		PoolSize:  4,
+		Buckets:   128,
+		Engine:    engine,
+		Scheduler: enginecfg.SchedShrink,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(tkv.NewHandler(st))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestEndToEndMixedTraffic is the in-process version of the CI smoke run:
+// a short mixed closed-loop load against each engine with per-shard Shrink
+// attached, ending in the zero-lost-update verification (run returns an
+// error when the invariant breaks or nothing committed).
+func TestEndToEndMixedTraffic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, engine := range []string{enginecfg.EngineSwiss, enginecfg.EngineTiny} {
+		t.Run(engine, func(t *testing.T) {
+			srv := newServer(t, engine)
+			var out bytes.Buffer
+			err := run([]string{
+				"-url", srv.URL,
+				"-dur", "400ms",
+				"-conns", "8",
+				"-keys", "64",
+				"-blobs", "64",
+				"-batchsize", "4",
+			}, &out)
+			if err != nil {
+				t.Fatalf("%v\noutput:\n%s", err, out.String())
+			}
+			if !strings.Contains(out.String(), "verify: OK") {
+				t.Fatalf("missing verification:\n%s", out.String())
+			}
+		})
+	}
+}
+
+func TestOpenLoopAndSkew(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	srv := newServer(t, enginecfg.EngineSwiss)
+	var out bytes.Buffer
+	err := run([]string{
+		"-url", srv.URL,
+		"-dur", "300ms",
+		"-conns", "2,4",
+		"-rate", "2000",
+		"-zipf", "1.2",
+		"-read", "0.8",
+		"-keys", "32",
+		"-blobs", "32",
+		"-csv",
+	}, &out)
+	if err != nil {
+		t.Fatalf("%v\noutput:\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "ops/s") {
+		t.Fatalf("missing CSV header:\n%s", out.String())
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Fatal("missing -url accepted")
+	}
+	if err := run([]string{"-url", "http://x", "-conns", "0"}, &out); err == nil {
+		t.Fatal("zero conns accepted")
+	}
+	if err := run([]string{"-url", "http://x", "-zipf", "0.5"}, &out); err == nil {
+		t.Fatal("zipf <= 1 accepted")
+	}
+	if err := run([]string{"-url", "http://x", "-keys", "0"}, &out); err == nil {
+		t.Fatal("zero keys accepted")
+	}
+}

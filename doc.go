@@ -18,6 +18,17 @@
 // untyped stm.Var API remains as a compatibility shim for code that does
 // not know its value types statically.
 //
+// The serving subsystem internal/tkv layers a sharded transactional
+// key-value store over the substrate: N shards, each with its own engine
+// instance, scheduler (per-shard Shrink by default) and wait policy,
+// single-key fast paths, cross-shard atomic batches via two-phase shard
+// locking, and serializable (per-shard-atomic) snapshots. cmd/tkvd serves
+// it over HTTP/JSON and
+// cmd/tkvload drives it open-loop with configurable skew, read ratio and
+// batch size while verifying the zero-lost-update invariant — the paper's
+// "many threads hammering shared state" regime as a live server rather
+// than a closed-loop benchmark.
+//
 // The transaction lifecycle is shared between the engines (stm.Core) and
 // allocation-free in steady state under any scheduler: write-set lookups
 // go through an inline index (stm.WriteIndex) instead of a map, and

@@ -20,12 +20,10 @@ import (
 	"sync"
 	"time"
 
-	"github.com/shrink-tm/shrink/internal/cm"
+	"github.com/shrink-tm/shrink/internal/enginecfg"
 	"github.com/shrink-tm/shrink/internal/predict"
 	"github.com/shrink-tm/shrink/internal/sched"
 	"github.com/shrink-tm/shrink/internal/stm"
-	"github.com/shrink-tm/shrink/internal/stm/swiss"
-	"github.com/shrink-tm/shrink/internal/stm/tiny"
 	"github.com/shrink-tm/shrink/internal/trace"
 )
 
@@ -39,21 +37,20 @@ type Workload interface {
 	Op(th stm.Thread, rng *rand.Rand) error
 }
 
-// Engine names.
+// Engine names (canonically defined in enginecfg; re-exported here for the
+// existing harness-facing callers).
 const (
-	EngineSwiss = "swiss"
-	EngineTiny  = "tiny"
+	EngineSwiss = enginecfg.EngineSwiss
+	EngineTiny  = enginecfg.EngineTiny
 )
 
-// Scheduler names.
+// Scheduler names (see enginecfg).
 const (
-	SchedNone   = "none"
-	SchedShrink = "shrink"
-	SchedATS    = "ats"
-	SchedPool   = "pool"
-	// SchedAdaptive is this reproduction's extension: Shrink with
-	// feedback-tuned serialization aggressiveness (see sched.AdaptiveShrink).
-	SchedAdaptive = "adaptive"
+	SchedNone     = enginecfg.SchedNone
+	SchedShrink   = enginecfg.SchedShrink
+	SchedATS      = enginecfg.SchedATS
+	SchedPool     = enginecfg.SchedPool
+	SchedAdaptive = enginecfg.SchedAdaptive
 )
 
 // Config describes one experiment cell.
@@ -112,54 +109,17 @@ func (r Result) String() string {
 	return row
 }
 
-// buildTM constructs the engine/scheduler/CM combination for a config. It
-// returns the TM and, when applicable, the Shrink instance for accuracy
-// reporting.
+// buildTM constructs the engine/scheduler/CM combination for a config
+// through enginecfg.Build. It returns the TM and, when applicable, the
+// Shrink instance for accuracy reporting.
 func buildTM(cfg Config) (stm.TM, *sched.Shrink, error) {
-	var scheduler stm.Scheduler = stm.NopScheduler{}
-	var shrink *sched.Shrink
-	switch cfg.Scheduler {
-	case SchedNone, "":
-	case SchedShrink:
-		sc := sched.DefaultShrinkConfig()
-		if cfg.ShrinkConfig != nil {
-			sc = *cfg.ShrinkConfig
-		}
-		if cfg.TrackAccuracy {
-			sc.Predict.TrackAccuracy = true
-			sc.EagerPrediction = true
-		}
-		shrink = sched.NewShrink(sc)
-		scheduler = shrink
-	case SchedAdaptive:
-		sc := sched.DefaultShrinkConfig()
-		if cfg.ShrinkConfig != nil {
-			sc = *cfg.ShrinkConfig
-		}
-		scheduler = sched.NewAdaptiveShrink(sc)
-	case SchedATS:
-		scheduler = sched.NewATS()
-	case SchedPool:
-		scheduler = sched.NewPool()
-	default:
-		return nil, nil, fmt.Errorf("unknown scheduler %q", cfg.Scheduler)
-	}
-	switch cfg.Engine {
-	case EngineSwiss, "":
-		wait := cfg.Wait
-		if wait == 0 {
-			wait = stm.WaitPreemptive
-		}
-		return swiss.New(swiss.Options{Scheduler: scheduler, CM: &cm.Greedy{}, Wait: wait}), shrink, nil
-	case EngineTiny:
-		wait := cfg.Wait
-		if wait == 0 {
-			wait = stm.WaitBusy
-		}
-		return tiny.New(tiny.Options{Scheduler: scheduler, CM: cm.Suicide{}, Wait: wait}), shrink, nil
-	default:
-		return nil, nil, fmt.Errorf("unknown engine %q", cfg.Engine)
-	}
+	return enginecfg.Build(enginecfg.Spec{
+		Engine:        cfg.Engine,
+		Scheduler:     cfg.Scheduler,
+		Wait:          cfg.Wait,
+		Shrink:        cfg.ShrinkConfig,
+		TrackAccuracy: cfg.TrackAccuracy,
+	})
 }
 
 // NewTM builds the engine/scheduler/CM combination of a config without

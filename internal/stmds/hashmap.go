@@ -158,6 +158,46 @@ func (m *HashMap[V]) Size(tx stm.Tx) (int, error) {
 	return total, nil
 }
 
+// ForEach calls fn for every key/value pair (bucket order, ascending keys
+// within a bucket), stopping early when fn returns false. fn runs inside the
+// transaction: if the enclosing Atomically retries, fn is invoked again from
+// the start, so callers that accumulate state must reset it at the top of
+// the transaction body (or collect into a buffer and consume it after
+// commit, as tkv's snapshot path does).
+func (m *HashMap[V]) ForEach(tx stm.Tx, fn func(key uint64, val V) bool) error {
+	return m.Range(tx, 0, ^uint64(0), fn)
+}
+
+// Range calls fn, under the ForEach contract, for every pair with
+// lo <= key <= hi. Keys are hashed across buckets, so Range scans the whole
+// table and filters — it is a snapshot/iteration primitive, O(buckets+size),
+// not an indexed range query (use SortedList or RBTree for those). Value
+// vars are only read for keys inside the range, keeping the read set of a
+// narrow Range small.
+func (m *HashMap[V]) Range(tx stm.Tx, lo, hi uint64, fn func(key uint64, val V) bool) error {
+	for _, b := range m.buckets {
+		n, err := stm.ReadT(tx, b)
+		if err != nil {
+			return err
+		}
+		for n != nil && n.key <= hi {
+			if n.key >= lo {
+				v, err := stm.ReadT(tx, n.val)
+				if err != nil {
+					return err
+				}
+				if !fn(n.key, v) {
+					return nil
+				}
+			}
+			if n, err = stm.ReadT(tx, n.next); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
 // Keys returns all keys (bucket order, ascending within buckets).
 func (m *HashMap[V]) Keys(tx stm.Tx) ([]uint64, error) {
 	var out []uint64

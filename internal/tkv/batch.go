@@ -1,0 +1,254 @@
+package tkv
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"github.com/shrink-tm/shrink/internal/stm"
+)
+
+// Batch operation kinds. CAS is deliberately not a batch op: a failed
+// compare in one shard would require undoing writes already planned for
+// another, and the two-phase protocol below commits per shard.
+const (
+	OpGet    = "get"
+	OpPut    = "put"
+	OpDelete = "delete"
+	OpAdd    = "add"
+)
+
+// Op is one operation of a batch, JSON-shaped for the HTTP API.
+type Op struct {
+	Kind  string `json:"op"`
+	Key   uint64 `json:"key"`
+	Value string `json:"value,omitempty"`
+	Delta int64  `json:"delta,omitempty"`
+}
+
+// OpResult is the per-op outcome of a batch. For get: the value and whether
+// the key was present. For put: Found reports whether the key already
+// existed. For delete: whether it was present. For add: Value is the new
+// counter value.
+type OpResult struct {
+	Found bool   `json:"found"`
+	Value string `json:"value,omitempty"`
+}
+
+// plannedWrite is the phase-one decision for one mutating op.
+type plannedWrite struct {
+	key uint64
+	del bool
+	val string // ignored when del
+}
+
+// opStore is the key-space view a batch op executes against. The
+// single-shard fast path binds it to direct STM operations; the cross-shard
+// planner binds it to an overlay that records writes for a later apply
+// phase. Keeping one executor (execOp) over this interface guarantees both
+// paths produce identical OpResult semantics.
+type opStore struct {
+	read func(key uint64) (string, bool, error)
+	put  func(key uint64, val string) error
+	del  func(key uint64) error
+}
+
+// execOp runs one validated batch op against a view and returns its result.
+func execOp(op Op, v opStore) (OpResult, error) {
+	switch op.Kind {
+	case OpGet:
+		val, ok, err := v.read(op.Key)
+		return OpResult{Found: ok, Value: val}, err
+	case OpPut:
+		_, ok, err := v.read(op.Key)
+		if err != nil {
+			return OpResult{}, err
+		}
+		return OpResult{Found: ok}, v.put(op.Key, op.Value)
+	case OpDelete:
+		_, ok, err := v.read(op.Key)
+		if err != nil {
+			return OpResult{}, err
+		}
+		if ok {
+			if err := v.del(op.Key); err != nil {
+				return OpResult{}, err
+			}
+		}
+		return OpResult{Found: ok}, nil
+	case OpAdd:
+		cur, ok, err := v.read(op.Key)
+		if err != nil {
+			return OpResult{}, err
+		}
+		n, err := parseCounter(cur, ok, op.Key)
+		if err != nil {
+			return OpResult{}, err
+		}
+		val := strconv.FormatInt(n+op.Delta, 10)
+		return OpResult{Found: ok, Value: val}, v.put(op.Key, val)
+	default:
+		return OpResult{}, fmt.Errorf("%w: unknown batch op kind %q", ErrUser, op.Kind)
+	}
+}
+
+// Batch executes ops atomically across shards. A batch confined to one
+// shard runs as a single STM transaction under the shard's shared lock. A
+// cross-shard batch two-phases: phase one locks every participating shard's
+// batch lock in ascending shard order and reads/plans all operations (one
+// read-only STM transaction per shard); phase two applies the planned
+// writes (one update transaction per shard) and releases the locks. Because
+// the exclusive locks are held across both phases, the plan cannot go stale
+// between them, a validation error (e.g. an add over a non-numeric value)
+// aborts before anything is written, and no concurrent access observes a
+// partially applied batch.
+func (st *Store) Batch(ops []Op) ([]OpResult, error) {
+	st.ops.batches.Add(1)
+	st.ops.batchOps.Add(uint64(len(ops)))
+	if len(ops) == 0 {
+		return nil, nil
+	}
+
+	// Group op indices by owning shard, preserving op order within a shard.
+	byShard := make(map[int][]int)
+	for i, op := range ops {
+		switch op.Kind {
+		case OpGet, OpPut, OpDelete, OpAdd:
+		default:
+			return nil, fmt.Errorf("%w: batch op %d: unknown kind %q", ErrUser, i, op.Kind)
+		}
+		id := st.ShardOf(op.Key)
+		byShard[id] = append(byShard[id], i)
+	}
+	shardIDs := make([]int, 0, len(byShard))
+	for id := range byShard {
+		shardIDs = append(shardIDs, id)
+	}
+	sort.Ints(shardIDs)
+
+	// Fast path: a batch confined to one shard is atomic by the STM
+	// alone — one transaction under the shared lock, read-own-writes
+	// courtesy of the engine's write log — so it neither stalls the
+	// shard's single-key traffic behind an exclusive lock nor needs the
+	// plan/apply split.
+	if len(shardIDs) == 1 {
+		s := st.shards[shardIDs[0]]
+		s.batchMu.RLock()
+		defer s.batchMu.RUnlock()
+		results := make([]OpResult, len(ops))
+		err := s.atomically(func(tx stm.Tx) error {
+			direct := opStore{
+				read: func(key uint64) (string, bool, error) { return s.kv.Get(tx, key) },
+				put: func(key uint64, val string) error {
+					_, err := s.kv.Put(tx, key, val)
+					return err
+				},
+				del: func(key uint64) error {
+					_, err := s.kv.Delete(tx, key)
+					return err
+				},
+			}
+			for i, op := range ops {
+				var err error
+				if results[i], err = execOp(op, direct); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		return results, nil
+	}
+
+	// Phase one: lock (ascending) and plan.
+	locked := 0
+	defer func() {
+		for _, id := range shardIDs[:locked] {
+			st.shards[id].batchMu.Unlock()
+		}
+	}()
+	for _, id := range shardIDs {
+		st.shards[id].batchMu.Lock()
+		locked++
+	}
+
+	results := make([]OpResult, len(ops))
+	writes := make(map[int][]plannedWrite, len(shardIDs))
+	for _, id := range shardIDs {
+		s := st.shards[id]
+		idxs := byShard[id]
+		err := s.atomically(func(tx stm.Tx) error {
+			// The overlay carries values written by earlier ops of this
+			// batch, so a later op in the same batch reads them; actual
+			// writes are deferred to the plan for phase two.
+			overlay := make(map[uint64]*string, len(idxs))
+			plan := make([]plannedWrite, 0, len(idxs))
+			planned := opStore{
+				read: func(key uint64) (string, bool, error) {
+					if v, ok := overlay[key]; ok {
+						if v == nil {
+							return "", false, nil
+						}
+						return *v, true, nil
+					}
+					return s.kv.Get(tx, key)
+				},
+				put: func(key uint64, val string) error {
+					overlay[key] = &val
+					plan = append(plan, plannedWrite{key: key, val: val})
+					return nil
+				},
+				del: func(key uint64) error {
+					overlay[key] = nil
+					plan = append(plan, plannedWrite{key: key, del: true})
+					return nil
+				},
+			}
+			for _, i := range idxs {
+				var err error
+				if results[i], err = execOp(ops[i], planned); err != nil {
+					return err
+				}
+			}
+			writes[id] = plan
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Phase two: apply. The exclusive locks keep these transactions free
+	// of external conflicts; redundant writes to the same key apply in
+	// plan order, so the last one wins, matching the overlay semantics.
+	for _, id := range shardIDs {
+		s := st.shards[id]
+		plan := writes[id]
+		if len(plan) == 0 {
+			continue
+		}
+		err := s.atomically(func(tx stm.Tx) error {
+			for _, w := range plan {
+				var err error
+				if w.del {
+					_, err = s.kv.Delete(tx, w.key)
+				} else {
+					_, err = s.kv.Put(tx, w.key, w.val)
+				}
+				if err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			// Phase-two bodies only touch locked shards and cannot
+			// fail with user errors; an engine error here is fatal
+			// to the batch's atomicity and surfaced loudly.
+			return nil, fmt.Errorf("batch apply on shard %d: %w", id, err)
+		}
+	}
+	return results, nil
+}

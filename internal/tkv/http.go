@@ -1,0 +1,180 @@
+package tkv
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// maxBodyBytes bounds request bodies (values and batches).
+const maxBodyBytes = 1 << 20
+
+// NewHandler returns the HTTP/JSON API over a Store, the handler cmd/tkvd
+// serves:
+//
+//	GET    /kv/{key}   -> {"key":k,"value":v,"found":true} (404 when absent)
+//	PUT    /kv/{key}   <- {"value":v}          -> {"created":bool}
+//	DELETE /kv/{key}   -> {"deleted":bool}
+//	POST   /cas        <- {"key":k,"old":o,"new":n} -> {"swapped":bool}
+//	POST   /add        <- {"key":k,"delta":d}  -> {"value":new}
+//	POST   /batch      <- {"ops":[...]}        -> {"results":[...]}
+//	GET    /snapshot   -> {"k":v,...} (consistent cut)
+//	GET    /stats      -> Stats JSON; ?format=text renders the report table
+//	GET    /healthz    -> ok
+func NewHandler(st *Store) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /kv/{key}", func(w http.ResponseWriter, r *http.Request) {
+		key, ok := pathKey(w, r)
+		if !ok {
+			return
+		}
+		val, found, err := st.Get(key)
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		if !found {
+			writeJSON(w, http.StatusNotFound, map[string]any{"key": key, "found": false})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"key": key, "value": val, "found": true})
+	})
+	mux.HandleFunc("PUT /kv/{key}", func(w http.ResponseWriter, r *http.Request) {
+		key, ok := pathKey(w, r)
+		if !ok {
+			return
+		}
+		var body struct {
+			Value string `json:"value"`
+		}
+		if !readJSON(w, r, &body) {
+			return
+		}
+		created, err := st.Put(key, body.Value)
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"created": created})
+	})
+	mux.HandleFunc("DELETE /kv/{key}", func(w http.ResponseWriter, r *http.Request) {
+		key, ok := pathKey(w, r)
+		if !ok {
+			return
+		}
+		deleted, err := st.Delete(key)
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"deleted": deleted})
+	})
+	mux.HandleFunc("POST /cas", func(w http.ResponseWriter, r *http.Request) {
+		var body struct {
+			Key uint64 `json:"key"`
+			Old string `json:"old"`
+			New string `json:"new"`
+		}
+		if !readJSON(w, r, &body) {
+			return
+		}
+		swapped, err := st.CAS(body.Key, body.Old, body.New)
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"swapped": swapped})
+	})
+	mux.HandleFunc("POST /add", func(w http.ResponseWriter, r *http.Request) {
+		var body struct {
+			Key   uint64 `json:"key"`
+			Delta int64  `json:"delta"`
+		}
+		if !readJSON(w, r, &body) {
+			return
+		}
+		val, err := st.Add(body.Key, body.Delta)
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"value": val})
+	})
+	mux.HandleFunc("POST /batch", func(w http.ResponseWriter, r *http.Request) {
+		var body struct {
+			Ops []Op `json:"ops"`
+		}
+		if !readJSON(w, r, &body) {
+			return
+		}
+		results, err := st.Batch(body.Ops)
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"results": results})
+	})
+	mux.HandleFunc("GET /snapshot", func(w http.ResponseWriter, r *http.Request) {
+		snap, err := st.Snapshot()
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, snap)
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		stats := st.Stats()
+		if r.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			stats.Table().WriteText(w)
+			fmt.Fprintf(w, "totals: commits=%d aborts=%d userAborts=%d serializations=%d\n",
+				stats.Commits, stats.Aborts, stats.UserAborts, stats.Serializations)
+			return
+		}
+		writeJSON(w, http.StatusOK, stats)
+	})
+	return mux
+}
+
+// pathKey parses the {key} path segment, answering 400 itself on failure.
+func pathKey(w http.ResponseWriter, r *http.Request) (uint64, bool) {
+	key, err := strconv.ParseUint(r.PathValue("key"), 10, 64)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]any{"error": "bad key: " + r.PathValue("key")})
+		return 0, false
+	}
+	return key, true
+}
+
+// readJSON decodes a bounded JSON body, answering 400 itself on failure.
+func readJSON(w http.ResponseWriter, r *http.Request, into any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err := dec.Decode(into); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]any{"error": "bad body: " + err.Error()})
+		return false
+	}
+	return true
+}
+
+// httpError maps store errors onto statuses: request-content errors (bad
+// batch kinds, non-numeric Add targets — anything wrapping ErrUser) are the
+// client's fault, everything else is a 500.
+func httpError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	if errors.Is(err, ErrUser) {
+		status = http.StatusBadRequest
+	}
+	writeJSON(w, status, map[string]any{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,186 @@
+package tkv
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func doJSON(t *testing.T, srv *httptest.Server, method, path string, body any, into any) int {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, srv.URL+path, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if into != nil {
+		if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+			t.Fatalf("%s %s: decode: %v", method, path, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestHTTPRoundTrip(t *testing.T) {
+	st := openTest(t, Config{Shards: 4})
+	srv := httptest.NewServer(NewHandler(st))
+	defer srv.Close()
+
+	var put struct {
+		Created bool `json:"created"`
+	}
+	if code := doJSON(t, srv, "PUT", "/kv/42", map[string]string{"value": "hello"}, &put); code != 200 || !put.Created {
+		t.Fatalf("PUT = %d created=%v", code, put.Created)
+	}
+
+	var get struct {
+		Key   uint64 `json:"key"`
+		Value string `json:"value"`
+		Found bool   `json:"found"`
+	}
+	if code := doJSON(t, srv, "GET", "/kv/42", nil, &get); code != 200 || !get.Found || get.Value != "hello" {
+		t.Fatalf("GET = %d %+v", code, get)
+	}
+	if code := doJSON(t, srv, "GET", "/kv/43", nil, &get); code != 404 {
+		t.Fatalf("GET missing = %d", code)
+	}
+	if code := doJSON(t, srv, "GET", "/kv/notakey", nil, nil); code != 400 {
+		t.Fatalf("GET bad key = %d", code)
+	}
+
+	var cas struct {
+		Swapped bool `json:"swapped"`
+	}
+	if code := doJSON(t, srv, "POST", "/cas", map[string]any{"key": 42, "old": "hello", "new": "world"}, &cas); code != 200 || !cas.Swapped {
+		t.Fatalf("CAS = %d %+v", code, cas)
+	}
+	if code := doJSON(t, srv, "POST", "/cas", map[string]any{"key": 42, "old": "hello", "new": "x"}, &cas); code != 200 || cas.Swapped {
+		t.Fatalf("stale CAS = %d %+v", code, cas)
+	}
+
+	var add struct {
+		Value int64 `json:"value"`
+	}
+	if code := doJSON(t, srv, "POST", "/add", map[string]any{"key": 7, "delta": 3}, &add); code != 200 || add.Value != 3 {
+		t.Fatalf("ADD = %d %+v", code, add)
+	}
+	// Add over the non-numeric value at key 42 is the client's fault.
+	if code := doJSON(t, srv, "POST", "/add", map[string]any{"key": 42, "delta": 1}, nil); code != 400 {
+		t.Fatalf("ADD over text = %d, want 400", code)
+	}
+
+	var batch struct {
+		Results []OpResult `json:"results"`
+	}
+	ops := map[string]any{"ops": []Op{
+		{Kind: OpAdd, Key: 7, Delta: 1},
+		{Kind: OpGet, Key: 42},
+		{Kind: OpDelete, Key: 42},
+	}}
+	if code := doJSON(t, srv, "POST", "/batch", ops, &batch); code != 200 {
+		t.Fatalf("BATCH = %d", code)
+	}
+	if len(batch.Results) != 3 || batch.Results[0].Value != "4" || !batch.Results[1].Found || !batch.Results[2].Found {
+		t.Fatalf("BATCH results = %+v", batch.Results)
+	}
+
+	var del struct {
+		Deleted bool `json:"deleted"`
+	}
+	if code := doJSON(t, srv, "DELETE", "/kv/42", nil, &del); code != 200 || del.Deleted {
+		t.Fatalf("DELETE after batch delete = %d %+v", code, del)
+	}
+
+	snap := map[uint64]string{}
+	if code := doJSON(t, srv, "GET", "/snapshot", nil, &snap); code != 200 {
+		t.Fatalf("SNAPSHOT = %d", code)
+	}
+	if snap[7] != "4" {
+		t.Fatalf("snapshot = %v", snap)
+	}
+
+	var stats Stats
+	if code := doJSON(t, srv, "GET", "/stats", nil, &stats); code != 200 {
+		t.Fatalf("STATS = %d", code)
+	}
+	if stats.Commits == 0 || stats.Ops.Puts != 1 || stats.Ops.CAS != 2 || stats.Ops.Batches != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+
+	resp, err := srv.Client().Get(srv.URL + "/stats?format=text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(text), "tkv per-shard statistics") || !strings.Contains(string(text), "totals:") {
+		t.Fatalf("text stats:\n%s", text)
+	}
+
+	resp, err = srv.Client().Get(srv.URL + "/healthz")
+	if err != nil || resp.StatusCode != 200 {
+		t.Fatalf("healthz: %v %v", err, resp)
+	}
+	resp.Body.Close()
+}
+
+func TestHTTPBadBodies(t *testing.T) {
+	st := openTest(t, Config{Shards: 2})
+	srv := httptest.NewServer(NewHandler(st))
+	defer srv.Close()
+
+	for _, tc := range []struct{ method, path, body string }{
+		{"PUT", "/kv/1", "{not json"},
+		{"POST", "/cas", ""},
+		{"POST", "/add", "[]"},
+		{"POST", "/batch", `{"ops":[{"op":"frobnicate","key":1}]}`},
+	} {
+		req, err := http.NewRequest(tc.method, srv.URL+tc.path, strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := srv.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 400 {
+			t.Fatalf("%s %s %q = %d, want 400", tc.method, tc.path, tc.body, resp.StatusCode)
+		}
+	}
+}
+
+func TestHTTPSnapshotKeysRoundTrip(t *testing.T) {
+	st := openTest(t, Config{Shards: 2})
+	srv := httptest.NewServer(NewHandler(st))
+	defer srv.Close()
+	// Keys near the uint64 top must survive the JSON map round trip.
+	big := uint64(1) << 62
+	if _, err := st.Put(big, "big"); err != nil {
+		t.Fatal(err)
+	}
+	snap := map[uint64]string{}
+	if code := doJSON(t, srv, "GET", "/snapshot", nil, &snap); code != 200 {
+		t.Fatalf("SNAPSHOT = %d", code)
+	}
+	if snap[big] != "big" {
+		t.Fatalf("snapshot lost key %d: %v", big, snap)
+	}
+
+}

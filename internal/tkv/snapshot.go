@@ -1,0 +1,179 @@
+package tkv
+
+import (
+	"sync/atomic"
+
+	"github.com/shrink-tm/shrink/internal/report"
+	"github.com/shrink-tm/shrink/internal/stm"
+)
+
+// counter is the store's operation counter word.
+type counter = atomic.Uint64
+
+// kvPair buffers one entry of a shard snapshot.
+type kvPair struct {
+	key uint64
+	val string
+}
+
+// rlockAll takes every shard's batch lock in shared mode, in ascending
+// order, giving the caller a cut that no cross-shard batch can intersect.
+// Single-key transactions are unaffected (they also take shared mode); each
+// serializes against the cut at its own shard's snapshot transaction, which
+// makes the cut serializable but not strictly so — see the package comment
+// for the exact guarantee.
+func (st *Store) rlockAll() func() {
+	for _, s := range st.shards {
+		s.batchMu.RLock()
+	}
+	return func() {
+		for _, s := range st.shards {
+			s.batchMu.RUnlock()
+		}
+	}
+}
+
+// ForEach calls fn for every key/value pair under the snapshot consistency
+// described in the package comment, stopping early when fn returns false.
+// Unlike stmds.HashMap.ForEach, fn runs outside the shard transactions
+// (each shard's pairs are buffered first), so it is called exactly once per
+// pair regardless of STM retries.
+func (st *Store) ForEach(fn func(key uint64, val string) bool) error {
+	st.ops.snapshots.Add(1)
+	unlock := st.rlockAll()
+	defer unlock()
+	var buf []kvPair
+	for _, s := range st.shards {
+		err := s.atomically(func(tx stm.Tx) error {
+			buf = buf[:0] // reset: the transaction may retry
+			return s.kv.ForEach(tx, func(k uint64, v string) bool {
+				buf = append(buf, kvPair{k, v})
+				return true
+			})
+		})
+		if err != nil {
+			return err
+		}
+		for _, p := range buf {
+			if !fn(p.key, p.val) {
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
+// Snapshot returns a consistent copy of the whole store.
+func (st *Store) Snapshot() (map[uint64]string, error) {
+	out := make(map[uint64]string)
+	err := st.ForEach(func(k uint64, v string) bool {
+		out[k] = v
+		return true
+	})
+	return out, err
+}
+
+// Len returns the number of keys under the same cut as Snapshot.
+func (st *Store) Len() (int, error) {
+	st.ops.snapshots.Add(1)
+	unlock := st.rlockAll()
+	defer unlock()
+	total := 0
+	for _, s := range st.shards {
+		var n int
+		err := s.atomically(func(tx stm.Tx) error {
+			var err error
+			n, err = s.kv.Size(tx)
+			return err
+		})
+		if err != nil {
+			return 0, err
+		}
+		total += n
+	}
+	return total, nil
+}
+
+// OpCounts is a snapshot of the store's served-operation counters.
+type OpCounts struct {
+	Gets      uint64 `json:"gets"`
+	Puts      uint64 `json:"puts"`
+	Deletes   uint64 `json:"deletes"`
+	CAS       uint64 `json:"cas"`
+	CASMisses uint64 `json:"casMisses"`
+	Adds      uint64 `json:"adds"`
+	Batches   uint64 `json:"batches"`
+	BatchOps  uint64 `json:"batchOps"`
+	Snapshots uint64 `json:"snapshots"`
+}
+
+// ShardStats is one shard's transaction statistics.
+type ShardStats struct {
+	Shard          uint64  `json:"shard"`
+	Commits        uint64  `json:"commits"`
+	Aborts         uint64  `json:"aborts"`
+	UserAborts     uint64  `json:"userAborts"`
+	CommitRate     float64 `json:"commitRate"`
+	Serializations uint64  `json:"serializations"`
+}
+
+// Stats aggregates the store's state: per-shard engine counters (including
+// Shrink serializations where attached) and store-level op counts.
+type Stats struct {
+	Shards         []ShardStats `json:"shards"`
+	Commits        uint64       `json:"commits"`
+	Aborts         uint64       `json:"aborts"`
+	UserAborts     uint64       `json:"userAborts"`
+	Serializations uint64       `json:"serializations"`
+	Ops            OpCounts     `json:"ops"`
+}
+
+// Stats snapshots the counters. It is cheap (atomic loads only) and safe
+// during traffic.
+func (st *Store) Stats() Stats {
+	out := Stats{Shards: make([]ShardStats, len(st.shards))}
+	for i, s := range st.shards {
+		agg := s.tm.Stats()
+		ss := ShardStats{
+			Shard:      uint64(i),
+			Commits:    agg.Commits,
+			Aborts:     agg.Aborts,
+			UserAborts: agg.UserAborts,
+			CommitRate: agg.CommitRate(),
+		}
+		if s.shrink != nil {
+			ss.Serializations = s.shrink.Serializations()
+		}
+		out.Shards[i] = ss
+		out.Commits += ss.Commits
+		out.Aborts += ss.Aborts
+		out.UserAborts += ss.UserAborts
+		out.Serializations += ss.Serializations
+	}
+	out.Ops = OpCounts{
+		Gets:      st.ops.gets.Load(),
+		Puts:      st.ops.puts.Load(),
+		Deletes:   st.ops.deletes.Load(),
+		CAS:       st.ops.cas.Load(),
+		CASMisses: st.ops.casMisses.Load(),
+		Adds:      st.ops.adds.Load(),
+		Batches:   st.ops.batches.Load(),
+		BatchOps:  st.ops.batchOps.Load(),
+		Snapshots: st.ops.snapshots.Load(),
+	}
+	return out
+}
+
+// Table renders the per-shard statistics as a report table (one series per
+// counter over the shard index), the same machinery the figure pipeline
+// prints its experiment cells with.
+func (s Stats) Table() *report.Table {
+	t := report.NewTable("tkv per-shard statistics", "shard", "count")
+	for _, sh := range s.Shards {
+		t.Add("commits", int(sh.Shard), float64(sh.Commits))
+		t.Add("aborts", int(sh.Shard), float64(sh.Aborts))
+		t.Add("serializations", int(sh.Shard), float64(sh.Serializations))
+		t.Add("commitRate", int(sh.Shard), sh.CommitRate)
+	}
+	return t
+}

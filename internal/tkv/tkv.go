@@ -1,0 +1,295 @@
+// Package tkv is a sharded transactional key-value store: the repository's
+// first serving subsystem, layered on the STM substrate the paper evaluates.
+//
+// A Store splits the key space across N independent shards. Each shard is a
+// complete TM stack — its own engine instance (SwissTM- or TinySTM-like),
+// its own scheduler (per-shard Shrink, so contention in one shard never
+// serializes another), its own wait policy — holding a transactional hash
+// map (stmds.HashMap) and a bounded pool of registered STM threads that
+// serving goroutines borrow per operation.
+//
+// Consistency model. Three kinds of access compose:
+//
+//   - Single-key operations (Get, Put, Delete, CAS, Add) run as one STM
+//     transaction on the owning shard. They take the shard's batch lock in
+//     shared mode, so they run concurrently with each other and with
+//     snapshots, but never overlap a cross-shard batch on their shard.
+//   - Batches (multi-key, possibly cross-shard) two-phase across shards:
+//     phase one acquires the batch locks of every participating shard in
+//     ascending shard order (exclusive mode) and reads/plans every
+//     operation; phase two applies the planned writes, one STM transaction
+//     per shard, then releases the locks. Holding all participating locks
+//     for the duration makes the batch atomic: no other batch, single-key
+//     operation or snapshot can observe a partially applied batch.
+//   - Snapshots (ForEach, Snapshot, Len) acquire every shard's batch lock
+//     in shared mode (ascending order) and read each shard in one STM
+//     transaction. The cut is atomic per shard, never observes a partial
+//     batch, and is serializable: single-key transactions touch exactly
+//     one shard, so ordering the snapshot after every transaction it
+//     observed and before every one it missed yields a legal serial
+//     history. It is not strictly serializable across shards, though —
+//     the per-shard reads happen at different instants under shared
+//     locks, so a single-key write that completes on an already-visited
+//     shard before a write on a yet-unvisited shard begins may be absent
+//     while the later write is present. Callers needing a real-time
+//     fence across shards must use a batch.
+//
+// The locks order before the STM layer (lock, then transact), and they are
+// always acquired in ascending shard order, so the subsystem is
+// deadlock-free.
+package tkv
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+
+	"github.com/shrink-tm/shrink/internal/enginecfg"
+	"github.com/shrink-tm/shrink/internal/sched"
+	"github.com/shrink-tm/shrink/internal/stm"
+	"github.com/shrink-tm/shrink/internal/stmds"
+)
+
+// Config sizes a Store and selects the per-shard TM stack.
+type Config struct {
+	// Shards is the number of independent shards, rounded up to a power
+	// of two (default 8). Each shard has its own engine and scheduler.
+	Shards int
+	// PoolSize is the number of STM threads registered per shard; it
+	// bounds the transactions concurrently executing in one shard
+	// (default 4).
+	PoolSize int
+	// Buckets is the hash-table bucket count per shard (default 512).
+	Buckets int
+	// Engine, Scheduler, Wait and Shrink select the per-shard TM stack
+	// (see enginecfg); the zero values are SwissTM, no scheduler,
+	// preemptive waiting.
+	Engine    string
+	Scheduler string
+	Wait      stm.WaitPolicy
+	Shrink    *sched.ShrinkConfig
+}
+
+// Store is a sharded transactional key-value store with string values.
+type Store struct {
+	shards []*shard
+	shift  uint // shard index = top bits of the mixed key
+	ops    opCounters
+}
+
+// shard is one slice of the key space with its own TM stack.
+type shard struct {
+	tm     stm.TM
+	shrink *sched.Shrink // nil unless the Shrink scheduler is attached
+	kv     *stmds.HashMap[string]
+	pool   chan stm.Thread
+	// batchMu orders cross-shard batches (exclusive) against single-key
+	// operations and snapshots (shared). See the package comment.
+	batchMu sync.RWMutex
+}
+
+// opCounters tracks served operations per kind.
+type opCounters struct {
+	gets, puts, deletes, cas, casMisses, adds, batches, batchOps, snapshots counter
+}
+
+// Open builds a Store. Every shard gets an independent TM built from the
+// same spec, so per-shard schedulers (Shrink in particular) only ever
+// serialize traffic within their own shard.
+func Open(cfg Config) (*Store, error) {
+	n := 1
+	for n < cfg.Shards {
+		n <<= 1
+	}
+	if cfg.Shards <= 0 {
+		n = 8
+	}
+	poolSize := cfg.PoolSize
+	if poolSize <= 0 {
+		poolSize = 4
+	}
+	buckets := cfg.Buckets
+	if buckets <= 0 {
+		buckets = 512
+	}
+	st := &Store{shards: make([]*shard, n), shift: uint(64 - log2(n))}
+	for i := range st.shards {
+		tm, shrink, err := enginecfg.Build(enginecfg.Spec{
+			Engine:    cfg.Engine,
+			Scheduler: cfg.Scheduler,
+			Wait:      cfg.Wait,
+			Shrink:    cfg.Shrink,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("tkv: shard %d: %w", i, err)
+		}
+		s := &shard{
+			tm:     tm,
+			shrink: shrink,
+			kv:     stmds.NewHashMap[string](buckets),
+			pool:   make(chan stm.Thread, poolSize),
+		}
+		for j := 0; j < poolSize; j++ {
+			s.pool <- tm.Register(fmt.Sprintf("shard%d-w%d", i, j))
+		}
+		st.shards[i] = s
+	}
+	return st, nil
+}
+
+func log2(n int) int {
+	b := 0
+	for n > 1 {
+		n >>= 1
+		b++
+	}
+	return b
+}
+
+// mix64 is the splitmix64 finalizer. Shard selection uses its top bits and
+// the per-shard hash map hashes the key again for its low bucket bits, so
+// the two levels stay independent.
+func mix64(k uint64) uint64 {
+	k ^= k >> 30
+	k *= 0xbf58476d1ce4e5b9
+	k ^= k >> 27
+	k *= 0x94d049bb133111eb
+	return k ^ (k >> 31)
+}
+
+// NumShards returns the shard count.
+func (st *Store) NumShards() int { return len(st.shards) }
+
+// ShardOf returns the index of the shard owning a key.
+func (st *Store) ShardOf(key uint64) int { return int(mix64(key) >> st.shift) }
+
+func (st *Store) shardFor(key uint64) *shard { return st.shards[st.ShardOf(key)] }
+
+// atomically borrows a pooled STM thread for one transaction. If all of the
+// shard's threads are busy, the caller blocks, which bounds the transaction
+// concurrency inside a shard to the pool size. The thread is returned via
+// defer so that a panicking transaction body (recovered by net/http on the
+// serving path) cannot leak the pool slot.
+func (s *shard) atomically(fn func(tx stm.Tx) error) error {
+	th := <-s.pool
+	defer func() { s.pool <- th }()
+	return th.Atomically(fn)
+}
+
+// Get returns the value under key.
+func (st *Store) Get(key uint64) (string, bool, error) {
+	st.ops.gets.Add(1)
+	s := st.shardFor(key)
+	s.batchMu.RLock()
+	defer s.batchMu.RUnlock()
+	var val string
+	var ok bool
+	err := s.atomically(func(tx stm.Tx) error {
+		var err error
+		val, ok, err = s.kv.Get(tx, key)
+		return err
+	})
+	return val, ok, err
+}
+
+// Put stores val under key, reporting whether the key was created.
+func (st *Store) Put(key uint64, val string) (bool, error) {
+	st.ops.puts.Add(1)
+	s := st.shardFor(key)
+	s.batchMu.RLock()
+	defer s.batchMu.RUnlock()
+	var created bool
+	err := s.atomically(func(tx stm.Tx) error {
+		var err error
+		created, err = s.kv.Put(tx, key, val)
+		return err
+	})
+	return created, err
+}
+
+// Delete removes key, reporting whether it was present.
+func (st *Store) Delete(key uint64) (bool, error) {
+	st.ops.deletes.Add(1)
+	s := st.shardFor(key)
+	s.batchMu.RLock()
+	defer s.batchMu.RUnlock()
+	var deleted bool
+	err := s.atomically(func(tx stm.Tx) error {
+		var err error
+		deleted, err = s.kv.Delete(tx, key)
+		return err
+	})
+	return deleted, err
+}
+
+// CAS atomically replaces the value under key with new if the current value
+// equals old, reporting whether it swapped. A missing key never matches.
+func (st *Store) CAS(key uint64, old, new string) (bool, error) {
+	st.ops.cas.Add(1)
+	s := st.shardFor(key)
+	s.batchMu.RLock()
+	defer s.batchMu.RUnlock()
+	var swapped bool
+	err := s.atomically(func(tx stm.Tx) error {
+		swapped = false
+		cur, ok, err := s.kv.Get(tx, key)
+		if err != nil {
+			return err
+		}
+		if !ok || cur != old {
+			return nil
+		}
+		if _, err := s.kv.Put(tx, key, new); err != nil {
+			return err
+		}
+		swapped = true
+		return nil
+	})
+	if err == nil && !swapped {
+		st.ops.casMisses.Add(1)
+	}
+	return swapped, err
+}
+
+// Add atomically adds delta to the decimal integer stored under key,
+// treating a missing key as 0, and returns the new value. A non-numeric
+// stored value is a user error (the transaction aborts without retry).
+func (st *Store) Add(key uint64, delta int64) (int64, error) {
+	st.ops.adds.Add(1)
+	s := st.shardFor(key)
+	s.batchMu.RLock()
+	defer s.batchMu.RUnlock()
+	var out int64
+	err := s.atomically(func(tx stm.Tx) error {
+		cur, ok, err := s.kv.Get(tx, key)
+		if err != nil {
+			return err
+		}
+		n, err := parseCounter(cur, ok, key)
+		if err != nil {
+			return err
+		}
+		out = n + delta
+		_, err = s.kv.Put(tx, key, strconv.FormatInt(out, 10))
+		return err
+	})
+	return out, err
+}
+
+// ErrUser marks errors caused by the request content (as opposed to engine
+// or server failures); the HTTP layer maps it to a 400. It is wrapped into
+// user-abort errors with %w and detected with errors.Is.
+var ErrUser = errors.New("tkv: invalid request")
+
+// parseCounter interprets a stored value as an Add counter.
+func parseCounter(val string, present bool, key uint64) (int64, error) {
+	if !present || val == "" {
+		return 0, nil
+	}
+	n, err := strconv.ParseInt(val, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("%w: key %d holds non-numeric value %q", ErrUser, key, val)
+	}
+	return n, nil
+}
