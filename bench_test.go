@@ -8,6 +8,7 @@ package shrink
 
 import (
 	"math/rand"
+	"sync"
 	"testing"
 	"time"
 
@@ -617,6 +618,142 @@ func BenchmarkScheduledUpdateTx(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkReadOnlyTx quantifies the read-only snapshot mode (the PR-4
+// tentpole) against the update path it replaces for pure readers: the same
+// transaction bodies — a single typed read, and a 100-var scan — run once
+// through Atomically (read log, commit-time validation, write-index probe
+// per read) and once through AtomicallyRO (inline snapshot validation, no
+// logs, no commit phase). Allocations per op must be 0 on every row; the
+// RO rows must not be slower than their update-path twins.
+func BenchmarkReadOnlyTx(b *testing.B) {
+	for _, engine := range []string{harness.EngineSwiss, harness.EngineTiny} {
+		engine := engine
+		b.Run(engine, func(b *testing.B) {
+			b.Run("single/update", func(b *testing.B) {
+				tm := newEngine(b, engine)
+				th := tm.Register("b")
+				v := stm.NewT[int64](1)
+				body := func(tx stm.Tx) error {
+					_, err := stm.ReadT(tx, v)
+					return err
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					_ = th.Atomically(body)
+				}
+			})
+			b.Run("single/ro", func(b *testing.B) {
+				tm := newEngine(b, engine)
+				th := tm.Register("b")
+				v := stm.NewT[int64](1)
+				body := func(tx *stm.ROTx) error {
+					_, err := stm.ReadTRO(tx, v)
+					return err
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					_ = th.AtomicallyRO(body)
+				}
+			})
+			b.Run("scan100/update", func(b *testing.B) {
+				tm := newEngine(b, engine)
+				th := tm.Register("b")
+				vars := roScanVars()
+				body := func(tx stm.Tx) error {
+					for _, v := range vars {
+						if _, err := stm.ReadT(tx, v); err != nil {
+							return err
+						}
+					}
+					return nil
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					_ = th.Atomically(body)
+				}
+			})
+			b.Run("scan100/ro", func(b *testing.B) {
+				tm := newEngine(b, engine)
+				th := tm.Register("b")
+				vars := roScanVars()
+				body := func(tx *stm.ROTx) error {
+					for _, v := range vars {
+						if _, err := stm.ReadTRO(tx, v); err != nil {
+							return err
+						}
+					}
+					return nil
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					_ = th.AtomicallyRO(body)
+				}
+			})
+		})
+	}
+}
+
+var benchSpacerSink []byte
+
+func roScanVars() []*stm.TVar[int64] {
+	vars := make([]*stm.TVar[int64], 100)
+	for i := range vars {
+		vars[i] = stm.NewT(int64(i))
+	}
+	return vars
+}
+
+// BenchmarkDisjointUpdate2Threads verifies the ThreadCtx counter padding:
+// two threads committing disjoint single-var updates share no transactional
+// state, so the only cross-thread cache traffic left is whatever the
+// per-thread statistics layout leaks. With the hot counters fenced to their
+// own cache lines, per-op cost should track the single-threaded update
+// benchmark instead of degrading with false sharing.
+func BenchmarkDisjointUpdate2Threads(b *testing.B) {
+	for _, engine := range []string{harness.EngineSwiss, harness.EngineTiny} {
+		engine := engine
+		b.Run(engine, func(b *testing.B) {
+			tm := newEngine(b, engine)
+			var wg sync.WaitGroup
+			b.ReportAllocs()
+			b.ResetTimer()
+			for w := 0; w < 2; w++ {
+				th := tm.Register("w" + itoa(w))
+				v := stm.NewT[int64](0)
+				// Space the two vars apart on the heap so the benchmark
+				// measures the ThreadCtx counter layout, not accidental
+				// false sharing between the adjacent Var allocations.
+				benchSpacerSink = make([]byte, 192)
+				// Split b.N exactly (worker 0 takes the odd remainder),
+				// so b.N=1 smoke runs still execute the body.
+				iters := b.N / 2
+				if w == 0 {
+					iters = b.N - iters
+				}
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					body := func(tx stm.Tx) error {
+						n, err := stm.ReadT(tx, v)
+						if err != nil {
+							return err
+						}
+						return stm.WriteT(tx, v, n+1)
+					}
+					for i := 0; i < iters; i++ {
+						_ = th.Atomically(body)
+					}
+				}()
+			}
+			wg.Wait()
+		})
 	}
 }
 

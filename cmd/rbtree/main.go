@@ -41,6 +41,7 @@ func run(args []string) error {
 		cores   = fs.Int("cores", 8, "emulated core count (GOMAXPROCS)")
 		csv     = fs.Bool("csv", false, "emit CSV instead of text tables")
 		reps    = fs.Int("reps", 1, "runs per cell; the median is reported")
+		ro      = fs.Bool("ro", false, "run lookups as read-only snapshot transactions")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -72,9 +73,11 @@ func run(args []string) error {
 	}
 
 	for _, rate := range rates {
-		table := report.NewTable(
-			fmt.Sprintf("Red-black tree, %d%% updates, range %d, on %s (%s waiting)", rate, *keys, engine, ef.WaitLabel()),
-			"threads", "committed tx/s")
+		title := fmt.Sprintf("Red-black tree, %d%% updates, range %d, on %s (%s waiting)", rate, *keys, engine, ef.WaitLabel())
+		if *ro {
+			title += " [read-only lookups]"
+		}
+		table := report.NewTable(title, "threads", "committed tx/s")
 		for _, scheduler := range schedulers {
 			name := engine
 			if scheduler != harness.SchedNone {
@@ -89,7 +92,11 @@ func run(args []string) error {
 					Duration:  *dur,
 					Cores:     *cores,
 					Seed:      1,
-				}, *reps, func() harness.Workload { return microbench.NewRBTree(*keys, rate) })
+				}, *reps, func() harness.Workload {
+					w := microbench.NewRBTree(*keys, rate)
+					w.ROLookups = *ro
+					return w
+				})
 				if err != nil {
 					return err
 				}

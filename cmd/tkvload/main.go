@@ -67,6 +67,7 @@ func run(args []string, out io.Writer) error {
 		zipfS     = fs.Float64("zipf", 0, "zipf skew parameter (>1 skews; 0 = uniform)")
 		seed      = fs.Int64("seed", 1, "RNG seed")
 		csv       = fs.Bool("csv", false, "emit CSV instead of a text table")
+		jsonPath  = fs.String("json", "", "also write the sweep as machine-readable JSON to this file (e.g. BENCH_tkv.json)")
 		verifyEnd = fs.Bool("verify", true, "verify the zero-lost-update invariant at the end")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -131,13 +132,34 @@ func run(args []string, out io.Writer) error {
 		fmt.Sprintf("tkvload %s (%s, read=%.2f batch=%.2f zipf=%g)",
 			d.base, mode, *readFrac, *batchFrac, *zipfS),
 		"conns", "ops/s and latency (us)")
+	bench := benchJSON{
+		Tool:      "tkvload",
+		Mode:      mode,
+		ReadFrac:  *readFrac,
+		BatchFrac: *batchFrac,
+		BatchSize: *batchSize,
+		Zipf:      *zipfS,
+		Keys:      *keys,
+		Blobs:     *blobs,
+		DurSec:    dur.Seconds(),
+	}
 	for _, n := range conns {
 		cell := d.drive(n)
-		table.Add("ops/s", n, float64(cell.ops)/cell.elapsed.Seconds())
+		opsPerSec := float64(cell.ops) / cell.elapsed.Seconds()
+		table.Add("ops/s", n, opsPerSec)
 		table.Add("p50us", n, float64(cell.hist.Quantile(0.50)))
 		table.Add("p95us", n, float64(cell.hist.Quantile(0.95)))
 		table.Add("p99us", n, float64(cell.hist.Quantile(0.99)))
 		table.Add("errors", n, float64(cell.errs))
+		bench.Cells = append(bench.Cells, cellJSON{
+			Conns:     n,
+			Ops:       cell.ops,
+			OpsPerSec: opsPerSec,
+			P50us:     cell.hist.Quantile(0.50),
+			P95us:     cell.hist.Quantile(0.95),
+			P99us:     cell.hist.Quantile(0.99),
+			Errors:    cell.errs,
+		})
 	}
 	if *csv {
 		table.WriteCSV(out)
@@ -145,10 +167,60 @@ func run(args []string, out io.Writer) error {
 		table.WriteText(out)
 	}
 
+	var verifyErr error
 	if *verifyEnd {
-		return d.verify(out)
+		bench.Verify, verifyErr = d.verify(out)
 	}
-	return nil
+	if *jsonPath != "" {
+		if err := report.SaveJSON(*jsonPath, bench); err != nil {
+			if verifyErr != nil {
+				// Don't let an artifact-write failure mask an invariant
+				// violation; the violation is the run's result.
+				fmt.Fprintln(out, "tkvload: writing", *jsonPath, "failed:", err)
+				return verifyErr
+			}
+			return err
+		}
+	}
+	return verifyErr
+}
+
+// benchJSON is the machine-readable form of one tkvload run, written by
+// -json so future PRs have a perf trajectory to diff against (the committed
+// BENCH_tkv.json at the repository root is one of these).
+type benchJSON struct {
+	Tool      string      `json:"tool"`
+	Mode      string      `json:"mode"`
+	ReadFrac  float64     `json:"readFrac"`
+	BatchFrac float64     `json:"batchFrac"`
+	BatchSize int         `json:"batchSize"`
+	Zipf      float64     `json:"zipf"`
+	Keys      int         `json:"keys"`
+	Blobs     int         `json:"blobs"`
+	DurSec    float64     `json:"durationSecPerCell"`
+	Cells     []cellJSON  `json:"cells"`
+	Verify    *verifyJSON `json:"verify,omitempty"`
+}
+
+// cellJSON is one swept connection count's measurement.
+type cellJSON struct {
+	Conns     int     `json:"conns"`
+	Ops       uint64  `json:"ops"`
+	OpsPerSec float64 `json:"opsPerSec"`
+	P50us     uint64  `json:"p50us"`
+	P95us     uint64  `json:"p95us"`
+	P99us     uint64  `json:"p99us"`
+	Errors    uint64  `json:"errors"`
+}
+
+// verifyJSON is the end-of-run invariant check's outcome.
+type verifyJSON struct {
+	Commits        uint64 `json:"commits"`
+	Aborts         uint64 `json:"aborts"`
+	Serializations uint64 `json:"serializations"`
+	CounterSum     uint64 `json:"counterSum"`
+	Increments     uint64 `json:"increments"`
+	OK             bool   `json:"ok"`
 }
 
 // loadConfig is the per-run workload shape.
@@ -373,52 +445,73 @@ func (d *driver) getBlob(rng *rand.Rand) error {
 }
 
 // verify pulls a consistent snapshot and the server stats and checks the
-// run's invariants.
-func (d *driver) verify(out io.Writer) error {
+// run's invariants. The returned summary is embedded in the -json artifact
+// even when a check fails (with OK=false), so a broken run is recorded, not
+// hidden.
+func (d *driver) verify(out io.Writer) (*verifyJSON, error) {
+	res := &verifyJSON{Increments: d.casIncrs.Load() + d.batchAdds.Load()}
 	snap := map[uint64]string{}
 	if err := d.getJSON("/snapshot", &snap); err != nil {
-		return fmt.Errorf("snapshot: %w", err)
+		return res, fmt.Errorf("snapshot: %w", err)
 	}
 	var sum uint64
 	for k := 0; k < d.cfg.keys; k++ {
 		v, ok := snap[uint64(k)]
 		if !ok {
-			return fmt.Errorf("counter key %d vanished", k)
+			return res, fmt.Errorf("counter key %d vanished", k)
 		}
 		n, err := strconv.ParseUint(v, 10, 64)
 		if err != nil {
-			return fmt.Errorf("counter key %d holds %q", k, v)
+			return res, fmt.Errorf("counter key %d holds %q", k, v)
 		}
 		sum += n
 	}
-	want := d.casIncrs.Load() + d.batchAdds.Load()
+	res.CounterSum = sum
+	want := res.Increments
 	var stats tkv.Stats
 	if err := d.getJSON("/stats", &stats); err != nil {
-		return fmt.Errorf("stats: %w", err)
+		return res, fmt.Errorf("stats: %w", err)
 	}
+	res.Commits = stats.Commits
+	res.Aborts = stats.Aborts
+	res.Serializations = stats.Serializations
 	fmt.Fprintf(out, "verify: committed=%d aborts=%d serializations=%d counterSum=%d increments=%d (cas=%d batchAdds=%d)\n",
 		stats.Commits, stats.Aborts, stats.Serializations,
 		sum, want, d.casIncrs.Load(), d.batchAdds.Load())
 	if sum < want {
-		return fmt.Errorf("LOST UPDATES: counters sum to %d but %d increments succeeded", sum, want)
+		return res, fmt.Errorf("LOST UPDATES: counters sum to %d but %d increments succeeded", sum, want)
 	}
 	if sum > want {
 		// The opposite mismatch is a driver-side undercount: an
 		// increment committed server-side but its response was lost
 		// (timeout, reset), so it was tallied as an error instead.
-		return fmt.Errorf("uncounted increments: counters sum to %d but only %d increments were acknowledged (a CAS/batch response was likely lost in flight)", sum, want)
+		return res, fmt.Errorf("uncounted increments: counters sum to %d but only %d increments were acknowledged (a CAS/batch response was likely lost in flight)", sum, want)
 	}
 	if d.blobCorrupt.Load() > 0 {
-		return fmt.Errorf("%d blob reads returned foreign values", d.blobCorrupt.Load())
+		return res, fmt.Errorf("%d blob reads returned foreign values", d.blobCorrupt.Load())
 	}
 	if stats.Commits == 0 {
-		return fmt.Errorf("server committed zero transactions")
+		return res, fmt.Errorf("server committed zero transactions")
 	}
+	res.OK = true
 	fmt.Fprintln(out, "verify: OK (zero lost updates)")
-	return nil
+	return res, nil
 }
 
 // ---- HTTP plumbing ----
+
+// wire is a pooled response-read buffer: the driver's own per-response
+// decoder allocations shouldn't pollute the latency it is measuring. Only
+// the response side is pooled — a response body is fully drained
+// synchronously inside do() before the buffer is reused, whereas a pooled
+// *request* body would race with the transport's background write loop
+// whenever the server answers before reading the whole body (early non-200,
+// reset), so request bodies stay freshly allocated per call.
+type wire struct {
+	resp bytes.Buffer
+}
+
+var wirePool = sync.Pool{New: func() any { return new(wire) }}
 
 func (d *driver) get(key uint64) (string, bool, error) {
 	resp, err := d.client.Get(fmt.Sprintf("%s/kv/%d", d.base, key))
@@ -435,10 +528,16 @@ func (d *driver) get(key uint64) (string, bool, error) {
 	if resp.StatusCode != http.StatusOK {
 		return "", false, fmt.Errorf("GET key %d: status %d", key, resp.StatusCode)
 	}
+	w := wirePool.Get().(*wire)
+	defer wirePool.Put(w)
+	w.resp.Reset()
+	if _, err := io.Copy(&w.resp, resp.Body); err != nil {
+		return "", false, err
+	}
 	var body struct {
 		Value string `json:"value"`
 	}
-	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+	if err := json.Unmarshal(w.resp.Bytes(), &body); err != nil {
 		return "", false, err
 	}
 	return body.Value, true, nil
@@ -453,7 +552,7 @@ func (d *driver) put(key uint64, val string) error {
 	if err != nil {
 		return err
 	}
-	return d.do(req, nil)
+	return d.do(req, nil, nil)
 }
 
 func (d *driver) del(key uint64) error {
@@ -461,7 +560,7 @@ func (d *driver) del(key uint64) error {
 	if err != nil {
 		return err
 	}
-	return d.do(req, nil)
+	return d.do(req, nil, nil)
 }
 
 func (d *driver) postJSON(path string, body, into any) error {
@@ -473,7 +572,7 @@ func (d *driver) postJSON(path string, body, into any) error {
 	if err != nil {
 		return err
 	}
-	return d.do(req, into)
+	return d.do(req, nil, into)
 }
 
 func (d *driver) getJSON(path string, into any) error {
@@ -481,10 +580,12 @@ func (d *driver) getJSON(path string, into any) error {
 	if err != nil {
 		return err
 	}
-	return d.do(req, into)
+	return d.do(req, nil, into)
 }
 
-func (d *driver) do(req *http.Request, into any) error {
+// do sends req and decodes the response into `into` (when non-nil) via w's
+// response buffer; a nil w borrows one from the pool.
+func (d *driver) do(req *http.Request, w *wire, into any) error {
 	resp, err := d.client.Do(req)
 	if err != nil {
 		return err
@@ -496,8 +597,16 @@ func (d *driver) do(req *http.Request, into any) error {
 	if resp.StatusCode != http.StatusOK {
 		return fmt.Errorf("%s %s: status %d", req.Method, req.URL.Path, resp.StatusCode)
 	}
-	if into != nil {
-		return json.NewDecoder(resp.Body).Decode(into)
+	if into == nil {
+		return nil
 	}
-	return nil
+	if w == nil {
+		w = wirePool.Get().(*wire)
+		defer wirePool.Put(w)
+	}
+	w.resp.Reset()
+	if _, err := io.Copy(&w.resp, resp.Body); err != nil {
+		return err
+	}
+	return json.Unmarshal(w.resp.Bytes(), into)
 }

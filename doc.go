@@ -36,6 +36,20 @@
 // over the engine's live write log. A committed update transaction costs
 // at most the one heap cell per spilled value, and exactly zero
 // allocations when writing existing pointers — even with Shrink attached.
+//
+// Read-only transactions have a dedicated snapshot mode
+// (Thread.AtomicallyRO with stm.ReadTRO, the TL2/LSA-style read-only
+// path): the body runs against a snapshot timestamp fixed at begin, every
+// read validates inline (unlocked and version at most the snapshot), and
+// there is no read log, no commit-phase work and no atomic
+// read-modify-write on the global clock — a read that meets a newer
+// version restarts the body on a fresh snapshot. The mode cannot be used
+// by transactions that write: a write inside AtomicallyRO fails with
+// stm.ErrReadOnlyWrite without retry, and the caller reruns under the
+// update path (there is no transparent promotion — without a read log the
+// preceding reads cannot be revalidated). The stmds structures expose RO
+// read variants, and tkv serves Get and all snapshot reads through this
+// mode.
 package shrink
 
 // Version identifies the reproduction release.

@@ -19,6 +19,10 @@ type RBTreeWorkload struct {
 	// UpdatePercent is the fraction of update operations in percent
 	// (paper: 20 or 70).
 	UpdatePercent int
+	// ROLookups runs the lookup share of the mix as read-only snapshot
+	// transactions (AtomicallyRO) instead of update-path transactions —
+	// the engines' TL2/LSA-style read-only mode. Updates are unaffected.
+	ROLookups bool
 
 	tree *stmds.RBTree[int64]
 }
@@ -37,6 +41,9 @@ func NewRBTree(keyRange, updatePercent int) *RBTreeWorkload {
 
 // Name implements harness.Workload.
 func (w *RBTreeWorkload) Name() string {
+	if w.ROLookups {
+		return fmt.Sprintf("rbtree-%d%%-ro", w.UpdatePercent)
+	}
 	return fmt.Sprintf("rbtree-%d%%", w.UpdatePercent)
 }
 
@@ -78,6 +85,12 @@ func (w *RBTreeWorkload) Op(th stm.Thread, rng *rand.Rand) error {
 			return err
 		})
 	default:
+		if w.ROLookups {
+			return th.AtomicallyRO(func(tx *stm.ROTx) error {
+				_, err := w.tree.ContainsRO(tx, k)
+				return err
+			})
+		}
 		return th.Atomically(func(tx stm.Tx) error {
 			_, err := w.tree.Contains(tx, k)
 			return err

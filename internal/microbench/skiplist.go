@@ -15,6 +15,9 @@ import (
 type SkipListWorkload struct {
 	Range         int
 	UpdatePercent int
+	// ROLookups runs lookups as read-only snapshot transactions, as in
+	// RBTreeWorkload.
+	ROLookups bool
 
 	list *stmds.SkipList[int64]
 }
@@ -32,6 +35,9 @@ func NewSkipListSet(keyRange, updatePercent int) *SkipListWorkload {
 
 // Name implements harness.Workload.
 func (w *SkipListWorkload) Name() string {
+	if w.ROLookups {
+		return fmt.Sprintf("skiplist-%d%%-ro", w.UpdatePercent)
+	}
 	return fmt.Sprintf("skiplist-%d%%", w.UpdatePercent)
 }
 
@@ -76,6 +82,12 @@ func (w *SkipListWorkload) Op(th stm.Thread, rng *rand.Rand) error {
 			return err
 		})
 	default:
+		if w.ROLookups {
+			return th.AtomicallyRO(func(tx *stm.ROTx) error {
+				_, err := w.list.ContainsRO(tx, k)
+				return err
+			})
+		}
 		return th.Atomically(func(tx stm.Tx) error {
 			_, err := w.list.Contains(tx, k)
 			return err

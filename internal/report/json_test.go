@@ -1,0 +1,47 @@
+package report
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSaveJSON(t *testing.T) {
+	type cell struct {
+		Conns int     `json:"conns"`
+		Ops   float64 `json:"ops"`
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if err := SaveJSON(path, []cell{{8, 1000.5}, {64, 2000.25}}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []cell
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v\n%s", err, data)
+	}
+	if len(got) != 2 || got[0].Conns != 8 || got[1].Ops != 2000.25 {
+		t.Fatalf("roundtrip mismatch: %+v", got)
+	}
+	if data[len(data)-1] != '\n' {
+		t.Fatal("artifact should end with a newline")
+	}
+	// Overwrite must replace, not append, and leave no temp debris.
+	if err := SaveJSON(path, []cell{{1, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("temp files left behind: %v", entries)
+	}
+	if err := SaveJSON(path, make(chan int)); err == nil {
+		t.Fatal("marshaling an unmarshalable value must fail")
+	}
+}

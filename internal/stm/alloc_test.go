@@ -128,6 +128,78 @@ func TestTypedWriteSingleAlloc(t *testing.T) {
 	}
 }
 
+// TestROSingleReadZeroAllocs is the allocation gate for the read-only
+// snapshot mode (the PR-4 tentpole): a typed single-var read through
+// AtomicallyRO must not allocate on either engine. There is no read log to
+// grow and no commit phase at all, so unlike the update-path gate this one
+// needs no descriptor warming.
+func TestROSingleReadZeroAllocs(t *testing.T) {
+	skipIfRace(t)
+	for name, tm := range allocEngines() {
+		t.Run(name, func(t *testing.T) {
+			th := tm.Register("ro")
+			v := stm.NewT[int64](42)
+			body := func(tx *stm.ROTx) error {
+				n, err := stm.ReadTRO(tx, v)
+				if err != nil {
+					return err
+				}
+				allocSink = n
+				return nil
+			}
+			run := func() {
+				if err := th.AtomicallyRO(body); err != nil {
+					t.Fatal(err)
+				}
+			}
+			run()
+			if allocs := testing.AllocsPerRun(200, run); allocs != 0 {
+				t.Errorf("RO single-var read tx: %.1f allocs/op, want 0", allocs)
+			}
+			if allocSink != 42 {
+				t.Fatalf("read returned %d", allocSink)
+			}
+		})
+	}
+}
+
+// TestROScanZeroAllocs extends the RO gate to a multi-read scan (the
+// tkv snapshot shape): a 64-var read-only transaction must also allocate
+// nothing — there is no per-read log append whose backing array could grow.
+func TestROScanZeroAllocs(t *testing.T) {
+	skipIfRace(t)
+	for name, tm := range allocEngines() {
+		t.Run(name, func(t *testing.T) {
+			th := tm.Register("ro")
+			vars := make([]*stm.TVar[int64], 64)
+			for i := range vars {
+				vars[i] = stm.NewT(int64(i))
+			}
+			body := func(tx *stm.ROTx) error {
+				var sum int64
+				for _, v := range vars {
+					n, err := stm.ReadTRO(tx, v)
+					if err != nil {
+						return err
+					}
+					sum += n
+				}
+				allocSink = sum
+				return nil
+			}
+			run := func() {
+				if err := th.AtomicallyRO(body); err != nil {
+					t.Fatal(err)
+				}
+			}
+			run()
+			if allocs := testing.AllocsPerRun(200, run); allocs != 0 {
+				t.Errorf("64-var RO scan tx: %.1f allocs/op, want 0", allocs)
+			}
+		})
+	}
+}
+
 // schedEngines builds one TM per engine with a Shrink scheduler attached
 // (paper parameters), the configuration whose commit lifecycle used to pay
 // a write-set materialization per transaction.

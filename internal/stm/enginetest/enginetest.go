@@ -43,6 +43,7 @@ func Run(t *testing.T, name string, factory Factory) {
 	t.Run("InvariantPairNeverTorn", func(t *testing.T) { testInvariantPair(t, factory) })
 	t.Run("WriteSkewPrevented", func(t *testing.T) { testWriteSkew(t, factory) })
 	t.Run("StatsAccounting", func(t *testing.T) { testStats(t, factory) })
+	runRO(t, factory)
 }
 
 func testSequential(t *testing.T, factory Factory) {

@@ -50,6 +50,16 @@ type Thread interface {
 	// commits. A non-conflict error returned by fn aborts the transaction
 	// and is returned to the caller without retry.
 	Atomically(fn func(tx Tx) error) error
+	// AtomicallyRO runs fn as a read-only snapshot transaction, retrying
+	// with a fresh snapshot while reads race with concurrent writers. The
+	// body receives the concrete read-only descriptor (see ROTx): reads
+	// validate inline against a fixed snapshot, with no read log, no
+	// write index and no commit phase. Writes inside fn fail with
+	// ErrReadOnlyWrite and abort the call without retry. Nesting an RO
+	// transaction inside this thread's update transaction is illegal;
+	// reading a Var the outer transaction wrote fails with
+	// ErrReadOnlyNested.
+	AtomicallyRO(fn func(tx *ROTx) error) error
 	// Ctx exposes the thread context (statistics, scheduler state).
 	Ctx() *ThreadCtx
 }
@@ -71,9 +81,20 @@ type ThreadCtx struct {
 	ID   int
 	Name string
 
+	// The statistics counters are written by the owner thread on every
+	// commit and abort — the hottest stores of the transaction lifecycle.
+	// They are fenced by a cache line of padding on both sides so that
+	// they never share a line with another thread's data: not with the
+	// cross-thread fields below (a contention manager storing Doomed or
+	// Priority would otherwise invalidate the owner's counter line), and
+	// not with a neighboring heap allocation (ThreadCtx values are
+	// allocated back to back by Registry.Add). The full-line pads make
+	// that true regardless of the allocation's own alignment.
+	_          [64]byte
 	Commits    atomic.Uint64
 	Aborts     atomic.Uint64
 	UserAborts atomic.Uint64
+	_          [64]byte
 
 	// Doomed is set by a contention manager running in another thread to
 	// request that this thread's current transaction abort at its next
@@ -83,6 +104,11 @@ type ThreadCtx struct {
 	// Priority is maintained by contention managers that order conflicts
 	// (Karma: work done; Greedy/Timestamp: transaction start time).
 	Priority atomic.Uint64
+
+	// Doomed and Priority are deliberately written by *other* threads
+	// (that is their job), so they get their own fenced line too, keeping
+	// cross-thread invalidations away from the owner-read fields below.
+	_ [64]byte
 
 	// ReadHook, when set, makes the engine invoke Scheduler.AfterRead on
 	// every transactional read. It is read and written only by the owner

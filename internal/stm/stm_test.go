@@ -67,6 +67,37 @@ func TestVarLockCycle(t *testing.T) {
 	}
 }
 
+// TestUnlockRestoreBumpsIncarnation pins the anti-ABA property of the abort
+// path: restoring the pre-lock orec word must preserve the version and the
+// unlocked state but never reproduce the identical word, so a SnapshotPtr
+// sampler racing with a write-through engine's lock/store/abort cycle always
+// observes the interleaving and retries (instead of returning the
+// speculative in-place value of an aborted transaction as consistent).
+func TestUnlockRestoreBumpsIncarnation(t *testing.T) {
+	v := NewVar(1)
+	m0 := v.Meta()
+	seen := map[uint64]bool{}
+	m := m0
+	for cycle := 0; cycle < 1<<incBits; cycle++ {
+		if seen[m] {
+			t.Fatalf("orec word %#x repeated after %d abort cycles (< %d incarnations)", m, cycle, 1<<incBits)
+		}
+		seen[m] = true
+		if IsLocked(m) || VersionOf(m) != VersionOf(m0) {
+			t.Fatalf("abort cycle %d corrupted the word: meta=%#x", cycle, m)
+		}
+		if !v.TryLock(m, 3) {
+			t.Fatalf("relock failed at cycle %d", cycle)
+		}
+		v.UnlockRestore(m)
+		m = v.Meta()
+	}
+	// The field is incBits wide: after 2^incBits cycles it wraps to m0.
+	if m != m0 {
+		t.Fatalf("incarnation did not wrap to the original word: %#x vs %#x", m, m0)
+	}
+}
+
 func TestVarIDsUnique(t *testing.T) {
 	seen := make(map[uint64]bool)
 	for i := 0; i < 1000; i++ {

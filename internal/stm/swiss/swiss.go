@@ -62,6 +62,7 @@ func New(opts Options) *TM {
 func (tm *TM) Register(name string) stm.Thread {
 	th := &Thread{tm: tm, ctx: tm.core.Register(name)}
 	th.tx.th = th
+	th.ro.Bind(&tm.core, th.ctx)
 	return th
 }
 
@@ -79,6 +80,7 @@ type Thread struct {
 	tm  *TM
 	ctx *stm.ThreadCtx
 	tx  txn
+	ro  stm.ROTx
 }
 
 var _ stm.Thread = (*Thread)(nil)
@@ -95,6 +97,14 @@ func (th *Thread) Ctx() *stm.ThreadCtx { return th.ctx }
 // conflict.
 func (th *Thread) Atomically(fn func(tx stm.Tx) error) error {
 	return th.tm.core.Run(th.ctx, &th.tx, fn)
+}
+
+// AtomicallyRO implements stm.Thread via the shared snapshot-mode runner:
+// reads validate inline against a fixed snapshot timestamp, so the
+// transaction maintains no read log and performs no commit-phase work (in
+// particular, no atomic read-modify-write on the global clock).
+func (th *Thread) AtomicallyRO(fn func(tx *stm.ROTx) error) error {
+	return th.tm.core.RunRO(th.ctx, &th.ro, fn)
 }
 
 // writeEntry records an acquired write lock and the speculative value

@@ -61,6 +61,7 @@ func New(opts Options) *TM {
 func (tm *TM) Register(name string) stm.Thread {
 	th := &Thread{tm: tm, ctx: tm.core.Register(name)}
 	th.tx.th = th
+	th.ro.Bind(&tm.core, th.ctx)
 	return th
 }
 
@@ -78,6 +79,7 @@ type Thread struct {
 	tm  *TM
 	ctx *stm.ThreadCtx
 	tx  txn
+	ro  stm.ROTx
 }
 
 var _ stm.Thread = (*Thread)(nil)
@@ -91,6 +93,14 @@ func (th *Thread) Ctx() *stm.ThreadCtx { return th.ctx }
 // Atomically implements stm.Thread via the shared runner.
 func (th *Thread) Atomically(fn func(tx stm.Tx) error) error {
 	return th.tm.core.Run(th.ctx, &th.tx, fn)
+}
+
+// AtomicallyRO implements stm.Thread via the shared snapshot-mode runner.
+// Snapshot reads are safe against this engine's write-through protocol:
+// a locked Var holds a speculative value in place, and ROTx.ReadPtr never
+// returns the value of a locked Var.
+func (th *Thread) AtomicallyRO(fn func(tx *stm.ROTx) error) error {
+	return th.tm.core.RunRO(th.ctx, &th.ro, fn)
 }
 
 // undoEntry records an acquired lock's pre-lock orec word and the

@@ -74,13 +74,32 @@ func (v *Var) ID() uint64 { return v.id }
 
 // Orec word encoding:
 //
-//	even: version<<1            (unlocked, last committed at `version`)
-//	odd:  (owner+1)<<1 | 1      (write-locked by thread `owner`)
-const lockBit = 1
+//	even: version<<9 | incarnation<<1   (unlocked, last committed at `version`)
+//	odd:  (owner+1)<<1 | 1              (write-locked by thread `owner`)
+//
+// The incarnation field exists for the abort path of write-through engines
+// (tiny): an abort restores the pre-lock version, which would make the orec
+// word ABA — a reader sampling the word around its value load (SnapshotPtr)
+// could observe identical words on both sides of a lock/store-speculative/
+// restore cycle and return the never-committed in-place value. Bumping the
+// incarnation on UnlockRestore makes the restored word differ from every
+// word observed before the abort's own lock cycle, so the sampling detects
+// the interleaving and retries. This is TinySTM's incarnation-number
+// technique; 8 bits suffice because defeating it would take 256 aborts of
+// the same Var inside one racing read's load window. Unlock after a commit
+// resets the incarnation — the fresh commit version already makes the word
+// unique.
+const (
+	lockBit  = 1
+	incBits  = 8
+	incShift = 1
+	incMask  = uint64(1<<incBits-1) << incShift
+	verShift = incShift + incBits
+)
 
 func lockWord(owner int) uint64 { return (uint64(owner)+1)<<1 | lockBit }
 
-func versionWord(version uint64) uint64 { return version << 1 }
+func versionWord(version uint64) uint64 { return version << verShift }
 
 // IsLocked reports whether the orec word m encodes a writer lock.
 func IsLocked(m uint64) bool { return m&lockBit != 0 }
@@ -89,9 +108,10 @@ func IsLocked(m uint64) bool { return m&lockBit != 0 }
 // meaningless if IsLocked(m) is false.
 func OwnerOf(m uint64) int { return int(m>>1) - 1 }
 
-// VersionOf returns the commit version encoded in an unlocked orec word. The
-// result is meaningless if IsLocked(m) is true.
-func VersionOf(m uint64) uint64 { return m >> 1 }
+// VersionOf returns the commit version encoded in an unlocked orec word
+// (the incarnation field is masked out). The result is meaningless if
+// IsLocked(m) is true.
+func VersionOf(m uint64) uint64 { return m >> verShift }
 
 // Meta returns the current raw orec word.
 func (v *Var) Meta() uint64 { return v.meta.Load() }
@@ -127,8 +147,13 @@ func (v *Var) TryLock(m uint64, threadID int) bool {
 func (v *Var) Unlock(version uint64) { v.meta.Store(versionWord(version)) }
 
 // UnlockRestore releases a writer lock, restoring a previously observed
-// unlocked orec word (used on abort, where the version must not advance).
-func (v *Var) UnlockRestore(oldMeta uint64) { v.meta.Store(oldMeta) }
+// unlocked orec word (used on abort, where the version must not advance)
+// with the incarnation field bumped, so that value samplers racing with the
+// lock/restore cycle cannot observe an unchanged word (see the encoding
+// comment).
+func (v *Var) UnlockRestore(oldMeta uint64) {
+	v.meta.Store(oldMeta&^incMask | (oldMeta+1<<incShift)&incMask)
+}
 
 // LoadPtr returns the current value pointer without any consistency checks.
 // Engines must validate the orec around the load.

@@ -198,6 +198,95 @@ func (m *HashMap[V]) Range(tx stm.Tx, lo, hi uint64, fn func(key uint64, val V) 
 	return nil
 }
 
+// findRO locates key's node (or nil) under the snapshot-read protocol.
+func (m *HashMap[V]) findRO(tx *stm.ROTx, key uint64) (*hmNode[V], error) {
+	slot := m.bucket(key)
+	for {
+		n, err := stm.ReadTRO(tx, slot)
+		if err != nil {
+			return nil, err
+		}
+		if n == nil || n.key >= key {
+			return n, nil
+		}
+		slot = n.next
+	}
+}
+
+// GetRO is Get for read-only snapshot transactions: every node hop and the
+// value read validate inline against the snapshot, with no read-log
+// bookkeeping — the tkv serving path's Get runs on this.
+func (m *HashMap[V]) GetRO(tx *stm.ROTx, key uint64) (V, bool, error) {
+	var zero V
+	n, err := m.findRO(tx, key)
+	if err != nil || n == nil || n.key != key {
+		return zero, false, err
+	}
+	v, err := stm.ReadTRO(tx, n.val)
+	if err != nil {
+		return zero, false, err
+	}
+	return v, true, nil
+}
+
+// ContainsRO reports whether key is present, under the GetRO protocol.
+func (m *HashMap[V]) ContainsRO(tx *stm.ROTx, key uint64) (bool, error) {
+	n, err := m.findRO(tx, key)
+	return err == nil && n != nil && n.key == key, err
+}
+
+// SizeRO counts the entries under a read-only snapshot transaction. Unlike
+// Size, the whole-table scan costs no read-log growth: the snapshot itself
+// is the consistency proof.
+func (m *HashMap[V]) SizeRO(tx *stm.ROTx) (int, error) {
+	total := 0
+	for _, b := range m.buckets {
+		n, err := stm.ReadTRO(tx, b)
+		if err != nil {
+			return 0, err
+		}
+		for n != nil {
+			total++
+			if n, err = stm.ReadTRO(tx, n.next); err != nil {
+				return 0, err
+			}
+		}
+	}
+	return total, nil
+}
+
+// ForEachRO is ForEach for read-only snapshot transactions, under the same
+// retry contract (fn may run again from the start if the enclosing
+// AtomicallyRO restarts on a fresher snapshot).
+func (m *HashMap[V]) ForEachRO(tx *stm.ROTx, fn func(key uint64, val V) bool) error {
+	return m.RangeRO(tx, 0, ^uint64(0), fn)
+}
+
+// RangeRO is Range for read-only snapshot transactions.
+func (m *HashMap[V]) RangeRO(tx *stm.ROTx, lo, hi uint64, fn func(key uint64, val V) bool) error {
+	for _, b := range m.buckets {
+		n, err := stm.ReadTRO(tx, b)
+		if err != nil {
+			return err
+		}
+		for n != nil && n.key <= hi {
+			if n.key >= lo {
+				v, err := stm.ReadTRO(tx, n.val)
+				if err != nil {
+					return err
+				}
+				if !fn(n.key, v) {
+					return nil
+				}
+			}
+			if n, err = stm.ReadTRO(tx, n.next); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
 // Keys returns all keys (bucket order, ascending within buckets).
 func (m *HashMap[V]) Keys(tx stm.Tx) ([]uint64, error) {
 	var out []uint64

@@ -64,6 +64,44 @@ func (l *SortedList[V]) Get(tx stm.Tx, key int64) (V, bool, error) {
 	return v, true, nil
 }
 
+// findRO walks to the first node with key >= key (or nil) under the
+// snapshot-read protocol.
+func (l *SortedList[V]) findRO(tx *stm.ROTx, key int64) (*listNode[V], error) {
+	slot := l.head
+	for {
+		n, err := stm.ReadTRO(tx, slot)
+		if err != nil {
+			return nil, err
+		}
+		if n == nil || n.key >= key {
+			return n, nil
+		}
+		slot = n.next
+	}
+}
+
+// ContainsRO reports whether key is present, for read-only snapshot
+// transactions.
+func (l *SortedList[V]) ContainsRO(tx *stm.ROTx, key int64) (bool, error) {
+	n, err := l.findRO(tx, key)
+	return err == nil && n != nil && n.key == key, err
+}
+
+// GetRO returns the value stored under key, for read-only snapshot
+// transactions.
+func (l *SortedList[V]) GetRO(tx *stm.ROTx, key int64) (V, bool, error) {
+	var zero V
+	n, err := l.findRO(tx, key)
+	if err != nil || n == nil || n.key != key {
+		return zero, false, err
+	}
+	v, err := stm.ReadTRO(tx, n.val)
+	if err != nil {
+		return zero, false, err
+	}
+	return v, true, nil
+}
+
 // Insert adds key (with val), reporting whether it was new.
 func (l *SortedList[V]) Insert(tx stm.Tx, key int64, val V) (bool, error) {
 	slot, n, err := l.find(tx, key)

@@ -101,6 +101,42 @@ func (t *RBTree[V]) Contains(tx stm.Tx, key int64) (bool, error) {
 	return ok, err
 }
 
+// GetRO is Get for read-only snapshot transactions: the same descent with
+// every child hop validating inline against the snapshot instead of growing
+// a read log.
+func (t *RBTree[V]) GetRO(tx *stm.ROTx, key int64) (V, bool, error) {
+	var zero V
+	n, err := stm.ReadTRO(tx, t.root)
+	if err != nil {
+		return zero, false, err
+	}
+	for n != nil {
+		switch {
+		case key < n.key:
+			if n, err = stm.ReadTRO(tx, n.left); err != nil {
+				return zero, false, err
+			}
+		case key > n.key:
+			if n, err = stm.ReadTRO(tx, n.right); err != nil {
+				return zero, false, err
+			}
+		default:
+			v, err := stm.ReadTRO(tx, n.val)
+			if err != nil {
+				return zero, false, err
+			}
+			return v, true, nil
+		}
+	}
+	return zero, false, nil
+}
+
+// ContainsRO reports whether key is in the set, under the GetRO protocol.
+func (t *RBTree[V]) ContainsRO(tx *stm.ROTx, key int64) (bool, error) {
+	_, ok, err := t.GetRO(tx, key)
+	return ok, err
+}
+
 // Insert adds key with the given value and reports whether the key was new
 // (false means the value of an existing key was updated).
 func (t *RBTree[V]) Insert(tx stm.Tx, key int64, val V) (bool, error) {

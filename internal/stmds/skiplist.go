@@ -70,6 +70,50 @@ func (s *SkipList[V]) findPredecessors(tx stm.Tx, key int64) ([]*slNode[V], *slN
 	return preds, candidate, nil
 }
 
+// searchRO descends to the first node with key >= key (or nil) under the
+// snapshot-read protocol. Lookups need no predecessor tracking, so unlike
+// findPredecessors this allocates nothing.
+func (s *SkipList[V]) searchRO(tx *stm.ROTx, key int64) (*slNode[V], error) {
+	cur := s.head
+	for level := s.maxLevel - 1; level >= 0; level-- {
+		for {
+			next, err := stm.ReadTRO(tx, cur.forward[level])
+			if err != nil {
+				return nil, err
+			}
+			if next == nil || next.key >= key {
+				break
+			}
+			cur = next
+		}
+	}
+	return stm.ReadTRO(tx, cur.forward[0])
+}
+
+// ContainsRO reports whether key is present, for read-only snapshot
+// transactions.
+func (s *SkipList[V]) ContainsRO(tx *stm.ROTx, key int64) (bool, error) {
+	candidate, err := s.searchRO(tx, key)
+	if err != nil {
+		return false, err
+	}
+	return candidate != nil && candidate.key == key, nil
+}
+
+// GetRO returns the value under key, for read-only snapshot transactions.
+func (s *SkipList[V]) GetRO(tx *stm.ROTx, key int64) (V, bool, error) {
+	var zero V
+	candidate, err := s.searchRO(tx, key)
+	if err != nil || candidate == nil || candidate.key != key {
+		return zero, false, err
+	}
+	v, err := stm.ReadTRO(tx, candidate.val)
+	if err != nil {
+		return zero, false, err
+	}
+	return v, true, nil
+}
+
 // towerHeight derives a deterministic pseudo-random tower height from the
 // key (1..maxLevel with geometric distribution), so retries of the same
 // insert build the same tower — keeping write sets stable across restarts,

@@ -1,15 +1,53 @@
 package tkv
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
+	"sync"
 )
 
 // maxBodyBytes bounds request bodies (values and batches).
 const maxBodyBytes = 1 << 20
+
+// Response body shapes. These are concrete structs (rather than the
+// map[string]any a first cut would reach for) because the handler is the
+// serving hot path: a map response costs a map allocation plus one boxing
+// allocation per field, where a struct costs exactly the one interface cell
+// the encoder sees.
+type kvResp struct {
+	Key   uint64 `json:"key"`
+	Value string `json:"value,omitempty"`
+	Found bool   `json:"found"`
+}
+
+type createdResp struct {
+	Created bool `json:"created"`
+}
+
+type deletedResp struct {
+	Deleted bool `json:"deleted"`
+}
+
+type swappedResp struct {
+	Swapped bool `json:"swapped"`
+}
+
+type valueResp struct {
+	Value int64 `json:"value"`
+}
+
+type resultsResp struct {
+	Results []OpResult `json:"results"`
+}
+
+type errorResp struct {
+	Error string `json:"error"`
+}
 
 // NewHandler returns the HTTP/JSON API over a Store, the handler cmd/tkvd
 // serves:
@@ -39,10 +77,10 @@ func NewHandler(st *Store) http.Handler {
 			return
 		}
 		if !found {
-			writeJSON(w, http.StatusNotFound, map[string]any{"key": key, "found": false})
+			writeJSON(w, http.StatusNotFound, &kvResp{Key: key})
 			return
 		}
-		writeJSON(w, http.StatusOK, map[string]any{"key": key, "value": val, "found": true})
+		writeJSON(w, http.StatusOK, &kvResp{Key: key, Value: val, Found: true})
 	})
 	mux.HandleFunc("PUT /kv/{key}", func(w http.ResponseWriter, r *http.Request) {
 		key, ok := pathKey(w, r)
@@ -60,7 +98,7 @@ func NewHandler(st *Store) http.Handler {
 			httpError(w, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, map[string]any{"created": created})
+		writeJSON(w, http.StatusOK, &createdResp{Created: created})
 	})
 	mux.HandleFunc("DELETE /kv/{key}", func(w http.ResponseWriter, r *http.Request) {
 		key, ok := pathKey(w, r)
@@ -72,7 +110,7 @@ func NewHandler(st *Store) http.Handler {
 			httpError(w, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, map[string]any{"deleted": deleted})
+		writeJSON(w, http.StatusOK, &deletedResp{Deleted: deleted})
 	})
 	mux.HandleFunc("POST /cas", func(w http.ResponseWriter, r *http.Request) {
 		var body struct {
@@ -88,7 +126,7 @@ func NewHandler(st *Store) http.Handler {
 			httpError(w, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, map[string]any{"swapped": swapped})
+		writeJSON(w, http.StatusOK, &swappedResp{Swapped: swapped})
 	})
 	mux.HandleFunc("POST /add", func(w http.ResponseWriter, r *http.Request) {
 		var body struct {
@@ -103,7 +141,7 @@ func NewHandler(st *Store) http.Handler {
 			httpError(w, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, map[string]any{"value": val})
+		writeJSON(w, http.StatusOK, &valueResp{Value: val})
 	})
 	mux.HandleFunc("POST /batch", func(w http.ResponseWriter, r *http.Request) {
 		var body struct {
@@ -117,7 +155,7 @@ func NewHandler(st *Store) http.Handler {
 			httpError(w, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, map[string]any{"results": results})
+		writeJSON(w, http.StatusOK, &resultsResp{Results: results})
 	})
 	mux.HandleFunc("GET /snapshot", func(w http.ResponseWriter, r *http.Request) {
 		snap, err := st.Snapshot()
@@ -145,17 +183,31 @@ func NewHandler(st *Store) http.Handler {
 func pathKey(w http.ResponseWriter, r *http.Request) (uint64, bool) {
 	key, err := strconv.ParseUint(r.PathValue("key"), 10, 64)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, map[string]any{"error": "bad key: " + r.PathValue("key")})
+		writeJSON(w, http.StatusBadRequest, &errorResp{Error: "bad key: " + r.PathValue("key")})
 		return 0, false
 	}
 	return key, true
 }
 
+// bodyBufPool recycles request-body scratch buffers across requests; the
+// buffer never leaves readJSON, so pooling is safe under any handler
+// concurrency.
+var bodyBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
 // readJSON decodes a bounded JSON body, answering 400 itself on failure.
+// The body is slurped into a pooled buffer and decoded with json.Unmarshal:
+// per-request json.NewDecoder allocations were a measurable share of the
+// serving path (the decoder and its read buffer die after one request).
 func readJSON(w http.ResponseWriter, r *http.Request, into any) bool {
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
-	if err := dec.Decode(into); err != nil {
-		writeJSON(w, http.StatusBadRequest, map[string]any{"error": "bad body: " + err.Error()})
+	buf := bodyBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	defer bodyBufPool.Put(buf)
+	if _, err := io.Copy(buf, http.MaxBytesReader(w, r.Body, maxBodyBytes)); err != nil {
+		writeJSON(w, http.StatusBadRequest, &errorResp{Error: "bad body: " + err.Error()})
+		return false
+	}
+	if err := json.Unmarshal(buf.Bytes(), into); err != nil {
+		writeJSON(w, http.StatusBadRequest, &errorResp{Error: "bad body: " + err.Error()})
 		return false
 	}
 	return true
@@ -169,12 +221,36 @@ func httpError(w http.ResponseWriter, err error) {
 	if errors.Is(err, ErrUser) {
 		status = http.StatusBadRequest
 	}
-	writeJSON(w, status, map[string]any{"error": err.Error()})
+	writeJSON(w, status, &errorResp{Error: err.Error()})
 }
 
+// jsonEnc pairs a reusable encode buffer with an encoder bound to it, so a
+// response costs no encoder or buffer allocation once the pool is warm.
+type jsonEnc struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var encPool = sync.Pool{New: func() any {
+	e := new(jsonEnc)
+	e.enc = json.NewEncoder(&e.buf)
+	return e
+}}
+
+// writeJSON encodes v into a pooled buffer and writes it as one body with
+// an exact Content-Length (avoiding chunked framing on the hot path).
 func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
+	e := encPool.Get().(*jsonEnc)
+	e.buf.Reset()
+	if err := e.enc.Encode(v); err != nil {
+		encPool.Put(e)
+		http.Error(w, "encode: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "application/json")
+	h.Set("Content-Length", strconv.Itoa(e.buf.Len()))
 	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	_ = enc.Encode(v)
+	_, _ = w.Write(e.buf.Bytes())
+	encPool.Put(e)
 }

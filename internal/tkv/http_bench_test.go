@@ -1,0 +1,126 @@
+package tkv
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"testing"
+)
+
+// nopResponseWriter swallows the response so the benchmarks measure the
+// handler's own cost, not a recorder's buffer growth.
+type nopResponseWriter struct{ h http.Header }
+
+func (w *nopResponseWriter) Header() http.Header         { return w.h }
+func (w *nopResponseWriter) Write(b []byte) (int, error) { return len(b), nil }
+func (w *nopResponseWriter) WriteHeader(int)             {}
+
+// replayBody is a rewindable no-op-close request body.
+type replayBody struct{ bytes.Reader }
+
+func (b *replayBody) Close() error { return nil }
+
+func benchStore(b *testing.B) *Store {
+	b.Helper()
+	st, err := Open(Config{Shards: 4, PoolSize: 2, Buckets: 128})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for k := uint64(0); k < 256; k++ {
+		if _, err := st.Put(k, fmt.Sprintf("value-%d", k)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return st
+}
+
+// BenchmarkHandlerGet measures the full serving path of one GET /kv/{key}:
+// mux routing, the store's read-only snapshot transaction, and the pooled
+// JSON response encode. Run with -benchmem: the response path must not
+// allocate an encoder or buffer per request.
+func BenchmarkHandlerGet(b *testing.B) {
+	h := NewHandler(benchStore(b))
+	req, err := http.NewRequest(http.MethodGet, "/kv/42", nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := &nopResponseWriter{h: make(http.Header)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.ServeHTTP(w, req)
+	}
+}
+
+// BenchmarkHandlerPut measures PUT /kv/{key} end to end, including the
+// pooled request-body slurp and decode.
+func BenchmarkHandlerPut(b *testing.B) {
+	h := NewHandler(benchStore(b))
+	payload := []byte(`{"value":"benchmark-value"}`)
+	req, err := http.NewRequest(http.MethodPut, "/kv/42", nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	body := &replayBody{}
+	w := &nopResponseWriter{h: make(http.Header)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		body.Reset(payload)
+		req.Body = body
+		h.ServeHTTP(w, req)
+	}
+}
+
+// BenchmarkStoreGet isolates the store below the HTTP layer: one read-only
+// snapshot transaction per Get on the owning shard.
+func BenchmarkStoreGet(b *testing.B) {
+	st := benchStore(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok, err := st.Get(uint64(i) & 255); err != nil || !ok {
+			b.Fatalf("get: %v %v", ok, err)
+		}
+	}
+}
+
+// BenchmarkStoreMixRead90 is the store-level twin of tkvload's
+// read-ratio-0.9 sweep with the HTTP stack subtracted: 90% Get, 10% Put
+// over 256 keys. This is where the read path's per-transaction savings
+// surface as serving throughput.
+func BenchmarkStoreMixRead90(b *testing.B) {
+	st := benchStore(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := uint64(i) & 255
+		if i%10 == 9 {
+			if _, err := st.Put(k, "updated-value"); err != nil {
+				b.Fatal(err)
+			}
+			continue
+		}
+		if _, ok, err := st.Get(k); err != nil || !ok {
+			b.Fatalf("get: %v %v", ok, err)
+		}
+	}
+}
+
+// BenchmarkStoreSnapshot measures the whole-store consistent cut (the
+// /snapshot serving path): per-shard read-only scan transactions over every
+// bucket chain.
+func BenchmarkStoreSnapshot(b *testing.B) {
+	st := benchStore(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		if err := st.ForEach(func(uint64, string) bool { n++; return true }); err != nil {
+			b.Fatal(err)
+		}
+		if n != 256 {
+			b.Fatalf("snapshot saw %d keys, want 256", n)
+		}
+	}
+}

@@ -44,9 +44,9 @@ func (st *Store) ForEach(fn func(key uint64, val string) bool) error {
 	defer unlock()
 	var buf []kvPair
 	for _, s := range st.shards {
-		err := s.atomically(func(tx stm.Tx) error {
+		err := s.atomicallyRO(func(tx *stm.ROTx) error {
 			buf = buf[:0] // reset: the transaction may retry
-			return s.kv.ForEach(tx, func(k uint64, v string) bool {
+			return s.kv.ForEachRO(tx, func(k uint64, v string) bool {
 				buf = append(buf, kvPair{k, v})
 				return true
 			})
@@ -81,9 +81,9 @@ func (st *Store) Len() (int, error) {
 	total := 0
 	for _, s := range st.shards {
 		var n int
-		err := s.atomically(func(tx stm.Tx) error {
+		err := s.atomicallyRO(func(tx *stm.ROTx) error {
 			var err error
-			n, err = s.kv.Size(tx)
+			n, err = s.kv.SizeRO(tx)
 			return err
 		})
 		if err != nil {
