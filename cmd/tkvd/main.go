@@ -1,8 +1,10 @@
 // Command tkvd serves the tkv sharded transactional key-value store over
 // HTTP/JSON: single-key get/put/delete/cas/add fast paths, cross-shard
-// atomic batches, consistent snapshots and a /stats endpoint rendering the
-// per-shard engine counters (commits, aborts, Shrink serializations)
-// through the internal/report table machinery. Each shard runs its own STM
+// atomic batches (including cas ops) admitted per key through striped
+// key locks, batched multi-key reads (/mget), consistent snapshots and a
+// /stats endpoint rendering the per-shard engine counters (commits, aborts,
+// Shrink serializations, stripe waits, read-only fallbacks) through the
+// internal/report table machinery. Each shard runs its own STM
 // engine instance with its own scheduler, so this is the serving scenario
 // the paper's thesis is about: prediction-based scheduling keeping
 // throughput stable while many client connections hammer shared state.
@@ -45,10 +47,12 @@ func main() {
 func run(args []string, out io.Writer, ready chan<- string, stop <-chan struct{}) error {
 	fs := flag.NewFlagSet("tkvd", flag.ContinueOnError)
 	var (
-		addr      = fs.String("addr", "127.0.0.1:7070", "listen address")
-		shards    = fs.Int("shards", 8, "shard count (rounded up to a power of two)")
-		pool      = fs.Int("pool", 4, "STM worker threads per shard")
-		buckets   = fs.Int("buckets", 512, "hash buckets per shard")
+		addr    = fs.String("addr", "127.0.0.1:7070", "listen address")
+		shards  = fs.Int("shards", 8, "shard count (rounded up to a power of two)")
+		pool    = fs.Int("pool", 4, "STM worker threads per shard")
+		buckets = fs.Int("buckets", 512, "hash buckets per shard")
+		stripes = fs.Int("stripes", 0,
+			"key-lock stripes per shard, rounded up to a power of two (0 = default)")
 		schedName = fs.String("sched", enginecfg.SchedShrink,
 			"per-shard scheduler: none, shrink, ats, pool or adaptive")
 	)
@@ -61,12 +65,13 @@ func run(args []string, out io.Writer, ready chan<- string, stop <-chan struct{}
 		return err
 	}
 	store, err := tkv.Open(tkv.Config{
-		Shards:    *shards,
-		PoolSize:  *pool,
-		Buckets:   *buckets,
-		Engine:    ef.Engine(),
-		Scheduler: *schedName,
-		Wait:      wait,
+		Shards:      *shards,
+		PoolSize:    *pool,
+		Buckets:     *buckets,
+		LockStripes: *stripes,
+		Engine:      ef.Engine(),
+		Scheduler:   *schedName,
+		Wait:        wait,
 	})
 	if err != nil {
 		return err

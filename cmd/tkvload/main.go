@@ -1,22 +1,32 @@
 // Command tkvload is an open-loop HTTP load driver for tkvd. It generates a
-// mixed workload — reads, client-side CAS read-modify-write increments,
-// blob puts/deletes and cross-shard atomic batch adds — with configurable
-// key skew, read ratio, batch size and connection count, and reports
+// mixed workload — reads (single-key and batched /mget), client-side CAS
+// read-modify-write increments, blob puts/deletes and cross-shard atomic
+// batches of adds and cas increments — with configurable key skew, read
+// ratio, batch size, batch key overlap and connection count, and reports
 // throughput and latency percentiles as a report table over the swept
 // connection counts.
 //
 // The driver doubles as a correctness checker: every increment it performs
-// goes through a transactional server path (CAS or batch add), so at the
-// end of the run the sum of all counter keys must equal the number of
-// increments that reported success. Any lost update — in an engine, in the
-// shard locking protocol, or in the batch two-phase — fails the run, as
-// does a committed-transaction count of zero. Blob values embed their key,
-// so a read returning another key's value is also detected.
+// goes through a transactional server path (CAS, batch add or batch cas),
+// so at the end of the run the sum of all counter keys must equal the
+// number of increments that reported success — a batch answered 409 (cas
+// mismatch) must have written nothing. Any lost update — in an engine, in
+// the striped key-lock protocol, or in the batch two-phase — fails the
+// run, as does a committed-transaction count of zero. Blob values embed
+// their key, so a read returning another key's value is also detected.
+//
+// Batch key overlap (-overlap) controls how much concurrent batches
+// contend: 1 draws every batch key from the shared counter space (batches
+// collide constantly), 0 confines each connection's batches to a private
+// slice of it (batches are key-disjoint and, under the striped batch
+// planner, commit concurrently).
 //
 // Usage:
 //
 //	tkvload -url http://127.0.0.1:7070 -dur 5s -conns 4,16,64
 //	tkvload -url http://127.0.0.1:7070 -read 0.9 -zipf 1.2 -batchsize 16
+//	tkvload -url http://127.0.0.1:7070 -read 0 -batch 1 -overlap 0 -batchcas 0.25
+//	tkvload -url http://127.0.0.1:7070 -read 0.9 -mget 0.5
 package main
 
 import (
@@ -62,8 +72,11 @@ func run(args []string, out io.Writer) error {
 		keys      = fs.Int("keys", 128, "counter key count (keys 0..n-1, sum-verified)")
 		blobs     = fs.Int("blobs", 128, "blob key count (put/delete/get region)")
 		readFrac  = fs.Float64("read", 0.5, "fraction of operations that are reads")
-		batchFrac = fs.Float64("batch", 0.25, "fraction of updates that are atomic batch adds")
-		batchSize = fs.Int("batchsize", 8, "adds per batch")
+		mgetFrac  = fs.Float64("mget", 0, "fraction of reads issued as batched /mget multi-key reads")
+		batchFrac = fs.Float64("batch", 0.25, "fraction of updates that are atomic batches")
+		batchSize = fs.Int("batchsize", 8, "ops per batch (and keys per mget)")
+		batchCAS  = fs.Float64("batchcas", 0, "fraction of batch ops that are cas increments instead of adds")
+		overlap   = fs.Float64("overlap", 1, "fraction of batch keys drawn from the shared key space (the rest from a per-connection private slice)")
 		zipfS     = fs.Float64("zipf", 0, "zipf skew parameter (>1 skews; 0 = uniform)")
 		seed      = fs.Int64("seed", 1, "RNG seed")
 		csv       = fs.Bool("csv", false, "emit CSV instead of a text table")
@@ -82,11 +95,20 @@ func run(args []string, out io.Writer) error {
 	if *zipfS != 0 && *zipfS <= 1 {
 		return fmt.Errorf("-zipf must be > 1 (or 0 for uniform)")
 	}
+	if *overlap < 0 || *overlap > 1 || *mgetFrac < 0 || *mgetFrac > 1 || *batchCAS < 0 || *batchCAS > 1 {
+		return fmt.Errorf("-overlap, -mget and -batchcas must be in [0,1]")
+	}
 	var conns []int
 	for _, p := range strings.Split(*connsList, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(p))
 		if err != nil || n <= 0 {
 			return fmt.Errorf("bad connection count %q", p)
+		}
+		// Disjoint batch keys need a non-empty private slice per
+		// connection; silently degrading to the shared space would
+		// corrupt the overlap comparison the flag exists for.
+		if *overlap < 1 && *keys/n == 0 {
+			return fmt.Errorf("-overlap %g needs -keys >= conns (got %d keys, %d conns)", *overlap, *keys, n)
 		}
 		conns = append(conns, n)
 	}
@@ -99,8 +121,11 @@ func run(args []string, out io.Writer) error {
 			keys:      *keys,
 			blobs:     *blobs,
 			readFrac:  *readFrac,
+			mgetFrac:  *mgetFrac,
 			batchFrac: *batchFrac,
 			batchSize: *batchSize,
+			batchCAS:  *batchCAS,
+			overlap:   *overlap,
 			zipfS:     *zipfS,
 			seed:      *seed,
 		},
@@ -129,15 +154,18 @@ func run(args []string, out io.Writer) error {
 		mode = fmt.Sprintf("open-loop %.0f ops/s", *rate)
 	}
 	table := report.NewTable(
-		fmt.Sprintf("tkvload %s (%s, read=%.2f batch=%.2f zipf=%g)",
-			d.base, mode, *readFrac, *batchFrac, *zipfS),
+		fmt.Sprintf("tkvload %s (%s, read=%.2f mget=%.2f batch=%.2f cas=%.2f overlap=%.2f zipf=%g)",
+			d.base, mode, *readFrac, *mgetFrac, *batchFrac, *batchCAS, *overlap, *zipfS),
 		"conns", "ops/s and latency (us)")
 	bench := benchJSON{
 		Tool:      "tkvload",
 		Mode:      mode,
 		ReadFrac:  *readFrac,
+		MGetFrac:  *mgetFrac,
 		BatchFrac: *batchFrac,
 		BatchSize: *batchSize,
+		BatchCAS:  *batchCAS,
+		Overlap:   *overlap,
 		Zipf:      *zipfS,
 		Keys:      *keys,
 		Blobs:     *blobs,
@@ -192,8 +220,11 @@ type benchJSON struct {
 	Tool      string      `json:"tool"`
 	Mode      string      `json:"mode"`
 	ReadFrac  float64     `json:"readFrac"`
+	MGetFrac  float64     `json:"mgetFrac,omitempty"`
 	BatchFrac float64     `json:"batchFrac"`
 	BatchSize int         `json:"batchSize"`
+	BatchCAS  float64     `json:"batchCASFrac,omitempty"`
+	Overlap   float64     `json:"overlap"`
 	Zipf      float64     `json:"zipf"`
 	Keys      int         `json:"keys"`
 	Blobs     int         `json:"blobs"`
@@ -218,8 +249,11 @@ type verifyJSON struct {
 	Commits        uint64 `json:"commits"`
 	Aborts         uint64 `json:"aborts"`
 	Serializations uint64 `json:"serializations"`
+	StripeWaits    uint64 `json:"stripeWaits"`
+	ROFallbacks    uint64 `json:"roFallbacks"`
 	CounterSum     uint64 `json:"counterSum"`
 	Increments     uint64 `json:"increments"`
+	CASMismatches  uint64 `json:"batchCASMismatches"`
 	OK             bool   `json:"ok"`
 }
 
@@ -229,7 +263,10 @@ type loadConfig struct {
 	rate                float64
 	keys, blobs         int
 	readFrac, batchFrac float64
+	mgetFrac            float64
 	batchSize           int
+	batchCAS            float64
+	overlap             float64
 	zipfS               float64
 	seed                int64
 }
@@ -244,6 +281,9 @@ type driver struct {
 	// final counter sum must equal their total.
 	casIncrs  atomic.Uint64
 	batchAdds atomic.Uint64
+	// batchCASMisses counts batches the server refused whole with 409
+	// (a cas op's compare failed): zero increments, but not an error.
+	batchCASMisses atomic.Uint64
 	// blobCorrupt counts blob reads whose value named another key.
 	blobCorrupt atomic.Uint64
 }
@@ -326,7 +366,7 @@ func (d *driver) drive(n int) cellResult {
 					}
 					issued = time.Now()
 				}
-				if err := d.op(rng, zipf); err != nil {
+				if err := d.op(rng, zipf, w, n); err != nil {
 					errs.Add(1)
 				} else {
 					ops.Add(1)
@@ -352,9 +392,14 @@ func (d *driver) counterKey(rng *rand.Rand, zipf *rand.Zipf) uint64 {
 	return uint64(rng.Intn(d.cfg.keys))
 }
 
-// op issues one operation of the mix.
-func (d *driver) op(rng *rand.Rand, zipf *rand.Zipf) error {
+// op issues one operation of the mix. w and conns identify the worker and
+// the cell's connection count, which locate the worker's private key slice
+// under -overlap < 1.
+func (d *driver) op(rng *rand.Rand, zipf *rand.Zipf, w, conns int) error {
 	if rng.Float64() < d.cfg.readFrac {
+		if d.cfg.mgetFrac > 0 && rng.Float64() < d.cfg.mgetFrac {
+			return d.mget(rng, zipf)
+		}
 		if rng.Intn(2) == 0 {
 			_, _, err := d.get(d.counterKey(rng, zipf))
 			return err
@@ -362,7 +407,7 @@ func (d *driver) op(rng *rand.Rand, zipf *rand.Zipf) error {
 		return d.getBlob(rng)
 	}
 	if rng.Float64() < d.cfg.batchFrac {
-		return d.batchAdd(rng, zipf)
+		return d.batch(rng, zipf, w, conns)
 	}
 	switch rng.Intn(5) {
 	case 0, 1:
@@ -373,6 +418,21 @@ func (d *driver) op(rng *rand.Rand, zipf *rand.Zipf) error {
 	default:
 		return d.del(blobBase + uint64(rng.Intn(d.cfg.blobs)))
 	}
+}
+
+// batchKey picks one key for a batch op: with probability cfg.overlap from
+// the whole counter space (honoring skew), otherwise uniformly from the
+// worker's private slice of it — the knob that makes concurrent batches
+// key-disjoint (-overlap 0) or maximally contended (-overlap 1).
+func (d *driver) batchKey(rng *rand.Rand, zipf *rand.Zipf, w, conns int) uint64 {
+	if rng.Float64() < d.cfg.overlap {
+		return d.counterKey(rng, zipf)
+	}
+	span := d.cfg.keys / conns
+	if span == 0 {
+		return d.counterKey(rng, zipf)
+	}
+	return uint64(w%conns*span + rng.Intn(span))
 }
 
 // casIncrement performs a client-side read-modify-write: read the counter,
@@ -410,22 +470,116 @@ func (d *driver) casIncrement(rng *rand.Rand, zipf *rand.Zipf) error {
 	return fmt.Errorf("cas on key %d starved after %d attempts", key, casAttempts)
 }
 
-// batchAdd issues one cross-shard atomic batch of +1 adds.
-func (d *driver) batchAdd(rng *rand.Rand, zipf *rand.Zipf) error {
+// batch issues one atomic batch of +1 increments: adds, with a -batchcas
+// fraction of them as cas increments (read the counter, then cas it one
+// higher inside the batch). Every op of an accepted batch increments its
+// key by exactly 1, so the tally is the op count; a 409 (some cas compare
+// lost a race) means the whole batch wrote nothing and tallies zero.
+func (d *driver) batch(rng *rand.Rand, zipf *rand.Zipf, w, conns int) error {
 	ops := make([]tkv.Op, d.cfg.batchSize)
 	for i := range ops {
-		ops[i] = tkv.Op{Kind: tkv.OpAdd, Key: d.counterKey(rng, zipf), Delta: 1}
+		key := d.batchKey(rng, zipf, w, conns)
+		if d.cfg.batchCAS > 0 && rng.Float64() < d.cfg.batchCAS {
+			cur, found, err := d.get(key)
+			if err != nil {
+				return err
+			}
+			if !found {
+				return fmt.Errorf("counter key %d missing", key)
+			}
+			n, err := strconv.ParseInt(cur, 10, 64)
+			if err != nil {
+				return fmt.Errorf("counter key %d holds %q", key, cur)
+			}
+			ops[i] = tkv.Op{Kind: tkv.OpCAS, Key: key, Old: cur, Value: strconv.FormatInt(n+1, 10)}
+		} else {
+			ops[i] = tkv.Op{Kind: tkv.OpAdd, Key: key, Delta: 1}
+		}
+	}
+	mismatch, nres, err := d.postBatch(ops)
+	if err != nil {
+		return err
+	}
+	if mismatch {
+		d.batchCASMisses.Add(1)
+		return nil
+	}
+	if nres != len(ops) {
+		return fmt.Errorf("batch returned %d results for %d ops", nres, len(ops))
+	}
+	d.batchAdds.Add(uint64(len(ops)))
+	return nil
+}
+
+// postBatch posts a batch, distinguishing acceptance (200, returns the
+// result count) from a whole-batch cas mismatch (409 with casMismatch set;
+// nothing was written).
+func (d *driver) postBatch(ops []tkv.Op) (mismatch bool, nres int, err error) {
+	b, err := json.Marshal(map[string]any{"ops": ops})
+	if err != nil {
+		return false, 0, err
+	}
+	req, err := http.NewRequest(http.MethodPost, d.base+"/batch", bytes.NewReader(b))
+	if err != nil {
+		return false, 0, err
+	}
+	resp, err := d.client.Do(req)
+	if err != nil {
+		return false, 0, err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusConflict {
+		return false, 0, fmt.Errorf("POST /batch: status %d", resp.StatusCode)
+	}
+	w := wirePool.Get().(*wire)
+	defer wirePool.Put(w)
+	w.resp.Reset()
+	if _, err := io.Copy(&w.resp, resp.Body); err != nil {
+		return false, 0, err
+	}
+	var body struct {
+		Results     []tkv.OpResult `json:"results"`
+		CASMismatch bool           `json:"casMismatch"`
+	}
+	if err := json.Unmarshal(w.resp.Bytes(), &body); err != nil {
+		return false, 0, err
+	}
+	if resp.StatusCode == http.StatusConflict {
+		if !body.CASMismatch {
+			return false, 0, fmt.Errorf("POST /batch: 409 without casMismatch")
+		}
+		return true, len(body.Results), nil
+	}
+	return false, len(body.Results), nil
+}
+
+// mget issues one batched multi-key read over the counter space and
+// cross-checks that every found value is a well-formed counter.
+func (d *driver) mget(rng *rand.Rand, zipf *rand.Zipf) error {
+	keys := make([]uint64, d.cfg.batchSize)
+	for i := range keys {
+		keys[i] = d.counterKey(rng, zipf)
 	}
 	var resp struct {
 		Results []tkv.OpResult `json:"results"`
 	}
-	if err := d.postJSON("/batch", map[string]any{"ops": ops}, &resp); err != nil {
+	if err := d.postJSON("/mget", map[string]any{"keys": keys}, &resp); err != nil {
 		return err
 	}
-	if len(resp.Results) != len(ops) {
-		return fmt.Errorf("batch returned %d results for %d ops", len(resp.Results), len(ops))
+	if len(resp.Results) != len(keys) {
+		return fmt.Errorf("mget returned %d results for %d keys", len(resp.Results), len(keys))
 	}
-	d.batchAdds.Add(uint64(len(ops)))
+	for i, r := range resp.Results {
+		if !r.Found {
+			continue // not yet seeded in this cell
+		}
+		if _, err := strconv.ParseUint(r.Value, 10, 64); err != nil {
+			return fmt.Errorf("mget counter key %d holds %q", keys[i], r.Value)
+		}
+	}
 	return nil
 }
 
@@ -475,9 +629,12 @@ func (d *driver) verify(out io.Writer) (*verifyJSON, error) {
 	res.Commits = stats.Commits
 	res.Aborts = stats.Aborts
 	res.Serializations = stats.Serializations
-	fmt.Fprintf(out, "verify: committed=%d aborts=%d serializations=%d counterSum=%d increments=%d (cas=%d batchAdds=%d)\n",
-		stats.Commits, stats.Aborts, stats.Serializations,
-		sum, want, d.casIncrs.Load(), d.batchAdds.Load())
+	res.StripeWaits = stats.StripeWaitsShared + stats.StripeWaitsExcl
+	res.ROFallbacks = stats.ROFallbacks
+	res.CASMismatches = d.batchCASMisses.Load()
+	fmt.Fprintf(out, "verify: committed=%d aborts=%d serializations=%d stripeWaits=%d roFallbacks=%d counterSum=%d increments=%d (cas=%d batchOps=%d casMismatchedBatches=%d)\n",
+		stats.Commits, stats.Aborts, stats.Serializations, res.StripeWaits, res.ROFallbacks,
+		sum, want, d.casIncrs.Load(), d.batchAdds.Load(), res.CASMismatches)
 	if sum < want {
 		return res, fmt.Errorf("LOST UPDATES: counters sum to %d but %d increments succeeded", sum, want)
 	}

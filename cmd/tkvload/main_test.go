@@ -58,6 +58,42 @@ func TestEndToEndMixedTraffic(t *testing.T) {
 	}
 }
 
+// TestBatchModeWithCASAndMGet drives the batch-heavy workload with cas ops
+// admitted into batches, key-disjoint batches (-overlap 0) and batched
+// multi-key reads, ending in the zero-lost-update verification: a 409'd
+// batch must have written nothing, and per-key stripe admission must not
+// lose concurrent increments.
+func TestBatchModeWithCASAndMGet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, overlap := range []string{"0", "1"} {
+		t.Run("overlap="+overlap, func(t *testing.T) {
+			srv := newServer(t, enginecfg.EngineSwiss)
+			var out bytes.Buffer
+			err := run([]string{
+				"-url", srv.URL,
+				"-dur", "400ms",
+				"-conns", "8",
+				"-keys", "64",
+				"-blobs", "16",
+				"-read", "0.3",
+				"-mget", "0.5",
+				"-batch", "0.8",
+				"-batchsize", "4",
+				"-batchcas", "0.5",
+				"-overlap", overlap,
+			}, &out)
+			if err != nil {
+				t.Fatalf("%v\noutput:\n%s", err, out.String())
+			}
+			if !strings.Contains(out.String(), "verify: OK") {
+				t.Fatalf("missing verification:\n%s", out.String())
+			}
+		})
+	}
+}
+
 func TestOpenLoopAndSkew(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
@@ -96,5 +132,11 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	}
 	if err := run([]string{"-url", "http://x", "-keys", "0"}, &out); err == nil {
 		t.Fatal("zero keys accepted")
+	}
+	if err := run([]string{"-url", "http://x", "-overlap", "1.5"}, &out); err == nil {
+		t.Fatal("overlap > 1 accepted")
+	}
+	if err := run([]string{"-url", "http://x", "-mget", "-0.1"}, &out); err == nil {
+		t.Fatal("negative mget fraction accepted")
 	}
 }

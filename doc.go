@@ -21,13 +21,23 @@
 // The serving subsystem internal/tkv layers a sharded transactional
 // key-value store over the substrate: N shards, each with its own engine
 // instance, scheduler (per-shard Shrink by default) and wait policy,
-// single-key fast paths, cross-shard atomic batches via two-phase shard
-// locking, and serializable (per-shard-atomic) snapshots. cmd/tkvd serves
-// it over HTTP/JSON and
-// cmd/tkvload drives it open-loop with configurable skew, read ratio and
-// batch size while verifying the zero-lost-update invariant — the paper's
-// "many threads hammering shared state" regime as a live server rather
-// than a closed-loop benchmark.
+// single-key fast paths, batched multi-key reads (MGet), cross-shard
+// atomic batches, and serializable (per-shard-atomic) snapshots. Batch
+// admission is key-granular: each shard carries a striped key-lock table
+// (internal/keylock), a batch determines its key set up front and holds
+// exactly those stripes — exclusively, in one global (shard, stripe)
+// order — across a plan phase (read-only transactions, writes into an
+// overlay) and an apply phase (one update transaction per shard). Batches
+// over disjoint key sets commit concurrently even within a shard, per-key
+// exclusion makes cas safe inside batches (a failed compare aborts the
+// whole batch before any write), single-key traffic takes only its own
+// key's stripe in shared mode, and snapshots freeze each table's
+// exclusive-session gate in O(1) instead of walking stripes. cmd/tkvd
+// serves it over HTTP/JSON and cmd/tkvload drives it open-loop with
+// configurable skew, read ratio, mget and batch mix, cas-in-batch
+// fraction and batch key overlap while verifying the zero-lost-update
+// invariant — the paper's "many threads hammering shared state" regime
+// as a live server rather than a closed-loop benchmark.
 //
 // The transaction lifecycle is shared between the engines (stm.Core) and
 // allocation-free in steady state under any scheduler: write-set lookups
@@ -48,8 +58,15 @@
 // stm.ErrReadOnlyWrite without retry, and the caller reruns under the
 // update path (there is no transparent promotion — without a read log the
 // preceding reads cannot be revalidated). The stmds structures expose RO
-// read variants, and tkv serves Get and all snapshot reads through this
-// mode.
+// read variants, and tkv serves Get, MGet, batch plan phases and all
+// snapshot reads through this mode. The single- and multi-key read path
+// (Get/MGet) is additionally adaptive: after a streak of RO restarts on a
+// shard (a write-heavy antagonist repeatedly committing past the
+// snapshot), the next read on that shard runs once on the logging update
+// path, whose read log and timestamp extension absorb concurrent commits
+// instead of restarting. (Batch plans and snapshots always stay RO: they
+// run under stripe exclusion or the freeze gate, which bounds what can
+// restart them.)
 package shrink
 
 // Version identifies the reproduction release.

@@ -1,0 +1,205 @@
+package keylock
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestNewRoundsToPowerOfTwo(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{-1, DefaultStripes}, {0, DefaultStripes}, {1, 1}, {2, 2}, {3, 4}, {64, 64}, {65, 128},
+	} {
+		if got := New(tc.in).Stripes(); got != tc.want {
+			t.Errorf("New(%d).Stripes() = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestStripeDistribution(t *testing.T) {
+	tab := New(64)
+	counts := make([]int, tab.Stripes())
+	const keys = 64 * 256
+	for k := uint64(0); k < keys; k++ {
+		counts[tab.StripeOf(k)]++
+	}
+	for i, c := range counts {
+		if c < 128 || c > 512 {
+			t.Fatalf("stripe %d owns %d of %d sequential keys; distribution is skewed", i, c, keys)
+		}
+	}
+}
+
+// TestDisjointStripesDoNotBlock pins the point of striping: an exclusive
+// hold on one stripe must not block an exclusive acquisition of another,
+// while an acquisition of the held stripe must block until release.
+func TestDisjointStripesDoNotBlock(t *testing.T) {
+	tab := New(8)
+	tab.Lock(3)
+
+	done := make(chan int, 2)
+	go func() { tab.Lock(5); tab.Unlock(5); done <- 5 }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("disjoint stripe acquisition blocked behind an exclusive holder")
+	}
+
+	var blockedDone atomic.Bool
+	go func() { tab.Lock(3); tab.Unlock(3); blockedDone.Store(true); done <- 3 }()
+	time.Sleep(20 * time.Millisecond)
+	if blockedDone.Load() {
+		t.Fatal("acquisition of a held stripe did not block")
+	}
+	tab.Unlock(3)
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("blocked acquisition never resumed after release")
+	}
+	if _, excl := tab.Waits(); excl == 0 {
+		t.Fatal("blocked exclusive acquisition was not counted as a wait")
+	}
+}
+
+// TestSharedModeConcurrent checks shared holders coexist and are excluded by
+// an exclusive holder, with the contended shared acquisition counted.
+func TestSharedModeConcurrent(t *testing.T) {
+	tab := New(8)
+	i := tab.RLockKey(42)
+	j := tab.StripeOf(42)
+	if i != j {
+		t.Fatalf("RLockKey stripe = %d, StripeOf = %d", i, j)
+	}
+	ok := make(chan struct{})
+	go func() { tab.RLock(i); tab.RUnlock(i); close(ok) }()
+	select {
+	case <-ok:
+	case <-time.After(5 * time.Second):
+		t.Fatal("second shared holder blocked")
+	}
+
+	var got atomic.Bool
+	release := make(chan struct{})
+	go func() { tab.Lock(i); got.Store(true); tab.Unlock(i); close(release) }()
+	time.Sleep(20 * time.Millisecond)
+	if got.Load() {
+		t.Fatal("exclusive acquisition succeeded under a shared holder")
+	}
+	tab.RUnlock(i)
+	<-release
+}
+
+// TestFreezeExcludesSessions: the whole-table cut waits for any active
+// Enter/Exit session and holds new ones out, while single-stripe shared
+// holders pass freely.
+func TestFreezeExcludesSessions(t *testing.T) {
+	tab := New(16)
+
+	// Freeze waits for an active session.
+	tab.Enter()
+	tab.Lock(9)
+	frozen := make(chan struct{})
+	go func() { tab.Freeze(); close(frozen) }()
+	time.Sleep(20 * time.Millisecond)
+	select {
+	case <-frozen:
+		t.Fatal("Freeze succeeded under an active exclusive session")
+	default:
+	}
+	tab.Unlock(9)
+	tab.Exit()
+	select {
+	case <-frozen:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Freeze never acquired after the session exited")
+	}
+
+	// Under a freeze, new sessions block but shared stripe holders pass.
+	ok := make(chan struct{})
+	go func() { i := tab.RLockKey(7); tab.RUnlock(i); close(ok) }()
+	select {
+	case <-ok:
+	case <-time.After(5 * time.Second):
+		t.Fatal("shared stripe holder blocked under Freeze")
+	}
+	var entered atomic.Bool
+	done := make(chan struct{})
+	go func() { tab.Enter(); entered.Store(true); tab.Exit(); close(done) }()
+	time.Sleep(20 * time.Millisecond)
+	if entered.Load() {
+		t.Fatal("session began under Freeze")
+	}
+	tab.Unfreeze()
+	<-done
+}
+
+// TestStressMixedModes hammers one table from many goroutines mixing
+// single-stripe shared holds, multi-stripe exclusive Sets and whole-table
+// shared cuts. Run under -race this checks the Table's own bookkeeping;
+// the mutual-exclusion invariant is checked with a per-stripe owner word
+// that only exclusive holders may touch. Ascending acquisition order (the
+// package contract) must make this deadlock-free.
+func TestStressMixedModes(t *testing.T) {
+	tab := New(8)
+	owners := make([]atomic.Int32, tab.Stripes())
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 400; i++ {
+				switch rng.Intn(3) {
+				case 0: // single-key shared
+					idx := tab.RLockKey(rng.Uint64())
+					if owners[idx].Load() != 0 {
+						t.Errorf("shared hold of stripe %d overlaps an exclusive owner", idx)
+					}
+					tab.RUnlock(idx)
+				case 1: // multi-stripe exclusive session (sorted, deduped,
+					// ascending — the caller obligation the package doc states)
+					stripes := make([]int, 0, 6)
+					for j := 0; j < 1+rng.Intn(6); j++ {
+						s := tab.StripeOf(rng.Uint64())
+						dup := false
+						for _, have := range stripes {
+							dup = dup || have == s
+						}
+						if !dup {
+							stripes = append(stripes, s)
+						}
+					}
+					sort.Ints(stripes)
+					tab.Enter()
+					for _, idx := range stripes {
+						tab.Lock(idx)
+					}
+					for _, idx := range stripes {
+						if !owners[idx].CompareAndSwap(0, int32(w)+1) {
+							t.Errorf("stripe %d double-owned", idx)
+						}
+					}
+					for _, idx := range stripes {
+						owners[idx].Store(0)
+						tab.Unlock(idx)
+					}
+					tab.Exit()
+				case 2: // whole-table cut
+					tab.Freeze()
+					for idx := range owners {
+						if owners[idx].Load() != 0 {
+							t.Errorf("Freeze overlaps exclusive owner of stripe %d", idx)
+						}
+					}
+					tab.Unfreeze()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,6 +1,7 @@
 package tkv
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strconv"
@@ -8,31 +9,46 @@ import (
 	"github.com/shrink-tm/shrink/internal/stm"
 )
 
-// Batch operation kinds. CAS is deliberately not a batch op: a failed
-// compare in one shard would require undoing writes already planned for
-// another, and the two-phase protocol below commits per shard.
+// Batch operation kinds. cas is admitted because batch admission is
+// key-granular: the batch holds every key's stripe exclusively across both
+// the plan and the apply phase, so the value compared in the plan cannot
+// change before the apply, and a failed compare can abort the whole batch
+// before anything is written anywhere.
 const (
 	OpGet    = "get"
 	OpPut    = "put"
 	OpDelete = "delete"
 	OpAdd    = "add"
+	OpCAS    = "cas"
 )
 
-// Op is one operation of a batch, JSON-shaped for the HTTP API.
+// ErrCASMismatch is returned by Batch when a cas op's compare failed. The
+// whole batch aborts — no op of the batch writes anything — and the result
+// slice returned alongside the error carries CASMismatch on the failing op.
+// It is an outcome, not a malformed request: the HTTP layer maps it to 409.
+var ErrCASMismatch = errors.New("tkv: batch cas compare failed")
+
+// Op is one operation of a batch, JSON-shaped for the HTTP API. For cas,
+// Old is the expected current value and Value the replacement (a missing
+// key never matches, as in Store.CAS).
 type Op struct {
 	Kind  string `json:"op"`
 	Key   uint64 `json:"key"`
 	Value string `json:"value,omitempty"`
+	Old   string `json:"old,omitempty"`
 	Delta int64  `json:"delta,omitempty"`
 }
 
 // OpResult is the per-op outcome of a batch. For get: the value and whether
 // the key was present. For put: Found reports whether the key already
 // existed. For delete: whether it was present. For add: Value is the new
-// counter value.
+// counter value. For cas: Found reports presence; on a failed compare
+// CASMismatch is set, Value holds the actual current value, and the batch
+// as a whole returns ErrCASMismatch.
 type OpResult struct {
-	Found bool   `json:"found"`
-	Value string `json:"value,omitempty"`
+	Found       bool   `json:"found"`
+	Value       string `json:"value,omitempty"`
+	CASMismatch bool   `json:"casMismatch,omitempty"`
 }
 
 // plannedWrite is the phase-one decision for one mutating op.
@@ -53,7 +69,18 @@ type opStore struct {
 	del  func(key uint64) error
 }
 
+// validKind reports whether k names a batch op kind.
+func validKind(k string) bool {
+	switch k {
+	case OpGet, OpPut, OpDelete, OpAdd, OpCAS:
+		return true
+	}
+	return false
+}
+
 // execOp runs one validated batch op against a view and returns its result.
+// A cas mismatch returns both the describing result and ErrCASMismatch; the
+// caller aborts the batch and surfaces the result.
 func execOp(op Op, v opStore) (OpResult, error) {
 	switch op.Kind {
 	case OpGet:
@@ -87,19 +114,133 @@ func execOp(op Op, v opStore) (OpResult, error) {
 		}
 		val := strconv.FormatInt(n+op.Delta, 10)
 		return OpResult{Found: ok, Value: val}, v.put(op.Key, val)
+	case OpCAS:
+		cur, ok, err := v.read(op.Key)
+		if err != nil {
+			return OpResult{}, err
+		}
+		if !ok || cur != op.Old {
+			return OpResult{Found: ok, Value: cur, CASMismatch: true},
+				fmt.Errorf("%w: key %d", ErrCASMismatch, op.Key)
+		}
+		return OpResult{Found: true}, v.put(op.Key, op.Value)
 	default:
 		return OpResult{}, fmt.Errorf("%w: unknown batch op kind %q", ErrUser, op.Kind)
 	}
 }
 
-// Batch executes ops atomically across shards. A batch confined to one
-// shard runs as a single STM transaction under the shard's shared lock. A
-// cross-shard batch two-phases: phase one locks every participating shard's
-// batch lock in ascending shard order and reads/plans all operations (one
-// read-only STM transaction per shard); phase two applies the planned
-// writes (one update transaction per shard) and releases the locks. Because
-// the exclusive locks are held across both phases, the plan cannot go stale
-// between them, a validation error (e.g. an add over a non-numeric value)
+// mismatchResults builds the result slice Batch returns alongside
+// ErrCASMismatch: zero values everywhere except the failing op, whose
+// describing result is kept. (Results of other ops computed during the
+// aborted attempt are deliberately dropped — the batch wrote nothing, so
+// reporting, say, an add's would-have-been counter value would only invite
+// misreading.)
+func mismatchResults(n, failed int, r OpResult) []OpResult {
+	out := make([]OpResult, n)
+	out[failed] = r
+	return out
+}
+
+// stripeRef names one stripe of one shard. Lock order everywhere in the
+// store is ascending (shard, stripe) — the single global order that makes
+// batches, multi-key reads and snapshots mutually deadlock-free.
+type stripeRef struct{ shard, stripe int }
+
+// less orders stripeRefs by the global lock order.
+func (r stripeRef) less(o stripeRef) bool {
+	if r.shard != o.shard {
+		return r.shard < o.shard
+	}
+	return r.stripe < o.stripe
+}
+
+// lockPlan is a batch's determined stripe set: the sorted, deduplicated
+// (shard, stripe) pairs covering every key the batch touches.
+type lockPlan []stripeRef
+
+// ref builds the stripeRef of one key.
+func (st *Store) ref(key uint64) stripeRef {
+	sh := st.ShardOf(key)
+	return stripeRef{shard: sh, stripe: st.shards[sh].locks.StripeOf(key)}
+}
+
+// normalize sorts the plan into the global lock order and drops duplicate
+// stripes (insertion sort: batch stripe sets are small, and the batch path
+// stays clear of sort.Sort's interface boxing).
+func (p lockPlan) normalize() lockPlan {
+	for i := 1; i < len(p); i++ {
+		v := p[i]
+		j := i - 1
+		for j >= 0 && v.less(p[j]) {
+			p[j+1] = p[j]
+			j--
+		}
+		p[j+1] = v
+	}
+	out := p[:0]
+	for i, r := range p {
+		if i == 0 || r != p[i-1] {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// lock acquires the plan's stripes in order; exclusive selects the mode.
+// unlock with the same arguments releases them. An exclusive acquisition
+// additionally brackets each participating shard with the table's
+// Enter/Exit session gate (taken just before the shard's first stripe, so
+// the global order is shard gate < shard stripes < next shard's gate):
+// that is what lets the snapshot path exclude in-flight batches in O(1)
+// per shard instead of walking every stripe.
+func (st *Store) lock(plan lockPlan, exclusive bool) {
+	prev := -1
+	for _, r := range plan {
+		if exclusive {
+			if r.shard != prev {
+				st.shards[r.shard].locks.Enter()
+				prev = r.shard
+			}
+			st.shards[r.shard].locks.Lock(r.stripe)
+		} else {
+			st.shards[r.shard].locks.RLock(r.stripe)
+		}
+	}
+}
+
+// unlock releases a plan acquired by lock. A shard's session gate is
+// exited only after its last stripe is released (the plan is shard-sorted,
+// so the last stripe is where the shard changes): keylock's contract is
+// that a Freeze acquiring the gate must find no session stripes still
+// held.
+func (st *Store) unlock(plan lockPlan, exclusive bool) {
+	for i, r := range plan {
+		if exclusive {
+			st.shards[r.shard].locks.Unlock(r.stripe)
+			if i+1 == len(plan) || plan[i+1].shard != r.shard {
+				st.shards[r.shard].locks.Exit()
+			}
+		} else {
+			st.shards[r.shard].locks.RUnlock(r.stripe)
+		}
+	}
+}
+
+// Batch executes ops atomically across shards. Admission is per key: the
+// batch determines its key set up front and acquires exactly those keys'
+// stripes, so batches over disjoint key sets — even of the same shard —
+// run concurrently, and single-key traffic is only ever paused on the
+// stripes a batch actually holds.
+//
+// A batch confined to one shard runs as a single STM transaction under
+// shared stripes (the engine makes it atomic; the stripes only exclude
+// multi-phase batches from its keys). A cross-shard batch two-phases:
+// phase one holds the exclusive stripes and reads/plans all operations in
+// one read-only snapshot transaction per shard (writes go to an overlay so
+// later ops read earlier ops' effects); phase two applies the planned
+// writes, one update transaction per shard. Because the exclusive stripes
+// are held across both phases, the plan cannot go stale between them, a
+// validation error (a cas mismatch, an add over a non-numeric value)
 // aborts before anything is written, and no concurrent access observes a
 // partially applied batch.
 func (st *Store) Batch(ops []Op) ([]OpResult, error) {
@@ -109,17 +250,19 @@ func (st *Store) Batch(ops []Op) ([]OpResult, error) {
 		return nil, nil
 	}
 
-	// Group op indices by owning shard, preserving op order within a shard.
+	// Group op indices by owning shard, preserving op order within a
+	// shard, and determine the batch's stripe set for lock planning.
 	byShard := make(map[int][]int)
+	locks := make(lockPlan, len(ops))
 	for i, op := range ops {
-		switch op.Kind {
-		case OpGet, OpPut, OpDelete, OpAdd:
-		default:
+		if !validKind(op.Kind) {
 			return nil, fmt.Errorf("%w: batch op %d: unknown kind %q", ErrUser, i, op.Kind)
 		}
-		id := st.ShardOf(op.Key)
-		byShard[id] = append(byShard[id], i)
+		r := st.ref(op.Key)
+		byShard[r.shard] = append(byShard[r.shard], i)
+		locks[i] = r
 	}
+	locks = locks.normalize()
 	shardIDs := make([]int, 0, len(byShard))
 	for id := range byShard {
 		shardIDs = append(shardIDs, id)
@@ -127,15 +270,15 @@ func (st *Store) Batch(ops []Op) ([]OpResult, error) {
 	sort.Ints(shardIDs)
 
 	// Fast path: a batch confined to one shard is atomic by the STM
-	// alone — one transaction under the shared lock, read-own-writes
-	// courtesy of the engine's write log — so it neither stalls the
-	// shard's single-key traffic behind an exclusive lock nor needs the
-	// plan/apply split.
+	// alone — one transaction, read-own-writes courtesy of the engine's
+	// write log — so shared stripes suffice and the plan/apply split is
+	// unnecessary.
 	if len(shardIDs) == 1 {
 		s := st.shards[shardIDs[0]]
-		s.batchMu.RLock()
-		defer s.batchMu.RUnlock()
+		st.lock(locks, false)
+		defer st.unlock(locks, false)
 		results := make([]OpResult, len(ops))
+		failed := -1
 		err := s.atomically(func(tx stm.Tx) error {
 			direct := opStore{
 				read: func(key uint64) (string, bool, error) { return s.kv.Get(tx, key) },
@@ -151,35 +294,39 @@ func (st *Store) Batch(ops []Op) ([]OpResult, error) {
 			for i, op := range ops {
 				var err error
 				if results[i], err = execOp(op, direct); err != nil {
+					failed = i
 					return err
 				}
 			}
 			return nil
 		})
+		if errors.Is(err, ErrCASMismatch) {
+			// The user abort rolled the transaction back; nothing was
+			// written.
+			st.ops.batchCASMisses.Add(1)
+			return mismatchResults(len(ops), failed, results[failed]), err
+		}
 		if err != nil {
 			return nil, err
 		}
 		return results, nil
 	}
 
-	// Phase one: lock (ascending) and plan.
-	locked := 0
-	defer func() {
-		for _, id := range shardIDs[:locked] {
-			st.shards[id].batchMu.Unlock()
-		}
-	}()
-	for _, id := range shardIDs {
-		st.shards[id].batchMu.Lock()
-		locked++
-	}
+	// Phase one: hold the batch's exclusive stripes and plan. The plan
+	// reads run as one read-only snapshot transaction per shard — phase
+	// one performs no STM writes (mutations land in the overlay), and the
+	// RO mode revalidates for free against the single-key traffic that
+	// striping now lets through on the batch's shards.
+	st.lock(locks, true)
+	defer st.unlock(locks, true)
 
 	results := make([]OpResult, len(ops))
 	writes := make(map[int][]plannedWrite, len(shardIDs))
 	for _, id := range shardIDs {
 		s := st.shards[id]
 		idxs := byShard[id]
-		err := s.atomically(func(tx stm.Tx) error {
+		failed := -1
+		err := s.atomicallyRO(func(tx *stm.ROTx) error {
 			// The overlay carries values written by earlier ops of this
 			// batch, so a later op in the same batch reads them; actual
 			// writes are deferred to the plan for phase two.
@@ -193,7 +340,7 @@ func (st *Store) Batch(ops []Op) ([]OpResult, error) {
 						}
 						return *v, true, nil
 					}
-					return s.kv.Get(tx, key)
+					return s.kv.GetRO(tx, key)
 				},
 				put: func(key uint64, val string) error {
 					overlay[key] = &val
@@ -209,20 +356,27 @@ func (st *Store) Batch(ops []Op) ([]OpResult, error) {
 			for _, i := range idxs {
 				var err error
 				if results[i], err = execOp(ops[i], planned); err != nil {
+					failed = i
 					return err
 				}
 			}
 			writes[id] = plan
 			return nil
 		})
+		if errors.Is(err, ErrCASMismatch) {
+			st.ops.batchCASMisses.Add(1)
+			return mismatchResults(len(ops), failed, results[failed]), err
+		}
 		if err != nil {
 			return nil, err
 		}
 	}
 
-	// Phase two: apply. The exclusive locks keep these transactions free
-	// of external conflicts; redundant writes to the same key apply in
-	// plan order, so the last one wins, matching the overlay semantics.
+	// Phase two: apply. The exclusive stripes keep the plan fresh (no one
+	// else can have written these keys since phase one); conflicts with
+	// unrelated traffic on shared bucket chains are resolved by the STM's
+	// ordinary retry. Redundant writes to the same key apply in plan
+	// order, so the last one wins, matching the overlay semantics.
 	for _, id := range shardIDs {
 		s := st.shards[id]
 		plan := writes[id]
@@ -244,9 +398,9 @@ func (st *Store) Batch(ops []Op) ([]OpResult, error) {
 			return nil
 		})
 		if err != nil {
-			// Phase-two bodies only touch locked shards and cannot
-			// fail with user errors; an engine error here is fatal
-			// to the batch's atomicity and surfaced loudly.
+			// Phase-two bodies only write planned keys and cannot fail
+			// with user errors; an engine error here is fatal to the
+			// batch's atomicity and surfaced loudly.
 			return nil, fmt.Errorf("batch apply on shard %d: %w", id, err)
 		}
 	}

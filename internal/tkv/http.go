@@ -43,6 +43,10 @@ type valueResp struct {
 
 type resultsResp struct {
 	Results []OpResult `json:"results"`
+	// CASMismatch marks a batch aborted whole by a failed cas compare
+	// (status 409); Results then carries the failing op's description.
+	CASMismatch bool   `json:"casMismatch,omitempty"`
+	Error       string `json:"error,omitempty"`
 }
 
 type errorResp struct {
@@ -58,6 +62,9 @@ type errorResp struct {
 //	POST   /cas        <- {"key":k,"old":o,"new":n} -> {"swapped":bool}
 //	POST   /add        <- {"key":k,"delta":d}  -> {"value":new}
 //	POST   /batch      <- {"ops":[...]}        -> {"results":[...]}
+//	                      (409 + "casMismatch":true when a cas op's compare
+//	                      failed; the whole batch wrote nothing)
+//	POST   /mget       <- {"keys":[...]}       -> {"results":[...]}
 //	GET    /snapshot   -> {"k":v,...} (consistent cut)
 //	GET    /stats      -> Stats JSON; ?format=text renders the report table
 //	GET    /healthz    -> ok
@@ -151,6 +158,26 @@ func NewHandler(st *Store) http.Handler {
 			return
 		}
 		results, err := st.Batch(body.Ops)
+		if errors.Is(err, ErrCASMismatch) {
+			writeJSON(w, http.StatusConflict, &resultsResp{
+				Results: results, CASMismatch: true, Error: err.Error(),
+			})
+			return
+		}
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, &resultsResp{Results: results})
+	})
+	mux.HandleFunc("POST /mget", func(w http.ResponseWriter, r *http.Request) {
+		var body struct {
+			Keys []uint64 `json:"keys"`
+		}
+		if !readJSON(w, r, &body) {
+			return
+		}
+		results, err := st.MGet(body.Keys)
 		if err != nil {
 			httpError(w, err)
 			return

@@ -107,6 +107,29 @@ func BenchmarkStoreMixRead90(b *testing.B) {
 	}
 }
 
+// BenchmarkStoreMGet measures the batched multi-key read against its
+// single-key equivalent: 8 keys per MGet (one RO transaction per touched
+// shard) versus 8 separate Gets (8 transactions). Divide ns/op by 8 to
+// compare per key.
+func BenchmarkStoreMGet(b *testing.B) {
+	st := benchStore(b)
+	keys := make([]uint64, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range keys {
+			keys[j] = uint64(i*8+j) & 255
+		}
+		res, err := st.MGet(keys)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res[0].Found {
+			b.Fatalf("missing key %d", keys[0])
+		}
+	}
+}
+
 // BenchmarkStoreSnapshot measures the whole-store consistent cut (the
 // /snapshot serving path): per-shard read-only scan transactions over every
 // bucket chain.

@@ -6,6 +6,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -138,6 +139,76 @@ func TestHTTPRoundTrip(t *testing.T) {
 		t.Fatalf("healthz: %v %v", err, resp)
 	}
 	resp.Body.Close()
+}
+
+func TestHTTPMGet(t *testing.T) {
+	st := openTest(t, Config{Shards: 4})
+	for k := uint64(10); k < 20; k++ {
+		if _, err := st.Put(k, "v"+strconv.FormatUint(k, 10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv := httptest.NewServer(NewHandler(st))
+	defer srv.Close()
+
+	var resp struct {
+		Results []OpResult `json:"results"`
+	}
+	body := map[string]any{"keys": []uint64{12, 999, 17}}
+	if code := doJSON(t, srv, "POST", "/mget", body, &resp); code != 200 {
+		t.Fatalf("MGET = %d", code)
+	}
+	if len(resp.Results) != 3 ||
+		!resp.Results[0].Found || resp.Results[0].Value != "v12" ||
+		resp.Results[1].Found ||
+		!resp.Results[2].Found || resp.Results[2].Value != "v17" {
+		t.Fatalf("MGET results = %+v", resp.Results)
+	}
+}
+
+// TestHTTPBatchCASMismatch checks the 409 surface: a failed batch cas
+// answers with casMismatch and the failing op's description, and nothing is
+// written.
+func TestHTTPBatchCASMismatch(t *testing.T) {
+	st := openTest(t, Config{Shards: 4})
+	if _, err := st.Put(5, "actual"); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewHandler(st))
+	defer srv.Close()
+
+	var resp struct {
+		Results     []OpResult `json:"results"`
+		CASMismatch bool       `json:"casMismatch"`
+		Error       string     `json:"error"`
+	}
+	ops := map[string]any{"ops": []Op{
+		{Kind: OpPut, Key: 6, Value: "leaked?"},
+		{Kind: OpCAS, Key: 5, Old: "stale", Value: "swapped?"},
+	}}
+	if code := doJSON(t, srv, "POST", "/batch", ops, &resp); code != 409 {
+		t.Fatalf("batch with failing cas = %d, want 409", code)
+	}
+	if !resp.CASMismatch || resp.Error == "" {
+		t.Fatalf("409 body = %+v", resp)
+	}
+	if len(resp.Results) != 2 || !resp.Results[1].CASMismatch || resp.Results[1].Value != "actual" {
+		t.Fatalf("409 results = %+v", resp.Results)
+	}
+	if _, found, _ := st.Get(6); found {
+		t.Fatal("409 batch leaked a write")
+	}
+
+	// A matching batch cas swaps (200).
+	ops = map[string]any{"ops": []Op{
+		{Kind: OpCAS, Key: 5, Old: "actual", Value: "next"},
+	}}
+	if code := doJSON(t, srv, "POST", "/batch", ops, &resp); code != 200 {
+		t.Fatalf("matching batch cas = %d", code)
+	}
+	if v, _, _ := st.Get(5); v != "next" {
+		t.Fatalf("batch cas did not swap: %q", v)
+	}
 }
 
 func TestHTTPBadBodies(t *testing.T) {

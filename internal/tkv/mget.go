@@ -1,0 +1,80 @@
+package tkv
+
+import (
+	"sort"
+
+	"github.com/shrink-tm/shrink/internal/stm"
+)
+
+// MGet reads many keys in one request: the keys are grouped by owning
+// shard and each group is read in a single read-only snapshot transaction
+// (with the adaptive update-path fallback under RO restart streaks), so an
+// n-key read costs one transaction per touched shard instead of n.
+// Results are returned in input order; duplicates are allowed and answered
+// independently.
+//
+// Consistency matches the other multi-shard readers: the keys' stripes are
+// held in shared mode across all per-shard reads, so the result can never
+// observe a partially applied batch on the requested keys; each shard's
+// group is an atomic cut, but the cut is not strictly serializable across
+// shards (see the package comment).
+func (st *Store) MGet(keys []uint64) ([]OpResult, error) {
+	st.ops.mgets.Add(1)
+	st.ops.mgetKeys.Add(uint64(len(keys)))
+	if len(keys) == 0 {
+		return nil, nil
+	}
+
+	// One ref per key yields both the shard grouping and the lock plan
+	// (same single-pass form as Batch).
+	byShard := make(map[int][]int)
+	locks := make(lockPlan, len(keys))
+	for i, k := range keys {
+		r := st.ref(k)
+		byShard[r.shard] = append(byShard[r.shard], i)
+		locks[i] = r
+	}
+	locks = locks.normalize()
+	shardIDs := make([]int, 0, len(byShard))
+	for id := range byShard {
+		shardIDs = append(shardIDs, id)
+	}
+	sort.Ints(shardIDs)
+
+	st.lock(locks, false)
+	defer st.unlock(locks, false)
+
+	results := make([]OpResult, len(keys))
+	for _, id := range shardIDs {
+		s := st.shards[id]
+		idxs := byShard[id]
+		var err error
+		if s.takeFallback() {
+			err = s.atomically(func(tx stm.Tx) error {
+				for _, i := range idxs {
+					val, ok, err := s.kv.Get(tx, keys[i])
+					if err != nil {
+						return err
+					}
+					results[i] = OpResult{Found: ok, Value: val}
+				}
+				return nil
+			})
+		} else {
+			err = s.roTracked(func(tx *stm.ROTx) error {
+				for _, i := range idxs {
+					val, ok, err := s.kv.GetRO(tx, keys[i])
+					if err != nil {
+						return err
+					}
+					results[i] = OpResult{Found: ok, Value: val}
+				}
+				return nil
+			})
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}

@@ -16,19 +16,21 @@ type kvPair struct {
 	val string
 }
 
-// rlockAll takes every shard's batch lock in shared mode, in ascending
-// order, giving the caller a cut that no cross-shard batch can intersect.
-// Single-key transactions are unaffected (they also take shared mode); each
-// serializes against the cut at its own shard's snapshot transaction, which
-// makes the cut serializable but not strictly so — see the package comment
-// for the exact guarantee.
-func (st *Store) rlockAll() func() {
+// freezeAll freezes every shard's key-lock table in ascending shard order
+// (consistent with the global lock order), giving the caller a cut that no
+// cross-shard batch can intersect — O(1) per shard via the tables' session
+// gate, no stripe walk. Single-key transactions and single-shard batches
+// are unaffected (they hold stripes in shared mode only and are atomic per
+// shard by the STM); each serializes against the cut at its own shard's
+// snapshot transaction, which makes the cut serializable but not strictly
+// so — see the package comment for the exact guarantee.
+func (st *Store) freezeAll() func() {
 	for _, s := range st.shards {
-		s.batchMu.RLock()
+		s.locks.Freeze()
 	}
 	return func() {
 		for _, s := range st.shards {
-			s.batchMu.RUnlock()
+			s.locks.Unfreeze()
 		}
 	}
 }
@@ -40,7 +42,7 @@ func (st *Store) rlockAll() func() {
 // pair regardless of STM retries.
 func (st *Store) ForEach(fn func(key uint64, val string) bool) error {
 	st.ops.snapshots.Add(1)
-	unlock := st.rlockAll()
+	unlock := st.freezeAll()
 	defer unlock()
 	var buf []kvPair
 	for _, s := range st.shards {
@@ -76,7 +78,7 @@ func (st *Store) Snapshot() (map[uint64]string, error) {
 // Len returns the number of keys under the same cut as Snapshot.
 func (st *Store) Len() (int, error) {
 	st.ops.snapshots.Add(1)
-	unlock := st.rlockAll()
+	unlock := st.freezeAll()
 	defer unlock()
 	total := 0
 	for _, s := range st.shards {
@@ -96,36 +98,50 @@ func (st *Store) Len() (int, error) {
 
 // OpCounts is a snapshot of the store's served-operation counters.
 type OpCounts struct {
-	Gets      uint64 `json:"gets"`
-	Puts      uint64 `json:"puts"`
-	Deletes   uint64 `json:"deletes"`
-	CAS       uint64 `json:"cas"`
-	CASMisses uint64 `json:"casMisses"`
-	Adds      uint64 `json:"adds"`
-	Batches   uint64 `json:"batches"`
-	BatchOps  uint64 `json:"batchOps"`
-	Snapshots uint64 `json:"snapshots"`
+	Gets           uint64 `json:"gets"`
+	Puts           uint64 `json:"puts"`
+	Deletes        uint64 `json:"deletes"`
+	CAS            uint64 `json:"cas"`
+	CASMisses      uint64 `json:"casMisses"`
+	Adds           uint64 `json:"adds"`
+	Batches        uint64 `json:"batches"`
+	BatchOps       uint64 `json:"batchOps"`
+	BatchCASMisses uint64 `json:"batchCASMisses"`
+	MGets          uint64 `json:"mgets"`
+	MGetKeys       uint64 `json:"mgetKeys"`
+	Snapshots      uint64 `json:"snapshots"`
 }
 
-// ShardStats is one shard's transaction statistics.
+// ShardStats is one shard's transaction statistics. StripeWaitsShared and
+// StripeWaitsExcl count contended acquisitions of the shard's key-lock
+// stripes (a shared wait is single-key/read traffic pausing behind a batch;
+// an exclusive wait is a batch pausing behind anything); ROFallbacks counts
+// reads routed to the logging update path after an RO restart streak.
 type ShardStats struct {
-	Shard          uint64  `json:"shard"`
-	Commits        uint64  `json:"commits"`
-	Aborts         uint64  `json:"aborts"`
-	UserAborts     uint64  `json:"userAborts"`
-	CommitRate     float64 `json:"commitRate"`
-	Serializations uint64  `json:"serializations"`
+	Shard             uint64  `json:"shard"`
+	Commits           uint64  `json:"commits"`
+	Aborts            uint64  `json:"aborts"`
+	UserAborts        uint64  `json:"userAborts"`
+	CommitRate        float64 `json:"commitRate"`
+	Serializations    uint64  `json:"serializations"`
+	StripeWaitsShared uint64  `json:"stripeWaitsShared"`
+	StripeWaitsExcl   uint64  `json:"stripeWaitsExcl"`
+	ROFallbacks       uint64  `json:"roFallbacks"`
 }
 
 // Stats aggregates the store's state: per-shard engine counters (including
-// Shrink serializations where attached) and store-level op counts.
+// Shrink serializations where attached), stripe-wait and RO-fallback
+// counters, and store-level op counts.
 type Stats struct {
-	Shards         []ShardStats `json:"shards"`
-	Commits        uint64       `json:"commits"`
-	Aborts         uint64       `json:"aborts"`
-	UserAborts     uint64       `json:"userAborts"`
-	Serializations uint64       `json:"serializations"`
-	Ops            OpCounts     `json:"ops"`
+	Shards            []ShardStats `json:"shards"`
+	Commits           uint64       `json:"commits"`
+	Aborts            uint64       `json:"aborts"`
+	UserAborts        uint64       `json:"userAborts"`
+	Serializations    uint64       `json:"serializations"`
+	StripeWaitsShared uint64       `json:"stripeWaitsShared"`
+	StripeWaitsExcl   uint64       `json:"stripeWaitsExcl"`
+	ROFallbacks       uint64       `json:"roFallbacks"`
+	Ops               OpCounts     `json:"ops"`
 }
 
 // Stats snapshots the counters. It is cheap (atomic loads only) and safe
@@ -134,12 +150,16 @@ func (st *Store) Stats() Stats {
 	out := Stats{Shards: make([]ShardStats, len(st.shards))}
 	for i, s := range st.shards {
 		agg := s.tm.Stats()
+		shared, excl := s.locks.Waits()
 		ss := ShardStats{
-			Shard:      uint64(i),
-			Commits:    agg.Commits,
-			Aborts:     agg.Aborts,
-			UserAborts: agg.UserAborts,
-			CommitRate: agg.CommitRate(),
+			Shard:             uint64(i),
+			Commits:           agg.Commits,
+			Aborts:            agg.Aborts,
+			UserAborts:        agg.UserAborts,
+			CommitRate:        agg.CommitRate(),
+			StripeWaitsShared: shared,
+			StripeWaitsExcl:   excl,
+			ROFallbacks:       s.roFallbacks.Load(),
 		}
 		if s.shrink != nil {
 			ss.Serializations = s.shrink.Serializations()
@@ -149,17 +169,23 @@ func (st *Store) Stats() Stats {
 		out.Aborts += ss.Aborts
 		out.UserAborts += ss.UserAborts
 		out.Serializations += ss.Serializations
+		out.StripeWaitsShared += ss.StripeWaitsShared
+		out.StripeWaitsExcl += ss.StripeWaitsExcl
+		out.ROFallbacks += ss.ROFallbacks
 	}
 	out.Ops = OpCounts{
-		Gets:      st.ops.gets.Load(),
-		Puts:      st.ops.puts.Load(),
-		Deletes:   st.ops.deletes.Load(),
-		CAS:       st.ops.cas.Load(),
-		CASMisses: st.ops.casMisses.Load(),
-		Adds:      st.ops.adds.Load(),
-		Batches:   st.ops.batches.Load(),
-		BatchOps:  st.ops.batchOps.Load(),
-		Snapshots: st.ops.snapshots.Load(),
+		Gets:           st.ops.gets.Load(),
+		Puts:           st.ops.puts.Load(),
+		Deletes:        st.ops.deletes.Load(),
+		CAS:            st.ops.cas.Load(),
+		CASMisses:      st.ops.casMisses.Load(),
+		Adds:           st.ops.adds.Load(),
+		Batches:        st.ops.batches.Load(),
+		BatchOps:       st.ops.batchOps.Load(),
+		BatchCASMisses: st.ops.batchCASMisses.Load(),
+		MGets:          st.ops.mgets.Load(),
+		MGetKeys:       st.ops.mgetKeys.Load(),
+		Snapshots:      st.ops.snapshots.Load(),
 	}
 	return out
 }
@@ -174,6 +200,9 @@ func (s Stats) Table() *report.Table {
 		t.Add("aborts", int(sh.Shard), float64(sh.Aborts))
 		t.Add("serializations", int(sh.Shard), float64(sh.Serializations))
 		t.Add("commitRate", int(sh.Shard), sh.CommitRate)
+		t.Add("stripeWaitsShared", int(sh.Shard), float64(sh.StripeWaitsShared))
+		t.Add("stripeWaitsExcl", int(sh.Shard), float64(sh.StripeWaitsExcl))
+		t.Add("roFallbacks", int(sh.Shard), float64(sh.ROFallbacks))
 	}
 	return t
 }

@@ -8,21 +8,40 @@
 // map (stmds.HashMap) and a bounded pool of registered STM threads that
 // serving goroutines borrow per operation.
 //
-// Consistency model. Three kinds of access compose:
+// Consistency model. Admission is key-granular: every shard carries a
+// striped lock table (internal/keylock) hashing each key onto one of a
+// fixed power-of-two number of stripes, and operations lock exactly the
+// stripes of the keys they touch. Four kinds of access compose:
 //
 //   - Single-key operations (Get, Put, Delete, CAS, Add) run as one STM
-//     transaction on the owning shard. They take the shard's batch lock in
-//     shared mode, so they run concurrently with each other and with
-//     snapshots, but never overlap a cross-shard batch on their shard.
-//   - Batches (multi-key, possibly cross-shard) two-phase across shards:
-//     phase one acquires the batch locks of every participating shard in
-//     ascending shard order (exclusive mode) and reads/plans every
-//     operation; phase two applies the planned writes, one STM transaction
-//     per shard, then releases the locks. Holding all participating locks
-//     for the duration makes the batch atomic: no other batch, single-key
-//     operation or snapshot can observe a partially applied batch.
-//   - Snapshots (ForEach, Snapshot, Len) acquire every shard's batch lock
-//     in shared mode (ascending order) and read each shard in one
+//     transaction on the owning shard, holding the key's stripe in shared
+//     mode. They run concurrently with each other, with snapshots, and
+//     with any batch whose key set does not share the stripe; they are
+//     excluded only for the duration of a batch that holds their stripe
+//     exclusively.
+//   - Batches (multi-key, possibly cross-shard) two-phase: phase one
+//     acquires exactly the stripes of the batch's keys — exclusive mode,
+//     in (shard, stripe) ascending order — and reads/plans every
+//     operation (one read-only snapshot transaction per shard); phase two
+//     applies the planned writes, one update transaction per shard, then
+//     releases. Per-key exclusion held across both phases keeps the plan
+//     fresh (no one can write the batch's keys between plan and apply),
+//     makes cas safe inside a batch (the compare happens in the plan, and
+//     a mismatch aborts the whole batch before any apply — see
+//     ErrCASMismatch), and means two batches over disjoint key sets — even
+//     of the same shard — plan and apply concurrently. A batch confined to
+//     one shard skips the two-phase entirely: it is a single STM
+//     transaction, atomic by the engine alone, so it holds its stripes in
+//     shared mode only (enough to exclude multi-phase batches from its
+//     keys).
+//   - Multi-key reads (MGet) hold their keys' stripes in shared mode
+//     across all shards and read each shard's group in one read-only
+//     snapshot transaction, so they never observe a partially applied
+//     batch on their own keys.
+//   - Snapshots (ForEach, Snapshot, Len) freeze every shard's lock table
+//     (ascending order; the tables' session gate excludes all in-flight
+//     and new cross-shard batches in O(1) per shard, without touching
+//     stripes or pausing single-key traffic) and read each shard in one
 //     read-only snapshot transaction (stm.ROTx: validation-free, no read
 //     log, no clock tick). The cut is atomic per shard, never observes a partial
 //     batch, and is serializable: single-key transactions touch exactly
@@ -35,18 +54,28 @@
 //     while the later write is present. Callers needing a real-time
 //     fence across shards must use a batch.
 //
-// The locks order before the STM layer (lock, then transact), and they are
-// always acquired in ascending shard order, so the subsystem is
-// deadlock-free.
+// The stripes order before the STM layer (lock, then transact), and every
+// multi-stripe acquisition follows one global order — shard index first,
+// stripe index within a shard — so the subsystem is deadlock-free.
+//
+// Read-path adaptivity: Get and MGet run in the validation-free read-only
+// snapshot mode, which restarts when a concurrent writer commits past its
+// snapshot. Under a write-heavy antagonist those restarts can string
+// together, so after roFallbackStreak consecutive restarts on a shard's
+// read path the next read runs on the logging update path instead (whose
+// read log and timestamp extension absorb concurrent commits); the
+// fallback count is reported per shard. Batch plan phases and snapshots
+// always stay RO — they run under stripe exclusion or the freeze gate.
 package tkv
 
 import (
 	"errors"
 	"fmt"
 	"strconv"
-	"sync"
+	"sync/atomic"
 
 	"github.com/shrink-tm/shrink/internal/enginecfg"
+	"github.com/shrink-tm/shrink/internal/keylock"
 	"github.com/shrink-tm/shrink/internal/sched"
 	"github.com/shrink-tm/shrink/internal/stm"
 	"github.com/shrink-tm/shrink/internal/stmds"
@@ -63,6 +92,11 @@ type Config struct {
 	PoolSize int
 	// Buckets is the hash-table bucket count per shard (default 512).
 	Buckets int
+	// LockStripes is the per-shard key-lock stripe count, rounded up to a
+	// power of two (default keylock.DefaultStripes). More stripes admit
+	// more concurrent disjoint batches per shard at the cost of table
+	// footprint (one cache line per stripe).
+	LockStripes int
 	// Engine, Scheduler, Wait and Shrink select the per-shard TM stack
 	// (see enginecfg); the zero values are SwissTM, no scheduler,
 	// preemptive waiting.
@@ -85,14 +119,23 @@ type shard struct {
 	shrink *sched.Shrink // nil unless the Shrink scheduler is attached
 	kv     *stmds.HashMap[string]
 	pool   chan stm.Thread
-	// batchMu orders cross-shard batches (exclusive) against single-key
-	// operations and snapshots (shared). See the package comment.
-	batchMu sync.RWMutex
+	// locks is the shard's striped key-lock table: batches hold their
+	// keys' stripes exclusively across plan and apply, everything that is
+	// atomic as one STM transaction holds its stripes in shared mode, and
+	// snapshots hold every stripe in shared mode. See the package comment.
+	locks *keylock.Table
+	// roStreak counts consecutive read-only snapshot restarts on this
+	// shard's read path; roFallbacks counts the reads that were routed to
+	// the logging update path because the streak reached roFallbackStreak.
+	roStreak    atomic.Uint32
+	roFallbacks atomic.Uint64
 }
 
 // opCounters tracks served operations per kind.
 type opCounters struct {
-	gets, puts, deletes, cas, casMisses, adds, batches, batchOps, snapshots counter
+	gets, puts, deletes, cas, casMisses, adds          counter
+	batches, batchOps, batchCASMisses, mgets, mgetKeys counter
+	snapshots                                          counter
 }
 
 // Open builds a Store. Every shard gets an independent TM built from the
@@ -130,6 +173,7 @@ func Open(cfg Config) (*Store, error) {
 			shrink: shrink,
 			kv:     stmds.NewHashMap[string](buckets),
 			pool:   make(chan stm.Thread, poolSize),
+			locks:  keylock.New(cfg.LockStripes),
 		}
 		for j := 0; j < poolSize; j++ {
 			s.pool <- tm.Register(fmt.Sprintf("shard%d-w%d", i, j))
@@ -187,17 +231,71 @@ func (s *shard) atomicallyRO(fn func(tx *stm.ROTx) error) error {
 	return th.AtomicallyRO(fn)
 }
 
+// roFallbackStreak is the number of consecutive read-only snapshot restarts
+// on a shard's read path after which the next read runs on the logging
+// update path instead. The RO mode restarts whole attempts whenever a
+// concurrent writer commits past its snapshot; the update path's read log
+// and timestamp extension revalidate and continue instead, which is cheaper
+// once restarts are the common case.
+const roFallbackStreak = 8
+
+// takeFallback decides whether the next read on this shard should run on
+// the logging update path: true once the RO restart streak reaches
+// roFallbackStreak, consuming (resetting) the streak and counting the
+// fallback. Callers branch on it BEFORE constructing their transaction
+// bodies, so the rarely-taken update-path closure is never allocated on
+// the common path.
+func (s *shard) takeFallback() bool {
+	if s.roStreak.Load() < roFallbackStreak {
+		return false
+	}
+	s.roStreak.Store(0)
+	s.roFallbacks.Add(1)
+	return true
+}
+
+// roTracked is atomicallyRO plus restart-streak accounting: a clean call
+// resets the shard's streak, a restarted one extends it. Like atomically,
+// the thread is returned via defer so a panicking body (recovered by
+// net/http on the serving path) cannot leak the pool slot.
+func (s *shard) roTracked(fn func(tx *stm.ROTx) error) error {
+	th := <-s.pool
+	before := th.Ctx().Aborts.Load()
+	defer func() {
+		// The pooled thread is exclusively ours between borrow and
+		// return, so the abort-counter delta is exactly this call's
+		// restart count.
+		restarts := th.Ctx().Aborts.Load() - before
+		if restarts == 0 {
+			s.roStreak.Store(0)
+		} else {
+			s.roStreak.Add(uint32(restarts))
+		}
+		s.pool <- th
+	}()
+	return th.AtomicallyRO(fn)
+}
+
 // Get returns the value under key. It runs as a read-only snapshot
 // transaction — the dominant operation at realistic read ratios pays no
-// write-index probing, no read-log append and no commit-time validation.
+// write-index probing, no read-log append and no commit-time validation —
+// with the adaptive update-path fallback under RO restart streaks.
 func (st *Store) Get(key uint64) (string, bool, error) {
 	st.ops.gets.Add(1)
 	s := st.shardFor(key)
-	s.batchMu.RLock()
-	defer s.batchMu.RUnlock()
+	i := s.locks.RLockKey(key)
+	defer s.locks.RUnlock(i)
 	var val string
 	var ok bool
-	err := s.atomicallyRO(func(tx *stm.ROTx) error {
+	if s.takeFallback() {
+		err := s.atomically(func(tx stm.Tx) error {
+			var err error
+			val, ok, err = s.kv.Get(tx, key)
+			return err
+		})
+		return val, ok, err
+	}
+	err := s.roTracked(func(tx *stm.ROTx) error {
 		var err error
 		val, ok, err = s.kv.GetRO(tx, key)
 		return err
@@ -209,8 +307,8 @@ func (st *Store) Get(key uint64) (string, bool, error) {
 func (st *Store) Put(key uint64, val string) (bool, error) {
 	st.ops.puts.Add(1)
 	s := st.shardFor(key)
-	s.batchMu.RLock()
-	defer s.batchMu.RUnlock()
+	i := s.locks.RLockKey(key)
+	defer s.locks.RUnlock(i)
 	var created bool
 	err := s.atomically(func(tx stm.Tx) error {
 		var err error
@@ -224,8 +322,8 @@ func (st *Store) Put(key uint64, val string) (bool, error) {
 func (st *Store) Delete(key uint64) (bool, error) {
 	st.ops.deletes.Add(1)
 	s := st.shardFor(key)
-	s.batchMu.RLock()
-	defer s.batchMu.RUnlock()
+	i := s.locks.RLockKey(key)
+	defer s.locks.RUnlock(i)
 	var deleted bool
 	err := s.atomically(func(tx stm.Tx) error {
 		var err error
@@ -240,8 +338,8 @@ func (st *Store) Delete(key uint64) (bool, error) {
 func (st *Store) CAS(key uint64, old, new string) (bool, error) {
 	st.ops.cas.Add(1)
 	s := st.shardFor(key)
-	s.batchMu.RLock()
-	defer s.batchMu.RUnlock()
+	i := s.locks.RLockKey(key)
+	defer s.locks.RUnlock(i)
 	var swapped bool
 	err := s.atomically(func(tx stm.Tx) error {
 		swapped = false
@@ -270,8 +368,8 @@ func (st *Store) CAS(key uint64, old, new string) (bool, error) {
 func (st *Store) Add(key uint64, delta int64) (int64, error) {
 	st.ops.adds.Add(1)
 	s := st.shardFor(key)
-	s.batchMu.RLock()
-	defer s.batchMu.RUnlock()
+	i := s.locks.RLockKey(key)
+	defer s.locks.RUnlock(i)
 	var out int64
 	err := s.atomically(func(tx stm.Tx) error {
 		cur, ok, err := s.kv.Get(tx, key)

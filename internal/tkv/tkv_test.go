@@ -389,6 +389,116 @@ func TestZeroLostUpdates(t *testing.T) {
 	}
 }
 
+// TestLockPlanNormalize checks the batch lock planner's sort+dedup: the
+// plan must come out strictly ascending in the global (shard, stripe)
+// order with duplicates collapsed, or a batch would self-deadlock
+// double-locking a stripe.
+func TestLockPlanNormalize(t *testing.T) {
+	st := openTest(t, Config{Shards: 4})
+	plan := make(lockPlan, 0, 200)
+	for k := uint64(0); k < 100; k++ {
+		plan = append(plan, st.ref(k), st.ref(k)) // every key twice: heavy duplication
+	}
+	plan = plan.normalize()
+	if len(plan) == 0 || len(plan) > 100 {
+		t.Fatalf("normalized plan has %d refs", len(plan))
+	}
+	for i := 1; i < len(plan); i++ {
+		if !plan[i-1].less(plan[i]) {
+			t.Fatalf("plan not strictly ascending at %d: %v, %v", i, plan[i-1], plan[i])
+		}
+	}
+	// Locking and unlocking the plan must not self-deadlock (dedup) and
+	// must leave every stripe free (pairing).
+	st.lock(plan, true)
+	st.unlock(plan, true)
+	st.lock(plan, false)
+	st.unlock(plan, false)
+	unlock := st.freezeAll() // would block if a session leaked
+	unlock()
+}
+
+func TestMGet(t *testing.T) {
+	st := openTest(t, Config{Shards: 4})
+	for k := uint64(0); k < 50; k++ {
+		if _, err := st.Put(k, strconv.FormatUint(k*k, 10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	keys := []uint64{3, 999, 7, 3, 0, 1234567} // shards mixed, one duplicate, two missing
+	res, err := st.MGet(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != len(keys) {
+		t.Fatalf("MGet returned %d results for %d keys", len(res), len(keys))
+	}
+	for i, k := range keys {
+		if k < 50 {
+			want := strconv.FormatUint(k*k, 10)
+			if !res[i].Found || res[i].Value != want {
+				t.Fatalf("res[%d] (key %d) = %+v, want %q", i, k, res[i], want)
+			}
+		} else if res[i].Found {
+			t.Fatalf("res[%d] (key %d) found a missing key: %+v", i, k, res[i])
+		}
+	}
+
+	if res, err := st.MGet(nil); err != nil || res != nil {
+		t.Fatalf("MGet(nil) = %v %v", res, err)
+	}
+	stats := st.Stats()
+	if stats.Ops.MGets != 2 || stats.Ops.MGetKeys != uint64(len(keys)) {
+		t.Fatalf("mget counters = %d/%d, want 2/%d", stats.Ops.MGets, stats.Ops.MGetKeys, len(keys))
+	}
+}
+
+// TestROFallback checks the adaptive read path mechanism: a restart streak
+// at the threshold routes the next read to the logging update path exactly
+// once (counted per shard), and a clean read-only read resets the streak.
+func TestROFallback(t *testing.T) {
+	st := openTest(t, Config{Shards: 2})
+	if _, err := st.Put(1, "v"); err != nil {
+		t.Fatal(err)
+	}
+	s := st.shardFor(1)
+
+	s.roStreak.Store(roFallbackStreak)
+	if v, found, err := st.Get(1); err != nil || !found || v != "v" {
+		t.Fatalf("fallback Get = %q %v %v", v, found, err)
+	}
+	if n := s.roFallbacks.Load(); n != 1 {
+		t.Fatalf("roFallbacks = %d, want 1", n)
+	}
+	if s.roStreak.Load() != 0 {
+		t.Fatal("fallback did not reset the restart streak")
+	}
+
+	// Below the threshold the read stays on the RO path, and a clean RO
+	// read resets the streak.
+	s.roStreak.Store(roFallbackStreak - 1)
+	if _, _, err := st.Get(1); err != nil {
+		t.Fatal(err)
+	}
+	if n := s.roFallbacks.Load(); n != 1 {
+		t.Fatalf("roFallbacks = %d after sub-threshold read, want 1", n)
+	}
+	if s.roStreak.Load() != 0 {
+		t.Fatal("clean RO read did not reset the streak")
+	}
+
+	// MGet shares the adaptive path.
+	s.roStreak.Store(roFallbackStreak)
+	if res, err := st.MGet([]uint64{1}); err != nil || !res[0].Found {
+		t.Fatalf("fallback MGet = %+v %v", res, err)
+	}
+	total := st.Stats().ROFallbacks
+	if total != 2 {
+		t.Fatalf("aggregated ROFallbacks = %d, want 2", total)
+	}
+}
+
 func TestOpenRejectsBadSpec(t *testing.T) {
 	if _, err := Open(Config{Engine: "bogus"}); err == nil {
 		t.Fatal("bogus engine accepted")
