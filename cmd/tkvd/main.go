@@ -9,10 +9,15 @@
 // the paper's thesis is about: prediction-based scheduling keeping
 // throughput stable while many client connections hammer shared state.
 //
+// Alongside HTTP, tkvd serves the binary wire protocol (internal/tkvwire)
+// on -tcpaddr: persistent pipelined connections with a zero-allocation
+// get/put serving path. The binary port is the fast serving edge; HTTP
+// stays up as the debug and tooling surface.
+//
 // Usage:
 //
-//	tkvd -addr 127.0.0.1:7070 -shards 8 -sched shrink -stm swiss
-//	tkvd -stm tiny -wait busy -sched none
+//	tkvd -addr 127.0.0.1:7070 -tcpaddr 127.0.0.1:7071 -shards 8 -sched shrink -stm swiss
+//	tkvd -stm tiny -wait busy -sched none -tcpaddr ""
 //
 // The server shuts down gracefully on SIGINT/SIGTERM, draining in-flight
 // requests and printing the final shard statistics.
@@ -32,6 +37,7 @@ import (
 
 	"github.com/shrink-tm/shrink/internal/enginecfg"
 	"github.com/shrink-tm/shrink/internal/tkv"
+	"github.com/shrink-tm/shrink/internal/tkvwire"
 )
 
 func main() {
@@ -41,13 +47,16 @@ func main() {
 	}
 }
 
-// run starts the server and blocks until a termination signal (or a close
+// run starts the servers and blocks until a termination signal (or a close
 // of the test-only stop channel) triggers the graceful shutdown. When ready
-// is non-nil the bound address is sent on it once the listener is up.
+// is non-nil the bound HTTP address is sent on it once the listener is up,
+// followed by the binary-protocol address when -tcpaddr is enabled.
 func run(args []string, out io.Writer, ready chan<- string, stop <-chan struct{}) error {
 	fs := flag.NewFlagSet("tkvd", flag.ContinueOnError)
 	var (
-		addr    = fs.String("addr", "127.0.0.1:7070", "listen address")
+		addr    = fs.String("addr", "127.0.0.1:7070", "HTTP listen address (debug surface)")
+		tcpaddr = fs.String("tcpaddr", "127.0.0.1:7071",
+			"binary wire protocol listen address (empty disables it)")
 		shards  = fs.Int("shards", 8, "shard count (rounded up to a power of two)")
 		pool    = fs.Int("pool", 4, "STM worker threads per shard")
 		buckets = fs.Int("buckets", 512, "hash buckets per shard")
@@ -88,8 +97,27 @@ func run(args []string, out io.Writer, ready chan<- string, stop <-chan struct{}
 	}
 
 	srv := &http.Server{Handler: tkv.NewHandler(store)}
-	errc := make(chan error, 1)
+	errc := make(chan error, 2)
 	go func() { errc <- srv.Serve(ln) }()
+
+	var wsrv *tkvwire.Server
+	if *tcpaddr != "" {
+		wln, err := net.Listen("tcp", *tcpaddr)
+		if err != nil {
+			srv.Close()
+			return err
+		}
+		fmt.Fprintf(out, "tkvd: wire protocol on %s\n", wln.Addr())
+		if ready != nil {
+			ready <- wln.Addr().String()
+		}
+		wsrv = tkvwire.NewServer(store)
+		go func() {
+			if err := wsrv.Serve(wln); err != tkvwire.ErrServerClosed {
+				errc <- err
+			}
+		}()
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -105,6 +133,11 @@ func run(args []string, out io.Writer, ready chan<- string, stop <-chan struct{}
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
+	if wsrv != nil {
+		if err := wsrv.Close(); err != nil {
+			return err
+		}
+	}
 	if err := srv.Shutdown(ctx); err != nil {
 		return err
 	}

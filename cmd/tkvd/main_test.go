@@ -7,24 +7,31 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"github.com/shrink-tm/shrink/internal/tkvwire"
 )
 
 func TestServeAndShutdown(t *testing.T) {
 	var out bytes.Buffer
-	ready := make(chan string, 1)
+	ready := make(chan string, 2)
 	stop := make(chan struct{})
 	done := make(chan error, 1)
 	go func() {
-		done <- run([]string{"-addr", "127.0.0.1:0", "-shards", "2", "-pool", "2"},
-			&out, ready, stop)
+		done <- run([]string{"-addr", "127.0.0.1:0", "-tcpaddr", "127.0.0.1:0",
+			"-shards", "2", "-pool", "2"}, &out, ready, stop)
 	}()
-	var addr string
+	var addr, tcpAddr string
 	select {
 	case addr = <-ready:
 	case err := <-done:
 		t.Fatalf("server exited early: %v", err)
 	case <-time.After(10 * time.Second):
 		t.Fatal("server never became ready")
+	}
+	select {
+	case tcpAddr = <-ready:
+	case <-time.After(10 * time.Second):
+		t.Fatal("wire server never became ready")
 	}
 	base := "http://" + addr
 
@@ -54,6 +61,31 @@ func TestServeAndShutdown(t *testing.T) {
 	resp.Body.Close()
 	if got.Value != "hello" {
 		t.Fatalf("GET = %+v", got)
+	}
+
+	// The binary port serves the same store: data written over HTTP is
+	// visible over the wire protocol and vice versa.
+	wc, err := tkvwire.Dial(tcpAddr)
+	if err != nil {
+		t.Fatalf("wire dial: %v", err)
+	}
+	defer wc.Close()
+	if val, found, err := wc.Get(5); err != nil || !found || val != "hello" {
+		t.Fatalf("wire get: %q %v %v", val, found, err)
+	}
+	if _, err := wc.Put(6, "from-the-wire"); err != nil {
+		t.Fatalf("wire put: %v", err)
+	}
+	resp, err = http.Get(base + "/kv/6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got.Value != "from-the-wire" {
+		t.Fatalf("HTTP view of wire put = %+v", got)
 	}
 
 	close(stop)

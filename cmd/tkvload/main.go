@@ -1,37 +1,49 @@
-// Command tkvload is an open-loop HTTP load driver for tkvd. It generates a
-// mixed workload — reads (single-key and batched /mget), client-side CAS
-// read-modify-write increments, blob puts/deletes and cross-shard atomic
-// batches of adds and cas increments — with configurable key skew, read
-// ratio, batch size, batch key overlap and connection count, and reports
-// throughput and latency percentiles as a report table over the swept
-// connection counts.
+// Command tkvload is an open-loop load driver for tkvd. It generates a
+// mixed workload — reads (single-key and batched multi-key), client-side
+// CAS read-modify-write increments, blob puts/deletes and cross-shard
+// atomic batches of adds and cas increments — with configurable key skew,
+// read ratio, batch size, batch key overlap and connection count, and
+// reports throughput and latency percentiles as a report table over the
+// swept connection counts.
+//
+// The driver speaks both server protocols. -proto selects one or sweeps
+// several (comma-separated): "http" drives the JSON surface through a
+// pooled http.Client; "tcp" drives the binary wire protocol
+// (internal/tkvwire) over persistent connections with -pipeline in-flight
+// requests per connection, the serving edge the binary protocol exists
+// for. Each cell's first -warmup of traffic is excluded from the latency
+// histogram and the ops/s figure, so connection ramp-up, pool fills and
+// scheduler warm-up never pollute the steady-state numbers.
 //
 // The driver doubles as a correctness checker: every increment it performs
 // goes through a transactional server path (CAS, batch add or batch cas),
 // so at the end of the run the sum of all counter keys must equal the
-// number of increments that reported success — a batch answered 409 (cas
-// mismatch) must have written nothing. Any lost update — in an engine, in
+// number of increments that reported success — a batch refused for a cas
+// mismatch must have written nothing. Any lost update — in an engine, in
 // the striped key-lock protocol, or in the batch two-phase — fails the
 // run, as does a committed-transaction count of zero. Blob values embed
 // their key, so a read returning another key's value is also detected.
+// Increments are tallied across warm-up and measurement alike: the
+// invariant is about every write that happened, not just the measured ones.
 //
 // Batch key overlap (-overlap) controls how much concurrent batches
 // contend: 1 draws every batch key from the shared counter space (batches
-// collide constantly), 0 confines each connection's batches to a private
+// collide constantly), 0 confines each worker's batches to a private
 // slice of it (batches are key-disjoint and, under the striped batch
 // planner, commit concurrently).
 //
 // Usage:
 //
 //	tkvload -url http://127.0.0.1:7070 -dur 5s -conns 4,16,64
-//	tkvload -url http://127.0.0.1:7070 -read 0.9 -zipf 1.2 -batchsize 16
+//	tkvload -url http://127.0.0.1:7070 -proto tcp -tcpaddr 127.0.0.1:7071 -pipeline 16
+//	tkvload -url http://127.0.0.1:7070 -proto http,tcp -tcpaddr 127.0.0.1:7071 -conns 8
 //	tkvload -url http://127.0.0.1:7070 -read 0 -batch 1 -overlap 0 -batchcas 0.25
-//	tkvload -url http://127.0.0.1:7070 -read 0.9 -mget 0.5
 package main
 
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -46,6 +58,7 @@ import (
 
 	"github.com/shrink-tm/shrink/internal/report"
 	"github.com/shrink-tm/shrink/internal/tkv"
+	"github.com/shrink-tm/shrink/internal/tkvwire"
 	"github.com/shrink-tm/shrink/internal/trace"
 )
 
@@ -54,6 +67,12 @@ const blobBase = uint64(1) << 32
 
 // casAttempts bounds one CAS increment's retry loop.
 const casAttempts = 64
+
+// Protocol names accepted by -proto.
+const (
+	protoHTTP = "http"
+	protoTCP  = "tcp"
+)
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -65,18 +84,22 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("tkvload", flag.ContinueOnError)
 	var (
-		url       = fs.String("url", "", "base URL of the tkvd server (required)")
-		dur       = fs.Duration("dur", 2*time.Second, "measurement duration per connection-count cell")
+		url       = fs.String("url", "", "base URL of the tkvd server (required; also the control surface for seeding and verification)")
+		tcpaddr   = fs.String("tcpaddr", "", "tkvd binary wire protocol address (required when -proto includes tcp)")
+		protoList = fs.String("proto", protoHTTP, "comma-separated protocols to sweep: http, tcp")
+		pipeline  = fs.Int("pipeline", 8, "in-flight requests per tcp connection (tcp proto only)")
+		warmup    = fs.Duration("warmup", time.Second, "per-cell warm-up excluded from latency histograms and ops/s")
+		dur       = fs.Duration("dur", 2*time.Second, "measurement duration per connection-count cell (after warm-up)")
 		connsList = fs.String("conns", "8", "comma-separated connection counts to sweep")
 		rate      = fs.Float64("rate", 0, "open-loop arrival rate in ops/s (0 = closed loop)")
 		keys      = fs.Int("keys", 128, "counter key count (keys 0..n-1, sum-verified)")
 		blobs     = fs.Int("blobs", 128, "blob key count (put/delete/get region)")
 		readFrac  = fs.Float64("read", 0.5, "fraction of operations that are reads")
-		mgetFrac  = fs.Float64("mget", 0, "fraction of reads issued as batched /mget multi-key reads")
+		mgetFrac  = fs.Float64("mget", 0, "fraction of reads issued as batched multi-key reads")
 		batchFrac = fs.Float64("batch", 0.25, "fraction of updates that are atomic batches")
 		batchSize = fs.Int("batchsize", 8, "ops per batch (and keys per mget)")
 		batchCAS  = fs.Float64("batchcas", 0, "fraction of batch ops that are cas increments instead of adds")
-		overlap   = fs.Float64("overlap", 1, "fraction of batch keys drawn from the shared key space (the rest from a per-connection private slice)")
+		overlap   = fs.Float64("overlap", 1, "fraction of batch keys drawn from the shared key space (the rest from a per-worker private slice)")
 		zipfS     = fs.Float64("zipf", 0, "zipf skew parameter (>1 skews; 0 = uniform)")
 		seed      = fs.Int64("seed", 1, "RNG seed")
 		csv       = fs.Bool("csv", false, "emit CSV instead of a text table")
@@ -92,11 +115,43 @@ func run(args []string, out io.Writer) error {
 	if *keys <= 0 || *blobs <= 0 || *batchSize <= 0 {
 		return fmt.Errorf("-keys, -blobs and -batchsize must be positive")
 	}
+	if *pipeline <= 0 {
+		return fmt.Errorf("-pipeline must be positive")
+	}
+	if *warmup < 0 {
+		return fmt.Errorf("-warmup must not be negative")
+	}
 	if *zipfS != 0 && *zipfS <= 1 {
 		return fmt.Errorf("-zipf must be > 1 (or 0 for uniform)")
 	}
 	if *overlap < 0 || *overlap > 1 || *mgetFrac < 0 || *mgetFrac > 1 || *batchCAS < 0 || *batchCAS > 1 {
 		return fmt.Errorf("-overlap, -mget and -batchcas must be in [0,1]")
+	}
+	var protos []string
+	for _, p := range strings.Split(*protoList, ",") {
+		p = strings.TrimSpace(p)
+		switch p {
+		case protoHTTP, protoTCP:
+			protos = append(protos, p)
+		default:
+			return fmt.Errorf("unknown protocol %q (want http or tcp)", p)
+		}
+	}
+	if len(protos) == 0 {
+		return fmt.Errorf("-proto must name at least one protocol")
+	}
+	tcpSwept := false
+	for _, p := range protos {
+		tcpSwept = tcpSwept || p == protoTCP
+	}
+	if tcpSwept && *tcpaddr == "" {
+		return fmt.Errorf("-tcpaddr is required when -proto includes tcp")
+	}
+	// The worker count per cell is conns for http and conns*pipeline for
+	// tcp (workers share connections, pipelining their requests).
+	maxFanout := 1
+	if tcpSwept {
+		maxFanout = *pipeline
 	}
 	var conns []int
 	for _, p := range strings.Split(*connsList, ",") {
@@ -104,19 +159,21 @@ func run(args []string, out io.Writer) error {
 		if err != nil || n <= 0 {
 			return fmt.Errorf("bad connection count %q", p)
 		}
-		// Disjoint batch keys need a non-empty private slice per
-		// connection; silently degrading to the shared space would
-		// corrupt the overlap comparison the flag exists for.
-		if *overlap < 1 && *keys/n == 0 {
-			return fmt.Errorf("-overlap %g needs -keys >= conns (got %d keys, %d conns)", *overlap, *keys, n)
+		// Disjoint batch keys need a non-empty private slice per worker;
+		// silently degrading to the shared space would corrupt the overlap
+		// comparison the flag exists for.
+		if *overlap < 1 && *keys/(n*maxFanout) == 0 {
+			return fmt.Errorf("-overlap %g needs -keys >= workers (got %d keys, %d workers)",
+				*overlap, *keys, n*maxFanout)
 		}
 		conns = append(conns, n)
 	}
 
 	d := &driver{
-		base: strings.TrimRight(*url, "/"),
+		tcpaddr: *tcpaddr,
 		cfg: loadConfig{
 			dur:       *dur,
+			warmup:    *warmup,
 			rate:      *rate,
 			keys:      *keys,
 			blobs:     *blobs,
@@ -128,23 +185,27 @@ func run(args []string, out io.Writer) error {
 			overlap:   *overlap,
 			zipfS:     *zipfS,
 			seed:      *seed,
+			pipeline:  *pipeline,
 		},
 	}
 	maxConns := 0
 	for _, n := range conns {
 		maxConns = max(maxConns, n)
 	}
-	d.client = &http.Client{
-		Timeout: 30 * time.Second,
-		Transport: &http.Transport{
-			MaxIdleConns:        maxConns * 2,
-			MaxIdleConnsPerHost: maxConns * 2,
+	d.control = &httpKV{
+		base: strings.TrimRight(*url, "/"),
+		client: &http.Client{
+			Timeout: 30 * time.Second,
+			Transport: &http.Transport{
+				MaxIdleConns:        maxConns * 2,
+				MaxIdleConnsPerHost: maxConns * 2,
+			},
 		},
 	}
 
 	// Seed every counter key so CAS loops always find a value.
 	for k := 0; k < *keys; k++ {
-		if err := d.put(uint64(k), "0"); err != nil {
+		if err := d.control.put(uint64(k), "0"); err != nil {
 			return fmt.Errorf("seeding counters: %w", err)
 		}
 	}
@@ -154,12 +215,16 @@ func run(args []string, out io.Writer) error {
 		mode = fmt.Sprintf("open-loop %.0f ops/s", *rate)
 	}
 	table := report.NewTable(
-		fmt.Sprintf("tkvload %s (%s, read=%.2f mget=%.2f batch=%.2f cas=%.2f overlap=%.2f zipf=%g)",
-			d.base, mode, *readFrac, *mgetFrac, *batchFrac, *batchCAS, *overlap, *zipfS),
+		fmt.Sprintf("tkvload %s proto=%s (%s, read=%.2f mget=%.2f batch=%.2f cas=%.2f overlap=%.2f zipf=%g pipeline=%d)",
+			d.control.base, strings.Join(protos, ","), mode, *readFrac, *mgetFrac,
+			*batchFrac, *batchCAS, *overlap, *zipfS, *pipeline),
 		"conns", "ops/s and latency (us)")
 	bench := benchJSON{
 		Tool:      "tkvload",
 		Mode:      mode,
+		Protos:    strings.Join(protos, ","),
+		Pipeline:  *pipeline,
+		WarmupSec: warmup.Seconds(),
 		ReadFrac:  *readFrac,
 		MGetFrac:  *mgetFrac,
 		BatchFrac: *batchFrac,
@@ -171,23 +236,39 @@ func run(args []string, out io.Writer) error {
 		Blobs:     *blobs,
 		DurSec:    dur.Seconds(),
 	}
-	for _, n := range conns {
-		cell := d.drive(n)
-		opsPerSec := float64(cell.ops) / cell.elapsed.Seconds()
-		table.Add("ops/s", n, opsPerSec)
-		table.Add("p50us", n, float64(cell.hist.Quantile(0.50)))
-		table.Add("p95us", n, float64(cell.hist.Quantile(0.95)))
-		table.Add("p99us", n, float64(cell.hist.Quantile(0.99)))
-		table.Add("errors", n, float64(cell.errs))
-		bench.Cells = append(bench.Cells, cellJSON{
-			Conns:     n,
-			Ops:       cell.ops,
-			OpsPerSec: opsPerSec,
-			P50us:     cell.hist.Quantile(0.50),
-			P95us:     cell.hist.Quantile(0.95),
-			P99us:     cell.hist.Quantile(0.99),
-			Errors:    cell.errs,
-		})
+	for _, proto := range protos {
+		pfx := ""
+		if len(protos) > 1 {
+			pfx = proto + " "
+		}
+		for _, n := range conns {
+			clients, workers, teardown, err := d.setup(proto, n)
+			if err != nil {
+				return fmt.Errorf("%s setup (%d conns): %w", proto, n, err)
+			}
+			cell := d.drive(clients, workers)
+			teardown()
+			opsPerSec := float64(cell.ops) / cell.elapsed.Seconds()
+			table.Add(pfx+"ops/s", n, opsPerSec)
+			table.Add(pfx+"p50us", n, float64(cell.hist.Quantile(0.50)))
+			table.Add(pfx+"p95us", n, float64(cell.hist.Quantile(0.95)))
+			table.Add(pfx+"p99us", n, float64(cell.hist.Quantile(0.99)))
+			table.Add(pfx+"errors", n, float64(cell.errs))
+			cj := cellJSON{
+				Proto:     proto,
+				Conns:     n,
+				Ops:       cell.ops,
+				OpsPerSec: opsPerSec,
+				P50us:     cell.hist.Quantile(0.50),
+				P95us:     cell.hist.Quantile(0.95),
+				P99us:     cell.hist.Quantile(0.99),
+				Errors:    cell.errs,
+			}
+			if proto == protoTCP {
+				cj.Pipeline = *pipeline
+			}
+			bench.Cells = append(bench.Cells, cj)
+		}
 	}
 	if *csv {
 		table.WriteCSV(out)
@@ -215,10 +296,15 @@ func run(args []string, out io.Writer) error {
 
 // benchJSON is the machine-readable form of one tkvload run, written by
 // -json so future PRs have a perf trajectory to diff against (the committed
-// BENCH_tkv.json at the repository root is one of these).
+// BENCH_tkv.json at the repository root is one of these). Pre-protocol
+// artifacts lack the proto/pipeline/warmup fields; they decode with zero
+// values and their cells read as HTTP cells measured without warm-up.
 type benchJSON struct {
 	Tool      string      `json:"tool"`
 	Mode      string      `json:"mode"`
+	Protos    string      `json:"protos,omitempty"`
+	Pipeline  int         `json:"pipeline,omitempty"`
+	WarmupSec float64     `json:"warmupSec,omitempty"`
 	ReadFrac  float64     `json:"readFrac"`
 	MGetFrac  float64     `json:"mgetFrac,omitempty"`
 	BatchFrac float64     `json:"batchFrac"`
@@ -233,9 +319,11 @@ type benchJSON struct {
 	Verify    *verifyJSON `json:"verify,omitempty"`
 }
 
-// cellJSON is one swept connection count's measurement.
+// cellJSON is one swept (protocol, connection count) measurement.
 type cellJSON struct {
+	Proto     string  `json:"proto,omitempty"`
 	Conns     int     `json:"conns"`
+	Pipeline  int     `json:"pipeline,omitempty"`
 	Ops       uint64  `json:"ops"`
 	OpsPerSec float64 `json:"opsPerSec"`
 	P50us     uint64  `json:"p50us"`
@@ -259,7 +347,7 @@ type verifyJSON struct {
 
 // loadConfig is the per-run workload shape.
 type loadConfig struct {
-	dur                 time.Duration
+	dur, warmup         time.Duration
 	rate                float64
 	keys, blobs         int
 	readFrac, batchFrac float64
@@ -269,26 +357,72 @@ type loadConfig struct {
 	overlap             float64
 	zipfS               float64
 	seed                int64
+	pipeline            int
 }
 
-// driver owns the HTTP client and the cross-cell increment tally.
+// kvClient is the store surface the workload drives, implemented over
+// HTTP/JSON and over the binary wire protocol. One kvClient may be shared
+// by several workers (the tcp client pipelines their requests on one
+// connection).
+type kvClient interface {
+	get(key uint64) (string, bool, error)
+	put(key uint64, val string) error
+	del(key uint64) error
+	cas(key uint64, old, new string) (swapped bool, err error)
+	mget(keys []uint64) ([]tkv.OpResult, error)
+	batch(ops []tkv.Op) (mismatch bool, nres int, err error)
+	snapshot() (map[uint64]string, error)
+	stats() (tkv.Stats, error)
+}
+
+// driver owns the workload configuration and the cross-cell increment
+// tally. Seeding and verification always run over the HTTP control client;
+// the measured traffic goes through whatever kvClient the swept protocol
+// dictates.
 type driver struct {
-	base   string
-	client *http.Client
-	cfg    loadConfig
+	control *httpKV
+	tcpaddr string
+	cfg     loadConfig
 
 	// Successful transactional increments, accumulated across cells; the
 	// final counter sum must equal their total.
 	casIncrs  atomic.Uint64
 	batchAdds atomic.Uint64
-	// batchCASMisses counts batches the server refused whole with 409
-	// (a cas op's compare failed): zero increments, but not an error.
+	// batchCASMisses counts batches the server refused whole (a cas op's
+	// compare failed): zero increments, but not an error.
 	batchCASMisses atomic.Uint64
 	// blobCorrupt counts blob reads whose value named another key.
 	blobCorrupt atomic.Uint64
 }
 
-// cellResult is one swept connection count's measurement.
+// setup builds one cell's clients: how many workers drive them and how they
+// map. HTTP workers share the pooled http.Client; tcp workers share n
+// pipelined connections, cfg.pipeline workers per connection.
+func (d *driver) setup(proto string, n int) (clients []kvClient, workers int, teardown func(), err error) {
+	switch proto {
+	case protoTCP:
+		conns := make([]*tkvwire.Conn, 0, n)
+		teardown = func() {
+			for _, c := range conns {
+				c.Close()
+			}
+		}
+		for i := 0; i < n; i++ {
+			c, err := tkvwire.Dial(d.tcpaddr)
+			if err != nil {
+				teardown()
+				return nil, 0, nil, err
+			}
+			conns = append(conns, c)
+			clients = append(clients, &tcpKV{c: c})
+		}
+		return clients, n * d.cfg.pipeline, teardown, nil
+	default:
+		return []kvClient{d.control}, n, func() {}, nil
+	}
+}
+
+// cellResult is one swept cell's measurement.
 type cellResult struct {
 	ops     uint64
 	errs    uint64
@@ -296,14 +430,17 @@ type cellResult struct {
 	hist    *trace.Histogram
 }
 
-// drive runs one cell: cfg.dur of traffic over n connections. In open-loop
-// mode arrivals are generated at cfg.rate regardless of completion, so
-// latency includes queueing delay — the serving regime the paper's
-// overload figures are about. (Arrival timestamps have the generator's
-// 5ms tick granularity, which bounds the latency resolution in that mode.)
-func (d *driver) drive(n int) cellResult {
+// drive runs one cell: cfg.warmup of unmeasured ramp-up, then cfg.dur of
+// measured traffic over the given workers. Worker w issues through
+// clients[w%len(clients)]. In open-loop mode arrivals are generated at
+// cfg.rate regardless of completion, so latency includes queueing delay —
+// the serving regime the paper's overload figures are about. (Arrival
+// timestamps have the generator's 5ms tick granularity, which bounds the
+// latency resolution in that mode.)
+func (d *driver) drive(clients []kvClient, workers int) cellResult {
 	cell := cellResult{hist: &trace.Histogram{}}
 	var ops, errs atomic.Uint64
+	var measuring atomic.Bool
 	stop := make(chan struct{})
 	var arrivals chan time.Time
 	if d.cfg.rate > 0 {
@@ -339,13 +476,13 @@ func (d *driver) drive(n int) cellResult {
 	}
 
 	var wg sync.WaitGroup
-	start := time.Now()
-	for w := 0; w < n; w++ {
+	for w := 0; w < workers; w++ {
 		w := w
+		cl := clients[w%len(clients)]
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			rng := rand.New(rand.NewSource(d.cfg.seed + int64(w)*6151 + int64(n)))
+			rng := rand.New(rand.NewSource(d.cfg.seed + int64(w)*6151 + int64(workers)))
 			var zipf *rand.Zipf
 			if d.cfg.zipfS > 1 {
 				zipf = rand.NewZipf(rng, d.cfg.zipfS, 1, uint64(d.cfg.keys-1))
@@ -366,19 +503,29 @@ func (d *driver) drive(n int) cellResult {
 					}
 					issued = time.Now()
 				}
-				if err := d.op(rng, zipf, w, n); err != nil {
-					errs.Add(1)
-				} else {
+				// Sampled before issuing, so an op straddling the warm-up
+				// boundary is never half-counted.
+				record := measuring.Load()
+				if err := d.op(cl, rng, zipf, w, workers); err != nil {
+					if record {
+						errs.Add(1)
+					}
+				} else if record {
 					ops.Add(1)
 				}
-				cell.hist.ObserveDuration(time.Since(issued))
+				if record {
+					cell.hist.ObserveDuration(time.Since(issued))
+				}
 			}
 		}()
 	}
+	time.Sleep(d.cfg.warmup)
+	measuring.Store(true)
+	measureStart := time.Now()
 	time.Sleep(d.cfg.dur)
 	close(stop)
 	wg.Wait()
-	cell.elapsed = time.Since(start)
+	cell.elapsed = time.Since(measureStart)
 	cell.ops = ops.Load()
 	cell.errs = errs.Load()
 	return cell
@@ -392,31 +539,31 @@ func (d *driver) counterKey(rng *rand.Rand, zipf *rand.Zipf) uint64 {
 	return uint64(rng.Intn(d.cfg.keys))
 }
 
-// op issues one operation of the mix. w and conns identify the worker and
-// the cell's connection count, which locate the worker's private key slice
-// under -overlap < 1.
-func (d *driver) op(rng *rand.Rand, zipf *rand.Zipf, w, conns int) error {
+// op issues one operation of the mix through cl. w and workers identify the
+// worker and the cell's worker count, which locate the worker's private key
+// slice under -overlap < 1.
+func (d *driver) op(cl kvClient, rng *rand.Rand, zipf *rand.Zipf, w, workers int) error {
 	if rng.Float64() < d.cfg.readFrac {
 		if d.cfg.mgetFrac > 0 && rng.Float64() < d.cfg.mgetFrac {
-			return d.mget(rng, zipf)
+			return d.mget(cl, rng, zipf)
 		}
 		if rng.Intn(2) == 0 {
-			_, _, err := d.get(d.counterKey(rng, zipf))
+			_, _, err := cl.get(d.counterKey(rng, zipf))
 			return err
 		}
-		return d.getBlob(rng)
+		return d.getBlob(cl, rng)
 	}
 	if rng.Float64() < d.cfg.batchFrac {
-		return d.batch(rng, zipf, w, conns)
+		return d.batch(cl, rng, zipf, w, workers)
 	}
 	switch rng.Intn(5) {
 	case 0, 1:
-		return d.casIncrement(rng, zipf)
+		return d.casIncrement(cl, rng, zipf)
 	case 2, 3:
 		key := blobBase + uint64(rng.Intn(d.cfg.blobs))
-		return d.put(key, fmt.Sprintf("%d:%d", key, rng.Int63()))
+		return cl.put(key, fmt.Sprintf("%d:%d", key, rng.Int63()))
 	default:
-		return d.del(blobBase + uint64(rng.Intn(d.cfg.blobs)))
+		return cl.del(blobBase + uint64(rng.Intn(d.cfg.blobs)))
 	}
 }
 
@@ -424,23 +571,23 @@ func (d *driver) op(rng *rand.Rand, zipf *rand.Zipf, w, conns int) error {
 // the whole counter space (honoring skew), otherwise uniformly from the
 // worker's private slice of it — the knob that makes concurrent batches
 // key-disjoint (-overlap 0) or maximally contended (-overlap 1).
-func (d *driver) batchKey(rng *rand.Rand, zipf *rand.Zipf, w, conns int) uint64 {
+func (d *driver) batchKey(rng *rand.Rand, zipf *rand.Zipf, w, workers int) uint64 {
 	if rng.Float64() < d.cfg.overlap {
 		return d.counterKey(rng, zipf)
 	}
-	span := d.cfg.keys / conns
+	span := d.cfg.keys / workers
 	if span == 0 {
 		return d.counterKey(rng, zipf)
 	}
-	return uint64(w%conns*span + rng.Intn(span))
+	return uint64(w%workers*span + rng.Intn(span))
 }
 
 // casIncrement performs a client-side read-modify-write: read the counter,
 // CAS it one higher, retry on interference.
-func (d *driver) casIncrement(rng *rand.Rand, zipf *rand.Zipf) error {
+func (d *driver) casIncrement(cl kvClient, rng *rand.Rand, zipf *rand.Zipf) error {
 	key := d.counterKey(rng, zipf)
 	for attempt := 0; attempt < casAttempts; attempt++ {
-		cur, found, err := d.get(key)
+		cur, found, err := cl.get(key)
 		if err != nil {
 			return err
 		}
@@ -451,16 +598,11 @@ func (d *driver) casIncrement(rng *rand.Rand, zipf *rand.Zipf) error {
 		if err != nil {
 			return fmt.Errorf("counter key %d holds %q", key, cur)
 		}
-		var resp struct {
-			Swapped bool `json:"swapped"`
-		}
-		err = d.postJSON("/cas", map[string]any{
-			"key": key, "old": cur, "new": strconv.FormatInt(n+1, 10),
-		}, &resp)
+		swapped, err := cl.cas(key, cur, strconv.FormatInt(n+1, 10))
 		if err != nil {
 			return err
 		}
-		if resp.Swapped {
+		if swapped {
 			d.casIncrs.Add(1)
 			return nil
 		}
@@ -473,14 +615,14 @@ func (d *driver) casIncrement(rng *rand.Rand, zipf *rand.Zipf) error {
 // batch issues one atomic batch of +1 increments: adds, with a -batchcas
 // fraction of them as cas increments (read the counter, then cas it one
 // higher inside the batch). Every op of an accepted batch increments its
-// key by exactly 1, so the tally is the op count; a 409 (some cas compare
-// lost a race) means the whole batch wrote nothing and tallies zero.
-func (d *driver) batch(rng *rand.Rand, zipf *rand.Zipf, w, conns int) error {
+// key by exactly 1, so the tally is the op count; a refused batch (some
+// cas compare lost a race) wrote nothing and tallies zero.
+func (d *driver) batch(cl kvClient, rng *rand.Rand, zipf *rand.Zipf, w, workers int) error {
 	ops := make([]tkv.Op, d.cfg.batchSize)
 	for i := range ops {
-		key := d.batchKey(rng, zipf, w, conns)
+		key := d.batchKey(rng, zipf, w, workers)
 		if d.cfg.batchCAS > 0 && rng.Float64() < d.cfg.batchCAS {
-			cur, found, err := d.get(key)
+			cur, found, err := cl.get(key)
 			if err != nil {
 				return err
 			}
@@ -496,7 +638,7 @@ func (d *driver) batch(rng *rand.Rand, zipf *rand.Zipf, w, conns int) error {
 			ops[i] = tkv.Op{Kind: tkv.OpAdd, Key: key, Delta: 1}
 		}
 	}
-	mismatch, nres, err := d.postBatch(ops)
+	mismatch, nres, err := cl.batch(ops)
 	if err != nil {
 		return err
 	}
@@ -511,19 +653,248 @@ func (d *driver) batch(rng *rand.Rand, zipf *rand.Zipf, w, conns int) error {
 	return nil
 }
 
-// postBatch posts a batch, distinguishing acceptance (200, returns the
-// result count) from a whole-batch cas mismatch (409 with casMismatch set;
-// nothing was written).
-func (d *driver) postBatch(ops []tkv.Op) (mismatch bool, nres int, err error) {
+// mget issues one batched multi-key read over the counter space and
+// cross-checks that every found value is a well-formed counter.
+func (d *driver) mget(cl kvClient, rng *rand.Rand, zipf *rand.Zipf) error {
+	keys := make([]uint64, d.cfg.batchSize)
+	for i := range keys {
+		keys[i] = d.counterKey(rng, zipf)
+	}
+	results, err := cl.mget(keys)
+	if err != nil {
+		return err
+	}
+	if len(results) != len(keys) {
+		return fmt.Errorf("mget returned %d results for %d keys", len(results), len(keys))
+	}
+	for i, r := range results {
+		if !r.Found {
+			continue // not yet seeded in this cell
+		}
+		if _, err := strconv.ParseUint(r.Value, 10, 64); err != nil {
+			return fmt.Errorf("mget counter key %d holds %q", keys[i], r.Value)
+		}
+	}
+	return nil
+}
+
+// getBlob reads a random blob key and cross-checks that the value names the
+// key it was stored under.
+func (d *driver) getBlob(cl kvClient, rng *rand.Rand) error {
+	key := blobBase + uint64(rng.Intn(d.cfg.blobs))
+	val, found, err := cl.get(key)
+	if err != nil {
+		return err
+	}
+	if found && !strings.HasPrefix(val, fmt.Sprintf("%d:", key)) {
+		d.blobCorrupt.Add(1)
+		return fmt.Errorf("blob key %d holds foreign value %q", key, val)
+	}
+	return nil
+}
+
+// verify pulls a consistent snapshot and the server stats over the control
+// client and checks the run's invariants. The returned summary is embedded
+// in the -json artifact even when a check fails (with OK=false), so a
+// broken run is recorded, not hidden.
+func (d *driver) verify(out io.Writer) (*verifyJSON, error) {
+	res := &verifyJSON{Increments: d.casIncrs.Load() + d.batchAdds.Load()}
+	snap, err := d.control.snapshot()
+	if err != nil {
+		return res, fmt.Errorf("snapshot: %w", err)
+	}
+	var sum uint64
+	for k := 0; k < d.cfg.keys; k++ {
+		v, ok := snap[uint64(k)]
+		if !ok {
+			return res, fmt.Errorf("counter key %d vanished", k)
+		}
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			return res, fmt.Errorf("counter key %d holds %q", k, v)
+		}
+		sum += n
+	}
+	res.CounterSum = sum
+	want := res.Increments
+	stats, err := d.control.stats()
+	if err != nil {
+		return res, fmt.Errorf("stats: %w", err)
+	}
+	res.Commits = stats.Commits
+	res.Aborts = stats.Aborts
+	res.Serializations = stats.Serializations
+	res.StripeWaits = stats.StripeWaitsShared + stats.StripeWaitsExcl
+	res.ROFallbacks = stats.ROFallbacks
+	res.CASMismatches = d.batchCASMisses.Load()
+	fmt.Fprintf(out, "verify: committed=%d aborts=%d serializations=%d stripeWaits=%d roFallbacks=%d counterSum=%d increments=%d (cas=%d batchOps=%d casMismatchedBatches=%d)\n",
+		stats.Commits, stats.Aborts, stats.Serializations, res.StripeWaits, res.ROFallbacks,
+		sum, want, d.casIncrs.Load(), d.batchAdds.Load(), res.CASMismatches)
+	if sum < want {
+		return res, fmt.Errorf("LOST UPDATES: counters sum to %d but %d increments succeeded", sum, want)
+	}
+	if sum > want {
+		// The opposite mismatch is a driver-side undercount: an
+		// increment committed server-side but its response was lost
+		// (timeout, reset), so it was tallied as an error instead.
+		return res, fmt.Errorf("uncounted increments: counters sum to %d but only %d increments were acknowledged (a CAS/batch response was likely lost in flight)", sum, want)
+	}
+	if d.blobCorrupt.Load() > 0 {
+		return res, fmt.Errorf("%d blob reads returned foreign values", d.blobCorrupt.Load())
+	}
+	if stats.Commits == 0 {
+		return res, fmt.Errorf("server committed zero transactions")
+	}
+	res.OK = true
+	fmt.Fprintln(out, "verify: OK (zero lost updates)")
+	return res, nil
+}
+
+// ---- binary wire protocol client ----
+
+// tcpKV adapts one pipelined tkvwire connection to the kvClient surface.
+// Many workers share one tcpKV; the connection interleaves their requests.
+type tcpKV struct {
+	c *tkvwire.Conn
+}
+
+func (t *tcpKV) get(key uint64) (string, bool, error) { return t.c.Get(key) }
+
+func (t *tcpKV) put(key uint64, val string) error {
+	_, err := t.c.Put(key, val)
+	return err
+}
+
+func (t *tcpKV) del(key uint64) error {
+	_, err := t.c.Delete(key)
+	return err
+}
+
+func (t *tcpKV) cas(key uint64, old, new string) (bool, error) {
+	return t.c.CAS(key, old, new)
+}
+
+func (t *tcpKV) mget(keys []uint64) ([]tkv.OpResult, error) { return t.c.MGet(keys) }
+
+func (t *tcpKV) batch(ops []tkv.Op) (bool, int, error) {
+	results, err := t.c.Batch(ops)
+	if errors.Is(err, tkv.ErrCASMismatch) {
+		return true, len(results), nil
+	}
+	if err != nil {
+		return false, 0, err
+	}
+	return false, len(results), nil
+}
+
+func (t *tcpKV) snapshot() (map[uint64]string, error) { return t.c.Snapshot() }
+
+func (t *tcpKV) stats() (tkv.Stats, error) { return t.c.Stats() }
+
+// ---- HTTP client ----
+
+// wire is a pooled response-read buffer: the driver's own per-response
+// decoder allocations shouldn't pollute the latency it is measuring. Only
+// the response side is pooled — a response body is fully drained
+// synchronously inside do() before the buffer is reused, whereas a pooled
+// *request* body would race with the transport's background write loop
+// whenever the server answers before reading the whole body (early non-200,
+// reset), so request bodies stay freshly allocated per call.
+type wire struct {
+	resp bytes.Buffer
+}
+
+var wirePool = sync.Pool{New: func() any { return new(wire) }}
+
+// httpKV drives the HTTP/JSON surface through a pooled http.Client. It is
+// also the run's control client: seeding and verification always go over
+// HTTP regardless of the measured protocol.
+type httpKV struct {
+	base   string
+	client *http.Client
+}
+
+func (h *httpKV) get(key uint64) (string, bool, error) {
+	resp, err := h.client.Get(fmt.Sprintf("%s/kv/%d", h.base, key))
+	if err != nil {
+		return "", false, err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode == http.StatusNotFound {
+		return "", false, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", false, fmt.Errorf("GET key %d: status %d", key, resp.StatusCode)
+	}
+	w := wirePool.Get().(*wire)
+	defer wirePool.Put(w)
+	w.resp.Reset()
+	if _, err := io.Copy(&w.resp, resp.Body); err != nil {
+		return "", false, err
+	}
+	var body struct {
+		Value string `json:"value"`
+	}
+	if err := json.Unmarshal(w.resp.Bytes(), &body); err != nil {
+		return "", false, err
+	}
+	return body.Value, true, nil
+}
+
+func (h *httpKV) put(key uint64, val string) error {
+	b, err := json.Marshal(map[string]string{"value": val})
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequest(http.MethodPut, fmt.Sprintf("%s/kv/%d", h.base, key), bytes.NewReader(b))
+	if err != nil {
+		return err
+	}
+	return h.do(req, nil, nil)
+}
+
+func (h *httpKV) del(key uint64) error {
+	req, err := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/kv/%d", h.base, key), nil)
+	if err != nil {
+		return err
+	}
+	return h.do(req, nil, nil)
+}
+
+func (h *httpKV) cas(key uint64, old, new string) (bool, error) {
+	var resp struct {
+		Swapped bool `json:"swapped"`
+	}
+	err := h.postJSON("/cas", map[string]any{"key": key, "old": old, "new": new}, &resp)
+	return resp.Swapped, err
+}
+
+func (h *httpKV) mget(keys []uint64) ([]tkv.OpResult, error) {
+	var resp struct {
+		Results []tkv.OpResult `json:"results"`
+	}
+	if err := h.postJSON("/mget", map[string]any{"keys": keys}, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Results, nil
+}
+
+// batch posts a batch, distinguishing acceptance (200, returns the result
+// count) from a whole-batch cas mismatch (409 with casMismatch set; nothing
+// was written).
+func (h *httpKV) batch(ops []tkv.Op) (mismatch bool, nres int, err error) {
 	b, err := json.Marshal(map[string]any{"ops": ops})
 	if err != nil {
 		return false, 0, err
 	}
-	req, err := http.NewRequest(http.MethodPost, d.base+"/batch", bytes.NewReader(b))
+	req, err := http.NewRequest(http.MethodPost, h.base+"/batch", bytes.NewReader(b))
 	if err != nil {
 		return false, 0, err
 	}
-	resp, err := d.client.Do(req)
+	resp, err := h.client.Do(req)
 	if err != nil {
 		return false, 0, err
 	}
@@ -556,194 +927,44 @@ func (d *driver) postBatch(ops []tkv.Op) (mismatch bool, nres int, err error) {
 	return false, len(body.Results), nil
 }
 
-// mget issues one batched multi-key read over the counter space and
-// cross-checks that every found value is a well-formed counter.
-func (d *driver) mget(rng *rand.Rand, zipf *rand.Zipf) error {
-	keys := make([]uint64, d.cfg.batchSize)
-	for i := range keys {
-		keys[i] = d.counterKey(rng, zipf)
-	}
-	var resp struct {
-		Results []tkv.OpResult `json:"results"`
-	}
-	if err := d.postJSON("/mget", map[string]any{"keys": keys}, &resp); err != nil {
-		return err
-	}
-	if len(resp.Results) != len(keys) {
-		return fmt.Errorf("mget returned %d results for %d keys", len(resp.Results), len(keys))
-	}
-	for i, r := range resp.Results {
-		if !r.Found {
-			continue // not yet seeded in this cell
-		}
-		if _, err := strconv.ParseUint(r.Value, 10, 64); err != nil {
-			return fmt.Errorf("mget counter key %d holds %q", keys[i], r.Value)
-		}
-	}
-	return nil
-}
-
-// getBlob reads a random blob key and cross-checks that the value names the
-// key it was stored under.
-func (d *driver) getBlob(rng *rand.Rand) error {
-	key := blobBase + uint64(rng.Intn(d.cfg.blobs))
-	val, found, err := d.get(key)
-	if err != nil {
-		return err
-	}
-	if found && !strings.HasPrefix(val, fmt.Sprintf("%d:", key)) {
-		d.blobCorrupt.Add(1)
-		return fmt.Errorf("blob key %d holds foreign value %q", key, val)
-	}
-	return nil
-}
-
-// verify pulls a consistent snapshot and the server stats and checks the
-// run's invariants. The returned summary is embedded in the -json artifact
-// even when a check fails (with OK=false), so a broken run is recorded, not
-// hidden.
-func (d *driver) verify(out io.Writer) (*verifyJSON, error) {
-	res := &verifyJSON{Increments: d.casIncrs.Load() + d.batchAdds.Load()}
+func (h *httpKV) snapshot() (map[uint64]string, error) {
 	snap := map[uint64]string{}
-	if err := d.getJSON("/snapshot", &snap); err != nil {
-		return res, fmt.Errorf("snapshot: %w", err)
+	if err := h.getJSON("/snapshot", &snap); err != nil {
+		return nil, err
 	}
-	var sum uint64
-	for k := 0; k < d.cfg.keys; k++ {
-		v, ok := snap[uint64(k)]
-		if !ok {
-			return res, fmt.Errorf("counter key %d vanished", k)
-		}
-		n, err := strconv.ParseUint(v, 10, 64)
-		if err != nil {
-			return res, fmt.Errorf("counter key %d holds %q", k, v)
-		}
-		sum += n
-	}
-	res.CounterSum = sum
-	want := res.Increments
+	return snap, nil
+}
+
+func (h *httpKV) stats() (tkv.Stats, error) {
 	var stats tkv.Stats
-	if err := d.getJSON("/stats", &stats); err != nil {
-		return res, fmt.Errorf("stats: %w", err)
-	}
-	res.Commits = stats.Commits
-	res.Aborts = stats.Aborts
-	res.Serializations = stats.Serializations
-	res.StripeWaits = stats.StripeWaitsShared + stats.StripeWaitsExcl
-	res.ROFallbacks = stats.ROFallbacks
-	res.CASMismatches = d.batchCASMisses.Load()
-	fmt.Fprintf(out, "verify: committed=%d aborts=%d serializations=%d stripeWaits=%d roFallbacks=%d counterSum=%d increments=%d (cas=%d batchOps=%d casMismatchedBatches=%d)\n",
-		stats.Commits, stats.Aborts, stats.Serializations, res.StripeWaits, res.ROFallbacks,
-		sum, want, d.casIncrs.Load(), d.batchAdds.Load(), res.CASMismatches)
-	if sum < want {
-		return res, fmt.Errorf("LOST UPDATES: counters sum to %d but %d increments succeeded", sum, want)
-	}
-	if sum > want {
-		// The opposite mismatch is a driver-side undercount: an
-		// increment committed server-side but its response was lost
-		// (timeout, reset), so it was tallied as an error instead.
-		return res, fmt.Errorf("uncounted increments: counters sum to %d but only %d increments were acknowledged (a CAS/batch response was likely lost in flight)", sum, want)
-	}
-	if d.blobCorrupt.Load() > 0 {
-		return res, fmt.Errorf("%d blob reads returned foreign values", d.blobCorrupt.Load())
-	}
-	if stats.Commits == 0 {
-		return res, fmt.Errorf("server committed zero transactions")
-	}
-	res.OK = true
-	fmt.Fprintln(out, "verify: OK (zero lost updates)")
-	return res, nil
+	err := h.getJSON("/stats", &stats)
+	return stats, err
 }
 
-// ---- HTTP plumbing ----
-
-// wire is a pooled response-read buffer: the driver's own per-response
-// decoder allocations shouldn't pollute the latency it is measuring. Only
-// the response side is pooled — a response body is fully drained
-// synchronously inside do() before the buffer is reused, whereas a pooled
-// *request* body would race with the transport's background write loop
-// whenever the server answers before reading the whole body (early non-200,
-// reset), so request bodies stay freshly allocated per call.
-type wire struct {
-	resp bytes.Buffer
-}
-
-var wirePool = sync.Pool{New: func() any { return new(wire) }}
-
-func (d *driver) get(key uint64) (string, bool, error) {
-	resp, err := d.client.Get(fmt.Sprintf("%s/kv/%d", d.base, key))
-	if err != nil {
-		return "", false, err
-	}
-	defer func() {
-		io.Copy(io.Discard, resp.Body)
-		resp.Body.Close()
-	}()
-	if resp.StatusCode == http.StatusNotFound {
-		return "", false, nil
-	}
-	if resp.StatusCode != http.StatusOK {
-		return "", false, fmt.Errorf("GET key %d: status %d", key, resp.StatusCode)
-	}
-	w := wirePool.Get().(*wire)
-	defer wirePool.Put(w)
-	w.resp.Reset()
-	if _, err := io.Copy(&w.resp, resp.Body); err != nil {
-		return "", false, err
-	}
-	var body struct {
-		Value string `json:"value"`
-	}
-	if err := json.Unmarshal(w.resp.Bytes(), &body); err != nil {
-		return "", false, err
-	}
-	return body.Value, true, nil
-}
-
-func (d *driver) put(key uint64, val string) error {
-	b, err := json.Marshal(map[string]string{"value": val})
-	if err != nil {
-		return err
-	}
-	req, err := http.NewRequest(http.MethodPut, fmt.Sprintf("%s/kv/%d", d.base, key), bytes.NewReader(b))
-	if err != nil {
-		return err
-	}
-	return d.do(req, nil, nil)
-}
-
-func (d *driver) del(key uint64) error {
-	req, err := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/kv/%d", d.base, key), nil)
-	if err != nil {
-		return err
-	}
-	return d.do(req, nil, nil)
-}
-
-func (d *driver) postJSON(path string, body, into any) error {
+func (h *httpKV) postJSON(path string, body, into any) error {
 	b, err := json.Marshal(body)
 	if err != nil {
 		return err
 	}
-	req, err := http.NewRequest(http.MethodPost, d.base+path, bytes.NewReader(b))
+	req, err := http.NewRequest(http.MethodPost, h.base+path, bytes.NewReader(b))
 	if err != nil {
 		return err
 	}
-	return d.do(req, nil, into)
+	return h.do(req, nil, into)
 }
 
-func (d *driver) getJSON(path string, into any) error {
-	req, err := http.NewRequest(http.MethodGet, d.base+path, nil)
+func (h *httpKV) getJSON(path string, into any) error {
+	req, err := http.NewRequest(http.MethodGet, h.base+path, nil)
 	if err != nil {
 		return err
 	}
-	return d.do(req, nil, into)
+	return h.do(req, nil, into)
 }
 
 // do sends req and decodes the response into `into` (when non-nil) via w's
 // response buffer; a nil w borrows one from the pool.
-func (d *driver) do(req *http.Request, w *wire, into any) error {
-	resp, err := d.client.Do(req)
+func (h *httpKV) do(req *http.Request, w *wire, into any) error {
+	resp, err := h.client.Do(req)
 	if err != nil {
 		return err
 	}

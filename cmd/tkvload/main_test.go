@@ -2,16 +2,23 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"errors"
+	"net"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"github.com/shrink-tm/shrink/internal/enginecfg"
 	"github.com/shrink-tm/shrink/internal/tkv"
+	"github.com/shrink-tm/shrink/internal/tkvwire"
 )
 
-// newServer backs the driver with a real in-process tkv store.
-func newServer(t *testing.T, engine string) *httptest.Server {
+// newServer backs the driver with a real in-process tkv store, serving
+// HTTP and, when withTCP is set, the binary wire protocol.
+func newServer(t *testing.T, engine string, withTCP bool) (httpURL, tcpAddr string) {
 	t.Helper()
 	st, err := tkv.Open(tkv.Config{
 		Shards:    4,
@@ -25,7 +32,26 @@ func newServer(t *testing.T, engine string) *httptest.Server {
 	}
 	srv := httptest.NewServer(tkv.NewHandler(st))
 	t.Cleanup(srv.Close)
-	return srv
+	if !withTCP {
+		return srv.URL, ""
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wsrv := tkvwire.NewServer(st)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if err := wsrv.Serve(ln); !errors.Is(err, tkvwire.ErrServerClosed) {
+			t.Errorf("wire Serve: %v", err)
+		}
+	}()
+	t.Cleanup(func() {
+		wsrv.Close()
+		<-done
+	})
+	return srv.URL, ln.Addr().String()
 }
 
 // TestEndToEndMixedTraffic is the in-process version of the CI smoke run:
@@ -38,11 +64,12 @@ func TestEndToEndMixedTraffic(t *testing.T) {
 	}
 	for _, engine := range []string{enginecfg.EngineSwiss, enginecfg.EngineTiny} {
 		t.Run(engine, func(t *testing.T) {
-			srv := newServer(t, engine)
+			url, _ := newServer(t, engine, false)
 			var out bytes.Buffer
 			err := run([]string{
-				"-url", srv.URL,
+				"-url", url,
 				"-dur", "400ms",
+				"-warmup", "100ms",
 				"-conns", "8",
 				"-keys", "64",
 				"-blobs", "64",
@@ -58,9 +85,104 @@ func TestEndToEndMixedTraffic(t *testing.T) {
 	}
 }
 
+// TestEndToEndTCP drives the same invariant-checked mix over the binary
+// wire protocol, pipelined, and checks the BENCH artifact tags its cells
+// with the protocol.
+func TestEndToEndTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	url, tcpAddr := newServer(t, enginecfg.EngineSwiss, true)
+	jsonPath := filepath.Join(t.TempDir(), "bench.json")
+	var out bytes.Buffer
+	err := run([]string{
+		"-url", url,
+		"-proto", "tcp",
+		"-tcpaddr", tcpAddr,
+		"-pipeline", "4",
+		"-dur", "400ms",
+		"-warmup", "100ms",
+		"-conns", "4",
+		"-keys", "64",
+		"-blobs", "64",
+		"-batchsize", "4",
+		"-mget", "0.3",
+		"-batchcas", "0.5",
+		"-json", jsonPath,
+	}, &out)
+	if err != nil {
+		t.Fatalf("%v\noutput:\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "verify: OK") {
+		t.Fatalf("missing verification:\n%s", out.String())
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bench benchJSON
+	if err := json.Unmarshal(data, &bench); err != nil {
+		t.Fatal(err)
+	}
+	if len(bench.Cells) != 1 {
+		t.Fatalf("cells: %+v", bench.Cells)
+	}
+	cell := bench.Cells[0]
+	if cell.Proto != "tcp" || cell.Pipeline != 4 || cell.Conns != 4 {
+		t.Fatalf("cell not tagged with protocol: %+v", cell)
+	}
+	if cell.Ops == 0 {
+		t.Fatal("tcp cell measured zero ops")
+	}
+}
+
+// TestProtocolSweep sweeps http and tcp in one run; both protocols hit the
+// same store, so the shared invariant must still hold, and the artifact
+// must carry one cell per (proto, conns) pair.
+func TestProtocolSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	url, tcpAddr := newServer(t, enginecfg.EngineSwiss, true)
+	jsonPath := filepath.Join(t.TempDir(), "bench.json")
+	var out bytes.Buffer
+	err := run([]string{
+		"-url", url,
+		"-proto", "http,tcp",
+		"-tcpaddr", tcpAddr,
+		"-pipeline", "2",
+		"-dur", "300ms",
+		"-warmup", "100ms",
+		"-conns", "2",
+		"-keys", "32",
+		"-blobs", "32",
+		"-json", jsonPath,
+	}, &out)
+	if err != nil {
+		t.Fatalf("%v\noutput:\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "verify: OK") {
+		t.Fatalf("missing verification:\n%s", out.String())
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bench benchJSON
+	if err := json.Unmarshal(data, &bench); err != nil {
+		t.Fatal(err)
+	}
+	if len(bench.Cells) != 2 {
+		t.Fatalf("want 2 cells, got %+v", bench.Cells)
+	}
+	if bench.Cells[0].Proto != "http" || bench.Cells[1].Proto != "tcp" {
+		t.Fatalf("cell protocols: %q, %q", bench.Cells[0].Proto, bench.Cells[1].Proto)
+	}
+}
+
 // TestBatchModeWithCASAndMGet drives the batch-heavy workload with cas ops
 // admitted into batches, key-disjoint batches (-overlap 0) and batched
-// multi-key reads, ending in the zero-lost-update verification: a 409'd
+// multi-key reads, ending in the zero-lost-update verification: a refused
 // batch must have written nothing, and per-key stripe admission must not
 // lose concurrent increments.
 func TestBatchModeWithCASAndMGet(t *testing.T) {
@@ -69,11 +191,12 @@ func TestBatchModeWithCASAndMGet(t *testing.T) {
 	}
 	for _, overlap := range []string{"0", "1"} {
 		t.Run("overlap="+overlap, func(t *testing.T) {
-			srv := newServer(t, enginecfg.EngineSwiss)
+			url, _ := newServer(t, enginecfg.EngineSwiss, false)
 			var out bytes.Buffer
 			err := run([]string{
-				"-url", srv.URL,
+				"-url", url,
 				"-dur", "400ms",
+				"-warmup", "100ms",
 				"-conns", "8",
 				"-keys", "64",
 				"-blobs", "16",
@@ -98,11 +221,12 @@ func TestOpenLoopAndSkew(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
-	srv := newServer(t, enginecfg.EngineSwiss)
+	url, _ := newServer(t, enginecfg.EngineSwiss, false)
 	var out bytes.Buffer
 	err := run([]string{
-		"-url", srv.URL,
+		"-url", url,
 		"-dur", "300ms",
+		"-warmup", "100ms",
 		"-conns", "2,4",
 		"-rate", "2000",
 		"-zipf", "1.2",
@@ -138,5 +262,23 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	}
 	if err := run([]string{"-url", "http://x", "-mget", "-0.1"}, &out); err == nil {
 		t.Fatal("negative mget fraction accepted")
+	}
+	if err := run([]string{"-url", "http://x", "-proto", "quic"}, &out); err == nil {
+		t.Fatal("unknown protocol accepted")
+	}
+	if err := run([]string{"-url", "http://x", "-proto", "tcp"}, &out); err == nil {
+		t.Fatal("tcp without -tcpaddr accepted")
+	}
+	if err := run([]string{"-url", "http://x", "-pipeline", "0"}, &out); err == nil {
+		t.Fatal("zero pipeline accepted")
+	}
+	if err := run([]string{"-url", "http://x", "-warmup", "-1s"}, &out); err == nil {
+		t.Fatal("negative warmup accepted")
+	}
+	// Private batch slices must exist for every *worker*, including the
+	// pipelined tcp fan-out: 8 conns × 8 pipeline > 32 keys.
+	if err := run([]string{"-url", "http://x", "-proto", "tcp", "-tcpaddr", "127.0.0.1:1",
+		"-overlap", "0", "-keys", "32", "-conns", "8"}, &out); err == nil {
+		t.Fatal("overlap 0 with keys < workers accepted")
 	}
 }

@@ -26,6 +26,15 @@ func NewT[T any](initial T) *TVar[T] {
 	return v
 }
 
+// NewTRef returns a typed Var whose initial value is the cell *p, without
+// spilling a copy. The caller cedes ownership: *p must never be mutated
+// after the call (the cell is the variable's live value until overwritten).
+func NewTRef[T any](p *T) *TVar[T] {
+	v := &TVar[T]{}
+	v.word.initWord(unsafe.Pointer(p))
+	return v
+}
+
 // Word returns the underlying engine word, for scheduler hooks, predictors
 // and lock queries. Reading or writing the word through the untyped
 // Tx.Read/Tx.Write shims is illegal (the pointee is a *T, not an *any);
@@ -57,4 +66,14 @@ func ReadT[T any](tx Tx, v *TVar[T]) (T, error) {
 // gain lock-path savings only, reads are where boxing is eliminated.
 func WriteT[T any](tx Tx, v *TVar[T], val T) error {
 	return tx.WritePtr(&v.word, unsafe.Pointer(&val))
+}
+
+// WriteRefT sets the value of v to the cell *p without spilling a copy —
+// the caller's own heap cell becomes the committed value, which lets a
+// serving path that already interns or pools immutable value cells make a
+// whole update transaction allocation-free (WriteT's spill is that path's
+// last per-op allocation). The caller cedes ownership: *p must never be
+// mutated after the call, whether the transaction commits or aborts.
+func WriteRefT[T any](tx Tx, v *TVar[T], p *T) error {
+	return tx.WritePtr(&v.word, unsafe.Pointer(p))
 }

@@ -104,6 +104,30 @@ func (m *HashMap[V]) Put(tx stm.Tx, key uint64, val V) (bool, error) {
 	return true, nil
 }
 
+// PutRef stores the cell *val under key without spilling a copy, reporting
+// whether the key was new. It is Put for callers that already hold the
+// value in an immutable heap cell (an interned value, a pooled write-path
+// cell): the cell itself becomes the committed value, so the operation
+// adds no allocation of its own on the overwrite path. The caller cedes
+// ownership — *val must never be mutated after the call.
+func (m *HashMap[V]) PutRef(tx stm.Tx, key uint64, val *V) (bool, error) {
+	slot, n, err := m.find(tx, key)
+	if err != nil {
+		return false, err
+	}
+	if n != nil && n.key == key {
+		if err := stm.WriteRefT(tx, n.val, val); err != nil {
+			return false, err
+		}
+		return false, nil
+	}
+	node := &hmNode[V]{key: key, val: stm.NewTRef(val), next: stm.NewT(n)}
+	if err := stm.WriteT(tx, slot, node); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
 // PutIfAbsent stores val under key only if absent, reporting whether it
 // stored (genome's segment de-duplication pattern).
 func (m *HashMap[V]) PutIfAbsent(tx stm.Tx, key uint64, val V) (bool, error) {

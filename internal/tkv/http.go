@@ -265,14 +265,21 @@ var encPool = sync.Pool{New: func() any {
 }}
 
 // writeJSON encodes v into a pooled buffer and writes it as one body with
-// an exact Content-Length (avoiding chunked framing on the hot path).
+// an exact Content-Length (avoiding chunked framing on the hot path). The
+// encode-failure path keeps the same framing discipline — JSON body, exact
+// Content-Length — so clients never see a text/plain chunked error from an
+// endpoint that otherwise always speaks length-framed JSON.
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	e := encPool.Get().(*jsonEnc)
 	e.buf.Reset()
 	if err := e.enc.Encode(v); err != nil {
-		encPool.Put(e)
-		http.Error(w, "encode: "+err.Error(), http.StatusInternalServerError)
-		return
+		e.buf.Reset()
+		if encErr := e.enc.Encode(&errorResp{Error: "encode: " + err.Error()}); encErr != nil {
+			// An errorResp cannot fail to encode; guard anyway.
+			e.buf.Reset()
+			e.buf.WriteString(`{"error":"encode failed"}` + "\n")
+		}
+		status = http.StatusInternalServerError
 	}
 	h := w.Header()
 	h.Set("Content-Type", "application/json")

@@ -255,3 +255,27 @@ func TestHTTPSnapshotKeysRoundTrip(t *testing.T) {
 	}
 
 }
+
+// TestWriteJSONEncodeFailureFraming pins the error path of writeJSON to the
+// same framing as success: a JSON body with an exact Content-Length, never
+// a text/plain chunked fallback.
+func TestWriteJSONEncodeFailureFraming(t *testing.T) {
+	rec := httptest.NewRecorder()
+	writeJSON(rec, http.StatusOK, map[string]any{"bad": make(chan int)})
+	resp := rec.Result()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	cl := resp.Header.Get("Content-Length")
+	if cl != strconv.Itoa(len(body)) {
+		t.Fatalf("Content-Length = %q for %d body bytes", cl, len(body))
+	}
+	var e errorResp
+	if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+		t.Fatalf("error body %q not JSON: %v", body, err)
+	}
+}

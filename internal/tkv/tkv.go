@@ -72,6 +72,7 @@ import (
 	"errors"
 	"fmt"
 	"strconv"
+	"sync"
 	"sync/atomic"
 
 	"github.com/shrink-tm/shrink/internal/enginecfg"
@@ -124,11 +125,103 @@ type shard struct {
 	// atomic as one STM transaction holds its stripes in shared mode, and
 	// snapshots hold every stripe in shared mode. See the package comment.
 	locks *keylock.Table
+	// slots recycles single-key operation state: each slot carries its
+	// transaction bodies as pre-bound closures reading their operands from
+	// the slot's fields, so the single-key fast paths construct no closure
+	// and spill no result variable per call (see opSlot).
+	slots sync.Pool
 	// roStreak counts consecutive read-only snapshot restarts on this
 	// shard's read path; roFallbacks counts the reads that were routed to
 	// the logging update path because the streak reached roFallbackStreak.
 	roStreak    atomic.Uint32
 	roFallbacks atomic.Uint64
+}
+
+// opSlot is the pooled state of one single-key operation. The transaction
+// bodies (roGet, upGet, put, ...) are created once per slot and capture only
+// the slot and its shard; per call, the fast paths fill the in-fields, run
+// the matching pre-bound body, and read the out-fields back. This is what
+// makes a steady-state Get or PutRef allocation-free: the closure, the
+// escaping result variables, and (for PutRef) the value spill were the
+// single-key path's only per-op allocations.
+type opSlot struct {
+	key    uint64
+	delta  int64   // in: Add
+	valRef *string // in: Put (pre-spilled value cell, see Store.PutRef)
+	oldV   string  // in: CAS expected value
+	newV   string  // in: CAS replacement
+	outVal string  // out: Get value / Add formatted result
+	outOK  bool    // out: found / created / deleted / swapped
+	outN   int64   // out: Add result
+
+	roGet func(tx *stm.ROTx) error
+	upGet func(tx stm.Tx) error
+	put   func(tx stm.Tx) error
+	del   func(tx stm.Tx) error
+	cas   func(tx stm.Tx) error
+	add   func(tx stm.Tx) error
+}
+
+// newOpSlot builds a slot bound to s with all transaction bodies pre-built.
+func newOpSlot(s *shard) *opSlot {
+	sl := &opSlot{}
+	sl.roGet = func(tx *stm.ROTx) error {
+		var err error
+		sl.outVal, sl.outOK, err = s.kv.GetRO(tx, sl.key)
+		return err
+	}
+	sl.upGet = func(tx stm.Tx) error {
+		var err error
+		sl.outVal, sl.outOK, err = s.kv.Get(tx, sl.key)
+		return err
+	}
+	sl.put = func(tx stm.Tx) error {
+		var err error
+		sl.outOK, err = s.kv.PutRef(tx, sl.key, sl.valRef)
+		return err
+	}
+	sl.del = func(tx stm.Tx) error {
+		var err error
+		sl.outOK, err = s.kv.Delete(tx, sl.key)
+		return err
+	}
+	sl.cas = func(tx stm.Tx) error {
+		sl.outOK = false
+		cur, ok, err := s.kv.Get(tx, sl.key)
+		if err != nil {
+			return err
+		}
+		if !ok || cur != sl.oldV {
+			return nil
+		}
+		if _, err := s.kv.Put(tx, sl.key, sl.newV); err != nil {
+			return err
+		}
+		sl.outOK = true
+		return nil
+	}
+	sl.add = func(tx stm.Tx) error {
+		cur, ok, err := s.kv.Get(tx, sl.key)
+		if err != nil {
+			return err
+		}
+		n, err := parseCounter(cur, ok, sl.key)
+		if err != nil {
+			return err
+		}
+		sl.outN = n + sl.delta
+		_, err = s.kv.Put(tx, sl.key, strconv.FormatInt(sl.outN, 10))
+		return err
+	}
+	return sl
+}
+
+// release scrubs the slot's string references (so the pool never pins a
+// large value) and returns it to the shard's pool.
+func (s *shard) release(sl *opSlot) {
+	sl.valRef = nil
+	sl.oldV, sl.newV, sl.outVal = "", "", ""
+	s.slots.Put(sl)
 }
 
 // opCounters tracks served operations per kind.
@@ -175,6 +268,7 @@ func Open(cfg Config) (*Store, error) {
 			pool:   make(chan stm.Thread, poolSize),
 			locks:  keylock.New(cfg.LockStripes),
 		}
+		s.slots.New = func() any { return newOpSlot(s) }
 		for j := 0; j < poolSize; j++ {
 			s.pool <- tm.Register(fmt.Sprintf("shard%d-w%d", i, j))
 		}
@@ -279,42 +373,51 @@ func (s *shard) roTracked(fn func(tx *stm.ROTx) error) error {
 // Get returns the value under key. It runs as a read-only snapshot
 // transaction — the dominant operation at realistic read ratios pays no
 // write-index probing, no read-log append and no commit-time validation —
-// with the adaptive update-path fallback under RO restart streaks.
+// with the adaptive update-path fallback under RO restart streaks. The
+// pooled slot and its pre-bound bodies make the steady-state call
+// allocation-free end to end.
 func (st *Store) Get(key uint64) (string, bool, error) {
 	st.ops.gets.Add(1)
 	s := st.shardFor(key)
 	i := s.locks.RLockKey(key)
 	defer s.locks.RUnlock(i)
-	var val string
-	var ok bool
+	sl := s.slots.Get().(*opSlot)
+	sl.key = key
+	var err error
 	if s.takeFallback() {
-		err := s.atomically(func(tx stm.Tx) error {
-			var err error
-			val, ok, err = s.kv.Get(tx, key)
-			return err
-		})
-		return val, ok, err
+		err = s.atomically(sl.upGet)
+	} else {
+		err = s.roTracked(sl.roGet)
 	}
-	err := s.roTracked(func(tx *stm.ROTx) error {
-		var err error
-		val, ok, err = s.kv.GetRO(tx, key)
-		return err
-	})
+	val, ok := sl.outVal, sl.outOK
+	s.release(sl)
 	return val, ok, err
 }
 
-// Put stores val under key, reporting whether the key was created.
+// Put stores val under key, reporting whether the key was created. The
+// value cell holding val becomes the committed value (PutRef with the
+// argument's own cell), so Put costs exactly one allocation — the cell the
+// stored value has to live in.
 func (st *Store) Put(key uint64, val string) (bool, error) {
+	return st.PutRef(key, &val)
+}
+
+// PutRef stores the cell *val under key, reporting whether the key was
+// created. The cell itself becomes the committed value — the caller cedes
+// ownership and must never mutate *val afterwards. A serving edge that
+// interns repeated values (the binary wire server does) makes the whole
+// put path allocation-free this way.
+func (st *Store) PutRef(key uint64, val *string) (bool, error) {
 	st.ops.puts.Add(1)
 	s := st.shardFor(key)
 	i := s.locks.RLockKey(key)
 	defer s.locks.RUnlock(i)
-	var created bool
-	err := s.atomically(func(tx stm.Tx) error {
-		var err error
-		created, err = s.kv.Put(tx, key, val)
-		return err
-	})
+	sl := s.slots.Get().(*opSlot)
+	sl.key = key
+	sl.valRef = val
+	err := s.atomically(sl.put)
+	created := sl.outOK
+	s.release(sl)
 	return created, err
 }
 
@@ -324,12 +427,11 @@ func (st *Store) Delete(key uint64) (bool, error) {
 	s := st.shardFor(key)
 	i := s.locks.RLockKey(key)
 	defer s.locks.RUnlock(i)
-	var deleted bool
-	err := s.atomically(func(tx stm.Tx) error {
-		var err error
-		deleted, err = s.kv.Delete(tx, key)
-		return err
-	})
+	sl := s.slots.Get().(*opSlot)
+	sl.key = key
+	err := s.atomically(sl.del)
+	deleted := sl.outOK
+	s.release(sl)
 	return deleted, err
 }
 
@@ -340,22 +442,12 @@ func (st *Store) CAS(key uint64, old, new string) (bool, error) {
 	s := st.shardFor(key)
 	i := s.locks.RLockKey(key)
 	defer s.locks.RUnlock(i)
-	var swapped bool
-	err := s.atomically(func(tx stm.Tx) error {
-		swapped = false
-		cur, ok, err := s.kv.Get(tx, key)
-		if err != nil {
-			return err
-		}
-		if !ok || cur != old {
-			return nil
-		}
-		if _, err := s.kv.Put(tx, key, new); err != nil {
-			return err
-		}
-		swapped = true
-		return nil
-	})
+	sl := s.slots.Get().(*opSlot)
+	sl.key = key
+	sl.oldV, sl.newV = old, new
+	err := s.atomically(sl.cas)
+	swapped := sl.outOK
+	s.release(sl)
 	if err == nil && !swapped {
 		st.ops.casMisses.Add(1)
 	}
@@ -370,20 +462,12 @@ func (st *Store) Add(key uint64, delta int64) (int64, error) {
 	s := st.shardFor(key)
 	i := s.locks.RLockKey(key)
 	defer s.locks.RUnlock(i)
-	var out int64
-	err := s.atomically(func(tx stm.Tx) error {
-		cur, ok, err := s.kv.Get(tx, key)
-		if err != nil {
-			return err
-		}
-		n, err := parseCounter(cur, ok, key)
-		if err != nil {
-			return err
-		}
-		out = n + delta
-		_, err = s.kv.Put(tx, key, strconv.FormatInt(out, 10))
-		return err
-	})
+	sl := s.slots.Get().(*opSlot)
+	sl.key = key
+	sl.delta = delta
+	err := s.atomically(sl.add)
+	out := sl.outN
+	s.release(sl)
 	return out, err
 }
 

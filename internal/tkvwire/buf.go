@@ -1,0 +1,65 @@
+package tkvwire
+
+import "sync"
+
+// Frame is a pooled frame buffer. Ownership is linear: whoever holds the
+// *Frame appends into B and eventually either hands it to the connection's
+// write loop (which returns it to the pool after the bytes are on the wire)
+// or returns it with PutFrame itself.
+type Frame struct {
+	B []byte
+}
+
+// frameClasses are the pooled capacity buckets. The hot classes are the
+// small ones: a get/put frame is under 300 bytes, a batch or mget response
+// a few KiB; snapshots ride the big classes.
+var frameClasses = [...]int{256, 4 << 10, 64 << 10, 1 << 20}
+
+var framePools [len(frameClasses)]sync.Pool
+
+func init() {
+	for i, size := range frameClasses {
+		framePools[i].New = func() any { return &Frame{B: make([]byte, 0, size)} }
+	}
+}
+
+// classFor returns the pool index whose buffers hold n bytes, or -1 when n
+// exceeds the largest class.
+func classFor(n int) int {
+	for i, size := range frameClasses {
+		if n <= size {
+			return i
+		}
+	}
+	return -1
+}
+
+// GetFrame returns an empty frame with capacity for at least n bytes.
+// Frames beyond the largest class are allocated directly (and dropped on
+// PutFrame); every serving-path frame fits a class.
+func GetFrame(n int) *Frame {
+	if c := classFor(n); c >= 0 {
+		f := framePools[c].Get().(*Frame)
+		f.B = f.B[:0]
+		return f
+	}
+	return &Frame{B: make([]byte, 0, n)}
+}
+
+// PutFrame returns a frame to its pool, classifying by current capacity (an
+// append may have grown the buffer past its original class; it is then
+// pooled where it now fits). Buffers larger than every class are left to
+// the GC.
+func PutFrame(f *Frame) {
+	for i := len(frameClasses) - 1; i >= 0; i-- {
+		if cap(f.B) >= frameClasses[i] {
+			if cap(f.B) > frameClasses[len(frameClasses)-1] {
+				return // oversized one-off; don't pin it in a pool
+			}
+			framePools[i].Put(f)
+			return
+		}
+	}
+	// Smaller than the smallest class (never produced by GetFrame, but a
+	// caller may hand us a foreign frame): drop it.
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package tkvwire
+
+const raceEnabled = false

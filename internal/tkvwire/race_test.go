@@ -1,0 +1,7 @@
+//go:build race
+
+package tkvwire
+
+// raceEnabled reports that the race detector is on; its instrumentation
+// allocates per access, so allocation gates are meaningless under it.
+const raceEnabled = true

@@ -1,0 +1,425 @@
+package tkvwire
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"github.com/shrink-tm/shrink/internal/tkv"
+)
+
+// ErrServerClosed is returned by Serve after Close, like its http twin.
+var ErrServerClosed = errors.New("tkvwire: server closed")
+
+// Server serves the binary wire protocol over persistent TCP connections.
+// Each connection runs a read/write goroutine pair: the read loop decodes
+// frames and executes single-key operations inline (zero allocation on the
+// steady-state get/put path — pooled response frames, pooled store op
+// slots, an interned put-value cache), handing multi-key operations to
+// their own goroutine so a slow snapshot never head-of-line blocks
+// pipelined point reads. Responses flow to the write loop over a channel
+// and are flushed only when it drains, so pipelined clients get syscall
+// batching for free.
+type Server struct {
+	store *tkv.Store
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer returns a Server serving st.
+func NewServer(st *tkv.Store) *Server {
+	return &Server{store: st, conns: make(map[net.Conn]struct{})}
+}
+
+// Serve accepts connections on ln until Close. It always returns a non-nil
+// error; after Close the error is ErrServerClosed.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return ErrServerClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return ErrServerClosed
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			nc.Close()
+			return ErrServerClosed
+		}
+		s.conns[nc] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.handle(nc)
+	}
+}
+
+// Close stops the listener, closes every open connection and waits for
+// their handlers to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	for nc := range s.conns {
+		nc.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// maxInternValue and maxInternEntries bound the per-connection put-value
+// intern cache: repeated small values (counters above all) are stored once
+// and every later put of the same bytes reuses the interned cell — the last
+// allocation on the put path. Unique or large values fall through to a
+// fresh cell.
+const (
+	maxInternValue   = 64
+	maxInternEntries = 4096
+)
+
+// conn is one connection's state. Owned by the read loop except out (the
+// response channel, written by the read loop and async op goroutines,
+// drained by the write loop).
+type conn struct {
+	srv     *Server
+	nc      net.Conn
+	br      *bufio.Reader
+	out     chan *Frame
+	async   sync.WaitGroup // in-flight mget/batch/len/stats/snap goroutines
+	hdr     [HeaderSize]byte
+	payload []byte // reusable request-payload buffer (inline ops read it zero-copy)
+	intern  map[string]*string
+}
+
+// handle runs one connection to completion.
+func (s *Server) handle(nc net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, nc)
+		s.mu.Unlock()
+	}()
+	if tc, ok := nc.(*net.TCPConn); ok {
+		// The write loop batches frames itself; Nagle would only add
+		// delayed-ack stalls on top.
+		tc.SetNoDelay(true)
+	}
+	c := &conn{
+		srv:    s,
+		nc:     nc,
+		br:     bufio.NewReaderSize(nc, 64<<10),
+		out:    make(chan *Frame, 256),
+		intern: make(map[string]*string),
+	}
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		c.writeLoop()
+	}()
+	c.readLoop()
+	c.async.Wait() // all async ops have sent their responses
+	close(c.out)
+	<-writerDone
+	nc.Close()
+}
+
+// writeLoop drains response frames to the socket, flushing only when the
+// queue is empty — under pipelining many responses leave in one syscall.
+func (c *conn) writeLoop() {
+	bw := bufio.NewWriterSize(c.nc, 64<<10)
+	broken := false
+	for f := range c.out {
+		if !broken {
+			if _, err := bw.Write(f.B); err != nil {
+				// The peer is gone: poison the read loop too and keep
+				// draining so async senders never block forever.
+				broken = true
+				c.nc.Close()
+			}
+		}
+		PutFrame(f)
+		if !broken && len(c.out) == 0 {
+			if err := bw.Flush(); err != nil {
+				broken = true
+				c.nc.Close()
+			}
+		}
+	}
+	if !broken {
+		bw.Flush()
+	}
+}
+
+// sendErr queues an error response.
+func (c *conn) sendErr(op byte, id uint64, status uint16, msg string) {
+	f := GetFrame(HeaderSize + len(msg))
+	f.B = AppendErrResp(f.B, op, id, status, msg)
+	c.out <- f
+}
+
+// statusOf classifies an application error.
+func statusOf(err error) uint16 {
+	switch {
+	case errors.Is(err, tkv.ErrCASMismatch):
+		return StatusCASMismatch
+	case errors.Is(err, tkv.ErrUser):
+		return StatusBadRequest
+	default:
+		return StatusInternal
+	}
+}
+
+// internVal returns an immutable heap cell holding string(b), reusing the
+// connection's interned cell when the same small value was put before.
+func (c *conn) internVal(b []byte) *string {
+	if len(b) <= maxInternValue {
+		if p, ok := c.intern[string(b)]; ok { // no alloc: map lookup keyed by []byte conversion
+			return p
+		}
+	}
+	s := string(b)
+	p := &s
+	if len(s) <= maxInternValue && len(c.intern) < maxInternEntries {
+		c.intern[s] = p
+	}
+	return p
+}
+
+// readLoop decodes and executes frames until the stream ends or turns
+// malformed. Single-key ops run inline (order-preserving, allocation-free);
+// multi-key ops get a goroutine each and complete out of order.
+func (c *conn) readLoop() {
+	for {
+		if _, err := io.ReadFull(c.br, c.hdr[:]); err != nil {
+			return // EOF or reset: normal connection end
+		}
+		h, err := ParseHeader(c.hdr[:], MaxFrame)
+		if err != nil {
+			// Protocol violation: report once, then poison the stream.
+			c.sendErr(h.Op, h.ID, StatusBadRequest, err.Error())
+			return
+		}
+		plen := h.PayloadLen()
+		if cap(c.payload) < plen {
+			c.payload = make([]byte, plen)
+		}
+		p := c.payload[:plen]
+		if _, err := io.ReadFull(c.br, p); err != nil {
+			return
+		}
+		if !c.dispatch(h, p) {
+			return
+		}
+	}
+}
+
+// dispatch executes one decoded frame, reporting whether the connection is
+// still usable (false poisons the stream).
+func (c *conn) dispatch(h Header, p []byte) bool {
+	st := c.srv.store
+	switch h.Op {
+	case OpPing:
+		f := GetFrame(HeaderSize)
+		f.B = AppendBoolResp(f.B, OpPing, h.ID, true)
+		c.out <- f
+	case OpGet:
+		key, err := ParseKeyReq(p)
+		if err != nil {
+			c.sendErr(h.Op, h.ID, StatusBadRequest, err.Error())
+			return false
+		}
+		val, found, err := st.Get(key)
+		if err != nil {
+			c.sendErr(h.Op, h.ID, statusOf(err), err.Error())
+			return true
+		}
+		f := GetFrame(HeaderSize + 4 + len(val))
+		f.B = AppendGetResp(f.B, h.ID, val, found)
+		c.out <- f
+	case OpPut:
+		key, val, err := ParsePutReq(p)
+		if err != nil {
+			c.sendErr(h.Op, h.ID, StatusBadRequest, err.Error())
+			return false
+		}
+		created, err := st.PutRef(key, c.internVal(val))
+		if err != nil {
+			c.sendErr(h.Op, h.ID, statusOf(err), err.Error())
+			return true
+		}
+		f := GetFrame(HeaderSize)
+		f.B = AppendBoolResp(f.B, OpPut, h.ID, created)
+		c.out <- f
+	case OpDelete:
+		key, err := ParseKeyReq(p)
+		if err != nil {
+			c.sendErr(h.Op, h.ID, StatusBadRequest, err.Error())
+			return false
+		}
+		deleted, err := st.Delete(key)
+		if err != nil {
+			c.sendErr(h.Op, h.ID, statusOf(err), err.Error())
+			return true
+		}
+		f := GetFrame(HeaderSize)
+		f.B = AppendBoolResp(f.B, OpDelete, h.ID, deleted)
+		c.out <- f
+	case OpCAS:
+		key, old, new, err := ParseCASReq(p)
+		if err != nil {
+			c.sendErr(h.Op, h.ID, StatusBadRequest, err.Error())
+			return false
+		}
+		swapped, err := st.CAS(key, string(old), string(new))
+		if err != nil {
+			c.sendErr(h.Op, h.ID, statusOf(err), err.Error())
+			return true
+		}
+		f := GetFrame(HeaderSize)
+		f.B = AppendBoolResp(f.B, OpCAS, h.ID, swapped)
+		c.out <- f
+	case OpAdd:
+		key, delta, err := ParseAddReq(p)
+		if err != nil {
+			c.sendErr(h.Op, h.ID, StatusBadRequest, err.Error())
+			return false
+		}
+		val, err := st.Add(key, delta)
+		if err != nil {
+			c.sendErr(h.Op, h.ID, statusOf(err), err.Error())
+			return true
+		}
+		f := GetFrame(HeaderSize + 8)
+		f.B = AppendAddResp(f.B, h.ID, val)
+		c.out <- f
+	case OpMGet:
+		keys, err := ParseMGetReq(p)
+		if err != nil {
+			c.sendErr(h.Op, h.ID, StatusBadRequest, err.Error())
+			return false
+		}
+		c.spawn(h.ID, func(id uint64) {
+			results, err := st.MGet(keys)
+			if err != nil {
+				c.sendErr(OpMGet, id, statusOf(err), err.Error())
+				return
+			}
+			c.sendResults(OpMGet, id, StatusOK, results)
+		})
+	case OpBatch:
+		ops, err := ParseBatchReq(p)
+		if err != nil {
+			c.sendErr(h.Op, h.ID, StatusBadRequest, err.Error())
+			return false
+		}
+		c.spawn(h.ID, func(id uint64) {
+			results, err := st.Batch(ops)
+			if errors.Is(err, tkv.ErrCASMismatch) {
+				c.sendResults(OpBatch, id, StatusCASMismatch, results)
+				return
+			}
+			if err != nil {
+				c.sendErr(OpBatch, id, statusOf(err), err.Error())
+				return
+			}
+			c.sendResults(OpBatch, id, StatusOK, results)
+		})
+	case OpLen:
+		c.spawn(h.ID, func(id uint64) {
+			n, err := st.Len()
+			if err != nil {
+				c.sendErr(OpLen, id, statusOf(err), err.Error())
+				return
+			}
+			f := GetFrame(HeaderSize + 8)
+			f.B = AppendUintResp(f.B, OpLen, id, uint64(n))
+			c.out <- f
+		})
+	case OpStats:
+		c.spawn(h.ID, func(id uint64) {
+			data, err := json.Marshal(st.Stats())
+			if err != nil {
+				c.sendErr(OpStats, id, StatusInternal, err.Error())
+				return
+			}
+			f := GetFrame(HeaderSize + len(data))
+			f.B = AppendBytesResp(f.B, OpStats, id, data)
+			c.out <- f
+		})
+	case OpSnap:
+		c.spawn(h.ID, func(id uint64) {
+			snap, err := st.Snapshot()
+			if err != nil {
+				c.sendErr(OpSnap, id, statusOf(err), err.Error())
+				return
+			}
+			n := 8
+			for _, v := range snap {
+				n += 12 + len(v)
+			}
+			if n > MaxRespFrame-headerAfterLen {
+				c.sendErr(OpSnap, id, StatusInternal,
+					"snapshot exceeds the wire frame limit; use the HTTP surface")
+				return
+			}
+			f := GetFrame(HeaderSize + n)
+			f.B = AppendSnapResp(f.B, id, snap)
+			c.out <- f
+		})
+	default:
+		c.sendErr(h.Op, h.ID, StatusBadRequest,
+			fmt.Sprintf("tkvwire: unknown opcode 0x%02x", h.Op))
+		return false
+	}
+	return true
+}
+
+// spawn runs fn on its own goroutine, tracked so the connection teardown
+// can wait for every in-flight response.
+func (c *conn) spawn(id uint64, fn func(id uint64)) {
+	c.async.Add(1)
+	go func() {
+		defer c.async.Done()
+		fn(id)
+	}()
+}
+
+// sendResults queues an mget/batch response.
+func (c *conn) sendResults(op byte, id uint64, status uint16, results []tkv.OpResult) {
+	n := 4
+	for _, r := range results {
+		n += 5 + len(r.Value)
+	}
+	f := GetFrame(HeaderSize + n)
+	f.B = AppendResultsResp(f.B, op, id, status, results)
+	c.out <- f
+}
