@@ -64,6 +64,18 @@ func run(args []string, out io.Writer, ready chan<- string, stop <-chan struct{}
 			"key-lock stripes per shard, rounded up to a power of two (0 = default)")
 		schedName = fs.String("sched", enginecfg.SchedShrink,
 			"per-shard scheduler: none, shrink, ats, pool or adaptive")
+		admitDefaults = tkv.DefaultAdmitConfig()
+		admit         = fs.Bool("admit", false,
+			"enable the contention-aware admission layer (overload shedding, "+
+				"wound-wait batch admission, adaptive stripes, predictor routing)")
+		shedKnee = fs.Float64("shedknee", admitDefaults.ShedKnee,
+			"overload score past which writes shed (<= 0: drill mode, always past the knee)")
+		shedMax = fs.Float64("shedmax", admitDefaults.ShedMax,
+			"shed probability ceiling in (0,1]")
+		largeBatch = fs.Int("largebatch", admitDefaults.LargeBatchStripes,
+			"stripe count at which a cross-shard batch queues for wound-wait admission")
+		admitTick = fs.Duration("admittick", admitDefaults.Tick,
+			"admission controller tick")
 	)
 	ef := enginecfg.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -73,6 +85,15 @@ func run(args []string, out io.Writer, ready chan<- string, stop <-chan struct{}
 	if err != nil {
 		return err
 	}
+	var admission *tkv.AdmitConfig
+	if *admit {
+		ac := admitDefaults
+		ac.ShedKnee = *shedKnee
+		ac.ShedMax = *shedMax
+		ac.LargeBatchStripes = *largeBatch
+		ac.Tick = *admitTick
+		admission = &ac
+	}
 	store, err := tkv.Open(tkv.Config{
 		Shards:      *shards,
 		PoolSize:    *pool,
@@ -81,17 +102,23 @@ func run(args []string, out io.Writer, ready chan<- string, stop <-chan struct{}
 		Engine:      ef.Engine(),
 		Scheduler:   *schedName,
 		Wait:        wait,
+		Admission:   admission,
 	})
 	if err != nil {
 		return err
 	}
+	defer store.Close()
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "tkvd: serving on %s (%d shards, engine=%s, sched=%s, wait=%s)\n",
-		ln.Addr(), store.NumShards(), ef.Engine(), *schedName, ef.WaitLabel())
+	admitLabel := "off"
+	if admission != nil {
+		admitLabel = fmt.Sprintf("knee=%g max=%g", admission.ShedKnee, admission.ShedMax)
+	}
+	fmt.Fprintf(out, "tkvd: serving on %s (%d shards, engine=%s, sched=%s, wait=%s, admit=%s)\n",
+		ln.Addr(), store.NumShards(), ef.Engine(), *schedName, ef.WaitLabel(), admitLabel)
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}
@@ -142,7 +169,7 @@ func run(args []string, out io.Writer, ready chan<- string, stop <-chan struct{}
 		return err
 	}
 	stats := store.Stats()
-	fmt.Fprintf(out, "tkvd: drained; commits=%d aborts=%d serializations=%d ops: %+v\n",
-		stats.Commits, stats.Aborts, stats.Serializations, stats.Ops)
+	fmt.Fprintf(out, "tkvd: drained; commits=%d aborts=%d serializations=%d shed=%d routed=%d ops: %+v\n",
+		stats.Commits, stats.Aborts, stats.Serializations, stats.Shed, stats.Routed, stats.Ops)
 	return nil
 }

@@ -47,6 +47,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"net/http"
 	"os"
@@ -100,7 +101,17 @@ func run(args []string, out io.Writer) error {
 		batchSize = fs.Int("batchsize", 8, "ops per batch (and keys per mget)")
 		batchCAS  = fs.Float64("batchcas", 0, "fraction of batch ops that are cas increments instead of adds")
 		overlap   = fs.Float64("overlap", 1, "fraction of batch keys drawn from the shared key space (the rest from a per-worker private slice)")
-		zipfS     = fs.Float64("zipf", 0, "zipf skew parameter (>1 skews; 0 = uniform)")
+		zipfArg   = fs.String("zipf", "0", "zipf skew: one value (0 = uniform, any s > 0 skews), a comma list, or a ladder a..b[/step] (sweep mode)")
+		addFrac   = fs.Float64("addfrac", 0, "fraction of non-batch updates issued as server-side add increments")
+		minShed   = fs.Uint64("minshed", 0, "fail unless at least this many requests were shed with backpressure")
+		sweepMode = fs.String("sweep", "", "sweep mode: 'sched' self-hosts the store and crosses scheduler x engine x zipf")
+		schedArg  = fs.String("scheds", "none,shrink,ats,shrink+admit", "scheduler configs for -sweep sched ('+admit' adds the admission layer)")
+		engineArg = fs.String("engines", "swiss,tiny", "STM engines for -sweep sched")
+		shards    = fs.Int("shards", 2, "shards for the self-hosted store (-sweep sched only)")
+		pool      = fs.Int("pool", 4, "STM threads per shard (-sweep sched only)")
+		buckets   = fs.Int("buckets", 512, "hash buckets per shard (-sweep sched only)")
+		admitKnee = fs.Float64("admitknee", 0, "overload knee for '+admit' sweep configs (0 = default; <0 drill mode)")
+		admitMax  = fs.Float64("admitmax", 0, "shed probability ceiling for '+admit' sweep configs (0 = default)")
 		seed      = fs.Int64("seed", 1, "RNG seed")
 		csv       = fs.Bool("csv", false, "emit CSV instead of a text table")
 		jsonPath  = fs.String("json", "", "also write the sweep as machine-readable JSON to this file (e.g. BENCH_tkv.json)")
@@ -108,9 +119,6 @@ func run(args []string, out io.Writer) error {
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
-	}
-	if *url == "" {
-		return fmt.Errorf("-url is required")
 	}
 	if *keys <= 0 || *blobs <= 0 || *batchSize <= 0 {
 		return fmt.Errorf("-keys, -blobs and -batchsize must be positive")
@@ -121,11 +129,12 @@ func run(args []string, out io.Writer) error {
 	if *warmup < 0 {
 		return fmt.Errorf("-warmup must not be negative")
 	}
-	if *zipfS != 0 && *zipfS <= 1 {
-		return fmt.Errorf("-zipf must be > 1 (or 0 for uniform)")
+	zipfs, err := parseZipfLadder(*zipfArg)
+	if err != nil {
+		return err
 	}
-	if *overlap < 0 || *overlap > 1 || *mgetFrac < 0 || *mgetFrac > 1 || *batchCAS < 0 || *batchCAS > 1 {
-		return fmt.Errorf("-overlap, -mget and -batchcas must be in [0,1]")
+	if *overlap < 0 || *overlap > 1 || *mgetFrac < 0 || *mgetFrac > 1 || *batchCAS < 0 || *batchCAS > 1 || *addFrac < 0 || *addFrac > 1 {
+		return fmt.Errorf("-overlap, -mget, -batchcas and -addfrac must be in [0,1]")
 	}
 	var protos []string
 	for _, p := range strings.Split(*protoList, ",") {
@@ -140,15 +149,16 @@ func run(args []string, out io.Writer) error {
 	if len(protos) == 0 {
 		return fmt.Errorf("-proto must name at least one protocol")
 	}
-	tcpSwept := false
+	tcpSwept := *sweepMode == "sched"
 	for _, p := range protos {
 		tcpSwept = tcpSwept || p == protoTCP
 	}
-	if tcpSwept && *tcpaddr == "" {
+	if tcpSwept && *tcpaddr == "" && *sweepMode == "" {
 		return fmt.Errorf("-tcpaddr is required when -proto includes tcp")
 	}
 	// The worker count per cell is conns for http and conns*pipeline for
-	// tcp (workers share connections, pipelining their requests).
+	// tcp (workers share connections, pipelining their requests); the sched
+	// sweep always drives the binary protocol.
 	maxFanout := 1
 	if tcpSwept {
 		maxFanout = *pipeline
@@ -169,25 +179,54 @@ func run(args []string, out io.Writer) error {
 		conns = append(conns, n)
 	}
 
-	d := &driver{
-		tcpaddr: *tcpaddr,
-		cfg: loadConfig{
-			dur:       *dur,
-			warmup:    *warmup,
-			rate:      *rate,
-			keys:      *keys,
-			blobs:     *blobs,
-			readFrac:  *readFrac,
-			mgetFrac:  *mgetFrac,
-			batchFrac: *batchFrac,
-			batchSize: *batchSize,
-			batchCAS:  *batchCAS,
-			overlap:   *overlap,
-			zipfS:     *zipfS,
-			seed:      *seed,
-			pipeline:  *pipeline,
-		},
+	cfg := loadConfig{
+		dur:       *dur,
+		warmup:    *warmup,
+		rate:      *rate,
+		keys:      *keys,
+		blobs:     *blobs,
+		readFrac:  *readFrac,
+		mgetFrac:  *mgetFrac,
+		batchFrac: *batchFrac,
+		batchSize: *batchSize,
+		batchCAS:  *batchCAS,
+		overlap:   *overlap,
+		addFrac:   *addFrac,
+		seed:      *seed,
+		pipeline:  *pipeline,
 	}
+
+	if *sweepMode == "sched" {
+		sp := sweepSpec{
+			cfg:       cfg,
+			zipfs:     zipfs,
+			conns:     conns,
+			shards:    *shards,
+			pool:      *pool,
+			buckets:   *buckets,
+			admitKnee: *admitKnee,
+			admitMax:  *admitMax,
+			minShed:   *minShed,
+			csv:       *csv,
+			jsonPath:  *jsonPath,
+		}
+		if err := sp.parseConfigs(*schedArg, *engineArg); err != nil {
+			return err
+		}
+		return runSchedSweep(sp, out)
+	}
+	if *sweepMode != "" {
+		return fmt.Errorf("unknown -sweep mode %q (want sched)", *sweepMode)
+	}
+	if *url == "" {
+		return fmt.Errorf("-url is required")
+	}
+	if len(zipfs) != 1 {
+		return fmt.Errorf("-zipf must be a single value outside -sweep sched")
+	}
+	cfg.zipfS = zipfs[0]
+
+	d := &driver{tcpaddr: *tcpaddr, cfg: cfg}
 	maxConns := 0
 	for _, n := range conns {
 		maxConns = max(maxConns, n)
@@ -204,10 +243,8 @@ func run(args []string, out io.Writer) error {
 	}
 
 	// Seed every counter key so CAS loops always find a value.
-	for k := 0; k < *keys; k++ {
-		if err := d.control.put(uint64(k), "0"); err != nil {
-			return fmt.Errorf("seeding counters: %w", err)
-		}
+	if err := d.seedCounters(); err != nil {
+		return err
 	}
 
 	mode := "closed-loop"
@@ -216,8 +253,8 @@ func run(args []string, out io.Writer) error {
 	}
 	table := report.NewTable(
 		fmt.Sprintf("tkvload %s proto=%s (%s, read=%.2f mget=%.2f batch=%.2f cas=%.2f overlap=%.2f zipf=%g pipeline=%d)",
-			d.control.base, strings.Join(protos, ","), mode, *readFrac, *mgetFrac,
-			*batchFrac, *batchCAS, *overlap, *zipfS, *pipeline),
+			strings.TrimRight(*url, "/"), strings.Join(protos, ","), mode, *readFrac, *mgetFrac,
+			*batchFrac, *batchCAS, *overlap, cfg.zipfS, *pipeline),
 		"conns", "ops/s and latency (us)")
 	bench := benchJSON{
 		Tool:      "tkvload",
@@ -230,8 +267,9 @@ func run(args []string, out io.Writer) error {
 		BatchFrac: *batchFrac,
 		BatchSize: *batchSize,
 		BatchCAS:  *batchCAS,
+		AddFrac:   *addFrac,
 		Overlap:   *overlap,
-		Zipf:      *zipfS,
+		Zipf:      cfg.zipfS,
 		Keys:      *keys,
 		Blobs:     *blobs,
 		DurSec:    dur.Seconds(),
@@ -254,6 +292,7 @@ func run(args []string, out io.Writer) error {
 			table.Add(pfx+"p95us", n, float64(cell.hist.Quantile(0.95)))
 			table.Add(pfx+"p99us", n, float64(cell.hist.Quantile(0.99)))
 			table.Add(pfx+"errors", n, float64(cell.errs))
+			table.Add(pfx+"sheds", n, float64(cell.sheds))
 			cj := cellJSON{
 				Proto:     proto,
 				Conns:     n,
@@ -263,6 +302,7 @@ func run(args []string, out io.Writer) error {
 				P95us:     cell.hist.Quantile(0.95),
 				P99us:     cell.hist.Quantile(0.99),
 				Errors:    cell.errs,
+				Sheds:     cell.sheds,
 			}
 			if proto == protoTCP {
 				cj.Pipeline = *pipeline
@@ -279,6 +319,10 @@ func run(args []string, out io.Writer) error {
 	var verifyErr error
 	if *verifyEnd {
 		bench.Verify, verifyErr = d.verify(out)
+	}
+	if verifyErr == nil && *minShed > 0 && d.shedSeen.Load() < *minShed {
+		verifyErr = fmt.Errorf("backpressure expected: %d requests shed, -minshed %d",
+			d.shedSeen.Load(), *minShed)
 	}
 	if *jsonPath != "" {
 		if err := report.SaveJSON(*jsonPath, bench); err != nil {
@@ -310,6 +354,7 @@ type benchJSON struct {
 	BatchFrac float64     `json:"batchFrac"`
 	BatchSize int         `json:"batchSize"`
 	BatchCAS  float64     `json:"batchCASFrac,omitempty"`
+	AddFrac   float64     `json:"addFrac,omitempty"`
 	Overlap   float64     `json:"overlap"`
 	Zipf      float64     `json:"zipf"`
 	Keys      int         `json:"keys"`
@@ -330,6 +375,7 @@ type cellJSON struct {
 	P95us     uint64  `json:"p95us"`
 	P99us     uint64  `json:"p99us"`
 	Errors    uint64  `json:"errors"`
+	Sheds     uint64  `json:"sheds,omitempty"`
 }
 
 // verifyJSON is the end-of-run invariant check's outcome.
@@ -337,8 +383,12 @@ type verifyJSON struct {
 	Commits        uint64 `json:"commits"`
 	Aborts         uint64 `json:"aborts"`
 	Serializations uint64 `json:"serializations"`
+	SchedConfirmed uint64 `json:"schedConfirmed,omitempty"`
+	SchedRefuted   uint64 `json:"schedRefuted,omitempty"`
 	StripeWaits    uint64 `json:"stripeWaits"`
 	ROFallbacks    uint64 `json:"roFallbacks"`
+	ServerShed     uint64 `json:"serverShed,omitempty"`
+	ServerRouted   uint64 `json:"serverRouted,omitempty"`
 	CounterSum     uint64 `json:"counterSum"`
 	Increments     uint64 `json:"increments"`
 	CASMismatches  uint64 `json:"batchCASMismatches"`
@@ -355,6 +405,7 @@ type loadConfig struct {
 	batchSize           int
 	batchCAS            float64
 	overlap             float64
+	addFrac             float64
 	zipfS               float64
 	seed                int64
 	pipeline            int
@@ -369,6 +420,7 @@ type kvClient interface {
 	put(key uint64, val string) error
 	del(key uint64) error
 	cas(key uint64, old, new string) (swapped bool, err error)
+	add(key uint64, delta int64) error
 	mget(keys []uint64) ([]tkv.OpResult, error)
 	batch(ops []tkv.Op) (mismatch bool, nres int, err error)
 	snapshot() (map[uint64]string, error)
@@ -380,19 +432,47 @@ type kvClient interface {
 // the measured traffic goes through whatever kvClient the swept protocol
 // dictates.
 type driver struct {
-	control *httpKV
+	control kvClient
 	tcpaddr string
 	cfg     loadConfig
 
 	// Successful transactional increments, accumulated across cells; the
 	// final counter sum must equal their total.
-	casIncrs  atomic.Uint64
-	batchAdds atomic.Uint64
+	casIncrs   atomic.Uint64
+	batchAdds  atomic.Uint64
+	serverAdds atomic.Uint64
+	// shedSeen counts backpressure rejections across warm-up and
+	// measurement alike (the -minshed assertion is about the whole run).
+	shedSeen atomic.Uint64
 	// batchCASMisses counts batches the server refused whole (a cas op's
 	// compare failed): zero increments, but not an error.
 	batchCASMisses atomic.Uint64
 	// blobCorrupt counts blob reads whose value named another key.
 	blobCorrupt atomic.Uint64
+}
+
+// seedCounters writes "0" to every counter key over the control client so
+// CAS loops always find a value. A shedding server (tkvd -admit in drill
+// mode, as the CI e2e runs it) rejects writes probabilistically, so each
+// key retries through backpressure; any other error is fatal immediately.
+func (d *driver) seedCounters() error {
+	const seedAttempts = 200
+	for k := 0; k < d.cfg.keys; k++ {
+		var err error
+		for attempt := 0; attempt < seedAttempts; attempt++ {
+			if err = d.control.put(uint64(k), "0"); err == nil {
+				break
+			}
+			if !errors.Is(err, tkv.ErrBackpressure) {
+				return fmt.Errorf("seeding counters: %w", err)
+			}
+			time.Sleep(time.Millisecond)
+		}
+		if err != nil {
+			return fmt.Errorf("seeding counter %d: every attempt shed: %w", k, err)
+		}
+	}
+	return nil
 }
 
 // setup builds one cell's clients: how many workers drive them and how they
@@ -426,8 +506,100 @@ func (d *driver) setup(proto string, n int) (clients []kvClient, workers int, te
 type cellResult struct {
 	ops     uint64
 	errs    uint64
+	sheds   uint64
 	elapsed time.Duration
 	hist    *trace.Histogram
+}
+
+// zipfSampler draws ranks 0..n-1 with P(k) proportional to 1/(k+1)^s, for
+// any s > 0. rand.NewZipf only accepts s > 1 (its rejection sampler needs a
+// convergent tail); the contention ladder the sweep runs (0.6..1.2) spans
+// both sides of 1, so this uses an explicit CDF over the bounded key space
+// — exact for any positive s, and a cheap binary search per draw at the key
+// counts tkvload uses. The table is immutable after construction and safe
+// to share across workers.
+type zipfSampler struct {
+	cdf []float64
+}
+
+func newZipfSampler(n int, s float64) *zipfSampler {
+	z := &zipfSampler{cdf: make([]float64, n)}
+	sum := 0.0
+	for k := 0; k < n; k++ {
+		sum += 1 / math.Pow(float64(k+1), s)
+		z.cdf[k] = sum
+	}
+	for k := range z.cdf {
+		z.cdf[k] /= sum
+	}
+	return z
+}
+
+func (z *zipfSampler) rank(rng *rand.Rand) uint64 {
+	u := rng.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return uint64(lo)
+}
+
+// parseZipfLadder parses -zipf: one value, a comma list, or a..b[/step]
+// (inclusive, default step 0.2). 0 means uniform; anything else must be > 0.
+func parseZipfLadder(arg string) ([]float64, error) {
+	arg = strings.TrimSpace(arg)
+	if arg == "" {
+		return []float64{0}, nil
+	}
+	var vals []float64
+	appendVal := func(v float64) error {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("-zipf value %g must be 0 (uniform) or > 0", v)
+		}
+		vals = append(vals, v)
+		return nil
+	}
+	for _, part := range strings.Split(arg, ",") {
+		part = strings.TrimSpace(part)
+		if a, b, ok := strings.Cut(part, ".."); ok {
+			step := 0.2
+			if b2, st, ok := strings.Cut(b, "/"); ok {
+				b = b2
+				v, err := strconv.ParseFloat(st, 64)
+				if err != nil || v <= 0 {
+					return nil, fmt.Errorf("bad -zipf ladder step %q", st)
+				}
+				step = v
+			}
+			lo, err1 := strconv.ParseFloat(a, 64)
+			hi, err2 := strconv.ParseFloat(b, 64)
+			if err1 != nil || err2 != nil || hi < lo {
+				return nil, fmt.Errorf("bad -zipf ladder %q (want a..b[/step])", part)
+			}
+			for v := lo; v <= hi+1e-9; v += step {
+				if err := appendVal(math.Round(v*1e6) / 1e6); err != nil {
+					return nil, err
+				}
+			}
+			continue
+		}
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -zipf value %q", part)
+		}
+		if err := appendVal(v); err != nil {
+			return nil, err
+		}
+	}
+	if len(vals) == 0 {
+		return nil, fmt.Errorf("-zipf named no values")
+	}
+	return vals, nil
 }
 
 // drive runs one cell: cfg.warmup of unmeasured ramp-up, then cfg.dur of
@@ -439,7 +611,7 @@ type cellResult struct {
 // latency resolution in that mode.)
 func (d *driver) drive(clients []kvClient, workers int) cellResult {
 	cell := cellResult{hist: &trace.Histogram{}}
-	var ops, errs atomic.Uint64
+	var ops, errs, sheds atomic.Uint64
 	var measuring atomic.Bool
 	stop := make(chan struct{})
 	var arrivals chan time.Time
@@ -475,6 +647,11 @@ func (d *driver) drive(clients []kvClient, workers int) cellResult {
 		}()
 	}
 
+	// One immutable CDF shared by every worker; each draws with its own rng.
+	var zipf *zipfSampler
+	if d.cfg.zipfS > 0 {
+		zipf = newZipfSampler(d.cfg.keys, d.cfg.zipfS)
+	}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		w := w
@@ -483,10 +660,6 @@ func (d *driver) drive(clients []kvClient, workers int) cellResult {
 		go func() {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(d.cfg.seed + int64(w)*6151 + int64(workers)))
-			var zipf *rand.Zipf
-			if d.cfg.zipfS > 1 {
-				zipf = rand.NewZipf(rng, d.cfg.zipfS, 1, uint64(d.cfg.keys-1))
-			}
 			for {
 				var issued time.Time
 				if arrivals != nil {
@@ -507,7 +680,15 @@ func (d *driver) drive(clients []kvClient, workers int) cellResult {
 				// boundary is never half-counted.
 				record := measuring.Load()
 				if err := d.op(cl, rng, zipf, w, workers); err != nil {
-					if record {
+					if errors.Is(err, tkv.ErrBackpressure) {
+						// Explicit backpressure is the server working as
+						// designed under overload, not a failure; it is
+						// counted on its own so error rows stay honest.
+						d.shedSeen.Add(1)
+						if record {
+							sheds.Add(1)
+						}
+					} else if record {
 						errs.Add(1)
 					}
 				} else if record {
@@ -528,13 +709,14 @@ func (d *driver) drive(clients []kvClient, workers int) cellResult {
 	cell.elapsed = time.Since(measureStart)
 	cell.ops = ops.Load()
 	cell.errs = errs.Load()
+	cell.sheds = sheds.Load()
 	return cell
 }
 
 // counterKey picks a counter key, honoring the configured skew.
-func (d *driver) counterKey(rng *rand.Rand, zipf *rand.Zipf) uint64 {
+func (d *driver) counterKey(rng *rand.Rand, zipf *zipfSampler) uint64 {
 	if zipf != nil {
-		return zipf.Uint64()
+		return zipf.rank(rng)
 	}
 	return uint64(rng.Intn(d.cfg.keys))
 }
@@ -542,7 +724,7 @@ func (d *driver) counterKey(rng *rand.Rand, zipf *rand.Zipf) uint64 {
 // op issues one operation of the mix through cl. w and workers identify the
 // worker and the cell's worker count, which locate the worker's private key
 // slice under -overlap < 1.
-func (d *driver) op(cl kvClient, rng *rand.Rand, zipf *rand.Zipf, w, workers int) error {
+func (d *driver) op(cl kvClient, rng *rand.Rand, zipf *zipfSampler, w, workers int) error {
 	if rng.Float64() < d.cfg.readFrac {
 		if d.cfg.mgetFrac > 0 && rng.Float64() < d.cfg.mgetFrac {
 			return d.mget(cl, rng, zipf)
@@ -555,6 +737,16 @@ func (d *driver) op(cl kvClient, rng *rand.Rand, zipf *rand.Zipf, w, workers int
 	}
 	if rng.Float64() < d.cfg.batchFrac {
 		return d.batch(cl, rng, zipf, w, workers)
+	}
+	if d.cfg.addFrac > 0 && rng.Float64() < d.cfg.addFrac {
+		// A server-side add is the leanest transactional increment: one
+		// STM transaction per op on a skew-drawn counter key — the
+		// single-key hot write the admission layer routes and sheds.
+		if err := cl.add(d.counterKey(rng, zipf), 1); err != nil {
+			return err
+		}
+		d.serverAdds.Add(1)
+		return nil
 	}
 	switch rng.Intn(5) {
 	case 0, 1:
@@ -571,7 +763,7 @@ func (d *driver) op(cl kvClient, rng *rand.Rand, zipf *rand.Zipf, w, workers int
 // the whole counter space (honoring skew), otherwise uniformly from the
 // worker's private slice of it — the knob that makes concurrent batches
 // key-disjoint (-overlap 0) or maximally contended (-overlap 1).
-func (d *driver) batchKey(rng *rand.Rand, zipf *rand.Zipf, w, workers int) uint64 {
+func (d *driver) batchKey(rng *rand.Rand, zipf *zipfSampler, w, workers int) uint64 {
 	if rng.Float64() < d.cfg.overlap {
 		return d.counterKey(rng, zipf)
 	}
@@ -584,7 +776,7 @@ func (d *driver) batchKey(rng *rand.Rand, zipf *rand.Zipf, w, workers int) uint6
 
 // casIncrement performs a client-side read-modify-write: read the counter,
 // CAS it one higher, retry on interference.
-func (d *driver) casIncrement(cl kvClient, rng *rand.Rand, zipf *rand.Zipf) error {
+func (d *driver) casIncrement(cl kvClient, rng *rand.Rand, zipf *zipfSampler) error {
 	key := d.counterKey(rng, zipf)
 	for attempt := 0; attempt < casAttempts; attempt++ {
 		cur, found, err := cl.get(key)
@@ -617,7 +809,7 @@ func (d *driver) casIncrement(cl kvClient, rng *rand.Rand, zipf *rand.Zipf) erro
 // higher inside the batch). Every op of an accepted batch increments its
 // key by exactly 1, so the tally is the op count; a refused batch (some
 // cas compare lost a race) wrote nothing and tallies zero.
-func (d *driver) batch(cl kvClient, rng *rand.Rand, zipf *rand.Zipf, w, workers int) error {
+func (d *driver) batch(cl kvClient, rng *rand.Rand, zipf *zipfSampler, w, workers int) error {
 	ops := make([]tkv.Op, d.cfg.batchSize)
 	for i := range ops {
 		key := d.batchKey(rng, zipf, w, workers)
@@ -655,7 +847,7 @@ func (d *driver) batch(cl kvClient, rng *rand.Rand, zipf *rand.Zipf, w, workers 
 
 // mget issues one batched multi-key read over the counter space and
 // cross-checks that every found value is a well-formed counter.
-func (d *driver) mget(cl kvClient, rng *rand.Rand, zipf *rand.Zipf) error {
+func (d *driver) mget(cl kvClient, rng *rand.Rand, zipf *zipfSampler) error {
 	keys := make([]uint64, d.cfg.batchSize)
 	for i := range keys {
 		keys[i] = d.counterKey(rng, zipf)
@@ -698,7 +890,7 @@ func (d *driver) getBlob(cl kvClient, rng *rand.Rand) error {
 // in the -json artifact even when a check fails (with OK=false), so a
 // broken run is recorded, not hidden.
 func (d *driver) verify(out io.Writer) (*verifyJSON, error) {
-	res := &verifyJSON{Increments: d.casIncrs.Load() + d.batchAdds.Load()}
+	res := &verifyJSON{Increments: d.casIncrs.Load() + d.batchAdds.Load() + d.serverAdds.Load()}
 	snap, err := d.control.snapshot()
 	if err != nil {
 		return res, fmt.Errorf("snapshot: %w", err)
@@ -724,12 +916,17 @@ func (d *driver) verify(out io.Writer) (*verifyJSON, error) {
 	res.Commits = stats.Commits
 	res.Aborts = stats.Aborts
 	res.Serializations = stats.Serializations
+	res.SchedConfirmed = stats.SchedConfirmed
+	res.SchedRefuted = stats.SchedRefuted
 	res.StripeWaits = stats.StripeWaitsShared + stats.StripeWaitsExcl
 	res.ROFallbacks = stats.ROFallbacks
+	res.ServerShed = stats.Shed
+	res.ServerRouted = stats.Routed
 	res.CASMismatches = d.batchCASMisses.Load()
-	fmt.Fprintf(out, "verify: committed=%d aborts=%d serializations=%d stripeWaits=%d roFallbacks=%d counterSum=%d increments=%d (cas=%d batchOps=%d casMismatchedBatches=%d)\n",
+	fmt.Fprintf(out, "verify: committed=%d aborts=%d serializations=%d stripeWaits=%d roFallbacks=%d shed=%d routed=%d counterSum=%d increments=%d (cas=%d batchOps=%d adds=%d casMismatchedBatches=%d)\n",
 		stats.Commits, stats.Aborts, stats.Serializations, res.StripeWaits, res.ROFallbacks,
-		sum, want, d.casIncrs.Load(), d.batchAdds.Load(), res.CASMismatches)
+		res.ServerShed, res.ServerRouted,
+		sum, want, d.casIncrs.Load(), d.batchAdds.Load(), d.serverAdds.Load(), res.CASMismatches)
 	if sum < want {
 		return res, fmt.Errorf("LOST UPDATES: counters sum to %d but %d increments succeeded", sum, want)
 	}
@@ -774,6 +971,11 @@ func (t *tcpKV) cas(key uint64, old, new string) (bool, error) {
 	return t.c.CAS(key, old, new)
 }
 
+func (t *tcpKV) add(key uint64, delta int64) error {
+	_, err := t.c.Add(key, delta)
+	return err
+}
+
 func (t *tcpKV) mget(keys []uint64) ([]tkv.OpResult, error) { return t.c.MGet(keys) }
 
 func (t *tcpKV) batch(ops []tkv.Op) (bool, int, error) {
@@ -790,6 +992,52 @@ func (t *tcpKV) batch(ops []tkv.Op) (bool, int, error) {
 func (t *tcpKV) snapshot() (map[uint64]string, error) { return t.c.Snapshot() }
 
 func (t *tcpKV) stats() (tkv.Stats, error) { return t.c.Stats() }
+
+// ---- in-process client (sched sweep) ----
+
+// localKV drives a self-hosted store directly; the sched sweep uses it for
+// seeding and verification so those never ride the protocol under test.
+type localKV struct {
+	st *tkv.Store
+}
+
+func (l *localKV) get(key uint64) (string, bool, error) { return l.st.Get(key) }
+
+func (l *localKV) put(key uint64, val string) error {
+	_, err := l.st.Put(key, val)
+	return err
+}
+
+func (l *localKV) del(key uint64) error {
+	_, err := l.st.Delete(key)
+	return err
+}
+
+func (l *localKV) cas(key uint64, old, new string) (bool, error) {
+	return l.st.CAS(key, old, new)
+}
+
+func (l *localKV) add(key uint64, delta int64) error {
+	_, err := l.st.Add(key, delta)
+	return err
+}
+
+func (l *localKV) mget(keys []uint64) ([]tkv.OpResult, error) { return l.st.MGet(keys) }
+
+func (l *localKV) batch(ops []tkv.Op) (bool, int, error) {
+	results, err := l.st.Batch(ops)
+	if errors.Is(err, tkv.ErrCASMismatch) {
+		return true, len(results), nil
+	}
+	if err != nil {
+		return false, 0, err
+	}
+	return false, len(results), nil
+}
+
+func (l *localKV) snapshot() (map[uint64]string, error) { return l.st.Snapshot() }
+
+func (l *localKV) stats() (tkv.Stats, error) { return l.st.Stats(), nil }
 
 // ---- HTTP client ----
 
@@ -825,6 +1073,9 @@ func (h *httpKV) get(key uint64) (string, bool, error) {
 	}()
 	if resp.StatusCode == http.StatusNotFound {
 		return "", false, nil
+	}
+	if resp.StatusCode == http.StatusServiceUnavailable {
+		return "", false, fmt.Errorf("GET key %d: %w", key, tkv.ErrBackpressure)
 	}
 	if resp.StatusCode != http.StatusOK {
 		return "", false, fmt.Errorf("GET key %d: status %d", key, resp.StatusCode)
@@ -872,6 +1123,13 @@ func (h *httpKV) cas(key uint64, old, new string) (bool, error) {
 	return resp.Swapped, err
 }
 
+func (h *httpKV) add(key uint64, delta int64) error {
+	var resp struct {
+		Value int64 `json:"value"`
+	}
+	return h.postJSON("/add", map[string]any{"key": key, "delta": delta}, &resp)
+}
+
 func (h *httpKV) mget(keys []uint64) ([]tkv.OpResult, error) {
 	var resp struct {
 		Results []tkv.OpResult `json:"results"`
@@ -902,6 +1160,9 @@ func (h *httpKV) batch(ops []tkv.Op) (mismatch bool, nres int, err error) {
 		io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
 	}()
+	if resp.StatusCode == http.StatusServiceUnavailable {
+		return false, 0, fmt.Errorf("POST /batch: %w", tkv.ErrBackpressure)
+	}
 	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusConflict {
 		return false, 0, fmt.Errorf("POST /batch: status %d", resp.StatusCode)
 	}
@@ -972,6 +1233,11 @@ func (h *httpKV) do(req *http.Request, w *wire, into any) error {
 		io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
 	}()
+	if resp.StatusCode == http.StatusServiceUnavailable {
+		// The server shed the request under overload: surface the same
+		// sentinel the in-process and binary-protocol paths produce.
+		return fmt.Errorf("%s %s: %w", req.Method, req.URL.Path, tkv.ErrBackpressure)
+	}
 	if resp.StatusCode != http.StatusOK {
 		return fmt.Errorf("%s %s: status %d", req.Method, req.URL.Path, resp.StatusCode)
 	}

@@ -1,0 +1,299 @@
+// The sched sweep: tkvload self-hosts the store and runs the paper's
+// scheduler/engine cross-product through the serving path. Each cell opens
+// a fresh tkv.Store with one (engine, scheduler, admission) configuration,
+// serves it over the binary wire protocol on a loopback listener, drives
+// the configured workload at one zipf skew, verifies the zero-lost-update
+// invariant, and tears everything down. The zipf ladder (-zipf 0.6..1.2)
+// walks the store from mild to pathological contention, so the resulting
+// BENCH_tkv_contention.json draws the prevent-vs-cure crossover the paper
+// is about: scheduled configs hold throughput past the overload knee where
+// the unscheduled config collapses into abort-retry work, and admission
+// keeps latency bounded by shedding instead of queueing.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"runtime"
+	"strings"
+
+	"github.com/shrink-tm/shrink/internal/enginecfg"
+	"github.com/shrink-tm/shrink/internal/report"
+	"github.com/shrink-tm/shrink/internal/tkv"
+	"github.com/shrink-tm/shrink/internal/tkvwire"
+)
+
+// schedSpec is one swept scheduler configuration: a scheduler name as
+// accepted by enginecfg, optionally with the admission layer on top.
+type schedSpec struct {
+	name  string
+	admit bool
+}
+
+func (s schedSpec) label() string {
+	if s.admit {
+		return s.name + "+admit"
+	}
+	return s.name
+}
+
+// sweepSpec is the full sched-sweep request.
+type sweepSpec struct {
+	cfg                   loadConfig
+	engines               []string
+	scheds                []schedSpec
+	zipfs                 []float64
+	conns                 []int
+	shards, pool, buckets int
+	// admitKnee/admitMax override the admission controller's operating
+	// point for '+admit' configs (0 keeps the default). The default knee
+	// is calibrated for cures-per-commit on single-key traffic; batch
+	// heavy sweeps inflate the commit denominator, so drawing the
+	// crossover usually wants an explicit knee.
+	admitKnee, admitMax float64
+	minShed             uint64
+	csv                 bool
+	jsonPath            string
+}
+
+// parseConfigs fills engines and scheds from the -scheds / -engines flags.
+func (sp *sweepSpec) parseConfigs(schedArg, engineArg string) error {
+	for _, e := range strings.Split(engineArg, ",") {
+		e = strings.TrimSpace(e)
+		switch e {
+		case enginecfg.EngineSwiss, enginecfg.EngineTiny:
+			sp.engines = append(sp.engines, e)
+		default:
+			return fmt.Errorf("unknown engine %q (want swiss or tiny)", e)
+		}
+	}
+	for _, s := range strings.Split(schedArg, ",") {
+		s = strings.TrimSpace(s)
+		spec := schedSpec{name: s}
+		if name, ok := strings.CutSuffix(s, "+admit"); ok {
+			spec = schedSpec{name: name, admit: true}
+		}
+		switch spec.name {
+		case enginecfg.SchedNone, enginecfg.SchedShrink, enginecfg.SchedATS,
+			enginecfg.SchedPool, enginecfg.SchedAdaptive:
+			sp.scheds = append(sp.scheds, spec)
+		default:
+			return fmt.Errorf("unknown scheduler %q in -scheds", s)
+		}
+	}
+	if len(sp.engines) == 0 || len(sp.scheds) == 0 {
+		return fmt.Errorf("-engines and -scheds must each name at least one config")
+	}
+	return nil
+}
+
+// contentionJSON is the machine-readable sched sweep, written by -json
+// (the committed BENCH_tkv_contention.json is one of these).
+type contentionJSON struct {
+	Tool      string          `json:"tool"`
+	ReadFrac  float64         `json:"readFrac"`
+	MGetFrac  float64         `json:"mgetFrac,omitempty"`
+	BatchFrac float64         `json:"batchFrac"`
+	BatchSize int             `json:"batchSize"`
+	BatchCAS  float64         `json:"batchCASFrac,omitempty"`
+	AddFrac   float64         `json:"addFrac,omitempty"`
+	Overlap   float64         `json:"overlap"`
+	Keys      int             `json:"keys"`
+	Blobs     int             `json:"blobs"`
+	Shards    int             `json:"shards"`
+	Pool      int             `json:"pool"`
+	Pipeline  int             `json:"pipeline"`
+	AdmitKnee float64         `json:"admitKnee,omitempty"`
+	AdmitMax  float64         `json:"admitMax,omitempty"`
+	Procs     int             `json:"gomaxprocs"`
+	WarmupSec float64         `json:"warmupSec"`
+	DurSec    float64         `json:"durationSecPerCell"`
+	Cells     []schedCellJSON `json:"cells"`
+}
+
+// schedCellJSON is one (engine, sched, zipf, conns) measurement, tagged so
+// downstream tooling can slice the cross-product any way it likes.
+type schedCellJSON struct {
+	Engine         string  `json:"engine"`
+	Sched          string  `json:"sched"`
+	Admit          bool    `json:"admit,omitempty"`
+	Zipf           float64 `json:"zipf"`
+	Conns          int     `json:"conns"`
+	Ops            uint64  `json:"ops"`
+	OpsPerSec      float64 `json:"opsPerSec"`
+	P50us          uint64  `json:"p50us"`
+	P95us          uint64  `json:"p95us"`
+	P99us          uint64  `json:"p99us"`
+	Errors         uint64  `json:"errors"`
+	Sheds          uint64  `json:"sheds,omitempty"`
+	Commits        uint64  `json:"commits"`
+	Aborts         uint64  `json:"aborts"`
+	Serializations uint64  `json:"serializations"`
+	SchedConfirmed uint64  `json:"schedConfirmed,omitempty"`
+	SchedRefuted   uint64  `json:"schedRefuted,omitempty"`
+	StripeWaits    uint64  `json:"stripeWaits"`
+	ServerShed     uint64  `json:"serverShed,omitempty"`
+	ServerRouted   uint64  `json:"serverRouted,omitempty"`
+	VerifyOK       bool    `json:"verifyOK"`
+}
+
+// runSchedSweep runs the whole cross-product. Every cell verifies its own
+// zero-lost-update invariant; the first violation fails the run (after the
+// JSON artifact is written, so a broken cell is recorded, not hidden).
+func runSchedSweep(sp sweepSpec, out io.Writer) error {
+	table := report.NewTable(
+		fmt.Sprintf("tkvload sched sweep (self-hosted, shards=%d pool=%d read=%.2f batch=%.2f add=%.2f conns=%v pipeline=%d)",
+			sp.shards, sp.pool, sp.cfg.readFrac, sp.cfg.batchFrac, sp.cfg.addFrac, sp.conns, sp.cfg.pipeline),
+		"zipf*100", "ops/s by engine/sched")
+	bench := contentionJSON{
+		Tool:      "tkvload-sweep-sched",
+		ReadFrac:  sp.cfg.readFrac,
+		MGetFrac:  sp.cfg.mgetFrac,
+		BatchFrac: sp.cfg.batchFrac,
+		BatchSize: sp.cfg.batchSize,
+		BatchCAS:  sp.cfg.batchCAS,
+		AddFrac:   sp.cfg.addFrac,
+		Overlap:   sp.cfg.overlap,
+		Keys:      sp.cfg.keys,
+		Blobs:     sp.cfg.blobs,
+		Shards:    sp.shards,
+		Pool:      sp.pool,
+		Pipeline:  sp.cfg.pipeline,
+		AdmitKnee: sp.admitKnee,
+		AdmitMax:  sp.admitMax,
+		Procs:     runtime.GOMAXPROCS(0),
+		WarmupSec: sp.cfg.warmup.Seconds(),
+		DurSec:    sp.cfg.dur.Seconds(),
+	}
+	var firstErr error
+	var shedTotal uint64
+	for _, eng := range sp.engines {
+		for _, sc := range sp.scheds {
+			for _, z := range sp.zipfs {
+				for _, n := range sp.conns {
+					label := eng + "/" + sc.label()
+					if len(sp.conns) > 1 {
+						label = fmt.Sprintf("%s c%d", label, n)
+					}
+					cell, vres, shedSeen, err := runSchedCell(sp, eng, sc, z, n, out)
+					if err != nil && vres == nil {
+						// Setup failure, not an invariant violation: a bad
+						// config should stop the sweep immediately.
+						return fmt.Errorf("%s zipf=%g: %w", label, z, err)
+					}
+					if err != nil && firstErr == nil {
+						firstErr = fmt.Errorf("%s zipf=%g: %w", label, z, err)
+					}
+					shedTotal += shedSeen
+					opsPerSec := float64(cell.ops) / cell.elapsed.Seconds()
+					col := int(z * 100)
+					table.Add(label+" ops/s", col, opsPerSec)
+					table.Add(label+" p99us", col, float64(cell.hist.Quantile(0.99)))
+					fmt.Fprintf(out, "cell %s zipf=%.2f conns=%d: %.0f ops/s p50=%dus p99=%dus errs=%d sheds=%d commits=%d aborts=%d serials=%d\n",
+						label, z, n, opsPerSec, cell.hist.Quantile(0.50), cell.hist.Quantile(0.99),
+						cell.errs, cell.sheds, vres.Commits, vres.Aborts, vres.Serializations)
+					bench.Cells = append(bench.Cells, schedCellJSON{
+						Engine:         eng,
+						Sched:          sc.name,
+						Admit:          sc.admit,
+						Zipf:           z,
+						Conns:          n,
+						Ops:            cell.ops,
+						OpsPerSec:      opsPerSec,
+						P50us:          cell.hist.Quantile(0.50),
+						P95us:          cell.hist.Quantile(0.95),
+						P99us:          cell.hist.Quantile(0.99),
+						Errors:         cell.errs,
+						Sheds:          cell.sheds,
+						Commits:        vres.Commits,
+						Aborts:         vres.Aborts,
+						Serializations: vres.Serializations,
+						SchedConfirmed: vres.SchedConfirmed,
+						SchedRefuted:   vres.SchedRefuted,
+						StripeWaits:    vres.StripeWaits,
+						ServerShed:     vres.ServerShed,
+						ServerRouted:   vres.ServerRouted,
+						VerifyOK:       vres.OK,
+					})
+				}
+			}
+		}
+	}
+	if sp.csv {
+		table.WriteCSV(out)
+	} else {
+		table.WriteText(out)
+	}
+	if firstErr == nil && sp.minShed > 0 && shedTotal < sp.minShed {
+		firstErr = fmt.Errorf("backpressure expected: %d requests shed across the sweep, -minshed %d",
+			shedTotal, sp.minShed)
+	}
+	if sp.jsonPath != "" {
+		if err := report.SaveJSON(sp.jsonPath, bench); err != nil {
+			if firstErr != nil {
+				fmt.Fprintln(out, "tkvload: writing", sp.jsonPath, "failed:", err)
+				return firstErr
+			}
+			return err
+		}
+	}
+	return firstErr
+}
+
+// runSchedCell measures one configuration at one skew. The returned
+// verifyJSON is non-nil whenever the store came up (even when verification
+// failed); a nil verifyJSON means the cell never ran.
+func runSchedCell(sp sweepSpec, engine string, sc schedSpec, zipf float64, connsN int, out io.Writer) (cellResult, *verifyJSON, uint64, error) {
+	var admission *tkv.AdmitConfig
+	if sc.admit {
+		ac := tkv.DefaultAdmitConfig()
+		if sp.admitKnee != 0 {
+			ac.ShedKnee = sp.admitKnee
+		}
+		if sp.admitMax != 0 {
+			ac.ShedMax = sp.admitMax
+		}
+		admission = &ac
+	}
+	st, err := tkv.Open(tkv.Config{
+		Shards:    sp.shards,
+		PoolSize:  sp.pool,
+		Buckets:   sp.buckets,
+		Engine:    engine,
+		Scheduler: sc.name,
+		Admission: admission,
+	})
+	if err != nil {
+		return cellResult{}, nil, 0, err
+	}
+	defer st.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return cellResult{}, nil, 0, err
+	}
+	srv := tkvwire.NewServer(st)
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ln) }()
+	defer func() {
+		srv.Close()
+		if err := <-serveDone; !errors.Is(err, tkvwire.ErrServerClosed) {
+			fmt.Fprintln(out, "tkvload: wire server:", err)
+		}
+	}()
+
+	d := &driver{control: &localKV{st: st}, tcpaddr: ln.Addr().String(), cfg: sp.cfg}
+	d.cfg.zipfS = zipf
+	if err := d.seedCounters(); err != nil {
+		return cellResult{}, nil, 0, err
+	}
+	clients, workers, teardown, err := d.setup(protoTCP, connsN)
+	if err != nil {
+		return cellResult{}, nil, 0, err
+	}
+	cell := d.drive(clients, workers)
+	teardown()
+	vres, verr := d.verify(out)
+	return cell, vres, d.shedSeen.Load(), verr
+}

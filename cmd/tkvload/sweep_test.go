@@ -1,0 +1,175 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseZipfLadder(t *testing.T) {
+	cases := []struct {
+		arg  string
+		want []float64
+	}{
+		{"0", []float64{0}},
+		{"1.2", []float64{1.2}},
+		{"0.6,1.2", []float64{0.6, 1.2}},
+		{"0.6..1.2", []float64{0.6, 0.8, 1.0, 1.2}},
+		{"0.6..1.2/0.3", []float64{0.6, 0.9, 1.2}},
+		{"0.5..0.5", []float64{0.5}},
+	}
+	for _, c := range cases {
+		got, err := parseZipfLadder(c.arg)
+		if err != nil {
+			t.Fatalf("parseZipfLadder(%q): %v", c.arg, err)
+		}
+		if len(got) != len(c.want) {
+			t.Fatalf("parseZipfLadder(%q) = %v, want %v", c.arg, got, c.want)
+		}
+		for i := range got {
+			if math.Abs(got[i]-c.want[i]) > 1e-9 {
+				t.Fatalf("parseZipfLadder(%q) = %v, want %v", c.arg, got, c.want)
+			}
+		}
+	}
+	if got, err := parseZipfLadder(""); err != nil || len(got) != 1 || got[0] != 0 {
+		t.Fatalf("parseZipfLadder(\"\") = %v, %v — want the uniform default", got, err)
+	}
+	for _, bad := range []string{"-0.5", "0.6..", "1.2..0.6", "0.6..1.2/0", "x"} {
+		if _, err := parseZipfLadder(bad); err == nil {
+			t.Fatalf("parseZipfLadder(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseSweepConfigs(t *testing.T) {
+	var sp sweepSpec
+	if err := sp.parseConfigs("none,shrink+admit, ats", "swiss, tiny"); err != nil {
+		t.Fatal(err)
+	}
+	if len(sp.engines) != 2 || len(sp.scheds) != 3 {
+		t.Fatalf("parsed %v / %+v", sp.engines, sp.scheds)
+	}
+	if !sp.scheds[1].admit || sp.scheds[1].name != "shrink" {
+		t.Fatalf("shrink+admit parsed as %+v", sp.scheds[1])
+	}
+	if sp.scheds[1].label() != "shrink+admit" {
+		t.Fatalf("label = %q", sp.scheds[1].label())
+	}
+	var bad sweepSpec
+	if err := bad.parseConfigs("bogus", "swiss"); err == nil {
+		t.Fatal("unknown scheduler accepted")
+	}
+	if err := bad.parseConfigs("none", "bogus"); err == nil {
+		t.Fatal("unknown engine accepted")
+	}
+}
+
+// TestZipfSamplerSkew sanity-checks the bounded-CDF sampler: with positive
+// skew the lowest rank must dominate, and s=0 must be ~uniform. (The stock
+// rand.Zipf only accepts s > 1; the sweep's ladder needs the s <= 1 half.)
+func TestZipfSamplerSkew(t *testing.T) {
+	countTop := func(s float64) int {
+		z := newZipfSampler(16, s)
+		rng := rand.New(rand.NewSource(1))
+		top := 0
+		for i := 0; i < 4000; i++ {
+			if z.rank(rng) == 0 {
+				top++
+			}
+		}
+		return top
+	}
+	uniform, skewed := countTop(0), countTop(1.2)
+	if skewed < 2*uniform {
+		t.Fatalf("zipf 1.2 drew rank 0 %d times vs %d uniform — not skewed", skewed, uniform)
+	}
+	if uniform < 100 || uniform > 500 {
+		t.Fatalf("s=0 drew rank 0 %d/4000 times, want ~250", uniform)
+	}
+}
+
+// TestSweepSchedSmoke runs a tiny self-hosted sweep end to end: two configs,
+// one zipf point, and checks the JSON artifact tags cells with engine, sched
+// and admit, that the admit cell shed under the drill knee, and that every
+// cell verified.
+func TestSweepSchedSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	jsonPath := filepath.Join(t.TempDir(), "contention.json")
+	var out bytes.Buffer
+	err := run([]string{
+		"-sweep", "sched",
+		"-scheds", "none,shrink+admit",
+		"-engines", "swiss",
+		"-zipf", "1.1",
+		"-conns", "2",
+		"-pipeline", "4",
+		"-shards", "2",
+		"-pool", "2",
+		"-keys", "32",
+		"-blobs", "32",
+		"-batchsize", "8",
+		"-dur", "300ms",
+		"-warmup", "100ms",
+		"-admitknee", "-1", // drill mode: shedding is deterministic, not load-dependent
+		"-minshed", "1",
+	}, &out)
+	if err != nil {
+		t.Fatalf("%v\noutput:\n%s", err, out.String())
+	}
+	if got := strings.Count(out.String(), "verify: OK"); got != 2 {
+		t.Fatalf("want 2 verified cells, got %d:\n%s", got, out.String())
+	}
+
+	// Re-run writing the JSON artifact and check the cell tags.
+	out.Reset()
+	err = run([]string{
+		"-sweep", "sched",
+		"-scheds", "shrink+admit",
+		"-engines", "tiny",
+		"-zipf", "1.1",
+		"-conns", "2",
+		"-pipeline", "4",
+		"-shards", "2",
+		"-pool", "2",
+		"-keys", "32",
+		"-blobs", "32",
+		"-batchsize", "8",
+		"-dur", "300ms",
+		"-warmup", "100ms",
+		"-admitknee", "-1",
+		"-minshed", "1",
+		"-json", jsonPath,
+	}, &out)
+	if err != nil {
+		t.Fatalf("%v\noutput:\n%s", err, out.String())
+	}
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bench contentionJSON
+	if err := json.Unmarshal(raw, &bench); err != nil {
+		t.Fatal(err)
+	}
+	if bench.Tool != "tkvload-sweep-sched" || len(bench.Cells) != 1 {
+		t.Fatalf("artifact: %+v", bench)
+	}
+	c := bench.Cells[0]
+	if c.Engine != "tiny" || c.Sched != "shrink" || !c.Admit || c.Zipf != 1.1 {
+		t.Fatalf("cell tags: %+v", c)
+	}
+	if !c.VerifyOK || c.Ops == 0 || c.Commits == 0 {
+		t.Fatalf("cell did no verified work: %+v", c)
+	}
+	if c.Sheds == 0 && c.ServerShed == 0 {
+		t.Fatalf("drill-mode cell never shed: %+v", c)
+	}
+}

@@ -39,16 +39,23 @@ func TestBuildEveryCombination(t *testing.T) {
 	scheds := []string{"", SchedNone, SchedShrink, SchedATS, SchedPool, SchedAdaptive}
 	for _, e := range engines {
 		for _, s := range scheds {
-			tm, shrink, err := Build(Spec{Engine: e, Scheduler: s})
+			tm, sc, err := Build(Spec{Engine: e, Scheduler: s})
 			if err != nil {
 				t.Fatalf("Build(%q,%q): %v", e, s, err)
 			}
 			if tm == nil {
 				t.Fatalf("Build(%q,%q): nil TM", e, s)
 			}
-			if (s == SchedShrink) != (shrink != nil) {
-				t.Fatalf("Build(%q,%q): shrink=%v", e, s, shrink)
+			wantHandle := s == SchedShrink || s == SchedAdaptive
+			if (sc != nil) != wantHandle {
+				t.Fatalf("Build(%q,%q): sched handle=%v", e, s, sc)
 			}
+			if (s == SchedShrink) != (sc.ShrinkFor() != nil) {
+				t.Fatalf("Build(%q,%q): ShrinkFor=%v", e, s, sc.ShrinkFor())
+			}
+			// Counter accessors must be nil-receiver safe across all specs.
+			_ = sc.Serializations()
+			_, _ = sc.Feedback()
 			// The built TM must actually run a transaction.
 			th := tm.Register("t0")
 			v := stm.NewT[int](1)

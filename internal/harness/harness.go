@@ -111,8 +111,8 @@ func (r Result) String() string {
 
 // buildTM constructs the engine/scheduler/CM combination for a config
 // through enginecfg.Build. It returns the TM and, when applicable, the
-// Shrink instance for accuracy reporting.
-func buildTM(cfg Config) (stm.TM, *sched.Shrink, error) {
+// scheduler handle for accuracy/serialization reporting.
+func buildTM(cfg Config) (stm.TM, *enginecfg.Sched, error) {
 	return enginecfg.Build(enginecfg.Spec{
 		Engine:        cfg.Engine,
 		Scheduler:     cfg.Scheduler,
@@ -142,7 +142,7 @@ func Run(cfg Config, newWorkload func() Workload) (Result, error) {
 		prev := runtime.GOMAXPROCS(cfg.Cores)
 		defer runtime.GOMAXPROCS(prev)
 	}
-	tm, shrink, err := buildTM(cfg)
+	tm, sc, err := buildTM(cfg)
 	if err != nil {
 		return Result{}, err
 	}
@@ -224,7 +224,7 @@ func Run(cfg Config, newWorkload func() Workload) (Result, error) {
 	if total := res.Commits + res.Aborts; total > 0 {
 		res.AbortRate = float64(res.Aborts) / float64(total)
 	}
-	if shrink != nil {
+	if shrink := sc.ShrinkFor(); shrink != nil {
 		acc := shrink.Accuracy(tm.Threads())
 		res.ReadAccuracy = acc.ReadAccuracy()
 		res.WriteAccuracy = acc.WriteAccuracy()

@@ -1,0 +1,295 @@
+package keylock
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestResizeBasics(t *testing.T) {
+	tab := New(8)
+	if v := tab.Version(); v != 0 {
+		t.Fatalf("fresh table version = %d, want 0", v)
+	}
+	tab.Resize(8) // no-op
+	if tab.Resizes() != 0 || tab.Version() != 0 {
+		t.Fatalf("same-size Resize changed the table: resizes=%d version=%d", tab.Resizes(), tab.Version())
+	}
+	tab.Resize(16)
+	if tab.Stripes() != 16 || tab.Version() != 1 || tab.Resizes() != 1 {
+		t.Fatalf("after grow: stripes=%d version=%d resizes=%d", tab.Stripes(), tab.Version(), tab.Resizes())
+	}
+	tab.Resize(4)
+	if tab.Stripes() != 4 || tab.Version() != 2 {
+		t.Fatalf("after shrink: stripes=%d version=%d", tab.Stripes(), tab.Version())
+	}
+	// Rounds up, floor 1.
+	tab.Resize(5)
+	if tab.Stripes() != 8 {
+		t.Fatalf("Resize(5) -> %d stripes, want 8", tab.Stripes())
+	}
+	tab.Resize(0)
+	if tab.Stripes() != 1 {
+		t.Fatalf("Resize(0) -> %d stripes, want 1", tab.Stripes())
+	}
+}
+
+// TestVersionedLocksRefuseStaleGeneration: a plan built against one
+// generation must be refused after a resize, holding nothing.
+func TestVersionedLocksRefuseStaleGeneration(t *testing.T) {
+	tab := New(8)
+	v := tab.Version()
+	i := tab.StripeOf(42)
+	tab.Resize(16)
+	if tab.RLockV(i, v) {
+		t.Fatal("RLockV accepted a stale generation")
+	}
+	if tab.LockV(i, v) {
+		t.Fatal("LockV accepted a stale generation")
+	}
+	// The current version must be accepted, and the stripe genuinely held.
+	v = tab.Version()
+	i = tab.StripeOf(42)
+	if !tab.LockV(i, v) {
+		t.Fatal("LockV refused the current generation")
+	}
+	held := make(chan bool, 1)
+	go func() { held <- tab.RLockV(i, v); tab.RUnlock(i) }()
+	select {
+	case <-held:
+		t.Fatal("shared acquisition succeeded under an exclusive versioned hold")
+	case <-time.After(20 * time.Millisecond):
+	}
+	tab.Unlock(i)
+	if ok := <-held; !ok {
+		t.Fatal("RLockV refused the current generation after the exclusive hold")
+	}
+}
+
+// TestResizeWaitsForHolders: a resize must wait out both shared
+// single-stripe holders and exclusive sessions, and complete promptly once
+// they release.
+func TestResizeWaitsForHolders(t *testing.T) {
+	for _, mode := range []string{"shared", "session"} {
+		tab := New(8)
+		switch mode {
+		case "shared":
+			i := tab.RLockKey(7)
+			defer func() { _ = i }()
+			resized := make(chan struct{})
+			go func() { tab.Resize(32); close(resized) }()
+			time.Sleep(20 * time.Millisecond)
+			select {
+			case <-resized:
+				t.Fatalf("%s: resize completed under a live holder", mode)
+			default:
+			}
+			tab.RUnlock(i)
+			select {
+			case <-resized:
+			case <-time.After(5 * time.Second):
+				t.Fatalf("%s: resize never completed after release", mode)
+			}
+		case "session":
+			tab.Enter()
+			tab.Lock(3)
+			resized := make(chan struct{})
+			go func() { tab.Resize(32); close(resized) }()
+			time.Sleep(20 * time.Millisecond)
+			select {
+			case <-resized:
+				t.Fatalf("%s: resize completed under a live session", mode)
+			default:
+			}
+			tab.Unlock(3)
+			tab.Exit()
+			select {
+			case <-resized:
+			case <-time.After(5 * time.Second):
+				t.Fatalf("%s: resize never completed after session exit", mode)
+			}
+		}
+		if tab.Stripes() != 32 {
+			t.Fatalf("%s: stripes = %d after resize, want 32", mode, tab.Stripes())
+		}
+	}
+}
+
+func TestAdaptGrowsAndShrinks(t *testing.T) {
+	tab := New(8)
+	cfg := AdaptConfig{
+		MinStripes:       8,
+		MaxStripes:       32,
+		GrowWaitsPerOp:   1.0 / 32,
+		ShrinkWaitsPerOp: 1.0 / 1024,
+		MinSampleOps:     100,
+	}
+	tab.EnableAdapt(cfg)
+
+	// Below the sample floor: nothing happens no matter the wait rate.
+	if tab.Adapt(50) {
+		t.Fatal("Adapt resized below MinSampleOps")
+	}
+
+	// Manufacture contention: blocked shared acquisitions count as waits.
+	makeWaits := func(n int) {
+		for k := 0; k < n; k++ {
+			i := tab.StripeOf(uint64(k))
+			tab.Lock(i)
+			done := make(chan struct{})
+			go func() { j := tab.RLockKey(uint64(k)); tab.RUnlock(j); close(done) }()
+			time.Sleep(time.Millisecond)
+			tab.Unlock(i)
+			<-done
+		}
+	}
+	makeWaits(20) // 20 waits over the next ~200 ops: rate 0.1 > 1/32
+	if !tab.Adapt(250) {
+		t.Fatal("Adapt did not grow under contention")
+	}
+	if tab.Stripes() != 16 {
+		t.Fatalf("stripes = %d after grow, want 16", tab.Stripes())
+	}
+
+	// Quiet period: rate 0 <= shrink threshold, so it shrinks back.
+	if !tab.Adapt(2000) {
+		t.Fatal("Adapt did not shrink after contention subsided")
+	}
+	if tab.Stripes() != 8 {
+		t.Fatalf("stripes = %d after shrink, want 8", tab.Stripes())
+	}
+	// And never below MinStripes.
+	if tab.Adapt(4000) {
+		t.Fatal("Adapt shrank below MinStripes")
+	}
+}
+
+// TestStressResize is the satellite's -race stress: resizes run under
+// concurrent single-key shared traffic, versioned multi-stripe exclusive
+// sessions, and whole-table freezes. It asserts (a) no lost wakeups or
+// deadlocks — every worker finishes; (b) mutual exclusion holds across
+// generations — a per-table atomic owner map keyed by (version, stripe)
+// catches an exclusive hold that a resize let slip; (c) wait counters are
+// continuous — monotone nondecreasing across every resize.
+func TestStressResize(t *testing.T) {
+	tab := New(4)
+	// owners[i] tracks exclusive ownership of stripe i in the CURRENT
+	// generation; sized for the largest table the test resizes to.
+	owners := make([]atomic.Int64, 64)
+	var lastShared, lastExcl atomic.Uint64
+
+	stop := make(chan struct{})
+	var traffic, resizer sync.WaitGroup
+
+	// Resizer: cycles 4 -> 8 -> 16 -> 32 -> 4 sizes while checking counter
+	// continuity (it is the only goroutine reading both counters, so
+	// monotonicity across its own reads is a valid check).
+	resizer.Add(1)
+	go func() {
+		defer resizer.Done()
+		sizes := []int{8, 16, 32, 4}
+		for k := 0; ; k++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			sh, ex := tab.Waits()
+			if sh < lastShared.Load() || ex < lastExcl.Load() {
+				t.Errorf("wait counters went backwards across resize: shared %d->%d excl %d->%d",
+					lastShared.Load(), sh, lastExcl.Load(), ex)
+			}
+			lastShared.Store(sh)
+			lastExcl.Store(ex)
+			tab.Resize(sizes[k%len(sizes)])
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	for w := 0; w < 6; w++ {
+		w := w
+		traffic.Add(1)
+		go func() {
+			defer traffic.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 3000; i++ {
+				switch rng.Intn(5) {
+				case 0, 1: // single-key shared: oblivious to resize
+					idx := tab.RLockKey(rng.Uint64())
+					if owners[idx].Load() != 0 {
+						t.Errorf("shared hold of stripe %d overlaps exclusive owner", idx)
+					}
+					tab.RUnlock(idx)
+				case 2, 3: // versioned exclusive session with replan loop —
+					// exactly tkv's batch protocol under resize.
+					for {
+						v := tab.Version()
+						set := map[int]struct{}{}
+						for j := 0; j < 1+rng.Intn(4); j++ {
+							set[tab.StripeOf(rng.Uint64())] = struct{}{}
+						}
+						stripes := make([]int, 0, len(set))
+						for s := range set {
+							stripes = append(stripes, s)
+						}
+						sort.Ints(stripes)
+						tab.Enter()
+						held := 0
+						ok := true
+						for _, idx := range stripes {
+							if !tab.LockV(idx, v) {
+								ok = false
+								break
+							}
+							held++
+						}
+						if !ok {
+							for _, idx := range stripes[:held] {
+								tab.Unlock(idx)
+							}
+							tab.Exit()
+							continue // stale plan: replan against the new generation
+						}
+						for _, idx := range stripes {
+							if !owners[idx].CompareAndSwap(0, int64(w)+1) {
+								t.Errorf("stripe %d double-owned across resize", idx)
+							}
+						}
+						for _, idx := range stripes {
+							owners[idx].Store(0)
+							tab.Unlock(idx)
+						}
+						tab.Exit()
+						break
+					}
+				case 4: // whole-table cut
+					tab.Freeze()
+					for idx := range owners {
+						if owners[idx].Load() != 0 {
+							t.Errorf("Freeze overlaps exclusive owner of stripe %d", idx)
+						}
+					}
+					tab.Unfreeze()
+				}
+			}
+		}()
+	}
+
+	// Traffic workers bound the test; the resizer loops until told to stop.
+	// A lost wakeup or a lock-order violation shows up as a hang here.
+	done := make(chan struct{})
+	go func() {
+		traffic.Wait()
+		close(stop)
+		resizer.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Minute):
+		t.Fatal("stress test hung: lost wakeup or deadlock under resize")
+	}
+}

@@ -1,0 +1,86 @@
+package predict
+
+import (
+	"sync"
+
+	"github.com/shrink-tm/shrink/internal/bloom"
+)
+
+// KeyPredictor applies the paper's locality-window prediction idea at the
+// serving edge, over request keys instead of transactional variables: a
+// window of Bloom filters remembers which keys recently conflicted
+// (aborted an STM transaction, missed a CAS compare), and a key whose
+// age-weighted confidence across the window reaches the threshold is
+// predicted to conflict again. The tkv admission controller routes writes
+// to such keys through its admission queue — serializing them cheaply up
+// front instead of letting them race and abort, which is the paper's
+// prevent-vs-cure argument moved ahead of the engine.
+//
+// Where Predictor is per-thread and unlocked, a KeyPredictor is shared by
+// every connection of a shard, so it carries its own mutex (bloom filters
+// are single-writer by design). Contention on the mutex is bounded by the
+// conflict rate, not the request rate: Hot is one short critical section
+// per write admission, OnConflict one per observed conflict.
+//
+// The window rotates on the controller's clock (each admission tick), not
+// per transaction: at serving scale "recent" is a time horizon, not a
+// transaction count.
+type KeyPredictor struct {
+	mu     sync.Mutex
+	cfg    Config
+	window *bloom.Window
+}
+
+// NewKeyPredictor builds a key-granular conflict predictor with the given
+// prediction parameters (DefaultConfig gives the paper's values).
+func NewKeyPredictor(cfg Config) *KeyPredictor {
+	return &KeyPredictor{
+		cfg:    cfg,
+		window: bloom.NewWindow(cfg.LocalityWindow, cfg.FilterBits, cfg.FilterHashes),
+	}
+}
+
+// OnConflict records that a write to key observed a conflict (an STM
+// abort/restart or a CAS mismatch) in the current window slot.
+func (p *KeyPredictor) OnConflict(key uint64) {
+	p.mu.Lock()
+	p.window.At(0).Add(key)
+	p.mu.Unlock()
+}
+
+// Hot reports whether key's accumulated confidence across the window
+// reaches the threshold. The current slot counts with the same weight as
+// the most recent historical one (c_1): a key conflicting right now is at
+// least as predictive as one that conflicted a tick ago.
+func (p *KeyPredictor) Hot(key uint64) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	conf := 0
+	for i := 0; i < p.window.Len(); i++ {
+		if !p.window.At(i).Contains(key) {
+			continue
+		}
+		w := i - 1
+		if w < 0 {
+			w = 0
+		}
+		if w >= len(p.cfg.Confidence) {
+			w = len(p.cfg.Confidence) - 1
+		}
+		if w >= 0 {
+			conf += p.cfg.Confidence[w]
+		}
+		if conf >= p.cfg.ConfidenceThreshold {
+			return true
+		}
+	}
+	return false
+}
+
+// Rotate ages the window by one slot, forgetting the oldest tick's
+// conflicts. The admission controller calls it once per tick.
+func (p *KeyPredictor) Rotate() {
+	p.mu.Lock()
+	p.window.Rotate()
+	p.mu.Unlock()
+}

@@ -1,0 +1,73 @@
+package predict
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestKeyPredictorHotAndDecay(t *testing.T) {
+	p := NewKeyPredictor(DefaultConfig())
+	if p.Hot(42) {
+		t.Fatal("fresh predictor predicts a conflict")
+	}
+	// One conflict in the current slot: weight c_1 = 3 >= threshold 3.
+	p.OnConflict(42)
+	if !p.Hot(42) {
+		t.Fatal("key with a fresh conflict not predicted hot")
+	}
+	if p.Hot(43) {
+		t.Fatal("unrelated key predicted hot")
+	}
+	// Age the conflict out of the window (LocalityWindow = 4 slots, and
+	// historical weights decay 3,2,1): after one rotation the conflict is
+	// in slot 1 with weight 3, still hot; after four it is gone.
+	p.Rotate()
+	if !p.Hot(42) {
+		t.Fatal("one-tick-old conflict lost its prediction")
+	}
+	for i := 0; i < 3; i++ {
+		p.Rotate()
+	}
+	if p.Hot(42) {
+		t.Fatal("conflict survived the whole window")
+	}
+}
+
+func TestKeyPredictorAccumulatesConfidence(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ConfidenceThreshold = 5 // needs conflicts in >= 2 slots (3 + 2)
+	p := NewKeyPredictor(cfg)
+	p.OnConflict(7)
+	if p.Hot(7) {
+		t.Fatal("single-slot confidence met a two-slot threshold")
+	}
+	p.Rotate()
+	p.OnConflict(7)
+	if !p.Hot(7) {
+		t.Fatal("two-slot confidence did not accumulate")
+	}
+}
+
+// TestKeyPredictorConcurrent exercises the mutex under -race.
+func TestKeyPredictorConcurrent(t *testing.T) {
+	p := NewKeyPredictor(DefaultConfig())
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				switch {
+				case i%100 == 0 && w == 0:
+					p.Rotate()
+				case i%3 == 0:
+					p.OnConflict(uint64(i % 17))
+				default:
+					p.Hot(uint64(i % 17))
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -186,6 +186,15 @@ func (p lockPlan) normalize() lockPlan {
 	return out
 }
 
+// captureVersions records each participating shard's keylock generation;
+// lock refuses a plan whose generations went stale (an adaptive resize
+// remapped keys to stripes), making the caller replan.
+func (st *Store) captureVersions(byShard map[int][]int, vers map[int]uint64) {
+	for id := range byShard {
+		vers[id] = st.shards[id].locks.Version()
+	}
+}
+
 // lock acquires the plan's stripes in order; exclusive selects the mode.
 // unlock with the same arguments releases them. An exclusive acquisition
 // additionally brackets each participating shard with the table's
@@ -193,19 +202,40 @@ func (p lockPlan) normalize() lockPlan {
 // the global order is shard gate < shard stripes < next shard's gate):
 // that is what lets the snapshot path exclude in-flight batches in O(1)
 // per shard instead of walking every stripe.
-func (st *Store) lock(plan lockPlan, exclusive bool) {
-	prev := -1
-	for _, r := range plan {
+//
+// Every acquisition is checked against the generation the plan was built
+// from (vers); when a concurrent stripe-table resize has retired it, lock
+// releases everything it holds and returns false, and the caller rebuilds
+// the plan against the new generation. Mixed-generation plans can never
+// lock the wrong stripe: versions are monotonic, so at most one shard's
+// table matches any stale plan, and its indices are still checked.
+func (st *Store) lock(plan lockPlan, vers map[int]uint64, exclusive bool) bool {
+	entered := -1
+	for n, r := range plan {
+		tab := st.shards[r.shard].locks
+		if exclusive && r.shard != entered {
+			tab.Enter()
+			entered = r.shard
+		}
+		var ok bool
 		if exclusive {
-			if r.shard != prev {
-				st.shards[r.shard].locks.Enter()
-				prev = r.shard
-			}
-			st.shards[r.shard].locks.Lock(r.stripe)
+			ok = tab.LockV(r.stripe, vers[r.shard])
 		} else {
-			st.shards[r.shard].locks.RLock(r.stripe)
+			ok = tab.RLockV(r.stripe, vers[r.shard])
+		}
+		if !ok {
+			// Stale generation: roll back the prefix. unlock exits the
+			// gate of every shard with a held stripe in the prefix; the
+			// shard we just entered has none when the failing stripe was
+			// its first, so exit it here.
+			st.unlock(plan[:n], exclusive)
+			if exclusive && (n == 0 || plan[n-1].shard != r.shard) {
+				tab.Exit()
+			}
+			return false
 		}
 	}
+	return true
 }
 
 // unlock releases a plan acquired by lock. A shard's session gate is
@@ -249,33 +279,64 @@ func (st *Store) Batch(ops []Op) ([]OpResult, error) {
 	if len(ops) == 0 {
 		return nil, nil
 	}
+	// Low-priority shed: past the overload knee, batches are pushed back
+	// before any planning or locking — they are the heaviest admissions
+	// and the cheapest to retry (see controller.shedLowPriority).
+	if st.ctrl != nil && st.ctrl.shedLowPriority() {
+		return nil, ErrBackpressure
+	}
 
 	// Group op indices by owning shard, preserving op order within a
-	// shard, and determine the batch's stripe set for lock planning.
+	// shard.
 	byShard := make(map[int][]int)
-	locks := make(lockPlan, len(ops))
 	for i, op := range ops {
 		if !validKind(op.Kind) {
 			return nil, fmt.Errorf("%w: batch op %d: unknown kind %q", ErrUser, i, op.Kind)
 		}
-		r := st.ref(op.Key)
-		byShard[r.shard] = append(byShard[r.shard], i)
-		locks[i] = r
+		byShard[st.ShardOf(op.Key)] = append(byShard[st.ShardOf(op.Key)], i)
 	}
-	locks = locks.normalize()
 	shardIDs := make([]int, 0, len(byShard))
 	for id := range byShard {
 		shardIDs = append(shardIDs, id)
 	}
 	sort.Ints(shardIDs)
 
+	// The stripe set is planned against the shards' current keylock
+	// generations; when an adaptive resize retires one mid-acquisition,
+	// lock backs out and the plan is rebuilt (rare: resizes happen on
+	// the controller's tick, not the request path).
+	vers := make(map[int]uint64, len(byShard))
+	buildPlan := func() lockPlan {
+		st.captureVersions(byShard, vers)
+		p := make(lockPlan, len(ops))
+		for i, op := range ops {
+			p[i] = st.ref(op.Key)
+		}
+		return p.normalize()
+	}
+	locks := buildPlan()
+	exclusive := len(shardIDs) > 1
+
+	// Wound-wait admission: a cross-shard batch that would hold many
+	// exclusive stripes passes the admission queue before holding
+	// anything, so stripe-heavy batches cannot starve hot single-key
+	// traffic and young ones are wounded instead of convoying.
+	if exclusive && st.ctrl != nil && len(locks) >= st.ctrl.cfg.LargeBatchStripes {
+		if err := st.ctrl.q.acquire(); err != nil {
+			return nil, err
+		}
+		defer st.ctrl.q.release()
+	}
+
 	// Fast path: a batch confined to one shard is atomic by the STM
 	// alone — one transaction, read-own-writes courtesy of the engine's
 	// write log — so shared stripes suffice and the plan/apply split is
 	// unnecessary.
-	if len(shardIDs) == 1 {
+	if !exclusive {
 		s := st.shards[shardIDs[0]]
-		st.lock(locks, false)
+		for !st.lock(locks, vers, false) {
+			locks = buildPlan()
+		}
 		defer st.unlock(locks, false)
 		results := make([]OpResult, len(ops))
 		failed := -1
@@ -317,7 +378,9 @@ func (st *Store) Batch(ops []Op) ([]OpResult, error) {
 	// one performs no STM writes (mutations land in the overlay), and the
 	// RO mode revalidates for free against the single-key traffic that
 	// striping now lets through on the batch's shards.
-	st.lock(locks, true)
+	for !st.lock(locks, vers, true) {
+		locks = buildPlan()
+	}
 	defer st.unlock(locks, true)
 
 	results := make([]OpResult, len(ops))

@@ -242,10 +242,16 @@ func readJSON(w http.ResponseWriter, r *http.Request, into any) bool {
 
 // httpError maps store errors onto statuses: request-content errors (bad
 // batch kinds, non-numeric Add targets — anything wrapping ErrUser) are the
-// client's fault, everything else is a 500.
+// client's fault, admission-shed requests are explicit backpressure (503
+// with a Retry-After hint — nothing was written; back off and retry), and
+// everything else is a 500.
 func httpError(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
-	if errors.Is(err, ErrUser) {
+	switch {
+	case errors.Is(err, ErrBackpressure):
+		status = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", "1")
+	case errors.Is(err, ErrUser):
 		status = http.StatusBadRequest
 	}
 	writeJSON(w, status, &errorResp{Error: err.Error()})

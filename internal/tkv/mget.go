@@ -25,23 +25,32 @@ func (st *Store) MGet(keys []uint64) ([]OpResult, error) {
 		return nil, nil
 	}
 
-	// One ref per key yields both the shard grouping and the lock plan
-	// (same single-pass form as Batch).
+	// Group keys by shard, then plan and acquire the stripe set against
+	// the shards' current keylock generations (same replan discipline as
+	// Batch when an adaptive resize intervenes).
 	byShard := make(map[int][]int)
-	locks := make(lockPlan, len(keys))
 	for i, k := range keys {
-		r := st.ref(k)
-		byShard[r.shard] = append(byShard[r.shard], i)
-		locks[i] = r
+		byShard[st.ShardOf(k)] = append(byShard[st.ShardOf(k)], i)
 	}
-	locks = locks.normalize()
 	shardIDs := make([]int, 0, len(byShard))
 	for id := range byShard {
 		shardIDs = append(shardIDs, id)
 	}
 	sort.Ints(shardIDs)
 
-	st.lock(locks, false)
+	vers := make(map[int]uint64, len(byShard))
+	buildPlan := func() lockPlan {
+		st.captureVersions(byShard, vers)
+		p := make(lockPlan, len(keys))
+		for i, k := range keys {
+			p[i] = st.ref(k)
+		}
+		return p.normalize()
+	}
+	locks := buildPlan()
+	for !st.lock(locks, vers, false) {
+		locks = buildPlan()
+	}
 	defer st.unlock(locks, false)
 
 	results := make([]OpResult, len(keys))

@@ -117,6 +117,12 @@ type OpCounts struct {
 // stripes (a shared wait is single-key/read traffic pausing behind a batch;
 // an exclusive wait is a batch pausing behind anything); ROFallbacks counts
 // reads routed to the logging update path after an RO restart streak.
+// SchedConfirmed/SchedRefuted are AdaptiveShrink's serialization-feedback
+// counters (zero for other schedulers). Stripes, StripeResizes, Overload,
+// Shed and Routed describe the admission layer: the shard's current stripe
+// count and how often its table resized, the controller's EWMA overload
+// score, and the writes shed with backpressure or routed through the
+// admission queue (all zero when admission is off).
 type ShardStats struct {
 	Shard             uint64  `json:"shard"`
 	Commits           uint64  `json:"commits"`
@@ -124,23 +130,40 @@ type ShardStats struct {
 	UserAborts        uint64  `json:"userAborts"`
 	CommitRate        float64 `json:"commitRate"`
 	Serializations    uint64  `json:"serializations"`
+	SchedConfirmed    uint64  `json:"schedConfirmed,omitempty"`
+	SchedRefuted      uint64  `json:"schedRefuted,omitempty"`
 	StripeWaitsShared uint64  `json:"stripeWaitsShared"`
 	StripeWaitsExcl   uint64  `json:"stripeWaitsExcl"`
 	ROFallbacks       uint64  `json:"roFallbacks"`
+	Stripes           int     `json:"stripes"`
+	StripeResizes     uint64  `json:"stripeResizes,omitempty"`
+	Overload          float64 `json:"overload,omitempty"`
+	Shed              uint64  `json:"shed,omitempty"`
+	Routed            uint64  `json:"routed,omitempty"`
 }
 
 // Stats aggregates the store's state: per-shard engine counters (including
-// Shrink serializations where attached), stripe-wait and RO-fallback
-// counters, and store-level op counts.
+// scheduler serializations and AdaptiveShrink feedback where attached),
+// stripe-wait, RO-fallback and admission counters, and store-level op
+// counts. The admission totals (Shed, ShedBatches, Wounded, AdmitQueued)
+// are zero when the store runs without an admission layer.
 type Stats struct {
 	Shards            []ShardStats `json:"shards"`
 	Commits           uint64       `json:"commits"`
 	Aborts            uint64       `json:"aborts"`
 	UserAborts        uint64       `json:"userAborts"`
 	Serializations    uint64       `json:"serializations"`
+	SchedConfirmed    uint64       `json:"schedConfirmed,omitempty"`
+	SchedRefuted      uint64       `json:"schedRefuted,omitempty"`
 	StripeWaitsShared uint64       `json:"stripeWaitsShared"`
 	StripeWaitsExcl   uint64       `json:"stripeWaitsExcl"`
 	ROFallbacks       uint64       `json:"roFallbacks"`
+	Shed              uint64       `json:"shed,omitempty"`
+	ShedBatches       uint64       `json:"shedBatches,omitempty"`
+	Routed            uint64       `json:"routed,omitempty"`
+	Wounded           uint64       `json:"wounded,omitempty"`
+	AdmitQueued       uint64       `json:"admitQueued,omitempty"`
+	AdmitDepth        int          `json:"admitDepth,omitempty"`
 	Ops               OpCounts     `json:"ops"`
 }
 
@@ -151,27 +174,46 @@ func (st *Store) Stats() Stats {
 	for i, s := range st.shards {
 		agg := s.tm.Stats()
 		shared, excl := s.locks.Waits()
+		confirmed, refuted := s.sched.Feedback()
 		ss := ShardStats{
 			Shard:             uint64(i),
 			Commits:           agg.Commits,
 			Aborts:            agg.Aborts,
 			UserAborts:        agg.UserAborts,
 			CommitRate:        agg.CommitRate(),
+			Serializations:    s.sched.Serializations(),
+			SchedConfirmed:    confirmed,
+			SchedRefuted:      refuted,
 			StripeWaitsShared: shared,
 			StripeWaitsExcl:   excl,
 			ROFallbacks:       s.roFallbacks.Load(),
+			Stripes:           s.locks.Stripes(),
+			StripeResizes:     s.locks.Resizes(),
 		}
-		if s.shrink != nil {
-			ss.Serializations = s.shrink.Serializations()
+		if s.ctl != nil {
+			ss.Overload = s.ctl.overload()
+			ss.Shed = s.ctl.shed.Load()
+			ss.Routed = s.ctl.routed.Load()
 		}
 		out.Shards[i] = ss
 		out.Commits += ss.Commits
 		out.Aborts += ss.Aborts
 		out.UserAborts += ss.UserAborts
 		out.Serializations += ss.Serializations
+		out.SchedConfirmed += ss.SchedConfirmed
+		out.SchedRefuted += ss.SchedRefuted
 		out.StripeWaitsShared += ss.StripeWaitsShared
 		out.StripeWaitsExcl += ss.StripeWaitsExcl
 		out.ROFallbacks += ss.ROFallbacks
+		out.Shed += ss.Shed
+		out.Routed += ss.Routed
+	}
+	if st.ctrl != nil {
+		out.ShedBatches = st.ctrl.shedBatches.Load()
+		out.Shed += out.ShedBatches
+		out.Wounded = st.ctrl.q.wounded.Load()
+		out.AdmitQueued = st.ctrl.q.waited.Load()
+		out.AdmitDepth = st.ctrl.q.depth()
 	}
 	out.Ops = OpCounts{
 		Gets:           st.ops.gets.Load(),
@@ -199,10 +241,15 @@ func (s Stats) Table() *report.Table {
 		t.Add("commits", int(sh.Shard), float64(sh.Commits))
 		t.Add("aborts", int(sh.Shard), float64(sh.Aborts))
 		t.Add("serializations", int(sh.Shard), float64(sh.Serializations))
+		t.Add("schedConfirmed", int(sh.Shard), float64(sh.SchedConfirmed))
+		t.Add("schedRefuted", int(sh.Shard), float64(sh.SchedRefuted))
 		t.Add("commitRate", int(sh.Shard), sh.CommitRate)
 		t.Add("stripeWaitsShared", int(sh.Shard), float64(sh.StripeWaitsShared))
 		t.Add("stripeWaitsExcl", int(sh.Shard), float64(sh.StripeWaitsExcl))
 		t.Add("roFallbacks", int(sh.Shard), float64(sh.ROFallbacks))
+		t.Add("stripes", int(sh.Shard), float64(sh.Stripes))
+		t.Add("overload", int(sh.Shard), sh.Overload)
+		t.Add("shed", int(sh.Shard), float64(sh.Shed))
 	}
 	return t
 }

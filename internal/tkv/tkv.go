@@ -105,6 +105,12 @@ type Config struct {
 	Scheduler string
 	Wait      stm.WaitPolicy
 	Shrink    *sched.ShrinkConfig
+	// Admission enables the contention-aware admission layer (overload
+	// shedding, wound-wait batch admission, adaptive stripe counts,
+	// predictor-routed writes; see AdmitConfig). nil disables it
+	// entirely: no controller goroutine runs and the serving paths pay
+	// nothing. A Store opened with Admission set should be Closed.
+	Admission *AdmitConfig
 }
 
 // Store is a sharded transactional key-value store with string values.
@@ -112,14 +118,18 @@ type Store struct {
 	shards []*shard
 	shift  uint // shard index = top bits of the mixed key
 	ops    opCounters
+	// ctrl is the admission controller; nil unless Config.Admission.
+	ctrl *controller
 }
 
 // shard is one slice of the key space with its own TM stack.
 type shard struct {
-	tm     stm.TM
-	shrink *sched.Shrink // nil unless the Shrink scheduler is attached
-	kv     *stmds.HashMap[string]
-	pool   chan stm.Thread
+	tm    stm.TM
+	sched *enginecfg.Sched // scheduler counter handle; nil-safe methods
+	kv    *stmds.HashMap[string]
+	pool  chan stm.Thread
+	// ctl is the shard's admission state; nil unless Config.Admission.
+	ctl *shardCtl
 	// locks is the shard's striped key-lock table: batches hold their
 	// keys' stripes exclusively across plan and apply, everything that is
 	// atomic as one STM transaction holds its stripes in shared mode, and
@@ -252,7 +262,7 @@ func Open(cfg Config) (*Store, error) {
 	}
 	st := &Store{shards: make([]*shard, n), shift: uint(64 - log2(n))}
 	for i := range st.shards {
-		tm, shrink, err := enginecfg.Build(enginecfg.Spec{
+		tm, sc, err := enginecfg.Build(enginecfg.Spec{
 			Engine:    cfg.Engine,
 			Scheduler: cfg.Scheduler,
 			Wait:      cfg.Wait,
@@ -262,11 +272,11 @@ func Open(cfg Config) (*Store, error) {
 			return nil, fmt.Errorf("tkv: shard %d: %w", i, err)
 		}
 		s := &shard{
-			tm:     tm,
-			shrink: shrink,
-			kv:     stmds.NewHashMap[string](buckets),
-			pool:   make(chan stm.Thread, poolSize),
-			locks:  keylock.New(cfg.LockStripes),
+			tm:    tm,
+			sched: sc,
+			kv:    stmds.NewHashMap[string](buckets),
+			pool:  make(chan stm.Thread, poolSize),
+			locks: keylock.New(cfg.LockStripes),
 		}
 		s.slots.New = func() any { return newOpSlot(s) }
 		for j := 0; j < poolSize; j++ {
@@ -274,7 +284,31 @@ func Open(cfg Config) (*Store, error) {
 		}
 		st.shards[i] = s
 	}
+	if cfg.Admission != nil {
+		ac := cfg.Admission.normalized()
+		st.ctrl = newController(st, ac)
+		for i, s := range st.shards {
+			s.ctl = &st.ctrl.shards[i]
+			if ac.AdaptStripes {
+				sa := ac.StripeAdapt
+				if sa.MinStripes == 0 && sa.MaxStripes == 0 {
+					sa = keylock.DefaultAdaptConfig(s.locks.Stripes())
+				}
+				s.locks.EnableAdapt(sa)
+			}
+		}
+		go st.ctrl.run()
+	}
 	return st, nil
+}
+
+// Close stops the admission controller, if one is running. The store
+// itself holds no other background resources; Close is idempotent and a
+// no-op for stores opened without Admission.
+func (st *Store) Close() {
+	if st.ctrl != nil {
+		st.ctrl.close()
+	}
 }
 
 func log2(n int) int {
@@ -323,6 +357,41 @@ func (s *shard) atomicallyRO(fn func(tx *stm.ROTx) error) error {
 	th := <-s.pool
 	defer func() { s.pool <- th }()
 	return th.AtomicallyRO(fn)
+}
+
+// atomicallyW is atomically for single-key writes: when the admission
+// layer is on, a transaction that had to restart feeds its key to the
+// shard's conflict predictor, so the next write to the same key can be
+// routed through the admission queue instead of racing. Without the layer
+// it is byte-for-byte the plain path.
+func (s *shard) atomicallyW(key uint64, fn func(tx stm.Tx) error) error {
+	th := <-s.pool
+	if s.ctl == nil {
+		defer func() { s.pool <- th }()
+		return th.Atomically(fn)
+	}
+	before := th.Ctx().Aborts.Load()
+	defer func() {
+		// The pooled thread is exclusively ours between borrow and
+		// return, so the abort-counter delta is exactly this call's
+		// restart count.
+		if d := th.Ctx().Aborts.Load() - before; d > 0 {
+			s.ctl.noteConflict(key, d)
+		}
+		s.pool <- th
+	}()
+	return th.Atomically(fn)
+}
+
+// admitWrite gates one single-key write on this shard when the admission
+// layer is on: it may shed (ErrBackpressure) or route the write through
+// the admission queue, in which case the caller must release the returned
+// slot after the operation. The disabled path is a nil check.
+func (s *shard) admitWrite(key uint64) (routed bool, err error) {
+	if s.ctl == nil {
+		return false, nil
+	}
+	return s.ctl.admitWrite(key)
 }
 
 // roFallbackStreak is the number of consecutive read-only snapshot restarts
@@ -410,12 +479,19 @@ func (st *Store) Put(key uint64, val string) (bool, error) {
 func (st *Store) PutRef(key uint64, val *string) (bool, error) {
 	st.ops.puts.Add(1)
 	s := st.shardFor(key)
+	routed, err := s.admitWrite(key)
+	if err != nil {
+		return false, err
+	}
+	if routed {
+		defer s.ctl.q.release()
+	}
 	i := s.locks.RLockKey(key)
 	defer s.locks.RUnlock(i)
 	sl := s.slots.Get().(*opSlot)
 	sl.key = key
 	sl.valRef = val
-	err := s.atomically(sl.put)
+	err = s.atomicallyW(key, sl.put)
 	created := sl.outOK
 	s.release(sl)
 	return created, err
@@ -425,11 +501,18 @@ func (st *Store) PutRef(key uint64, val *string) (bool, error) {
 func (st *Store) Delete(key uint64) (bool, error) {
 	st.ops.deletes.Add(1)
 	s := st.shardFor(key)
+	routed, err := s.admitWrite(key)
+	if err != nil {
+		return false, err
+	}
+	if routed {
+		defer s.ctl.q.release()
+	}
 	i := s.locks.RLockKey(key)
 	defer s.locks.RUnlock(i)
 	sl := s.slots.Get().(*opSlot)
 	sl.key = key
-	err := s.atomically(sl.del)
+	err = s.atomicallyW(key, sl.del)
 	deleted := sl.outOK
 	s.release(sl)
 	return deleted, err
@@ -440,16 +523,29 @@ func (st *Store) Delete(key uint64) (bool, error) {
 func (st *Store) CAS(key uint64, old, new string) (bool, error) {
 	st.ops.cas.Add(1)
 	s := st.shardFor(key)
+	routed, err := s.admitWrite(key)
+	if err != nil {
+		return false, err
+	}
+	if routed {
+		defer s.ctl.q.release()
+	}
 	i := s.locks.RLockKey(key)
 	defer s.locks.RUnlock(i)
 	sl := s.slots.Get().(*opSlot)
 	sl.key = key
 	sl.oldV, sl.newV = old, new
-	err := s.atomically(sl.cas)
+	err = s.atomicallyW(key, sl.cas)
 	swapped := sl.outOK
 	s.release(sl)
 	if err == nil && !swapped {
 		st.ops.casMisses.Add(1)
+		if s.ctl != nil {
+			// A CAS miss is a key-level conflict the engine never
+			// sees (the compare fails in a committed read); feed it
+			// to the predictor all the same.
+			s.ctl.noteConflict(key, 1)
+		}
 	}
 	return swapped, err
 }
@@ -460,12 +556,19 @@ func (st *Store) CAS(key uint64, old, new string) (bool, error) {
 func (st *Store) Add(key uint64, delta int64) (int64, error) {
 	st.ops.adds.Add(1)
 	s := st.shardFor(key)
+	routed, err := s.admitWrite(key)
+	if err != nil {
+		return 0, err
+	}
+	if routed {
+		defer s.ctl.q.release()
+	}
 	i := s.locks.RLockKey(key)
 	defer s.locks.RUnlock(i)
 	sl := s.slots.Get().(*opSlot)
 	sl.key = key
 	sl.delta = delta
-	err := s.atomically(sl.add)
+	err = s.atomicallyW(key, sl.add)
 	out := sl.outN
 	s.release(sl)
 	return out, err

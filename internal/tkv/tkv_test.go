@@ -410,11 +410,29 @@ func TestLockPlanNormalize(t *testing.T) {
 	}
 	// Locking and unlocking the plan must not self-deadlock (dedup) and
 	// must leave every stripe free (pairing).
-	st.lock(plan, true)
+	vers := make(map[int]uint64, st.NumShards())
+	for i, s := range st.shards {
+		vers[i] = s.locks.Version()
+	}
+	if !st.lock(plan, vers, true) {
+		t.Fatal("exclusive lock refused a fresh plan")
+	}
 	st.unlock(plan, true)
-	st.lock(plan, false)
+	if !st.lock(plan, vers, false) {
+		t.Fatal("shared lock refused a fresh plan")
+	}
 	st.unlock(plan, false)
 	unlock := st.freezeAll() // would block if a session leaked
+	unlock()
+
+	// A stale generation must be refused without holding anything.
+	for _, s := range st.shards {
+		s.locks.Resize(s.locks.Stripes() * 2)
+	}
+	if st.lock(plan, vers, true) {
+		t.Fatal("exclusive lock accepted a stale plan across a resize")
+	}
+	unlock = st.freezeAll() // would block if the refusal leaked a hold
 	unlock()
 }
 

@@ -27,14 +27,16 @@ func (e *StatusError) Error() string {
 }
 
 // Is maps statuses onto the tkv sentinel errors, so errors.Is(err,
-// tkv.ErrUser) and errors.Is(err, tkv.ErrCASMismatch) work across the wire
-// exactly as they do in-process.
+// tkv.ErrUser), errors.Is(err, tkv.ErrCASMismatch) and errors.Is(err,
+// tkv.ErrBackpressure) work across the wire exactly as they do in-process.
 func (e *StatusError) Is(target error) bool {
 	switch target {
 	case tkv.ErrUser:
 		return e.Status == StatusBadRequest
 	case tkv.ErrCASMismatch:
 		return e.Status == StatusCASMismatch
+	case tkv.ErrBackpressure:
+		return e.Status == StatusBackpressure
 	}
 	return false
 }

@@ -186,9 +186,15 @@ func (c *conn) sendErr(op byte, id uint64, status uint16, msg string) {
 	c.out <- f
 }
 
-// statusOf classifies an application error.
+// statusOf classifies an application error. The backpressure arm matters
+// for allocation discipline as much as semantics: a shed request's error is
+// the bare tkv.ErrBackpressure sentinel, whose Error() string is constant,
+// so the rejection response costs no allocation on the path that is hottest
+// precisely when the server is overloaded (sendErr's frame is pooled).
 func statusOf(err error) uint16 {
 	switch {
+	case errors.Is(err, tkv.ErrBackpressure):
+		return StatusBackpressure
 	case errors.Is(err, tkv.ErrCASMismatch):
 		return StatusCASMismatch
 	case errors.Is(err, tkv.ErrUser):
@@ -336,6 +342,13 @@ func (c *conn) dispatch(h Header, p []byte) bool {
 			c.sendResults(OpMGet, id, StatusOK, results)
 		})
 	case OpBatch:
+		// Ask the admission controller before decoding: a shed batch must
+		// cost nothing but a pooled error frame, and ParseBatchReq is the
+		// allocation (op slice, value strings) we are shedding to avoid.
+		if st.ShedLowPriority() {
+			c.sendErr(OpBatch, h.ID, StatusBackpressure, tkv.ErrBackpressure.Error())
+			return true
+		}
 		ops, err := ParseBatchReq(p)
 		if err != nil {
 			c.sendErr(h.Op, h.ID, StatusBadRequest, err.Error())

@@ -16,11 +16,17 @@ import (
 // startServer brings up a store and a wire server on a loopback listener,
 // returning the dial address. Everything is torn down with the test.
 func startServer(t testing.TB) string {
+	return startServerWith(t, tkv.Config{Shards: 4, PoolSize: 2, Buckets: 128})
+}
+
+// startServerWith is startServer with a caller-chosen store config.
+func startServerWith(t testing.TB, cfg tkv.Config) string {
 	t.Helper()
-	st, err := tkv.Open(tkv.Config{Shards: 4, PoolSize: 2, Buckets: 128})
+	st, err := tkv.Open(cfg)
 	if err != nil {
 		t.Fatalf("tkv.Open: %v", err)
 	}
+	t.Cleanup(st.Close)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatalf("listen: %v", err)

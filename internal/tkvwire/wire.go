@@ -69,6 +69,11 @@ const (
 	StatusBadRequest  = 1 // the request was malformed or invalid (tkv.ErrUser)
 	StatusCASMismatch = 2 // batch refused whole by a failed cas compare; payload carries results
 	StatusInternal    = 3 // engine/server failure
+	// StatusBackpressure is explicit admission backpressure
+	// (tkv.ErrBackpressure): the server is past its overload knee and
+	// shed the request before executing it. Nothing was written; the
+	// client should back off and retry.
+	StatusBackpressure = 4
 )
 
 // Flag bits (responses).
