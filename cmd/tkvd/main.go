@@ -14,13 +14,24 @@
 // get/put serving path. The binary port is the fast serving edge; HTTP
 // stays up as the debug and tooling surface.
 //
+// tkvd replicates. A primary streams every committed write set
+// (internal/tkvlog records) to followers over the wire port; a follower
+// (-role follower -follow primary:port) replays the stream into its own
+// store, serves stale-bounded reads, bounces writes with 421, and can be
+// promoted to primary at any time with POST /promote. Graceful shutdown
+// fences writes and drains the replication stream first, so a drained
+// follower is exactly up to date — the kill-and-recover drill in
+// tkvload -scenario failover loses nothing.
+//
 // Usage:
 //
 //	tkvd -addr 127.0.0.1:7070 -tcpaddr 127.0.0.1:7071 -shards 8 -sched shrink -stm swiss
-//	tkvd -stm tiny -wait busy -sched none -tcpaddr ""
+//	tkvd -role follower -follow 127.0.0.1:7071 -addr 127.0.0.1:7072 -tcpaddr 127.0.0.1:7073
+//	tkvd -stm tiny -wait busy -sched none -tcpaddr "" -replring 0
 //
-// The server shuts down gracefully on SIGINT/SIGTERM, draining in-flight
-// requests and printing the final shard statistics.
+// The server shuts down gracefully on SIGINT/SIGTERM or POST /quit,
+// draining in-flight requests and the replication stream, then printing
+// the final shard statistics.
 package main
 
 import (
@@ -32,11 +43,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
 	"github.com/shrink-tm/shrink/internal/enginecfg"
 	"github.com/shrink-tm/shrink/internal/tkv"
+	"github.com/shrink-tm/shrink/internal/tkvrepl"
 	"github.com/shrink-tm/shrink/internal/tkvwire"
 )
 
@@ -48,9 +61,10 @@ func main() {
 }
 
 // run starts the servers and blocks until a termination signal (or a close
-// of the test-only stop channel) triggers the graceful shutdown. When ready
-// is non-nil the bound HTTP address is sent on it once the listener is up,
-// followed by the binary-protocol address when -tcpaddr is enabled.
+// of the test-only stop channel, or POST /quit) triggers the graceful
+// shutdown. When ready is non-nil the bound HTTP address is sent on it once
+// the listener is up, followed by the binary-protocol address when -tcpaddr
+// is enabled.
 func run(args []string, out io.Writer, ready chan<- string, stop <-chan struct{}) error {
 	fs := flag.NewFlagSet("tkvd", flag.ContinueOnError)
 	var (
@@ -64,6 +78,14 @@ func run(args []string, out io.Writer, ready chan<- string, stop <-chan struct{}
 			"key-lock stripes per shard, rounded up to a power of two (0 = default)")
 		schedName = fs.String("sched", enginecfg.SchedShrink,
 			"per-shard scheduler: none, shrink, ats, pool or adaptive")
+		role = fs.String("role", "primary",
+			"replication role: primary (serves writes, streams to followers) or "+
+				"follower (replays a primary, serves reads, POST /promote to take over)")
+		follow = fs.String("follow", "",
+			"primary's wire address to replicate from (required with -role follower)")
+		replring = fs.Int("replring", 1024,
+			"replicated write sets retained per shard for follower catch-up "+
+				"(0 disables replication entirely)")
 		admitDefaults = tkv.DefaultAdmitConfig()
 		admit         = fs.Bool("admit", false,
 			"enable the contention-aware admission layer (overload shedding, "+
@@ -85,6 +107,21 @@ func run(args []string, out io.Writer, ready chan<- string, stop <-chan struct{}
 	if err != nil {
 		return err
 	}
+	switch *role {
+	case "primary":
+		if *follow != "" {
+			return fmt.Errorf("-follow is only meaningful with -role follower")
+		}
+	case "follower":
+		if *follow == "" {
+			return fmt.Errorf("-role follower requires -follow (the primary's wire address)")
+		}
+		if *replring <= 0 {
+			return fmt.Errorf("-role follower requires a replication ring (-replring > 0)")
+		}
+	default:
+		return fmt.Errorf("unknown -role %q (primary or follower)", *role)
+	}
 	var admission *tkv.AdmitConfig
 	if *admit {
 		ac := admitDefaults
@@ -103,11 +140,15 @@ func run(args []string, out io.Writer, ready chan<- string, stop <-chan struct{}
 		Scheduler:   *schedName,
 		Wait:        wait,
 		Admission:   admission,
+		ReplRing:    *replring,
 	})
 	if err != nil {
 		return err
 	}
 	defer store.Close()
+	if *role == "follower" {
+		store.SetReadOnly(true)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -117,13 +158,48 @@ func run(args []string, out io.Writer, ready chan<- string, stop <-chan struct{}
 	if admission != nil {
 		admitLabel = fmt.Sprintf("knee=%g max=%g", admission.ShedKnee, admission.ShedMax)
 	}
-	fmt.Fprintf(out, "tkvd: serving on %s (%d shards, engine=%s, sched=%s, wait=%s, admit=%s)\n",
-		ln.Addr(), store.NumShards(), ef.Engine(), *schedName, ef.WaitLabel(), admitLabel)
+	fmt.Fprintf(out, "tkvd: serving on %s (%d shards, engine=%s, sched=%s, wait=%s, admit=%s, role=%s)\n",
+		ln.Addr(), store.NumShards(), ef.Engine(), *schedName, ef.WaitLabel(), admitLabel, *role)
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}
 
-	srv := &http.Server{Handler: tkv.NewHandler(store)}
+	// The operator surface wraps the KV handler: /promote turns a
+	// follower into a writable primary (stopping its applier), /quit is
+	// the remote form of SIGTERM — both POST-only.
+	quitc := make(chan struct{})
+	var quitOnce sync.Once
+	var replMu sync.Mutex // guards follower handoff during promote
+	var follower *tkvrepl.Follower
+	mux := http.NewServeMux()
+	mux.Handle("/", tkv.NewHandler(store))
+	mux.HandleFunc("/promote", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		replMu.Lock()
+		if follower != nil {
+			follower.Stop()
+			follower = nil
+		}
+		store.SetReadOnly(false)
+		replMu.Unlock()
+		fmt.Fprintf(out, "tkvd: promoted to primary\n")
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, `{"role":"primary"}`)
+	})
+	mux.HandleFunc("/quit", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		quitOnce.Do(func() { close(quitc) })
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "shutting down")
+	})
+
+	srv := &http.Server{Handler: mux}
 	errc := make(chan error, 2)
 	go func() { errc <- srv.Serve(ln) }()
 
@@ -146,6 +222,21 @@ func run(args []string, out io.Writer, ready chan<- string, stop <-chan struct{}
 		}()
 	}
 
+	if *role == "follower" {
+		f, err := tkvrepl.Start(store, *follow)
+		if err != nil {
+			srv.Close()
+			if wsrv != nil {
+				wsrv.Close()
+			}
+			return err
+		}
+		replMu.Lock()
+		follower = f
+		replMu.Unlock()
+		fmt.Fprintf(out, "tkvd: following %s\n", *follow)
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	defer signal.Stop(sig)
@@ -155,11 +246,35 @@ func run(args []string, out io.Writer, ready chan<- string, stop <-chan struct{}
 		return err
 	case s := <-sig:
 		fmt.Fprintf(out, "tkvd: %v, shutting down\n", s)
+	case <-quitc:
+		fmt.Fprintln(out, "tkvd: quit requested, shutting down")
 	case <-stop:
 		fmt.Fprintln(out, "tkvd: stop requested, shutting down")
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
+	// A stopping follower just detaches; a stopping primary fences writes
+	// and drains its streams first, so every acknowledged write reaches
+	// the followers before the sockets close — the zero-loss half of the
+	// failover contract.
+	replMu.Lock()
+	if follower != nil {
+		follower.Stop()
+		follower = nil
+	}
+	replMu.Unlock()
+	// The drain fence below flips the store read-only, which would make
+	// the final stats line claim "follower"; report the role served.
+	finalRole := "primary"
+	if store.ReadOnly() {
+		finalRole = "follower"
+	}
+	if store.Repl() != nil && wsrv != nil && !store.ReadOnly() {
+		store.SetReadOnly(true)
+		if !wsrv.DrainRepl(3 * time.Second) {
+			fmt.Fprintln(out, "tkvd: replication drain timed out; followers must resync")
+		}
+	}
 	if wsrv != nil {
 		if err := wsrv.Close(); err != nil {
 			return err
@@ -169,7 +284,12 @@ func run(args []string, out io.Writer, ready chan<- string, stop <-chan struct{}
 		return err
 	}
 	stats := store.Stats()
-	fmt.Fprintf(out, "tkvd: drained; commits=%d aborts=%d serializations=%d shed=%d routed=%d ops: %+v\n",
-		stats.Commits, stats.Aborts, stats.Serializations, stats.Shed, stats.Routed, stats.Ops)
+	replLabel := ""
+	if r := stats.Repl; r != nil {
+		replLabel = fmt.Sprintf(" repl: role=%s lag=%d applied=%d overflows=%d resyncs=%d",
+			finalRole, r.Lag, r.AppliedRecs, r.Overflows, r.Resyncs)
+	}
+	fmt.Fprintf(out, "tkvd: drained; commits=%d aborts=%d serializations=%d shed=%d routed=%d ops: %+v%s\n",
+		stats.Commits, stats.Aborts, stats.Serializations, stats.Shed, stats.Routed, stats.Ops, replLabel)
 	return nil
 }

@@ -1,0 +1,161 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/shrink-tm/shrink/internal/tkv"
+	"github.com/shrink-tm/shrink/internal/tkvrepl"
+	"github.com/shrink-tm/shrink/internal/tkvwire"
+)
+
+// miniTKVD is a test stand-in for one tkvd process: the same store, wire
+// server, HTTP surface, /promote and /quit semantics, and the same
+// fence-drain-close shutdown order — just in-process so the scenario
+// test needs no binaries.
+type miniTKVD struct {
+	store *tkv.Store
+	wsrv  *tkvwire.Server
+	hsrv  *http.Server
+
+	httpAddr string
+	wireAddr string
+
+	mu       sync.Mutex
+	follower *tkvrepl.Follower
+	quit     chan struct{} // closed by POST /quit
+	done     chan struct{} // closed when the quit-shutdown finished
+}
+
+func startMini(t *testing.T, follow string) *miniTKVD {
+	t.Helper()
+	st, err := tkv.Open(tkv.Config{Shards: 2, PoolSize: 2, Buckets: 128, ReplRing: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(st.Close)
+	m := &miniTKVD{store: st, quit: make(chan struct{}), done: make(chan struct{})}
+
+	wln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.wireAddr = wln.Addr().String()
+	m.wsrv = tkvwire.NewServer(st)
+	go m.wsrv.Serve(wln)
+
+	mux := http.NewServeMux()
+	mux.Handle("/", tkv.NewHandler(st))
+	mux.HandleFunc("POST /promote", func(w http.ResponseWriter, r *http.Request) {
+		m.mu.Lock()
+		if m.follower != nil {
+			m.follower.Stop()
+			m.follower = nil
+		}
+		m.store.SetReadOnly(false)
+		m.mu.Unlock()
+		fmt.Fprintln(w, `{"role":"primary"}`)
+	})
+	mux.HandleFunc("POST /quit", func(w http.ResponseWriter, r *http.Request) {
+		m.mu.Lock()
+		select {
+		case <-m.quit:
+		default:
+			close(m.quit)
+		}
+		m.mu.Unlock()
+		w.WriteHeader(http.StatusOK)
+	})
+	hln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.httpAddr = hln.Addr().String()
+	m.hsrv = &http.Server{Handler: mux}
+	go m.hsrv.Serve(hln)
+
+	if follow != "" {
+		st.SetReadOnly(true)
+		f, err := tkvrepl.Start(st, follow)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.mu.Lock()
+		m.follower = f
+		m.mu.Unlock()
+	}
+
+	// The quit watcher replays tkvd's graceful order: fence, drain the
+	// stream, close the wire server, then the HTTP server.
+	go func() {
+		defer close(m.done)
+		<-m.quit
+		if !m.store.ReadOnly() {
+			m.store.SetReadOnly(true)
+			m.wsrv.DrainRepl(5 * time.Second)
+		}
+		m.wsrv.Close()
+		m.hsrv.Close()
+	}()
+	t.Cleanup(func() {
+		m.mu.Lock()
+		if m.follower != nil {
+			m.follower.Stop()
+			m.follower = nil
+		}
+		select {
+		case <-m.quit:
+		default:
+			close(m.quit)
+		}
+		m.mu.Unlock()
+		<-m.done
+	})
+	return m
+}
+
+// TestFailoverScenario runs the full drill through the same entry point
+// the CLI uses and checks the zero-loss verdict.
+func TestFailoverScenario(t *testing.T) {
+	primary := startMini(t, "")
+	follower := startMini(t, primary.wireAddr)
+
+	var out bytes.Buffer
+	err := run([]string{
+		"-scenario", "failover",
+		"-url", "http://" + primary.httpAddr,
+		"-url2", "http://" + follower.httpAddr,
+		"-keys", "32",
+		"-conns", "4",
+		"-dur", "300ms",
+	}, &out)
+	if err != nil {
+		t.Fatalf("failover scenario: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "PASS — zero lost acknowledged updates") {
+		t.Fatalf("missing pass verdict:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "follower promoted") {
+		t.Fatalf("missing promote line:\n%s", out.String())
+	}
+	// The promoted follower is writable.
+	if rs := follower.store.Stats().Repl; rs == nil || rs.Role != "primary" {
+		t.Fatalf("follower not promoted: %+v", rs)
+	}
+}
+
+func TestFailoverScenarioFlagValidation(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-scenario", "failover", "-url", "http://x"}, &out); err == nil {
+		t.Fatal("failover without -url2 accepted")
+	}
+	if err := run([]string{"-scenario", "bogus", "-url", "http://x"}, &out); err == nil {
+		t.Fatal("bogus scenario accepted")
+	}
+}

@@ -92,6 +92,10 @@ func run(args []string, out io.Writer) error {
 		warmup    = fs.Duration("warmup", time.Second, "per-cell warm-up excluded from latency histograms and ops/s")
 		dur       = fs.Duration("dur", 2*time.Second, "measurement duration per connection-count cell (after warm-up)")
 		connsList = fs.String("conns", "8", "comma-separated connection counts to sweep")
+		scenario  = fs.String("scenario", "",
+			"scripted drill instead of a sweep: 'failover' kills the primary mid-load, "+
+				"promotes the follower and verifies zero lost acknowledged updates")
+		url2      = fs.String("url2", "", "follower base URL (required by -scenario failover)")
 		rate      = fs.Float64("rate", 0, "open-loop arrival rate in ops/s (0 = closed loop)")
 		keys      = fs.Int("keys", 128, "counter key count (keys 0..n-1, sum-verified)")
 		blobs     = fs.Int("blobs", 128, "blob key count (put/delete/get region)")
@@ -194,6 +198,23 @@ func run(args []string, out io.Writer) error {
 		addFrac:   *addFrac,
 		seed:      *seed,
 		pipeline:  *pipeline,
+	}
+
+	switch *scenario {
+	case "":
+	case "failover":
+		if *url == "" || *url2 == "" {
+			return fmt.Errorf("-scenario failover requires -url (primary) and -url2 (follower)")
+		}
+		return runFailover(failoverSpec{
+			primary:  strings.TrimRight(*url, "/"),
+			follower: strings.TrimRight(*url2, "/"),
+			keys:     *keys,
+			workers:  conns[0],
+			phase:    *dur,
+		}, out)
+	default:
+		return fmt.Errorf("unknown -scenario %q (want failover)", *scenario)
 	}
 
 	if *sweepMode == "sched" {

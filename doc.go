@@ -54,6 +54,26 @@
 // the throughput on the same store and host, with an unpipelined
 // latency floor in the tens of microseconds.
 //
+// tkvd processes form a replicated group. A primary captures every
+// committed write set — under the same key-lock stripes, after STM
+// commit but before stripe release, so ring order equals commit order
+// per key — as an internal/tkvlog record: length-prefixed, versioned,
+// CRC32-C-sealed, allocation-free to encode, with torn tails (ErrShort)
+// distinguished from corruption (ErrCorrupt); the same record is the
+// planned on-disk WAL format. Per-shard bounded rings decouple commits
+// from the network, a per-subscription shipper on the wire port (behind
+// a version/feature handshake that leaves old clients untouched)
+// replays backlog and tails live commits, and a wrapped ring degrades
+// to a consistent per-shard snapshot cut instead of a lost follower.
+// The follower side (internal/tkvrepl) replays the stream through the
+// same stripe-exclusive commit path, serves stale-bounded reads
+// (writes bounce with "not primary"), reports lag watermarks in /stats,
+// and promotes to a writable primary on POST /promote. Graceful
+// shutdown fences writes and drains the stream through a flush barrier
+// before closing listeners, so planned failover loses no acknowledged
+// write (cmd/tkvload -scenario failover drills exactly that); a hard
+// kill loses at most the reported lag.
+//
 // The transaction lifecycle is shared between the engines (stm.Core) and
 // allocation-free in steady state under any scheduler: write-set lookups
 // go through an inline index (stm.WriteIndex) instead of a map, and

@@ -291,6 +291,26 @@ func (t *Table) RLockKey(key uint64) int {
 	}
 }
 
+// LockKey acquires the stripe owning key in exclusive mode and returns its
+// index for the matching Unlock. It is RLockKey's exclusive twin — same
+// per-generation revalidation, no version needed — for single-key writers
+// that must order side effects per key (tkv's replication log emission:
+// the record is enqueued before the stripe is released, so ring order is
+// commit order for every key). Single-stripe exclusive holds need no
+// Enter/Exit session: the resizer waits them out in its stripe sweep, and
+// Freeze deliberately does not exclude them (they are atomic per shard by
+// the STM, exactly like the shared holders Freeze leaves undisturbed).
+func (t *Table) LockKey(key uint64) int {
+	h := mix(key)
+	for {
+		g := t.gen.Load()
+		i := int(h & g.mask)
+		if t.lockPinned(g, i) {
+			return i
+		}
+	}
+}
+
 // Enter begins an exclusive multi-stripe session: callers that take stripes
 // in exclusive mode must bracket the acquisition with Enter/Exit (once per
 // session, before the first stripe) to be visible to Freeze and to the

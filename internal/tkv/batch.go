@@ -279,6 +279,14 @@ func (st *Store) Batch(ops []Op) ([]OpResult, error) {
 	if len(ops) == 0 {
 		return nil, nil
 	}
+	if st.ro.Load() {
+		// Followers serve reads: only a batch that mutates is bounced.
+		for i := range ops {
+			if ops[i].Kind != OpGet {
+				return nil, ErrNotPrimary
+			}
+		}
+	}
 	// Low-priority shed: past the overload knee, batches are pushed back
 	// before any planning or locking — they are the heaviest admissions
 	// and the cheapest to retry (see controller.shedLowPriority).
@@ -315,7 +323,11 @@ func (st *Store) Batch(ops []Op) ([]OpResult, error) {
 		return p.normalize()
 	}
 	locks := buildPlan()
-	exclusive := len(shardIDs) > 1
+	// With a replication log attached even a single-shard batch goes
+	// through the exclusive two-phase path: its record must enqueue under
+	// the exclusive stripes to keep ring order equal to commit order (see
+	// repl.go).
+	exclusive := len(shardIDs) > 1 || st.repl != nil
 
 	// Wound-wait admission: a cross-shard batch that would hold many
 	// exclusive stripes passes the admission queue before holding
@@ -465,6 +477,12 @@ func (st *Store) Batch(ops []Op) ([]OpResult, error) {
 			// with user errors; an engine error here is fatal to the
 			// batch's atomicity and surfaced loudly.
 			return nil, fmt.Errorf("batch apply on shard %d: %w", id, err)
+		}
+		if st.repl != nil {
+			// Still under the batch's exclusive stripes (released by the
+			// deferred unlock), so the record's ring position matches its
+			// commit position for every key it writes.
+			st.emitPlan(id, plan)
 		}
 	}
 	return results, nil

@@ -251,6 +251,10 @@ func httpError(w http.ResponseWriter, err error) {
 	case errors.Is(err, ErrBackpressure):
 		status = http.StatusServiceUnavailable
 		w.Header().Set("Retry-After", "1")
+	case errors.Is(err, ErrNotPrimary):
+		// A write reached a follower (or a primary fencing itself during
+		// shutdown): the client should redirect to the current primary.
+		status = http.StatusMisdirectedRequest
 	case errors.Is(err, ErrUser):
 		status = http.StatusBadRequest
 	}

@@ -165,6 +165,9 @@ type Stats struct {
 	AdmitQueued       uint64       `json:"admitQueued,omitempty"`
 	AdmitDepth        int          `json:"admitDepth,omitempty"`
 	Ops               OpCounts     `json:"ops"`
+	// Repl is the replication status (roles, per-shard watermarks, lag,
+	// overflows, resyncs); nil when the store runs without a ReplLog.
+	Repl *ReplStats `json:"repl,omitempty"`
 }
 
 // Stats snapshots the counters. It is cheap (atomic loads only) and safe
@@ -229,6 +232,7 @@ func (st *Store) Stats() Stats {
 		MGetKeys:       st.ops.mgetKeys.Load(),
 		Snapshots:      st.ops.snapshots.Load(),
 	}
+	out.Repl = st.replStats()
 	return out
 }
 
@@ -250,6 +254,14 @@ func (s Stats) Table() *report.Table {
 		t.Add("stripes", int(sh.Shard), float64(sh.Stripes))
 		t.Add("overload", int(sh.Shard), sh.Overload)
 		t.Add("shed", int(sh.Shard), float64(sh.Shed))
+	}
+	if s.Repl != nil {
+		for _, rs := range s.Repl.Shards {
+			t.Add("replHead", rs.Shard, float64(rs.Head))
+			t.Add("replShipped", rs.Shard, float64(rs.Shipped))
+			t.Add("replApplied", rs.Shard, float64(rs.Applied))
+			t.Add("replLag", rs.Shard, float64(rs.Lag))
+		}
 	}
 	return t
 }

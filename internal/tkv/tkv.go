@@ -111,6 +111,13 @@ type Config struct {
 	// entirely: no controller goroutine runs and the serving paths pay
 	// nothing. A Store opened with Admission set should be Closed.
 	Admission *AdmitConfig
+	// ReplRing attaches a replication log (see repl.go): per-shard rings
+	// of the last ReplRing committed write sets, fed from the write paths
+	// and consumed by the wire-level shipper. 0 disables replication and
+	// leaves the write paths byte-for-byte unchanged (shared stripes, no
+	// enqueue). With a log attached, write paths take their stripes in
+	// exclusive mode so record order is commit order per key.
+	ReplRing int
 }
 
 // Store is a sharded transactional key-value store with string values.
@@ -120,6 +127,10 @@ type Store struct {
 	ops    opCounters
 	// ctrl is the admission controller; nil unless Config.Admission.
 	ctrl *controller
+	// repl is the replication log; nil unless Config.ReplRing > 0.
+	repl *ReplLog
+	// ro gates external writes with ErrNotPrimary (follower role).
+	ro atomic.Bool
 }
 
 // shard is one slice of the key space with its own TM stack.
@@ -261,6 +272,9 @@ func Open(cfg Config) (*Store, error) {
 		buckets = 512
 	}
 	st := &Store{shards: make([]*shard, n), shift: uint(64 - log2(n))}
+	if cfg.ReplRing > 0 {
+		st.repl = newReplLog(n, cfg.ReplRing)
+	}
 	for i := range st.shards {
 		tm, sc, err := enginecfg.Build(enginecfg.Spec{
 			Engine:    cfg.Engine,
@@ -478,6 +492,9 @@ func (st *Store) Put(key uint64, val string) (bool, error) {
 // put path allocation-free this way.
 func (st *Store) PutRef(key uint64, val *string) (bool, error) {
 	st.ops.puts.Add(1)
+	if st.repl != nil {
+		return st.replPutRef(key, val)
+	}
 	s := st.shardFor(key)
 	routed, err := s.admitWrite(key)
 	if err != nil {
@@ -500,6 +517,9 @@ func (st *Store) PutRef(key uint64, val *string) (bool, error) {
 // Delete removes key, reporting whether it was present.
 func (st *Store) Delete(key uint64) (bool, error) {
 	st.ops.deletes.Add(1)
+	if st.repl != nil {
+		return st.replDelete(key)
+	}
 	s := st.shardFor(key)
 	routed, err := s.admitWrite(key)
 	if err != nil {
@@ -522,6 +542,9 @@ func (st *Store) Delete(key uint64) (bool, error) {
 // equals old, reporting whether it swapped. A missing key never matches.
 func (st *Store) CAS(key uint64, old, new string) (bool, error) {
 	st.ops.cas.Add(1)
+	if st.repl != nil {
+		return st.replCAS(key, old, new)
+	}
 	s := st.shardFor(key)
 	routed, err := s.admitWrite(key)
 	if err != nil {
@@ -555,6 +578,9 @@ func (st *Store) CAS(key uint64, old, new string) (bool, error) {
 // stored value is a user error (the transaction aborts without retry).
 func (st *Store) Add(key uint64, delta int64) (int64, error) {
 	st.ops.adds.Add(1)
+	if st.repl != nil {
+		return st.replAdd(key, delta)
+	}
 	s := st.shardFor(key)
 	routed, err := s.admitWrite(key)
 	if err != nil {

@@ -1,0 +1,186 @@
+// Package tkvlog defines the binary log record for committed tkv write
+// sets: the one framing shared by everything that persists or ships
+// committed state. The replication stream (internal/tkvrepl) frames these
+// records over the wire today; the write-ahead log planned in ROADMAP item
+// 2 appends the same bytes to disk — design the record once, reuse it
+// verbatim.
+//
+// # Record layout
+//
+// One record carries one committed transaction's write set on one shard,
+// in write order, with a per-shard monotonic sequence number. All fields
+// are little-endian and fixed-width, so encode and decode are straight
+// loads and stores:
+//
+//	offset  size  field
+//	0       4     length   uint32: bytes following this field
+//	4       1     version  format version (Version)
+//	5       1     flags    reserved, 0
+//	6       2     shard    uint16: owning shard
+//	8       8     seq      uint64: per-shard monotonic sequence number
+//	16      4     count    uint32: entry count
+//	20      —     entries  key u64, eflags u8 (bit0 = tombstone), vlen u32, val
+//	end-4   4     crc      CRC32-C over bytes [4, end-4)
+//
+// The checksum covers everything after the length prefix and before
+// itself, so a flipped bit anywhere — header, keys, values, count — is
+// detected, and a truncated record is distinguished from a corrupt one
+// (ErrShort vs ErrCorrupt) so a streaming reader can wait for more bytes
+// while a log recovery can stop at the torn tail.
+//
+// Encoding appends into a caller-owned buffer and performs no allocation;
+// decoding reuses the destination record's entry slice. Entry values alias
+// Go strings on both sides (the store's values are strings), so a record
+// round-trip costs one string allocation per value on decode — the copy
+// the store needs anyway — and nothing on encode.
+package tkvlog
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Version is the current record format version. Decoders reject records
+// declaring a newer version; older versions do not exist (this is v1).
+const Version = 1
+
+// HeaderSize is the fixed byte count before the entries: the length
+// prefix plus version, flags, shard, seq and count.
+const HeaderSize = 20
+
+// entryFixed is the fixed per-entry byte count (key, eflags, vlen).
+const entryFixed = 8 + 1 + 4
+
+// crcSize is the trailing checksum's byte count.
+const crcSize = 4
+
+// MaxRecord bounds the length prefix a decoder accepts, so a lying prefix
+// cannot make a streaming reader buffer without bound. It comfortably
+// holds the largest batch the serving surfaces admit.
+const MaxRecord = 1 << 26
+
+// entryDel is the entry flag bit marking a tombstone (the key was
+// deleted; the value is empty).
+const entryDel = 1 << 0
+
+// ErrShort reports a buffer ending before the record it declares: not
+// corruption, just incompleteness — a streaming reader should read more
+// bytes, a recovery scan should treat it as the torn tail.
+var ErrShort = errors.New("tkvlog: short record")
+
+// ErrCorrupt reports a structurally invalid or checksum-failing record.
+var ErrCorrupt = errors.New("tkvlog: corrupt record")
+
+var le = binary.LittleEndian
+
+// castagnoli is the CRC32-C table (hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Entry is one written key of a record: a stored value or, when Del is
+// set, a tombstone (Val is then empty).
+type Entry struct {
+	Key uint64
+	Val string
+	Del bool
+}
+
+// Record is one committed write set: Seq is the per-shard monotonic
+// sequence number assigned at commit, Entries the writes in commit order.
+type Record struct {
+	Shard   uint16
+	Seq     uint64
+	Entries []Entry
+}
+
+// Size returns the encoded byte length of r, including the length prefix
+// and checksum.
+func (r *Record) Size() int {
+	n := HeaderSize + crcSize + entryFixed*len(r.Entries)
+	for i := range r.Entries {
+		n += len(r.Entries[i].Val)
+	}
+	return n
+}
+
+// Append encodes r onto b and returns the extended slice. It allocates
+// nothing when b has capacity (see Size).
+func (r *Record) Append(b []byte) []byte {
+	start := len(b)
+	b = le.AppendUint32(b, uint32(r.Size()-4))
+	b = append(b, Version, 0)
+	b = le.AppendUint16(b, r.Shard)
+	b = le.AppendUint64(b, r.Seq)
+	b = le.AppendUint32(b, uint32(len(r.Entries)))
+	for i := range r.Entries {
+		e := &r.Entries[i]
+		b = le.AppendUint64(b, e.Key)
+		var f byte
+		if e.Del {
+			f = entryDel
+		}
+		b = append(b, f)
+		b = le.AppendUint32(b, uint32(len(e.Val)))
+		b = append(b, e.Val...)
+	}
+	return le.AppendUint32(b, crc32.Checksum(b[start+4:], castagnoli))
+}
+
+// Decode parses one record from the front of b into r, returning the
+// bytes consumed. r's entry slice is reused (truncated and refilled), so
+// a warmed decoder allocates only the value strings. A buffer ending
+// mid-record returns ErrShort; anything structurally wrong — bad version,
+// entry sizes disagreeing with the record length, checksum mismatch —
+// returns ErrCorrupt.
+func (r *Record) Decode(b []byte) (int, error) {
+	if len(b) < 4 {
+		return 0, fmt.Errorf("%w: %d header bytes", ErrShort, len(b))
+	}
+	length := int(le.Uint32(b))
+	if length < HeaderSize-4+crcSize {
+		return 0, fmt.Errorf("%w: declared length %d below minimum", ErrCorrupt, length)
+	}
+	if length > MaxRecord {
+		return 0, fmt.Errorf("%w: declared length %d exceeds limit %d", ErrCorrupt, length, MaxRecord)
+	}
+	total := 4 + length
+	if len(b) < total {
+		return 0, fmt.Errorf("%w: %d of %d bytes", ErrShort, len(b), total)
+	}
+	body := b[4:total]
+	if got, want := crc32.Checksum(body[:length-crcSize], castagnoli), le.Uint32(body[length-crcSize:]); got != want {
+		return 0, fmt.Errorf("%w: crc mismatch (got %08x want %08x)", ErrCorrupt, got, want)
+	}
+	if v := body[0]; v != Version {
+		return 0, fmt.Errorf("%w: unknown version %d", ErrCorrupt, v)
+	}
+	r.Shard = le.Uint16(body[2:])
+	r.Seq = le.Uint64(body[4:])
+	count := int(le.Uint32(body[12:]))
+	rest := body[16 : length-crcSize]
+	// A lying count cannot force allocation past the bytes received: the
+	// entry loop bounds-checks before growing, and count itself is capped
+	// by the fixed per-entry size.
+	if count > len(rest)/entryFixed {
+		return 0, fmt.Errorf("%w: %d entries cannot fit %d bytes", ErrCorrupt, count, len(rest))
+	}
+	r.Entries = r.Entries[:0]
+	for i := 0; i < count; i++ {
+		if len(rest) < entryFixed {
+			return 0, fmt.Errorf("%w: entry %d truncated", ErrCorrupt, i)
+		}
+		e := Entry{Key: le.Uint64(rest), Del: rest[8]&entryDel != 0}
+		vlen := int(le.Uint32(rest[9:]))
+		if len(rest) < entryFixed+vlen {
+			return 0, fmt.Errorf("%w: entry %d value truncated", ErrCorrupt, i)
+		}
+		e.Val = string(rest[entryFixed : entryFixed+vlen])
+		rest = rest[entryFixed+vlen:]
+		r.Entries = append(r.Entries, e)
+	}
+	if len(rest) != 0 {
+		return 0, fmt.Errorf("%w: %d trailing bytes after entries", ErrCorrupt, len(rest))
+	}
+	return total, nil
+}

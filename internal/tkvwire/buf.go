@@ -8,6 +8,11 @@ import "sync"
 // or returns it with PutFrame itself.
 type Frame struct {
 	B []byte
+	// flushed, when non-nil, is closed by the write loop once this
+	// frame's bytes have been written and flushed to the socket (or the
+	// connection found broken — the frame is disposed of either way). It
+	// is the flush barrier DrainRepl uses to know a fence really left.
+	flushed chan struct{}
 }
 
 // frameClasses are the pooled capacity buckets. The hot classes are the
@@ -51,6 +56,7 @@ func GetFrame(n int) *Frame {
 // pooled where it now fits). Buffers larger than every class are left to
 // the GC.
 func PutFrame(f *Frame) {
+	f.flushed = nil
 	for i := len(frameClasses) - 1; i >= 0; i-- {
 		if cap(f.B) >= frameClasses[i] {
 			if cap(f.B) > frameClasses[len(frameClasses)-1] {

@@ -27,16 +27,31 @@ var ErrServerClosed = errors.New("tkvwire: server closed")
 type Server struct {
 	store *tkv.Store
 
-	mu     sync.Mutex
-	ln     net.Listener
-	conns  map[net.Conn]struct{}
-	closed bool
-	wg     sync.WaitGroup
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	shippers map[*shipper]struct{}
+	closed   bool
+	wg       sync.WaitGroup
 }
 
 // NewServer returns a Server serving st.
 func NewServer(st *tkv.Store) *Server {
-	return &Server{store: st, conns: make(map[net.Conn]struct{})}
+	return &Server{
+		store:    st,
+		conns:    make(map[net.Conn]struct{}),
+		shippers: make(map[*shipper]struct{}),
+	}
+}
+
+// serverFeatures returns the feature bits this server grants in a
+// handshake.
+func (s *Server) serverFeatures() uint64 {
+	var f uint64
+	if s.store.Repl() != nil {
+		f |= FeatReplication
+	}
+	return f
 }
 
 // Serve accepts connections on ln until Close. It always returns a non-nil
@@ -115,9 +130,14 @@ type conn struct {
 	br      *bufio.Reader
 	out     chan *Frame
 	async   sync.WaitGroup // in-flight mget/batch/len/stats/snap goroutines
+	done    chan struct{}  // closed when the read loop exits; stops shippers
 	hdr     [HeaderSize]byte
 	payload []byte // reusable request-payload buffer (inline ops read it zero-copy)
 	intern  map[string]*string
+	// Handshake state, owned by the read loop: features holds the bits
+	// granted by OpHello (0 before one completes). The repl opcodes are
+	// refused until a handshake grants FeatReplication.
+	features uint64
 }
 
 // handle runs one connection to completion.
@@ -138,6 +158,7 @@ func (s *Server) handle(nc net.Conn) {
 		nc:     nc,
 		br:     bufio.NewReaderSize(nc, 64<<10),
 		out:    make(chan *Frame, 256),
+		done:   make(chan struct{}),
 		intern: make(map[string]*string),
 	}
 	writerDone := make(chan struct{})
@@ -146,6 +167,7 @@ func (s *Server) handle(nc net.Conn) {
 		c.writeLoop()
 	}()
 	c.readLoop()
+	close(c.done)  // stop the connection's shipper, if one is streaming
 	c.async.Wait() // all async ops have sent their responses
 	close(c.out)
 	<-writerDone
@@ -166,12 +188,16 @@ func (c *conn) writeLoop() {
 				c.nc.Close()
 			}
 		}
+		ack := f.flushed
 		PutFrame(f)
-		if !broken && len(c.out) == 0 {
+		if !broken && (len(c.out) == 0 || ack != nil) {
 			if err := bw.Flush(); err != nil {
 				broken = true
 				c.nc.Close()
 			}
+		}
+		if ack != nil {
+			close(ack)
 		}
 	}
 	if !broken {
@@ -195,6 +221,8 @@ func statusOf(err error) uint16 {
 	switch {
 	case errors.Is(err, tkv.ErrBackpressure):
 		return StatusBackpressure
+	case errors.Is(err, tkv.ErrNotPrimary):
+		return StatusNotPrimary
 	case errors.Is(err, tkv.ErrCASMismatch):
 		return StatusCASMismatch
 	case errors.Is(err, tkv.ErrUser):
@@ -408,6 +436,20 @@ func (c *conn) dispatch(h Header, p []byte) bool {
 			f.B = AppendSnapResp(f.B, id, snap)
 			c.out <- f
 		})
+	case OpHello:
+		version, features, err := ParseHello(p)
+		if err != nil {
+			c.sendErr(h.Op, h.ID, StatusBadRequest, err.Error())
+			return false
+		}
+		granted := features & c.srv.serverFeatures()
+		c.features = granted
+		_ = version // informational; the frame format is shared across versions
+		f := GetFrame(HeaderSize + 10)
+		f.B = AppendHelloResp(f.B, h.ID, ProtoVersion, granted)
+		c.out <- f
+	case OpReplSub:
+		return c.dispatchReplSub(h, p)
 	default:
 		c.sendErr(h.Op, h.ID, StatusBadRequest,
 			fmt.Sprintf("tkvwire: unknown opcode 0x%02x", h.Op))

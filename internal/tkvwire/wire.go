@@ -46,6 +46,7 @@ import (
 	"fmt"
 
 	"github.com/shrink-tm/shrink/internal/tkv"
+	"github.com/shrink-tm/shrink/internal/tkvlog"
 )
 
 // Opcodes. Requests and their responses share the opcode.
@@ -61,6 +62,28 @@ const (
 	OpLen    = 0x09 // req: empty | resp: uint64 key count (snapshot-consistent)
 	OpStats  = 0x0A // req: empty | resp: tkv.Stats as JSON bytes
 	OpSnap   = 0x0B // req: empty | resp: n,(key,vlen,val)* consistent cut
+
+	// Handshake and replication family. OpHello negotiates a protocol
+	// version and feature bits; the repl opcodes require a completed
+	// handshake granting FeatReplication. Clients that never send OpHello
+	// keep working with the 0x01–0x0B family unchanged.
+	OpHello     = 0x10 // req: version u16, features u64 | resp: version u16, features u64 (granted)
+	OpReplSub   = 0x11 // req: streamID u64, nshards u32, lastApplied u64* | stream of repl frames
+	OpReplRec   = 0x12 // srv->cli: payload is one tkvlog record, verbatim
+	OpReplCut   = 0x13 // srv->cli: shard u32, seq u64, n u32, (key u64, vlen u32, val)*
+	OpReplMeta  = 0x14 // srv->cli: streamID u64, nshards u32, heads u64*
+	OpReplFence = 0x15 // srv->cli: clean end of stream (primary fenced itself)
+)
+
+// Protocol version and feature bits negotiated by OpHello. The version is
+// informational (the frame format has not changed since v1); capability
+// gating runs on the feature bits, which the server intersects with what
+// it actually serves.
+const (
+	ProtoVersion = 2
+	// FeatReplication grants the repl opcode family; the server offers it
+	// only when its store carries a replication log.
+	FeatReplication = uint64(1) << 0
 )
 
 // Response statuses.
@@ -74,6 +97,9 @@ const (
 	// shed the request before executing it. Nothing was written; the
 	// client should back off and retry.
 	StatusBackpressure = 4
+	// StatusNotPrimary rejects a write sent to a read-only replica (or a
+	// primary fencing itself during shutdown); redirect to the primary.
+	StatusNotPrimary = 5
 )
 
 // Flag bits (responses).
@@ -544,6 +570,158 @@ func ParseResultsResp(op byte, p []byte) ([]tkv.OpResult, error) {
 		return nil, fmt.Errorf("%w: %d trailing bytes after results", ErrFrame, len(rest))
 	}
 	return out, nil
+}
+
+// ---- handshake and replication codecs ----
+
+// AppendHelloReq appends a handshake request declaring the client's
+// protocol version and requested feature bits.
+func AppendHelloReq(b []byte, id uint64, version uint16, features uint64) []byte {
+	b = appendHeader(b, OpHello, 0, 0, id, 2+8)
+	b = le.AppendUint16(b, version)
+	return le.AppendUint64(b, features)
+}
+
+// AppendHelloResp appends the handshake response: the server's version
+// and the granted feature bits (requested ∩ served).
+func AppendHelloResp(b []byte, id uint64, version uint16, features uint64) []byte {
+	b = appendHeader(b, OpHello, 0, StatusOK, id, 2+8)
+	b = le.AppendUint16(b, version)
+	return le.AppendUint64(b, features)
+}
+
+// ParseHello decodes a handshake payload (same shape both directions).
+func ParseHello(p []byte) (version uint16, features uint64, err error) {
+	if len(p) != 10 {
+		return 0, 0, errTruncated(OpHello)
+	}
+	return le.Uint16(p), le.Uint64(p[2:]), nil
+}
+
+// AppendReplSubReq appends a replication subscribe request: the stream
+// identity the follower last synced against (0 on first contact) and its
+// per-shard applied watermarks. The shard count must match the server's.
+func AppendReplSubReq(b []byte, id, streamID uint64, applied []uint64) []byte {
+	b = appendHeader(b, OpReplSub, 0, 0, id, 8+4+8*len(applied))
+	b = le.AppendUint64(b, streamID)
+	b = le.AppendUint32(b, uint32(len(applied)))
+	for _, a := range applied {
+		b = le.AppendUint64(b, a)
+	}
+	return b
+}
+
+// ParseReplSubReq decodes a replication subscribe payload. The declared
+// shard count must match the payload size exactly.
+func ParseReplSubReq(p []byte) (streamID uint64, applied []uint64, err error) {
+	if len(p) < 12 {
+		return 0, nil, errTruncated(OpReplSub)
+	}
+	streamID = le.Uint64(p)
+	n := int(le.Uint32(p[8:]))
+	if len(p) != 12+8*n {
+		return 0, nil, errTruncated(OpReplSub)
+	}
+	applied = make([]uint64, n)
+	for i := range applied {
+		applied[i] = le.Uint64(p[12+8*i:])
+	}
+	return streamID, applied, nil
+}
+
+// AppendReplMeta appends a stream metadata frame: the primary's stream
+// identity and per-shard head sequences. Sent first on every
+// subscription (the follower learns the streamID to reconnect with) and
+// periodically as a heartbeat carrying fresh heads for lag accounting.
+func AppendReplMeta(b []byte, id, streamID uint64, heads []uint64) []byte {
+	b = appendHeader(b, OpReplMeta, 0, StatusOK, id, 8+4+8*len(heads))
+	b = le.AppendUint64(b, streamID)
+	b = le.AppendUint32(b, uint32(len(heads)))
+	for _, h := range heads {
+		b = le.AppendUint64(b, h)
+	}
+	return b
+}
+
+// ParseReplMeta decodes a stream metadata payload.
+func ParseReplMeta(p []byte) (streamID uint64, heads []uint64, err error) {
+	if len(p) < 12 {
+		return 0, nil, errTruncated(OpReplMeta)
+	}
+	streamID = le.Uint64(p)
+	n := int(le.Uint32(p[8:]))
+	if len(p) != 12+8*n {
+		return 0, nil, errTruncated(OpReplMeta)
+	}
+	heads = make([]uint64, n)
+	for i := range heads {
+		heads[i] = le.Uint64(p[12+8*i:])
+	}
+	return streamID, heads, nil
+}
+
+// AppendReplCut appends a shard snapshot-resync frame: the shard, the
+// sequence watermark the cut reflects, and every pair of the shard.
+func AppendReplCut(b []byte, id uint64, shard uint32, seq uint64, pairs []tkvlog.Entry) []byte {
+	n := 4 + 8 + 4
+	for _, p := range pairs {
+		n += 8 + 4 + len(p.Val)
+	}
+	b = appendHeader(b, OpReplCut, 0, StatusOK, id, n)
+	b = le.AppendUint32(b, shard)
+	b = le.AppendUint64(b, seq)
+	b = le.AppendUint32(b, uint32(len(pairs)))
+	for _, p := range pairs {
+		b = le.AppendUint64(b, p.Key)
+		b = le.AppendUint32(b, uint32(len(p.Val)))
+		b = append(b, p.Val...)
+	}
+	return b
+}
+
+// ParseReplCut decodes a shard snapshot-resync payload. The pair count is
+// validated against the bytes received before any allocation sized by it.
+func ParseReplCut(p []byte) (shard uint32, seq uint64, pairs []tkvlog.Entry, err error) {
+	if len(p) < 16 {
+		return 0, 0, nil, errTruncated(OpReplCut)
+	}
+	shard = le.Uint32(p)
+	seq = le.Uint64(p[4:])
+	n := int(le.Uint32(p[12:]))
+	rest := p[16:]
+	if n > len(rest)/12 {
+		return 0, 0, nil, errTruncated(OpReplCut)
+	}
+	pairs = make([]tkvlog.Entry, 0, n)
+	for i := 0; i < n; i++ {
+		if len(rest) < 12 {
+			return 0, 0, nil, errTruncated(OpReplCut)
+		}
+		k := le.Uint64(rest)
+		vlen := int(le.Uint32(rest[8:]))
+		if len(rest) < 12+vlen {
+			return 0, 0, nil, errTruncated(OpReplCut)
+		}
+		pairs = append(pairs, tkvlog.Entry{Key: k, Val: string(rest[12 : 12+vlen])})
+		rest = rest[12+vlen:]
+	}
+	if len(rest) != 0 {
+		return 0, 0, nil, fmt.Errorf("%w: %d trailing bytes after cut pairs", ErrFrame, len(rest))
+	}
+	return shard, seq, pairs, nil
+}
+
+// AppendReplRec appends a record frame. The payload is one tkvlog record,
+// byte-for-byte what a WAL would append — the shared log format.
+func AppendReplRec(b []byte, id uint64, rec *tkvlog.Record) []byte {
+	b = appendHeader(b, OpReplRec, 0, StatusOK, id, rec.Size())
+	return rec.Append(b)
+}
+
+// AppendReplFence appends a stream fence frame: the primary has stopped
+// writes and shipped everything; the stream ends cleanly.
+func AppendReplFence(b []byte, id uint64) []byte {
+	return appendHeader(b, OpReplFence, 0, StatusOK, id, 0)
 }
 
 // ParseSnapResp decodes a snapshot response payload.
