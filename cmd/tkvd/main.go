@@ -23,10 +23,20 @@
 // follower is exactly up to date — the kill-and-recover drill in
 // tkvload -scenario failover loses nothing.
 //
+// tkvd persists. With -wal <dir> every committed write set is appended to
+// a per-shard write-ahead log and acknowledged only once its group-commit
+// fsync completes; on start the directory is recovered (checkpoints, then
+// log tails, truncating a torn tail) before serving, and -walckpt
+// snapshots and truncates the logs periodically. A write or fsync error
+// fail-stops the process — exit nonzero, no ack the disk might have lost
+// — and tkvload -scenario crash is the SIGKILL drill proving acknowledged
+// writes survive.
+//
 // Usage:
 //
 //	tkvd -addr 127.0.0.1:7070 -tcpaddr 127.0.0.1:7071 -shards 8 -sched shrink -stm swiss
 //	tkvd -role follower -follow 127.0.0.1:7071 -addr 127.0.0.1:7072 -tcpaddr 127.0.0.1:7073
+//	tkvd -wal /var/lib/tkvd/wal -walckpt 30s
 //	tkvd -stm tiny -wait busy -sched none -tcpaddr "" -replring 0
 //
 // The server shuts down gracefully on SIGINT/SIGTERM or POST /quit,
@@ -50,6 +60,7 @@ import (
 	"github.com/shrink-tm/shrink/internal/enginecfg"
 	"github.com/shrink-tm/shrink/internal/tkv"
 	"github.com/shrink-tm/shrink/internal/tkvrepl"
+	"github.com/shrink-tm/shrink/internal/tkvwal"
 	"github.com/shrink-tm/shrink/internal/tkvwire"
 )
 
@@ -86,6 +97,16 @@ func run(args []string, out io.Writer, ready chan<- string, stop <-chan struct{}
 		replring = fs.Int("replring", 1024,
 			"replicated write sets retained per shard for follower catch-up "+
 				"(0 disables replication entirely)")
+		waldir = fs.String("wal", "",
+			"write-ahead log directory: writes are acknowledged only once "+
+				"fsync-durable and the directory is recovered on start "+
+				"(empty disables durability)")
+		walAsync = fs.Bool("walasync", false,
+			"do not park acks on fsync (async WAL): faster, but a crash can "+
+				"lose the un-synced tail")
+		walCkpt = fs.Duration("walckpt", 0,
+			"WAL checkpoint interval: snapshot each shard and truncate its "+
+				"log (0 disables periodic checkpoints)")
 		admitDefaults = tkv.DefaultAdmitConfig()
 		admit         = fs.Bool("admit", false,
 			"enable the contention-aware admission layer (overload shedding, "+
@@ -131,6 +152,14 @@ func run(args []string, out io.Writer, ready chan<- string, stop <-chan struct{}
 		ac.Tick = *admitTick
 		admission = &ac
 	}
+	var wopts *tkvwal.Options
+	if *waldir != "" {
+		wopts = &tkvwal.Options{
+			Dir:             *waldir,
+			NoSync:          *walAsync,
+			CheckpointEvery: *walCkpt,
+		}
+	}
 	store, err := tkv.Open(tkv.Config{
 		Shards:      *shards,
 		PoolSize:    *pool,
@@ -141,11 +170,17 @@ func run(args []string, out io.Writer, ready chan<- string, stop <-chan struct{}
 		Wait:        wait,
 		Admission:   admission,
 		ReplRing:    *replring,
+		WAL:         wopts,
 	})
 	if err != nil {
 		return err
 	}
 	defer store.Close()
+	if ws := store.Stats().Wal; ws != nil {
+		r := ws.Recovery
+		fmt.Fprintf(out, "tkvd: wal %s recovered: ckpt_entries=%d replayed=%d skipped=%d truncated_bytes=%d segments=%d sync=%v\n",
+			*waldir, r.CheckpointEntries, r.Replayed, r.Skipped, r.TruncatedBytes, r.Segments, ws.Sync)
+	}
 	if *role == "follower" {
 		store.SetReadOnly(true)
 	}
@@ -244,6 +279,12 @@ func run(args []string, out io.Writer, ready chan<- string, stop <-chan struct{}
 	select {
 	case err := <-errc:
 		return err
+	case <-store.WalFailed():
+		// Fail-stop: the log is fenced, no further ack can be honored, and
+		// a graceful drain would only pretend otherwise. Exit nonzero at
+		// once; the supervisor restarts us into recovery. (A nil channel
+		// — no WAL — never fires.)
+		return fmt.Errorf("wal failed (fail-stop): %w", store.WalErr())
 	case s := <-sig:
 		fmt.Fprintf(out, "tkvd: %v, shutting down\n", s)
 	case <-quitc:
@@ -289,7 +330,12 @@ func run(args []string, out io.Writer, ready chan<- string, stop <-chan struct{}
 		replLabel = fmt.Sprintf(" repl: role=%s lag=%d applied=%d overflows=%d resyncs=%d",
 			finalRole, r.Lag, r.AppliedRecs, r.Overflows, r.Resyncs)
 	}
-	fmt.Fprintf(out, "tkvd: drained; commits=%d aborts=%d serializations=%d shed=%d routed=%d ops: %+v%s\n",
-		stats.Commits, stats.Aborts, stats.Serializations, stats.Shed, stats.Routed, stats.Ops, replLabel)
+	walLabel := ""
+	if w := stats.Wal; w != nil {
+		walLabel = fmt.Sprintf(" wal: appends=%d fsyncs=%d group_mean=%.1f group_max=%d fsync_p99=%dµs ckpts=%d",
+			w.Appends, w.Fsyncs, w.GroupMean, w.GroupMax, w.FsyncP99us, w.Checkpoints)
+	}
+	fmt.Fprintf(out, "tkvd: drained; commits=%d aborts=%d serializations=%d shed=%d routed=%d ops: %+v%s%s\n",
+		stats.Commits, stats.Aborts, stats.Serializations, stats.Shed, stats.Routed, stats.Ops, replLabel, walLabel)
 	return nil
 }

@@ -94,8 +94,13 @@ func run(args []string, out io.Writer) error {
 		connsList = fs.String("conns", "8", "comma-separated connection counts to sweep")
 		scenario  = fs.String("scenario", "",
 			"scripted drill instead of a sweep: 'failover' kills the primary mid-load, "+
-				"promotes the follower and verifies zero lost acknowledged updates")
+				"promotes the follower and verifies zero lost acknowledged updates; "+
+				"'crash' SIGKILLs a WAL-backed tkvd mid-load, restarts it over the same "+
+				"log directory and verifies zero lost acknowledged updates")
 		url2      = fs.String("url2", "", "follower base URL (required by -scenario failover)")
+		tkvdBin   = fs.String("tkvd", "", "path to the tkvd binary (required by -scenario crash)")
+		waldirArg = fs.String("waldir", "", "WAL directory for -scenario crash (empty: a fresh temp dir)")
+		kills     = fs.Int("kills", 2, "SIGKILL/restart rounds for -scenario crash")
 		rate      = fs.Float64("rate", 0, "open-loop arrival rate in ops/s (0 = closed loop)")
 		keys      = fs.Int("keys", 128, "counter key count (keys 0..n-1, sum-verified)")
 		blobs     = fs.Int("blobs", 128, "blob key count (put/delete/get region)")
@@ -213,8 +218,32 @@ func run(args []string, out io.Writer) error {
 			workers:  conns[0],
 			phase:    *dur,
 		}, out)
+	case "crash":
+		if *tkvdBin == "" {
+			return fmt.Errorf("-scenario crash requires -tkvd (path to the tkvd binary)")
+		}
+		if *kills <= 0 {
+			return fmt.Errorf("-kills must be positive")
+		}
+		wd := *waldirArg
+		if wd == "" {
+			tmp, err := os.MkdirTemp("", "tkvload-crash-wal-")
+			if err != nil {
+				return err
+			}
+			defer os.RemoveAll(tmp)
+			wd = tmp
+		}
+		return runCrash(crashSpec{
+			tkvd:    *tkvdBin,
+			waldir:  wd,
+			keys:    *keys,
+			workers: conns[0],
+			phase:   *dur,
+			kills:   *kills,
+		}, out)
 	default:
-		return fmt.Errorf("unknown -scenario %q (want failover)", *scenario)
+		return fmt.Errorf("unknown -scenario %q (want failover or crash)", *scenario)
 	}
 
 	if *sweepMode == "sched" {

@@ -7,6 +7,7 @@ import (
 	"strconv"
 
 	"github.com/shrink-tm/shrink/internal/stm"
+	"github.com/shrink-tm/shrink/internal/tkvwal"
 )
 
 // Batch operation kinds. cas is admitted because batch admission is
@@ -323,11 +324,11 @@ func (st *Store) Batch(ops []Op) ([]OpResult, error) {
 		return p.normalize()
 	}
 	locks := buildPlan()
-	// With a replication log attached even a single-shard batch goes
-	// through the exclusive two-phase path: its record must enqueue under
-	// the exclusive stripes to keep ring order equal to commit order (see
-	// repl.go).
-	exclusive := len(shardIDs) > 1 || st.repl != nil
+	// With a log attached (replication ring or WAL) even a single-shard
+	// batch goes through the exclusive two-phase path: its record must be
+	// emitted under the exclusive stripes to keep log order equal to
+	// commit order (see repl.go).
+	exclusive := len(shardIDs) > 1 || st.logged()
 
 	// Wound-wait admission: a cross-shard batch that would hold many
 	// exclusive stripes passes the admission queue before holding
@@ -385,6 +386,32 @@ func (st *Store) Batch(ops []Op) ([]OpResult, error) {
 		return results, nil
 	}
 
+	// The two-phase section runs in a helper so its deferred unlock fires
+	// before the durability waits below: the batch parks on its records'
+	// group fsyncs with no stripe held, exactly like the single-key paths.
+	results, commits, failed, err := st.batchExclusive(ops, byShard, shardIDs, vers, buildPlan, locks)
+	if errors.Is(err, ErrCASMismatch) {
+		st.ops.batchCASMisses.Add(1)
+		return mismatchResults(len(ops), failed, results[failed]), err
+	}
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range commits {
+		if werr := c.Wait(); werr != nil {
+			return nil, werr
+		}
+	}
+	return results, nil
+}
+
+// batchExclusive is Batch's cross-shard (or logged) path: phase one
+// plans under the batch's exclusive stripes, phase two applies and
+// emits one log record per shard. It returns the per-shard records'
+// durability handles for the caller to wait on after the deferred
+// unlock has released the stripes; failed is the index of the op whose
+// cas compare missed when err is ErrCASMismatch.
+func (st *Store) batchExclusive(ops []Op, byShard map[int][]int, shardIDs []int, vers map[int]uint64, buildPlan func() lockPlan, locks lockPlan) (results []OpResult, commits []*tkvwal.Commit, failed int, err error) {
 	// Phase one: hold the batch's exclusive stripes and plan. The plan
 	// reads run as one read-only snapshot transaction per shard — phase
 	// one performs no STM writes (mutations land in the overlay), and the
@@ -395,12 +422,12 @@ func (st *Store) Batch(ops []Op) ([]OpResult, error) {
 	}
 	defer st.unlock(locks, true)
 
-	results := make([]OpResult, len(ops))
+	results = make([]OpResult, len(ops))
 	writes := make(map[int][]plannedWrite, len(shardIDs))
 	for _, id := range shardIDs {
 		s := st.shards[id]
 		idxs := byShard[id]
-		failed := -1
+		failed = -1
 		err := s.atomicallyRO(func(tx *stm.ROTx) error {
 			// The overlay carries values written by earlier ops of this
 			// batch, so a later op in the same batch reads them; actual
@@ -438,12 +465,8 @@ func (st *Store) Batch(ops []Op) ([]OpResult, error) {
 			writes[id] = plan
 			return nil
 		})
-		if errors.Is(err, ErrCASMismatch) {
-			st.ops.batchCASMisses.Add(1)
-			return mismatchResults(len(ops), failed, results[failed]), err
-		}
 		if err != nil {
-			return nil, err
+			return results, nil, failed, err
 		}
 	}
 
@@ -476,14 +499,15 @@ func (st *Store) Batch(ops []Op) ([]OpResult, error) {
 			// Phase-two bodies only write planned keys and cannot fail
 			// with user errors; an engine error here is fatal to the
 			// batch's atomicity and surfaced loudly.
-			return nil, fmt.Errorf("batch apply on shard %d: %w", id, err)
+			return nil, nil, -1, fmt.Errorf("batch apply on shard %d: %w", id, err)
 		}
-		if st.repl != nil {
+		if st.logged() {
 			// Still under the batch's exclusive stripes (released by the
-			// deferred unlock), so the record's ring position matches its
-			// commit position for every key it writes.
-			st.emitPlan(id, plan)
+			// deferred unlock), so the record's log position matches its
+			// commit position for every key it writes; the durability
+			// handle is waited on by Batch after release.
+			commits = append(commits, st.emitPlan(id, plan))
 		}
 	}
-	return results, nil
+	return results, commits, -1, nil
 }

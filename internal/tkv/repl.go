@@ -10,6 +10,7 @@ import (
 
 	"github.com/shrink-tm/shrink/internal/stm"
 	"github.com/shrink-tm/shrink/internal/tkvlog"
+	"github.com/shrink-tm/shrink/internal/tkvwal"
 )
 
 // Replication support. A Store opened with Config.ReplRing > 0 carries a
@@ -166,12 +167,13 @@ func (l *ReplLog) Head(shard int) uint64 {
 	return h
 }
 
-// enqueue assigns the next sequence on shard and stores the record. The
+// enqueue assigns the next sequence on shard, stores the record, and
+// returns the sequence (the WAL appends the same record under it). The
 // caller must hold the stripes of every key in entries in exclusive mode
 // (that is what makes ring order commit order; see the file comment).
 // Entries must not be mutated after the call — the ring and its readers
 // alias the slice.
-func (l *ReplLog) enqueue(shard int, entries []tkvlog.Entry) {
+func (l *ReplLog) enqueue(shard int, entries []tkvlog.Entry) uint64 {
 	r := &l.rings[shard]
 	r.mu.Lock()
 	seq := r.next
@@ -191,6 +193,7 @@ func (l *ReplLog) enqueue(shard int, entries []tkvlog.Entry) {
 	case l.notify <- struct{}{}:
 	default:
 	}
+	return seq
 }
 
 // enqueueAt stores a record under an externally assigned sequence
@@ -255,8 +258,8 @@ func (st *Store) ReadOnly() bool { return st.ro.Load() }
 // follower's data arrives). Promotion clears it.
 func (st *Store) SetReadOnly(v bool) { st.ro.Store(v) }
 
-// replWriteGate is the common front of the replicated write paths:
-// rejects writes on a read-only store and runs write admission.
+// replWriteGate is the common front of the logged write paths: rejects
+// writes on a read-only store and runs write admission.
 func (st *Store) replWriteGate(s *shard, key uint64) (routed bool, err error) {
 	if st.ro.Load() {
 		return false, ErrNotPrimary
@@ -264,14 +267,17 @@ func (st *Store) replWriteGate(s *shard, key uint64) (routed bool, err error) {
 	return s.admitWrite(key)
 }
 
-// replPutRef is PutRef with a ReplLog attached: exclusive stripe, record
-// enqueued before release.
-func (st *Store) replPutRef(key uint64, val *string) (bool, error) {
+// loggedPutRef is PutRef with a log attached (ReplLog, WAL, or both):
+// exclusive stripe, record emitted before release. The returned Commit
+// is the WAL durability handle; the public wrapper Waits on it after
+// this function's deferred unlock has released the stripe, so fsync
+// latency never extends a stripe hold.
+func (st *Store) loggedPutRef(key uint64, val *string) (created bool, c *tkvwal.Commit, err error) {
 	sh := st.ShardOf(key)
 	s := st.shards[sh]
 	routed, err := st.replWriteGate(s, key)
 	if err != nil {
-		return false, err
+		return false, nil, err
 	}
 	if routed {
 		defer s.ctl.q.release()
@@ -282,21 +288,21 @@ func (st *Store) replPutRef(key uint64, val *string) (bool, error) {
 	sl.key = key
 	sl.valRef = val
 	err = s.atomicallyW(key, sl.put)
-	created := sl.outOK
+	created = sl.outOK
 	s.release(sl)
 	if err == nil {
-		st.repl.enqueue(sh, []tkvlog.Entry{{Key: key, Val: *val}})
+		c = st.logCommit(sh, []tkvlog.Entry{{Key: key, Val: *val}})
 	}
-	return created, err
+	return created, c, err
 }
 
-// replDelete is Delete with a ReplLog attached.
-func (st *Store) replDelete(key uint64) (bool, error) {
+// loggedDelete is Delete with a log attached.
+func (st *Store) loggedDelete(key uint64) (deleted bool, c *tkvwal.Commit, err error) {
 	sh := st.ShardOf(key)
 	s := st.shards[sh]
 	routed, err := st.replWriteGate(s, key)
 	if err != nil {
-		return false, err
+		return false, nil, err
 	}
 	if routed {
 		defer s.ctl.q.release()
@@ -306,21 +312,21 @@ func (st *Store) replDelete(key uint64) (bool, error) {
 	sl := s.slots.Get().(*opSlot)
 	sl.key = key
 	err = s.atomicallyW(key, sl.del)
-	deleted := sl.outOK
+	deleted = sl.outOK
 	s.release(sl)
 	if err == nil && deleted {
-		st.repl.enqueue(sh, []tkvlog.Entry{{Key: key, Del: true}})
+		c = st.logCommit(sh, []tkvlog.Entry{{Key: key, Del: true}})
 	}
-	return deleted, err
+	return deleted, c, err
 }
 
-// replCAS is CAS with a ReplLog attached; only a successful swap emits.
-func (st *Store) replCAS(key uint64, old, new string) (bool, error) {
+// loggedCAS is CAS with a log attached; only a successful swap emits.
+func (st *Store) loggedCAS(key uint64, old, new string) (swapped bool, c *tkvwal.Commit, err error) {
 	sh := st.ShardOf(key)
 	s := st.shards[sh]
 	routed, err := st.replWriteGate(s, key)
 	if err != nil {
-		return false, err
+		return false, nil, err
 	}
 	if routed {
 		defer s.ctl.q.release()
@@ -331,11 +337,11 @@ func (st *Store) replCAS(key uint64, old, new string) (bool, error) {
 	sl.key = key
 	sl.oldV, sl.newV = old, new
 	err = s.atomicallyW(key, sl.cas)
-	swapped := sl.outOK
+	swapped = sl.outOK
 	s.release(sl)
 	if err == nil {
 		if swapped {
-			st.repl.enqueue(sh, []tkvlog.Entry{{Key: key, Val: new}})
+			c = st.logCommit(sh, []tkvlog.Entry{{Key: key, Val: new}})
 		} else {
 			st.ops.casMisses.Add(1)
 			if s.ctl != nil {
@@ -343,17 +349,17 @@ func (st *Store) replCAS(key uint64, old, new string) (bool, error) {
 			}
 		}
 	}
-	return swapped, err
+	return swapped, c, err
 }
 
-// replAdd is Add with a ReplLog attached; the record carries the
+// loggedAdd is Add with a log attached; the record carries the
 // resulting counter value, not the delta, so replay commutes.
-func (st *Store) replAdd(key uint64, delta int64) (int64, error) {
+func (st *Store) loggedAdd(key uint64, delta int64) (out int64, c *tkvwal.Commit, err error) {
 	sh := st.ShardOf(key)
 	s := st.shards[sh]
 	routed, err := st.replWriteGate(s, key)
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	if routed {
 		defer s.ctl.q.release()
@@ -364,22 +370,23 @@ func (st *Store) replAdd(key uint64, delta int64) (int64, error) {
 	sl.key = key
 	sl.delta = delta
 	err = s.atomicallyW(key, sl.add)
-	out := sl.outN
+	out = sl.outN
 	s.release(sl)
 	if err == nil {
-		st.repl.enqueue(sh, []tkvlog.Entry{{Key: key, Val: strconv.FormatInt(out, 10)}})
+		c = st.logCommit(sh, []tkvlog.Entry{{Key: key, Val: strconv.FormatInt(out, 10)}})
 	}
-	return out, err
+	return out, c, err
 }
 
-// emitPlan enqueues one shard's applied batch plan as a record. The
-// caller (Batch phase two) still holds the batch's exclusive stripes.
-func (st *Store) emitPlan(shard int, plan []plannedWrite) {
+// emitPlan emits one shard's applied batch plan as a record. The caller
+// (Batch phase two) still holds the batch's exclusive stripes; the
+// returned durability handle is waited on after they release.
+func (st *Store) emitPlan(shard int, plan []plannedWrite) *tkvwal.Commit {
 	entries := make([]tkvlog.Entry, len(plan))
 	for i, w := range plan {
 		entries[i] = tkvlog.Entry{Key: w.key, Val: w.val, Del: w.del}
 	}
-	st.repl.enqueue(shard, entries)
+	return st.logCommit(shard, entries)
 }
 
 // shardPlan builds a version-checked lock plan covering stripes of one
@@ -421,21 +428,7 @@ func (st *Store) ReplShardCut(shard int) (pairs []tkvlog.Entry, seq uint64, err 
 	if shard < 0 || shard >= len(st.shards) || st.repl == nil {
 		return nil, 0, fmt.Errorf("tkv: bad repl cut shard %d", shard)
 	}
-	s := st.shards[shard]
-	release := st.shardPlan(shard, nil, false)
-	defer release()
-	seq = st.repl.Head(shard)
-	err = s.atomicallyRO(func(tx *stm.ROTx) error {
-		pairs = pairs[:0]
-		return s.kv.ForEachRO(tx, func(k uint64, v string) bool {
-			pairs = append(pairs, tkvlog.Entry{Key: k, Val: v})
-			return true
-		})
-	})
-	if err != nil {
-		return nil, 0, err
-	}
-	return pairs, seq, nil
+	return st.cutShard(shard)
 }
 
 // ReplApply replays one replicated record on a follower: the entries are
@@ -479,6 +472,17 @@ func (st *Store) ReplApply(rec *tkvlog.Record) error {
 	})
 	if err != nil {
 		return fmt.Errorf("tkv: repl apply shard %d seq %d: %w", shard, rec.Seq, err)
+	}
+	if st.wal != nil {
+		// Persist under the primary's sequence number and wait before the
+		// applied watermark moves: a follower must never report a record
+		// applied that its own log could lose.
+		st.walMu[shard].Lock()
+		c := st.wal.Append(shard, rec.Seq, entries)
+		st.walMu[shard].Unlock()
+		if werr := c.Wait(); werr != nil {
+			return fmt.Errorf("tkv: repl apply shard %d seq %d: wal: %w", shard, rec.Seq, werr)
+		}
 	}
 	st.repl.enqueueAt(shard, rec.Seq, entries)
 	st.repl.applied[shard].Store(rec.Seq)
@@ -535,6 +539,13 @@ func (st *Store) ReplRestoreShard(shard int, pairs []tkvlog.Entry, seq uint64) e
 	})
 	if err != nil {
 		return fmt.Errorf("tkv: repl restore shard %d: %w", shard, err)
+	}
+	if st.wal != nil {
+		// The shard's old log no longer describes its contents; persist
+		// the cut as a checkpoint and restart the log after its seq.
+		if err := st.wal.CheckpointDirect(shard, pairs, seq); err != nil {
+			return fmt.Errorf("tkv: repl restore shard %d: wal: %w", shard, err)
+		}
 	}
 	st.repl.resetAt(shard, seq)
 	st.repl.applied[shard].Store(seq)

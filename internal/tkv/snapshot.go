@@ -5,6 +5,7 @@ import (
 
 	"github.com/shrink-tm/shrink/internal/report"
 	"github.com/shrink-tm/shrink/internal/stm"
+	"github.com/shrink-tm/shrink/internal/tkvwal"
 )
 
 // counter is the store's operation counter word.
@@ -168,6 +169,10 @@ type Stats struct {
 	// Repl is the replication status (roles, per-shard watermarks, lag,
 	// overflows, resyncs); nil when the store runs without a ReplLog.
 	Repl *ReplStats `json:"repl,omitempty"`
+	// Wal is the durability status (per-shard appended/durable
+	// watermarks, group-commit shape, fsync latency, checkpoint and
+	// recovery accounting); nil when the store runs without a WAL.
+	Wal *tkvwal.Stats `json:"wal,omitempty"`
 }
 
 // Stats snapshots the counters. It is cheap (atomic loads only) and safe
@@ -233,6 +238,10 @@ func (st *Store) Stats() Stats {
 		Snapshots:      st.ops.snapshots.Load(),
 	}
 	out.Repl = st.replStats()
+	if st.wal != nil {
+		ws := st.wal.Stats()
+		out.Wal = &ws
+	}
 	return out
 }
 
@@ -261,6 +270,12 @@ func (s Stats) Table() *report.Table {
 			t.Add("replShipped", rs.Shard, float64(rs.Shipped))
 			t.Add("replApplied", rs.Shard, float64(rs.Applied))
 			t.Add("replLag", rs.Shard, float64(rs.Lag))
+		}
+	}
+	if s.Wal != nil {
+		for i, ws := range s.Wal.Shards {
+			t.Add("walAppended", i, float64(ws.Appended))
+			t.Add("walDurable", i, float64(ws.Durable))
 		}
 	}
 	return t

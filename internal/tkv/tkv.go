@@ -80,6 +80,7 @@ import (
 	"github.com/shrink-tm/shrink/internal/sched"
 	"github.com/shrink-tm/shrink/internal/stm"
 	"github.com/shrink-tm/shrink/internal/stmds"
+	"github.com/shrink-tm/shrink/internal/tkvwal"
 )
 
 // Config sizes a Store and selects the per-shard TM stack.
@@ -118,6 +119,15 @@ type Config struct {
 	// enqueue). With a log attached, write paths take their stripes in
 	// exclusive mode so record order is commit order per key.
 	ReplRing int
+	// WAL attaches a per-shard write-ahead log (see internal/tkvwal and
+	// wal.go): committed write sets are appended from the same
+	// stripe-exclusive section that feeds the replication rings and a
+	// write is acknowledged only once its record is fsync-durable
+	// (group-committed; see tkvwal.Options for the async mode). Open
+	// recovers the directory — checkpoint plus log tail — before serving.
+	// nil disables durability and leaves the write paths unchanged. A
+	// Store opened with a WAL must be Closed.
+	WAL *tkvwal.Options
 }
 
 // Store is a sharded transactional key-value store with string values.
@@ -129,6 +139,16 @@ type Store struct {
 	ctrl *controller
 	// repl is the replication log; nil unless Config.ReplRing > 0.
 	repl *ReplLog
+	// wal is the write-ahead log; nil unless Config.WAL. walMu/walSeq are
+	// per shard: walMu orders sequence assignment with the WAL append
+	// (and with the ring enqueue when both logs are attached); walSeq is
+	// the sequence counter when no ring assigns one (guarded by walMu).
+	wal     *tkvwal.WAL
+	walMu   []sync.Mutex
+	walSeq  []uint64
+	walStop chan struct{} // stops the checkpoint loop; nil if none
+	walDone chan struct{}
+	walOnce sync.Once
 	// ro gates external writes with ErrNotPrimary (follower role).
 	ro atomic.Bool
 }
@@ -298,6 +318,13 @@ func Open(cfg Config) (*Store, error) {
 		}
 		st.shards[i] = s
 	}
+	if cfg.WAL != nil {
+		st.walMu = make([]sync.Mutex, n)
+		st.walSeq = make([]uint64, n)
+		if err := st.openWAL(cfg); err != nil {
+			return nil, fmt.Errorf("tkv: %w", err)
+		}
+	}
 	if cfg.Admission != nil {
 		ac := cfg.Admission.normalized()
 		st.ctrl = newController(st, ac)
@@ -316,13 +343,14 @@ func Open(cfg Config) (*Store, error) {
 	return st, nil
 }
 
-// Close stops the admission controller, if one is running. The store
-// itself holds no other background resources; Close is idempotent and a
-// no-op for stores opened without Admission.
+// Close stops the admission controller and the WAL (checkpoint loop
+// stopped, pending groups flushed, segment files closed). Idempotent; a
+// no-op for stores opened without Admission or a WAL.
 func (st *Store) Close() {
 	if st.ctrl != nil {
 		st.ctrl.close()
 	}
+	st.walShutdown()
 }
 
 func log2(n int) int {
@@ -492,8 +520,15 @@ func (st *Store) Put(key uint64, val string) (bool, error) {
 // put path allocation-free this way.
 func (st *Store) PutRef(key uint64, val *string) (bool, error) {
 	st.ops.puts.Add(1)
-	if st.repl != nil {
-		return st.replPutRef(key, val)
+	if st.logged() {
+		created, c, err := st.loggedPutRef(key, val)
+		if err == nil {
+			// The stripe is already released (loggedPutRef's defers ran);
+			// parking on the group fsync here keeps I/O latency out of
+			// every stripe hold time.
+			err = c.Wait()
+		}
+		return created, err
 	}
 	s := st.shardFor(key)
 	routed, err := s.admitWrite(key)
@@ -517,8 +552,12 @@ func (st *Store) PutRef(key uint64, val *string) (bool, error) {
 // Delete removes key, reporting whether it was present.
 func (st *Store) Delete(key uint64) (bool, error) {
 	st.ops.deletes.Add(1)
-	if st.repl != nil {
-		return st.replDelete(key)
+	if st.logged() {
+		deleted, c, err := st.loggedDelete(key)
+		if err == nil {
+			err = c.Wait()
+		}
+		return deleted, err
 	}
 	s := st.shardFor(key)
 	routed, err := s.admitWrite(key)
@@ -542,8 +581,12 @@ func (st *Store) Delete(key uint64) (bool, error) {
 // equals old, reporting whether it swapped. A missing key never matches.
 func (st *Store) CAS(key uint64, old, new string) (bool, error) {
 	st.ops.cas.Add(1)
-	if st.repl != nil {
-		return st.replCAS(key, old, new)
+	if st.logged() {
+		swapped, c, err := st.loggedCAS(key, old, new)
+		if err == nil {
+			err = c.Wait()
+		}
+		return swapped, err
 	}
 	s := st.shardFor(key)
 	routed, err := s.admitWrite(key)
@@ -578,8 +621,12 @@ func (st *Store) CAS(key uint64, old, new string) (bool, error) {
 // stored value is a user error (the transaction aborts without retry).
 func (st *Store) Add(key uint64, delta int64) (int64, error) {
 	st.ops.adds.Add(1)
-	if st.repl != nil {
-		return st.replAdd(key, delta)
+	if st.logged() {
+		out, c, err := st.loggedAdd(key, delta)
+		if err == nil {
+			err = c.Wait()
+		}
+		return out, err
 	}
 	s := st.shardFor(key)
 	routed, err := s.admitWrite(key)

@@ -1,0 +1,299 @@
+package tkv
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/shrink-tm/shrink/internal/tkvwal"
+	"github.com/shrink-tm/shrink/internal/tkvwal/errfs"
+)
+
+// openWALStore opens a store with a WAL in dir (4 shards, no repl).
+func openWALStore(t *testing.T, dir string, wopts tkvwal.Options) *Store {
+	t.Helper()
+	wopts.Dir = dir
+	st, err := Open(Config{Shards: 4, WAL: &wopts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestWALDurableRoundTrip writes through every mutating path, closes,
+// reopens the directory and expects the exact same contents.
+func TestWALDurableRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st := openWALStore(t, dir, tkvwal.Options{})
+	for k := uint64(0); k < 40; k++ {
+		if _, err := st.Put(k, fmt.Sprintf("v%d", k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for k := uint64(0); k < 40; k += 4 {
+		if _, err := st.Delete(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := st.Add(1000, 7); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := st.CAS(1, "v1", "swapped"); err != nil || !ok {
+		t.Fatalf("cas: %v %v", ok, err)
+	}
+	if _, err := st.Batch([]Op{
+		{Kind: OpPut, Key: 2000, Value: "batched"},
+		{Kind: OpDelete, Key: 2},
+		{Kind: OpAdd, Key: 1000, Delta: 3},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want, err := st.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	st2 := openWALStore(t, dir, tkvwal.Options{})
+	defer st2.Close()
+	got, err := st2.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("recovered %d keys, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("key %d: recovered %q, want %q", k, got[k], v)
+		}
+	}
+	ws := st2.Stats().Wal
+	if ws == nil || ws.Recovery.Replayed == 0 {
+		t.Fatalf("recovery stats missing or empty: %+v", ws)
+	}
+}
+
+// TestWALCheckpointTruncates drives the store-level checkpoint: after
+// CheckpointAll, a reopen restores from the snapshots (replaying little
+// or nothing) and still agrees with the pre-close contents.
+func TestWALCheckpointTruncates(t *testing.T) {
+	dir := t.TempDir()
+	st := openWALStore(t, dir, tkvwal.Options{})
+	for k := uint64(0); k < 64; k++ {
+		if _, err := st.Put(k, "v"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.CheckpointAll(); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Stats().Wal.Checkpoints; got == 0 {
+		t.Fatal("no checkpoint recorded")
+	}
+	want, _ := st.Snapshot()
+	st.Close()
+
+	st2 := openWALStore(t, dir, tkvwal.Options{})
+	defer st2.Close()
+	ws := st2.Stats().Wal
+	if ws.Recovery.CheckpointEntries == 0 {
+		t.Fatalf("reopen did not restore from checkpoints: %+v", ws.Recovery)
+	}
+	if ws.Recovery.Replayed != 0 {
+		t.Fatalf("segments should be truncated up to the checkpoints, replayed %d", ws.Recovery.Replayed)
+	}
+	got, _ := st2.Snapshot()
+	if len(got) != len(want) {
+		t.Fatalf("recovered %d keys, want %d", len(got), len(want))
+	}
+}
+
+// TestWALReplSharedSequence checks the one-numbering invariant: with
+// both logs attached, the ring head and the WAL watermark agree per
+// shard, and a reopen continues the ring where the durable log ended.
+func TestWALReplSharedSequence(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Shards: 4, ReplRing: 64, WAL: &tkvwal.Options{Dir: dir}}
+	st, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < 32; k++ {
+		if _, err := st.Put(k, "v"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	heads := make([]uint64, st.NumShards())
+	for i := range heads {
+		heads[i] = st.Repl().Head(i)
+		if got := st.WAL().LastSeq(i); got != heads[i] {
+			t.Fatalf("shard %d: ring head %d, wal watermark %d", i, heads[i], got)
+		}
+	}
+	st.Close()
+
+	st2, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	for i := range heads {
+		if got := st2.Repl().Head(i); got != heads[i] {
+			t.Fatalf("shard %d: ring restarted at %d, want %d", i, got, heads[i])
+		}
+	}
+	// The next write on each shard must extend the numbering, not fork it.
+	if _, err := st2.Put(5, "w"); err != nil {
+		t.Fatal(err)
+	}
+	sh := st2.ShardOf(5)
+	if got := st2.Repl().Head(sh); got != heads[sh]+1 {
+		t.Fatalf("shard %d: head %d after one write, want %d", sh, got, heads[sh]+1)
+	}
+}
+
+// TestWALFailStopStore proves the store-level fail-stop: an injected
+// fsync error surfaces as the write's error (never an ack), WalFailed
+// fires, and every later write reports the fence.
+func TestWALFailStopStore(t *testing.T) {
+	errInjected := errors.New("injected disk fault")
+	fs := errfs.New(tkvwal.OSFS{}, errInjected)
+	st := openWALStore(t, t.TempDir(), tkvwal.Options{FS: fs})
+	defer st.Close()
+	if _, err := st.Put(1, "healthy"); err != nil {
+		t.Fatal(err)
+	}
+	fs.FailSyncAt(1)
+	if _, err := st.Put(2, "doomed"); !errors.Is(err, errInjected) {
+		t.Fatalf("put after armed fault: %v, want the injected error", err)
+	}
+	select {
+	case <-st.WalFailed():
+	case <-time.After(2 * time.Second):
+		t.Fatal("WalFailed did not fire")
+	}
+	if !errors.Is(st.WalErr(), errInjected) {
+		t.Fatalf("WalErr = %v", st.WalErr())
+	}
+	if _, err := st.Put(3, "late"); !errors.Is(err, errInjected) {
+		t.Fatalf("post-fence put: %v", err)
+	}
+	if _, err := st.Batch([]Op{{Kind: OpPut, Key: 4, Value: "late"}}); !errors.Is(err, errInjected) {
+		t.Fatalf("post-fence batch: %v", err)
+	}
+}
+
+// TestWALCrashDrill is the in-process kill -9 stand-in against a real
+// Store: concurrent writers tally exactly which writes were
+// acknowledged, the WAL is abandoned mid-flight (un-fsynced buffers
+// dropped, as SIGKILL would drop them), and a fresh Store over the same
+// directory must contain every acknowledged write. Un-acked writes may
+// or may not survive; acked ones must.
+func TestWALCrashDrill(t *testing.T) {
+	dir := t.TempDir()
+	st := openWALStore(t, dir, tkvwal.Options{})
+
+	const workers = 4
+	acked := make([]uint64, workers) // per worker: writes 1..acked[w] were acked
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := uint64(w) << 32
+			for i := uint64(1); ; i++ {
+				if _, err := st.Put(base+i, fmt.Sprintf("w%d-%d", w, i)); err != nil {
+					return // fence reached: the "crash" happened
+				}
+				acked[w] = i
+			}
+		}(w)
+	}
+	time.Sleep(50 * time.Millisecond)
+	st.WAL().Abandon()
+	wg.Wait()
+	st.Close()
+
+	var total uint64
+	for w := 0; w < workers; w++ {
+		total += acked[w]
+	}
+	if total == 0 {
+		t.Fatal("no acks before the crash; drill proves nothing")
+	}
+
+	st2 := openWALStore(t, dir, tkvwal.Options{})
+	defer st2.Close()
+	lost := 0
+	for w := 0; w < workers; w++ {
+		base := uint64(w) << 32
+		for i := uint64(1); i <= acked[w]; i++ {
+			want := fmt.Sprintf("w%d-%d", w, i)
+			got, ok, err := st2.Get(base + i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok || got != want {
+				lost++
+				t.Errorf("acked write w%d-%d lost (got %q, ok=%v)", w, i, got, ok)
+			}
+		}
+	}
+	if lost > 0 {
+		t.Fatalf("%d of %d acknowledged writes lost", lost, total)
+	}
+	t.Logf("crash drill: %d acknowledged writes, all recovered", total)
+}
+
+// BenchmarkWalPut is the durability A/B on the store-level put path:
+// no log, sync WAL, async WAL, and sync WAL sharing sequence numbers
+// with a replication ring. It runs parallel because that is what group
+// commit is for — a serial caller pays a whole fsync per put, while P
+// concurrent callers park on the same committing batch and amortize
+// it; compare -cpu 1 against -cpu 8 to see the overlap directly (the
+// per-op group size and fsync percentiles land in Stats().Wal).
+func BenchmarkWalPut(b *testing.B) {
+	for _, cfg := range []struct {
+		name   string
+		wal    bool
+		nosync bool
+		ring   int
+	}{
+		{"wal=off", false, false, 0},
+		{"wal=sync", true, false, 0},
+		{"wal=async", true, true, 0},
+		{"wal=sync+ring", true, false, 1024},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			c := Config{Shards: 4, PoolSize: 2, Buckets: 128, ReplRing: cfg.ring}
+			if cfg.wal {
+				c.WAL = &tkvwal.Options{Dir: b.TempDir(), NoSync: cfg.nosync}
+			}
+			st, err := Open(c)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer st.Close()
+			for k := uint64(0); k < 256; k++ {
+				if _, err := st.Put(k, "seed-value"); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				var i uint64
+				for pb.Next() {
+					i++
+					if _, err := st.Put(i&255, "updated-value"); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+		})
+	}
+}

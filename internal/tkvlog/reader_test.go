@@ -1,0 +1,231 @@
+package tkvlog
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"testing/iotest"
+)
+
+// encodeAll concatenates the sample records the way a segment lays them
+// out on disk.
+func encodeAll(recs []Record) []byte {
+	var b []byte
+	for i := range recs {
+		b = recs[i].Append(b)
+	}
+	return b
+}
+
+func TestReaderStream(t *testing.T) {
+	recs := sampleRecords()
+	b := encodeAll(recs)
+	sources := map[string]io.Reader{
+		"whole":   bytes.NewReader(b),
+		"oneByte": iotest.OneByteReader(bytes.NewReader(b)),
+		"halfBuf": iotest.HalfReader(bytes.NewReader(b)),
+	}
+	for name, src := range sources {
+		t.Run(name, func(t *testing.T) {
+			r := NewReader(src)
+			var rec Record
+			for i := range recs {
+				if err := r.Next(&rec); err != nil {
+					t.Fatalf("record %d: %v", i, err)
+				}
+				if rec.Shard != recs[i].Shard || rec.Seq != recs[i].Seq || len(rec.Entries) != len(recs[i].Entries) {
+					t.Fatalf("record %d: got %+v want %+v", i, rec, recs[i])
+				}
+				for j := range rec.Entries {
+					if rec.Entries[j] != recs[i].Entries[j] {
+						t.Fatalf("record %d entry %d: got %+v want %+v", i, j, rec.Entries[j], recs[i].Entries[j])
+					}
+				}
+			}
+			if err := r.Next(&rec); err != io.EOF {
+				t.Fatalf("after last record: want io.EOF, got %v", err)
+			}
+			if r.Offset() != int64(len(b)) {
+				t.Fatalf("offset %d, want %d", r.Offset(), len(b))
+			}
+			// Errors are sticky.
+			if err := r.Next(&rec); err != io.EOF {
+				t.Fatalf("sticky EOF violated: %v", err)
+			}
+		})
+	}
+}
+
+// TestReaderEveryCutTruncation feeds every possible truncation of a
+// multi-record stream and checks the reader yields exactly the complete
+// prefix, classifies the tail correctly (io.EOF on a record boundary,
+// ErrShort inside a record), and reports the truncation offset a
+// recovery would cut at.
+func TestReaderEveryCutTruncation(t *testing.T) {
+	recs := sampleRecords()
+	b := encodeAll(recs)
+	// Record boundaries in the stream.
+	bounds := map[int]bool{0: true}
+	off := 0
+	for i := range recs {
+		off += recs[i].Size()
+		bounds[off] = true
+	}
+	for cut := 0; cut <= len(b); cut++ {
+		r := NewReader(bytes.NewReader(b[:cut]))
+		var rec Record
+		var err error
+		n := 0
+		for {
+			if err = r.Next(&rec); err != nil {
+				break
+			}
+			n++
+		}
+		if bounds[cut] {
+			if err != io.EOF {
+				t.Fatalf("cut %d (boundary): want io.EOF, got %v", cut, err)
+			}
+			if r.Offset() != int64(cut) {
+				t.Fatalf("cut %d: offset %d", cut, r.Offset())
+			}
+		} else {
+			if !errors.Is(err, ErrShort) {
+				t.Fatalf("cut %d (mid-record): want ErrShort, got %v", cut, err)
+			}
+			if !bounds[int(r.Offset())] || r.Offset() > int64(cut) {
+				t.Fatalf("cut %d: truncation offset %d is not a record boundary", cut, r.Offset())
+			}
+		}
+		// The intact prefix must decode fully regardless of the tail.
+		if want := countBoundariesBelow(recs, cut); n != want {
+			t.Fatalf("cut %d: decoded %d records, want %d", cut, n, want)
+		}
+	}
+}
+
+func countBoundariesBelow(recs []Record, cut int) int {
+	off, n := 0, 0
+	for i := range recs {
+		off += recs[i].Size()
+		if off <= cut {
+			n++
+		}
+	}
+	return n
+}
+
+func TestReaderCorrupt(t *testing.T) {
+	recs := sampleRecords()
+	b := encodeAll(recs)
+	// Flip a byte inside the second record's body.
+	pos := recs[0].Size() + 10
+	mut := bytes.Clone(b)
+	mut[pos] ^= 0x5a
+	r := NewReader(bytes.NewReader(mut))
+	var rec Record
+	if err := r.Next(&rec); err != nil {
+		t.Fatalf("first record should survive: %v", err)
+	}
+	err := r.Next(&rec)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("want ErrCorrupt, got %v", err)
+	}
+	if r.Offset() != int64(recs[0].Size()) {
+		t.Fatalf("offset %d, want %d", r.Offset(), recs[0].Size())
+	}
+	// Sticky.
+	if err2 := r.Next(&rec); !errors.Is(err2, ErrCorrupt) {
+		t.Fatalf("sticky ErrCorrupt violated: %v", err2)
+	}
+}
+
+func TestReaderSourceError(t *testing.T) {
+	recs := sampleRecords()
+	b := encodeAll(recs)
+	boom := errors.New("disk fell off")
+	src := io.MultiReader(bytes.NewReader(b[:recs[0].Size()+3]), iotest.ErrReader(boom))
+	r := NewReader(src)
+	var rec Record
+	if err := r.Next(&rec); err != nil {
+		t.Fatalf("first record should survive: %v", err)
+	}
+	if err := r.Next(&rec); !errors.Is(err, boom) {
+		t.Fatalf("want source error, got %v", err)
+	}
+}
+
+// FuzzLogReader checks the streaming reader agrees exactly with the
+// slice decoder on arbitrary byte streams: same records, same error
+// class, same intact-prefix offset. Seeds share the corpus with
+// FuzzLogDecode plus full multi-record streams.
+func FuzzLogReader(f *testing.F) {
+	for _, r := range sampleRecords() {
+		f.Add(r.Append(nil))
+	}
+	f.Add(encodeAll(sampleRecords()))
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		// Reference: slice-decode loop.
+		var want []Record
+		off := 0
+		var refErr error
+		for {
+			var rec Record
+			n, err := rec.Decode(b[off:])
+			if err != nil {
+				refErr = err
+				break
+			}
+			cp := rec
+			cp.Entries = append([]Entry(nil), rec.Entries...)
+			want = append(want, cp)
+			off += n
+		}
+
+		r := NewReader(iotest.OneByteReader(bytes.NewReader(b)))
+		var rec Record
+		for i := 0; ; i++ {
+			err := r.Next(&rec)
+			if err != nil {
+				switch {
+				case errors.Is(refErr, ErrShort) && off == len(b):
+					if err != io.EOF {
+						t.Fatalf("clean end: reader %v", err)
+					}
+				case errors.Is(refErr, ErrShort):
+					if !errors.Is(err, ErrShort) {
+						t.Fatalf("torn tail: reader %v, ref %v", err, refErr)
+					}
+				case errors.Is(refErr, ErrCorrupt):
+					if !errors.Is(err, ErrCorrupt) {
+						t.Fatalf("corrupt: reader %v, ref %v", err, refErr)
+					}
+				default:
+					t.Fatalf("unexpected reference error %v", refErr)
+				}
+				if i != len(want) {
+					t.Fatalf("reader yielded %d records, ref %d", i, len(want))
+				}
+				if r.Offset() != int64(off) {
+					t.Fatalf("reader offset %d, ref %d", r.Offset(), off)
+				}
+				return
+			}
+			if i >= len(want) {
+				t.Fatalf("reader yielded extra record %d", i)
+			}
+			w := want[i]
+			if rec.Shard != w.Shard || rec.Seq != w.Seq || len(rec.Entries) != len(w.Entries) {
+				t.Fatalf("record %d: got %+v want %+v", i, rec, w)
+			}
+			for j := range w.Entries {
+				if rec.Entries[j] != w.Entries[j] {
+					t.Fatalf("record %d entry %d mismatch", i, j)
+				}
+			}
+		}
+	})
+}

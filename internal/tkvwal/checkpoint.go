@@ -1,0 +1,209 @@
+package tkvwal
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"github.com/shrink-tm/shrink/internal/tkvlog"
+)
+
+// ckptChunk bounds entries per checkpoint record so one record never
+// approaches tkvlog.MaxRecord.
+const ckptChunk = 4096
+
+// Checkpoint snapshots one shard and truncates its log. The protocol is
+// ordered so a crash at any point loses nothing:
+//
+//  1. rotate: flush + fsync the active segment and start a fresh one,
+//     so every record in the old segments precedes the cut;
+//  2. cut: the caller captures a consistent shard snapshot and its head
+//     sequence (the store does this under the O(1) freeze gate, with
+//     writers briefly excluded — see Store.CheckpointCut);
+//  3. write the checkpoint to a tmp file, fsync, rename into place,
+//     fsync the directory — the rename is the commit point;
+//  4. gc: delete the pre-rotation segments and older checkpoints, all
+//     of whose records the checkpoint now covers.
+//
+// A crash before 3 recovers from the previous checkpoint plus all
+// segments; after 3, from the new checkpoint plus the fresh segment
+// (records with seq at or below the cut replay as no-ops via the seq
+// skip). Checkpoint is a no-op when the shard has nothing new.
+func (w *WAL) Checkpoint(shard int, cut func() ([]tkvlog.Entry, uint64, error)) error {
+	if err := w.Err(); err != nil {
+		return err
+	}
+	s := w.shards[shard]
+	s.mu.Lock()
+	appended := s.appended
+	s.mu.Unlock()
+	if appended == s.lastCkptSeq.Load() {
+		return nil
+	}
+	if err := w.rotate(s); err != nil {
+		return err
+	}
+	entries, seq, err := cut()
+	if err != nil {
+		return err // a cut failure is the store's problem, not a log fault
+	}
+	return w.installCheckpoint(s, entries, seq)
+}
+
+// CheckpointDirect installs an externally captured snapshot (a
+// replication restore cut) as the shard's checkpoint: the shard's
+// on-disk history before it is obsolete by construction.
+func (w *WAL) CheckpointDirect(shard int, entries []tkvlog.Entry, seq uint64) error {
+	if err := w.Err(); err != nil {
+		return err
+	}
+	s := w.shards[shard]
+	if err := w.rotate(s); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	if seq > s.appended {
+		s.appended = seq // restore jumped the numbering forward
+	}
+	s.mu.Unlock()
+	if seq > s.durable.Load() {
+		s.durable.Store(seq)
+	}
+	return w.installCheckpoint(s, entries, seq)
+}
+
+func (w *WAL) installCheckpoint(s *shardLog, entries []tkvlog.Entry, seq uint64) error {
+	if err := w.writeCheckpoint(s.idx, entries, seq); err != nil {
+		w.fail(err)
+		return err
+	}
+	w.gc(s, seq)
+	s.lastCkptSeq.Store(seq)
+	w.lastCkptNS.Store(time.Now().UnixNano())
+	w.checkpoints.Add(1)
+	return nil
+}
+
+// rotate flushes the active segment and switches to a fresh one named
+// by the next sequence number. Old segments stay until gc.
+func (w *WAL) rotate(s *shardLog) error {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	if err := w.flushLocked(s); err != nil {
+		w.fail(err)
+		return err
+	}
+	s.mu.Lock()
+	next := s.appended + 1
+	s.mu.Unlock()
+	if err := s.f.Close(); err != nil {
+		w.fail(err)
+		return err
+	}
+	s.f = nil
+	f, err := w.fs.OpenAppend(w.path(segName(s.idx, next)))
+	if err != nil {
+		w.fail(err)
+		return err
+	}
+	if err := w.fs.SyncDir(w.dir); err != nil {
+		f.Close()
+		w.fail(err)
+		return err
+	}
+	s.f = f
+	s.activeSeg = next
+	return nil
+}
+
+// writeCheckpoint persists the snapshot: chunked records (every chunk
+// carries the cut seq) to a tmp file, fsync, rename, dir fsync.
+func (w *WAL) writeCheckpoint(shard int, entries []tkvlog.Entry, seq uint64) error {
+	final := ckptName(shard, seq)
+	tmp := final + ".tmp"
+	f, err := w.fs.Create(w.path(tmp))
+	if err != nil {
+		return err
+	}
+	var buf []byte
+	rec := tkvlog.Record{Shard: uint16(shard), Seq: seq}
+	for off := 0; ; off += ckptChunk {
+		end := off + ckptChunk
+		if end > len(entries) {
+			end = len(entries)
+		}
+		rec.Entries = entries[off:end]
+		buf = rec.Append(buf[:0])
+		if _, err := f.Write(buf); err != nil {
+			f.Close()
+			return err
+		}
+		if end == len(entries) {
+			break
+		}
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := w.fs.Rename(w.path(tmp), w.path(final)); err != nil {
+		return err
+	}
+	return w.fs.SyncDir(w.dir)
+}
+
+// gc removes the shard's pre-rotation segments and superseded
+// checkpoints. Failures here are ignored: leftover files only cost
+// space and replay as seq-skipped no-ops.
+func (w *WAL) gc(s *shardLog, ckptSeq uint64) {
+	names, err := w.fs.List(w.dir)
+	if err != nil {
+		return
+	}
+	s.wmu.Lock()
+	active := segName(s.idx, s.activeSeg)
+	s.wmu.Unlock()
+	for _, name := range names {
+		if shard, _, ok := parseSeg(name); ok && shard == s.idx && name != active {
+			w.fs.Remove(w.path(name))
+		}
+		if shard, seq, ok := parseCkpt(name); ok && shard == s.idx && seq < ckptSeq {
+			w.fs.Remove(w.path(name))
+		}
+	}
+}
+
+// path joins a file name onto the log directory.
+func (w *WAL) path(name string) string { return filepath.Join(w.dir, name) }
+
+// segName is "wal-<shard>-<start>.log": start is the first sequence
+// number the segment may hold, zero-padded hex so names sort by seq.
+func segName(shard int, start uint64) string {
+	return fmt.Sprintf("wal-%04d-%016x.log", shard, start)
+}
+
+// ckptName is "ckpt-<shard>-<seq>.ckpt": the snapshot covers every
+// record with sequence number at or below seq.
+func ckptName(shard int, seq uint64) string {
+	return fmt.Sprintf("ckpt-%04d-%016x.ckpt", shard, seq)
+}
+
+func parseSeg(name string) (shard int, start uint64, ok bool) {
+	if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".log") {
+		return 0, 0, false
+	}
+	n, err := fmt.Sscanf(name, "wal-%04d-%016x.log", &shard, &start)
+	return shard, start, err == nil && n == 2
+}
+
+func parseCkpt(name string) (shard int, seq uint64, ok bool) {
+	if !strings.HasPrefix(name, "ckpt-") || !strings.HasSuffix(name, ".ckpt") {
+		return 0, 0, false
+	}
+	n, err := fmt.Sscanf(name, "ckpt-%04d-%016x.ckpt", &shard, &seq)
+	return shard, seq, err == nil && n == 2
+}

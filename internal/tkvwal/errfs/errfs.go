@@ -1,0 +1,100 @@
+// Package errfs wraps a tkvwal.FS with injectable failures: fail the
+// Nth data write or the Nth fsync, across all files. It exists to prove
+// the WAL's fail-stop contract — a failed write or fsync must fence the
+// log and never be acknowledged — rather than leaving it asserted in
+// comments.
+package errfs
+
+import (
+	"sync/atomic"
+
+	"github.com/shrink-tm/shrink/internal/tkvwal"
+)
+
+// FS wraps an inner FS, counting Write and Sync calls on the files it
+// opens and injecting Err once a configured ordinal is reached.
+// Directory-level operations pass through untouched.
+type FS struct {
+	Inner tkvwal.FS
+	// Err is the injected error (required).
+	Err error
+
+	writes atomic.Int64
+	syncs  atomic.Int64
+
+	failWriteAt atomic.Int64 // fail the Nth write (1-based); 0 = never
+	failSyncAt  atomic.Int64 // fail the Nth sync (1-based); 0 = never
+}
+
+// New wraps inner, injecting err where armed.
+func New(inner tkvwal.FS, err error) *FS {
+	return &FS{Inner: inner, Err: err}
+}
+
+// FailWriteAt arms the wrapper to fail the nth data write from now on
+// (counting continues across files). n <= 0 disarms.
+func (f *FS) FailWriteAt(n int64) { f.failWriteAt.Store(f.writes.Load() + n) }
+
+// FailSyncAt arms the wrapper to fail the nth fsync from now on.
+func (f *FS) FailSyncAt(n int64) { f.failSyncAt.Store(f.syncs.Load() + n) }
+
+// Writes reports data writes observed so far.
+func (f *FS) Writes() int64 { return f.writes.Load() }
+
+// Syncs reports fsyncs observed so far.
+func (f *FS) Syncs() int64 { return f.syncs.Load() }
+
+func (f *FS) MkdirAll(dir string) error { return f.Inner.MkdirAll(dir) }
+
+func (f *FS) OpenAppend(name string) (tkvwal.File, error) {
+	inner, err := f.Inner.OpenAppend(name)
+	if err != nil {
+		return nil, err
+	}
+	return &file{fs: f, inner: inner}, nil
+}
+
+func (f *FS) Create(name string) (tkvwal.File, error) {
+	inner, err := f.Inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &file{fs: f, inner: inner}, nil
+}
+
+func (f *FS) Open(name string) (tkvwal.File, error) { return f.Inner.Open(name) }
+
+func (f *FS) Rename(oldname, newname string) error { return f.Inner.Rename(oldname, newname) }
+
+func (f *FS) Remove(name string) error { return f.Inner.Remove(name) }
+
+func (f *FS) List(dir string) ([]string, error) { return f.Inner.List(dir) }
+
+func (f *FS) Truncate(name string, size int64) error { return f.Inner.Truncate(name, size) }
+
+func (f *FS) SyncDir(dir string) error { return f.Inner.SyncDir(dir) }
+
+type file struct {
+	fs    *FS
+	inner tkvwal.File
+}
+
+func (f *file) Read(p []byte) (int, error) { return f.inner.Read(p) }
+
+func (f *file) Write(p []byte) (int, error) {
+	n := f.fs.writes.Add(1)
+	if at := f.fs.failWriteAt.Load(); at > 0 && n >= at {
+		return 0, f.fs.Err
+	}
+	return f.inner.Write(p)
+}
+
+func (f *file) Sync() error {
+	n := f.fs.syncs.Add(1)
+	if at := f.fs.failSyncAt.Load(); at > 0 && n >= at {
+		return f.fs.Err
+	}
+	return f.inner.Sync()
+}
+
+func (f *file) Close() error { return f.inner.Close() }

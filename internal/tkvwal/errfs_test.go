@@ -1,0 +1,189 @@
+package tkvwal_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/shrink-tm/shrink/internal/tkvlog"
+	"github.com/shrink-tm/shrink/internal/tkvwal"
+	"github.com/shrink-tm/shrink/internal/tkvwal/errfs"
+)
+
+var errInjected = errors.New("injected disk fault")
+
+func openWith(t *testing.T, dir string, fs tkvwal.FS) *tkvwal.WAL {
+	t.Helper()
+	w, err := tkvwal.Open(tkvwal.Options{Dir: dir, Shards: 1, FS: fs},
+		func(*tkvlog.Record) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// proveFailStop drives a WAL into an injected fault and checks the
+// whole fail-stop contract: the faulted append is never acked, the log
+// fences, Failed() fires, later appends bounce, and a reopen of the
+// directory recovers every acked record.
+func proveFailStop(t *testing.T, arm func(*errfs.FS)) {
+	t.Helper()
+	dir := t.TempDir()
+	fs := errfs.New(tkvwal.OSFS{}, errInjected)
+	w := openWith(t, dir, fs)
+
+	var acked []uint64
+	for seq := uint64(1); seq <= 5; seq++ {
+		if err := w.Append(0, seq, []tkvlog.Entry{{Key: seq, Val: "pre"}}).Wait(); err != nil {
+			t.Fatalf("healthy append %d: %v", seq, err)
+		}
+		acked = append(acked, seq)
+	}
+	arm(fs)
+	// The armed fault must surface as a Wait error on some append —
+	// never a nil ack.
+	faulted := false
+	for seq := uint64(6); seq <= 10; seq++ {
+		if err := w.Append(0, seq, []tkvlog.Entry{{Key: seq, Val: "post"}}).Wait(); err != nil {
+			faulted = true
+			if !errors.Is(err, errInjected) {
+				t.Fatalf("append %d failed with %v, want the injected fault", seq, err)
+			}
+			break
+		}
+		acked = append(acked, seq)
+	}
+	if !faulted {
+		t.Fatal("injected fault never surfaced")
+	}
+	select {
+	case <-w.Failed():
+	case <-time.After(2 * time.Second):
+		t.Fatal("Failed() did not fire")
+	}
+	if !errors.Is(w.Err(), errInjected) {
+		t.Fatalf("Err() = %v", w.Err())
+	}
+	if !w.Stats().Failed {
+		t.Fatal("stats do not report the fence")
+	}
+	// Fenced: appends after the failure must report it, not ack.
+	if err := w.Append(0, 99, []tkvlog.Entry{{Key: 99, Val: "late"}}).Wait(); !errors.Is(err, errInjected) {
+		t.Fatalf("post-fence append: %v", err)
+	}
+	w.Close()
+
+	// Reopen through the real FS: every acked record must be there. The
+	// faulted record may or may not be on disk — it was never acked, so
+	// either is honest.
+	got := map[uint64]bool{}
+	w2, err := tkvwal.Open(tkvwal.Options{Dir: dir, Shards: 1}, func(rec *tkvlog.Record) error {
+		for _, e := range rec.Entries {
+			got[e.Key] = true
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("recovery after fault: %v", err)
+	}
+	defer w2.Close()
+	for _, seq := range acked {
+		if !got[seq] {
+			t.Fatalf("acked record %d lost after fault+recovery", seq)
+		}
+	}
+}
+
+func TestFailStopOnFsyncError(t *testing.T) {
+	proveFailStop(t, func(fs *errfs.FS) { fs.FailSyncAt(1) })
+}
+
+func TestFailStopOnWriteError(t *testing.T) {
+	proveFailStop(t, func(fs *errfs.FS) { fs.FailWriteAt(1) })
+}
+
+func TestFailStopOnLaterFsync(t *testing.T) {
+	proveFailStop(t, func(fs *errfs.FS) { fs.FailSyncAt(3) })
+}
+
+// TestCheckpointFaultFences checks a fault during checkpoint writing
+// also fences the log instead of being swallowed.
+func TestCheckpointFaultFences(t *testing.T) {
+	dir := t.TempDir()
+	fs := errfs.New(tkvwal.OSFS{}, errInjected)
+	w := openWith(t, dir, fs)
+	defer w.Close()
+	for seq := uint64(1); seq <= 3; seq++ {
+		if err := w.Append(0, seq, []tkvlog.Entry{{Key: seq, Val: "v"}}).Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fs.FailSyncAt(1) // next sync is the checkpoint tmp file's fsync
+	err := w.Checkpoint(0, func() ([]tkvlog.Entry, uint64, error) {
+		return []tkvlog.Entry{{Key: 1, Val: "v"}}, 3, nil
+	})
+	if !errors.Is(err, errInjected) {
+		t.Fatalf("checkpoint fault: %v", err)
+	}
+	if w.Err() == nil {
+		t.Fatal("checkpoint fault did not fence the log")
+	}
+}
+
+// TestAbandonSimulatesCrash is the in-process crash drill: concurrent
+// appenders tally which records were acknowledged, the log is abandoned
+// mid-flight (pending un-fsynced records discarded, as SIGKILL would),
+// and recovery must surface every acknowledged record. Lost un-acked
+// records are fine; lost acked records are the bug class this exists to
+// catch — an ack racing ahead of its fsync would fail here.
+func TestAbandonSimulatesCrash(t *testing.T) {
+	dir := t.TempDir()
+	w := openWith(t, dir, tkvwal.OSFS{})
+
+	type ack struct{ seq uint64 }
+	ackc := make(chan ack, 1<<16)
+	done := make(chan struct{})
+	var seq uint64
+	go func() {
+		defer close(done)
+		for {
+			seq++
+			c := w.Append(0, seq, []tkvlog.Entry{{Key: seq, Val: fmt.Sprintf("v%d", seq)}})
+			if err := c.Wait(); err != nil {
+				return // fence reached: the "crash" happened
+			}
+			ackc <- ack{seq}
+		}
+	}()
+	time.Sleep(50 * time.Millisecond)
+	w.Abandon() // SIGKILL stand-in
+	<-done
+	close(ackc)
+	var acked []uint64
+	for a := range ackc {
+		acked = append(acked, a.seq)
+	}
+	if len(acked) == 0 {
+		t.Fatal("no acks before the crash; test proves nothing")
+	}
+
+	got := map[uint64]bool{}
+	w2, err := tkvwal.Open(tkvwal.Options{Dir: dir, Shards: 1}, func(rec *tkvlog.Record) error {
+		for _, e := range rec.Entries {
+			got[e.Key] = true
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("recovery after crash: %v", err)
+	}
+	defer w2.Close()
+	for _, s := range acked {
+		if !got[s] {
+			t.Fatalf("acked seq %d lost in crash (%d acked, %d recovered)", s, len(acked), len(got))
+		}
+	}
+	t.Logf("crash drill: %d acked, %d recovered (surplus %d un-acked survivors)",
+		len(acked), len(got), len(got)-len(acked))
+}

@@ -1,0 +1,74 @@
+package tkvwal
+
+import "time"
+
+// ShardStats is one shard's durability watermarks.
+type ShardStats struct {
+	// Appended is the last sequence number handed to the log.
+	Appended uint64 `json:"appended"`
+	// Durable is the last sequence number covered by an fsync (or, in
+	// async mode, handed to the OS). Appended minus Durable is the
+	// window a crash right now would lose.
+	Durable uint64 `json:"durable"`
+}
+
+// Stats is the WAL's measurement surface: watermarks per shard,
+// group-commit shape (how many records each fsync covered), fsync
+// latency, checkpoint and recovery accounting.
+type Stats struct {
+	Shards []ShardStats `json:"shards"`
+
+	Appends uint64 `json:"appends"`
+	Fsyncs  uint64 `json:"fsyncs"`
+
+	// GroupMean and GroupMax describe records per flushed group — the
+	// group-commit overlap. Mean near 1 means fsync-per-write (idle or
+	// trickle load); large means many acks amortized one fsync.
+	GroupMean float64 `json:"group_mean"`
+	GroupMax  uint64  `json:"group_max"`
+
+	FsyncP50us uint64 `json:"fsync_p50_us"`
+	FsyncP99us uint64 `json:"fsync_p99_us"`
+
+	Checkpoints uint64 `json:"checkpoints"`
+	// CheckpointAgeSec is seconds since the last checkpoint, -1 if none
+	// has completed yet.
+	CheckpointAgeSec float64 `json:"checkpoint_age_sec"`
+
+	Recovery RecoveryStats `json:"recovery"`
+
+	// Sync is false in async (NoSync) mode, where acks do not wait for
+	// fsync and the durability contract is weaker.
+	Sync bool `json:"sync"`
+	// Failed is true once the log has fenced itself after a write or
+	// fsync error; the process should already be exiting.
+	Failed bool `json:"failed"`
+}
+
+// Stats snapshots the log's counters. Safe under concurrent appends.
+func (w *WAL) Stats() Stats {
+	st := Stats{
+		Shards:           make([]ShardStats, len(w.shards)),
+		Appends:          w.appends.Load(),
+		Fsyncs:           w.fsyncs.Load(),
+		GroupMean:        w.groupHist.Mean(),
+		GroupMax:         w.groupHist.Max(),
+		FsyncP50us:       w.fsyncHist.Quantile(0.50),
+		FsyncP99us:       w.fsyncHist.Quantile(0.99),
+		Checkpoints:      w.checkpoints.Load(),
+		CheckpointAgeSec: -1,
+		Recovery:         w.recovered,
+		Sync:             !w.opts.NoSync,
+		Failed:           w.failErr.Load() != nil,
+	}
+	if ns := w.lastCkptNS.Load(); ns != 0 {
+		st.CheckpointAgeSec = time.Since(time.Unix(0, ns)).Seconds()
+	}
+	for i, s := range w.shards {
+		s.mu.Lock()
+		appended := s.appended
+		s.mu.Unlock()
+		st.Shards[i] = ShardStats{Appended: appended, Durable: s.durable.Load()}
+	}
+	return st
+}

@@ -1,0 +1,388 @@
+// Package tkvwal is the per-shard write-ahead log: the durability half
+// of ROADMAP item 2. It appends the same tkvlog records the replication
+// rings carry — one format for everything that ships or persists
+// committed write sets — and makes them crash-durable with a
+// group-commit fsync loop, periodic checkpoint snapshots with log
+// truncation, and a startup recovery that replays checkpoint + log tail.
+//
+// # Group commit
+//
+// The STM commit is ~0.2 µs; an fsync is ~ms. Acknowledging each write
+// with its own fsync would cap the store at fsync rate, so appends park
+// on a committing batch instead: Append encodes the record into the
+// shard's pending buffer under a mutex that never spans an fsync and
+// returns a Commit handle for the batch; a per-shard sync goroutine
+// swaps the buffer out, writes it, fsyncs once, and releases every
+// waiter in the batch together. Everything that arrives while one fsync
+// is in flight rides the next one — group size scales with load and the
+// per-write fsync cost amortizes away (group size and fsync latency are
+// both measured, see Stats).
+//
+// # Fail-stop
+//
+// A write or fsync error fences the log permanently: every parked and
+// future Commit reports the failure, appends are rejected, and Failed()
+// fires so the process can exit nonzero. A failed fsync means the page
+// cache and the platter may disagree; retrying would risk acknowledging
+// a write the disk silently lost, so the only honest move is to stop.
+// The FS indirection lets tests inject the Nth write/fsync failure and
+// prove no failed write was ever acknowledged.
+package tkvwal
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/shrink-tm/shrink/internal/tkvlog"
+	"github.com/shrink-tm/shrink/internal/trace"
+)
+
+// Options configures a WAL.
+type Options struct {
+	// Dir is the log directory. Created if absent; its MANIFEST pins the
+	// shard count so a store cannot silently reopen a log with different
+	// sharding.
+	Dir string
+	// Shards is the store's shard count (filled by the store).
+	Shards int
+	// FS is the filesystem to write through; nil means the OS.
+	FS FS
+	// NoSync disables the fsync wait: appends are still written by the
+	// sync loop but nothing parks on durability, so a crash can lose
+	// everything since the last fsync the OS chose to do. The fail-stop
+	// fence still holds.
+	NoSync bool
+	// SyncDelay stalls the sync loop briefly before each flush to grow
+	// commit groups. Zero (the default) fsyncs as soon as the loop is
+	// free — natural group commit; under load that already batches well.
+	SyncDelay time.Duration
+	// CheckpointEvery is the store-side checkpoint interval (the WAL
+	// itself does not tick; the store drives Checkpoint with a
+	// consistent cut). Zero disables periodic checkpoints.
+	CheckpointEvery time.Duration
+}
+
+// ErrClosed is returned for appends after Close.
+var ErrClosed = errors.New("tkvwal: closed")
+
+// ErrAbandoned marks a log dropped by Abandon (the in-process crash
+// simulation): pending un-synced writes are discarded, as a real crash
+// would.
+var ErrAbandoned = errors.New("tkvwal: abandoned (simulated crash)")
+
+// Commit is the durability handle for one appended record: a ticket on
+// the group-commit batch the record rides. A nil *Commit waits for
+// nothing (async mode).
+type Commit struct {
+	w    *WAL
+	done chan struct{}
+	err  error // valid after done closes
+	n    int   // records in the group (stats; written under shard mu)
+}
+
+// Wait parks until the record's batch is durable (or the log has
+// failed) and returns the batch outcome. A nil error is the durability
+// ack: the record survived an fsync.
+func (c *Commit) Wait() error {
+	if c == nil {
+		return nil
+	}
+	select {
+	case <-c.done:
+		return c.err
+	case <-c.w.failedc:
+		// The log failed, but this batch may have completed first —
+		// prefer its own outcome when it has one.
+		select {
+		case <-c.done:
+			return c.err
+		default:
+			return c.w.Err()
+		}
+	}
+}
+
+// shardLog is one shard's log state. The field groups have distinct
+// locks so an append never waits on an fsync: mu guards the pending
+// buffer and is held only for an encode; wmu serializes the write+fsync
+// sections (sync loop flushes, rotations) and is never held by Append.
+type shardLog struct {
+	idx int // shard index (immutable)
+
+	mu       sync.Mutex
+	buf      []byte // pending encoded records
+	spare    []byte // recycled flushed buffer (double buffering)
+	cur      *Commit
+	rec      tkvlog.Record // encode scratch, reused under mu
+	appended uint64        // last seq encoded into buf
+	pending  int           // records in buf
+
+	durable atomic.Uint64 // last seq the OS has (fsync'd unless NoSync)
+
+	wmu       sync.Mutex // serializes write/fsync/rotate on f
+	f         File       // active segment (guarded by wmu)
+	activeSeg uint64     // active segment's start seq (guarded by wmu)
+
+	lastCkptSeq atomic.Uint64
+	notify      chan struct{} // wakes the sync loop (capacity 1)
+}
+
+// WAL is a per-shard group-commit write-ahead log. Open recovers and
+// returns one; Append logs a committed write set; Close flushes and
+// shuts down.
+type WAL struct {
+	dir  string
+	fs   FS
+	opts Options
+
+	shards []*shardLog
+
+	appends     atomic.Uint64
+	fsyncs      atomic.Uint64
+	fsyncHist   trace.Histogram // µs per fsync
+	groupHist   trace.Histogram // records per flushed group
+	checkpoints atomic.Uint64
+	lastCkptNS  atomic.Int64 // unix nanos of last checkpoint (0 = none)
+	recovered   RecoveryStats
+
+	failOnce     sync.Once
+	failErr      atomic.Pointer[failBox]
+	failedc      chan struct{}
+	failedCommit atomic.Pointer[Commit]
+
+	closed   atomic.Bool
+	stopOnce sync.Once
+	stopc    chan struct{}
+	wg       sync.WaitGroup
+}
+
+type failBox struct{ err error }
+
+// Append encodes one committed write set — shard, its per-shard
+// sequence number, and the entries in commit order — into the shard's
+// pending buffer and returns the Commit handle its batch rides. The
+// caller must hold whatever ordering lock assigns seq (the store's
+// per-shard log mutex), so buffer order equals sequence order. Append
+// itself never blocks on I/O and allocates nothing on the steady path.
+//
+// After a failure or Close, Append returns a pre-failed Commit whose
+// Wait reports the fence — never a silent drop.
+func (w *WAL) Append(shard int, seq uint64, entries []tkvlog.Entry) *Commit {
+	if w.failErr.Load() != nil {
+		return w.failedCommit.Load()
+	}
+	if w.closed.Load() {
+		w.fail(ErrClosed)
+		return w.failedCommit.Load()
+	}
+	s := w.shards[shard]
+	s.mu.Lock()
+	s.rec.Shard = uint16(shard)
+	s.rec.Seq = seq
+	s.rec.Entries = entries
+	s.buf = s.rec.Append(s.buf)
+	s.rec.Entries = nil
+	s.appended = seq
+	s.pending++
+	c := s.cur
+	c.n++
+	s.mu.Unlock()
+	w.appends.Add(1)
+	select {
+	case s.notify <- struct{}{}:
+	default:
+	}
+	if w.opts.NoSync {
+		return nil
+	}
+	return c
+}
+
+// syncLoop is one shard's group-commit goroutine: wake on appends,
+// flush the whole pending buffer with one write and one fsync, release
+// the batch. On a clean stop it flushes what remains; after a failure
+// or Abandon it just exits (the fence owns the pending waiters).
+func (w *WAL) syncLoop(s *shardLog) {
+	defer w.wg.Done()
+	for {
+		select {
+		case <-s.notify:
+		case <-w.stopc:
+			if w.failErr.Load() == nil {
+				if err := w.flush(s); err != nil {
+					w.fail(err)
+				}
+			}
+			return
+		}
+		if w.opts.SyncDelay > 0 {
+			t := time.NewTimer(w.opts.SyncDelay)
+			select {
+			case <-t.C:
+			case <-w.stopc:
+				t.Stop()
+			}
+		}
+		if err := w.flush(s); err != nil {
+			w.fail(err)
+			return
+		}
+	}
+}
+
+// flush writes and fsyncs the shard's pending buffer as one group.
+func (w *WAL) flush(s *shardLog) error {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	return w.flushLocked(s)
+}
+
+// flushLocked is flush with s.wmu already held (rotations flush before
+// switching files). The pending-buffer mutex is held only across the
+// swap, never across the I/O — that is the group-commit overlap.
+func (w *WAL) flushLocked(s *shardLog) error {
+	s.mu.Lock()
+	if len(s.buf) == 0 {
+		s.mu.Unlock()
+		return nil
+	}
+	buf := s.buf
+	g := s.cur
+	n := s.pending
+	target := s.appended
+	s.buf = s.spare[:0]
+	s.spare = nil
+	s.pending = 0
+	s.cur = &Commit{w: w, done: make(chan struct{})}
+	s.mu.Unlock()
+
+	_, werr := s.f.Write(buf)
+	var serr error
+	if werr == nil && !w.opts.NoSync {
+		t0 := time.Now()
+		serr = s.f.Sync()
+		w.fsyncHist.ObserveDuration(time.Since(t0))
+		w.fsyncs.Add(1)
+	}
+	err := werr
+	if err == nil {
+		err = serr
+	}
+	w.groupHist.Observe(uint64(n))
+	if err == nil {
+		s.durable.Store(target)
+	} else {
+		err = fmt.Errorf("tkvwal: shard %d flush: %w", s.idx, err)
+	}
+
+	s.mu.Lock()
+	if s.spare == nil {
+		s.spare = buf[:0]
+	}
+	s.mu.Unlock()
+
+	g.err = err
+	close(g.done)
+	return err
+}
+
+// fail fences the log permanently: first failure wins, all current and
+// future waiters observe it, Failed() fires, sync loops stop.
+func (w *WAL) fail(err error) {
+	w.failOnce.Do(func() {
+		w.failErr.Store(&failBox{err: err})
+		w.failedCommit.Store(&Commit{
+			w:    w,
+			done: closedChan,
+			err:  fmt.Errorf("tkvwal: fenced: %w", err),
+		})
+		close(w.failedc)
+		w.stopOnce.Do(func() { close(w.stopc) })
+	})
+}
+
+var closedChan = func() chan struct{} {
+	c := make(chan struct{})
+	close(c)
+	return c
+}()
+
+// Err returns the fencing failure, or nil while the log is healthy.
+func (w *WAL) Err() error {
+	if b := w.failErr.Load(); b != nil {
+		return b.err
+	}
+	return nil
+}
+
+// Failed returns a channel closed on the first write/fsync failure —
+// the process-exit trigger for fail-stop.
+func (w *WAL) Failed() <-chan struct{} { return w.failedc }
+
+// LastSeq returns the shard's last appended sequence number (after Open
+// this is the recovered watermark the store resumes numbering from).
+func (w *WAL) LastSeq(shard int) uint64 {
+	s := w.shards[shard]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.appended
+}
+
+// Close flushes every shard and shuts the log down. Appends racing
+// Close are either flushed or report ErrClosed; none park forever.
+func (w *WAL) Close() error {
+	w.closed.Store(true)
+	w.stopOnce.Do(func() { close(w.stopc) })
+	w.wg.Wait()
+	var err error
+	if w.failErr.Load() == nil {
+		// Catch stragglers that appended between the final loop flush
+		// and the closed flag becoming visible.
+		for _, s := range w.shards {
+			if ferr := w.flush(s); ferr != nil {
+				w.fail(ferr)
+				err = ferr
+				break
+			}
+		}
+	}
+	for _, s := range w.shards {
+		s.wmu.Lock()
+		if s.f != nil {
+			if cerr := s.f.Close(); err == nil {
+				err = cerr
+			}
+			s.f = nil
+		}
+		s.wmu.Unlock()
+	}
+	if err == nil {
+		err = w.Err()
+		if errors.Is(err, ErrClosed) || errors.Is(err, ErrAbandoned) {
+			err = nil
+		}
+	}
+	return err
+}
+
+// Abandon simulates a crash for tests: fence the log with ErrAbandoned
+// and drop the files without flushing, discarding pending un-fsynced
+// records the way SIGKILL would. Acknowledged records (Wait returned
+// nil) are on disk; nothing else is promised. The directory can then be
+// reopened by a fresh WAL.
+func (w *WAL) Abandon() {
+	w.closed.Store(true)
+	w.fail(ErrAbandoned)
+	w.wg.Wait()
+	for _, s := range w.shards {
+		s.wmu.Lock()
+		if s.f != nil {
+			s.f.Close()
+			s.f = nil
+		}
+		s.wmu.Unlock()
+	}
+}
