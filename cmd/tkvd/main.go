@@ -24,10 +24,14 @@
 // tkvload -scenario failover loses nothing.
 //
 // tkvd persists. With -wal <dir> every committed write set is appended to
-// a per-shard write-ahead log and acknowledged only once its group-commit
-// fsync completes; on start the directory is recovered (checkpoints, then
-// log tails, truncating a torn tail) before serving, and -walckpt
-// snapshots and truncates the logs periodically. A write or fsync error
+// a write-ahead log and acknowledged only once its group-commit fsync
+// completes; on start the directory is recovered (checkpoints, then log
+// tails, truncating a torn tail) before serving, and -walckpt snapshots
+// and truncates the logs periodically. The layout is -walmode: "shared"
+// (the default) interleaves every shard into one lane file so the whole
+// store shares one fsync per commit group — on one device, N shards' worth
+// of fsyncs collapse into one; "pershard" keeps one log per shard for
+// deployments that give shards independent media. A write or fsync error
 // fail-stops the process — exit nonzero, no ack the disk might have lost
 // — and tkvload -scenario crash is the SIGKILL drill proving acknowledged
 // writes survive.
@@ -107,6 +111,10 @@ func run(args []string, out io.Writer, ready chan<- string, stop <-chan struct{}
 		walCkpt = fs.Duration("walckpt", 0,
 			"WAL checkpoint interval: snapshot each shard and truncate its "+
 				"log (0 disables periodic checkpoints)")
+		walMode = fs.String("walmode", string(tkvwal.ModeShared),
+			"WAL layout: shared (one lane file, one fsync covers every "+
+				"shard's commit group) or pershard (one log per shard, for "+
+				"independent media)")
 		admitDefaults = tkv.DefaultAdmitConfig()
 		admit         = fs.Bool("admit", false,
 			"enable the contention-aware admission layer (overload shedding, "+
@@ -154,10 +162,16 @@ func run(args []string, out io.Writer, ready chan<- string, stop <-chan struct{}
 	}
 	var wopts *tkvwal.Options
 	if *waldir != "" {
+		switch tkvwal.Mode(*walMode) {
+		case tkvwal.ModeShared, tkvwal.ModePerShard:
+		default:
+			return fmt.Errorf("unknown -walmode %q (shared or pershard)", *walMode)
+		}
 		wopts = &tkvwal.Options{
 			Dir:             *waldir,
 			NoSync:          *walAsync,
 			CheckpointEvery: *walCkpt,
+			Mode:            tkvwal.Mode(*walMode),
 		}
 	}
 	store, err := tkv.Open(tkv.Config{
@@ -178,8 +192,8 @@ func run(args []string, out io.Writer, ready chan<- string, stop <-chan struct{}
 	defer store.Close()
 	if ws := store.Stats().Wal; ws != nil {
 		r := ws.Recovery
-		fmt.Fprintf(out, "tkvd: wal %s recovered: ckpt_entries=%d replayed=%d skipped=%d truncated_bytes=%d segments=%d sync=%v\n",
-			*waldir, r.CheckpointEntries, r.Replayed, r.Skipped, r.TruncatedBytes, r.Segments, ws.Sync)
+		fmt.Fprintf(out, "tkvd: wal %s recovered: mode=%s ckpt_entries=%d replayed=%d skipped=%d truncated_bytes=%d segments=%d sync=%v\n",
+			*waldir, ws.Mode, r.CheckpointEntries, r.Replayed, r.Skipped, r.TruncatedBytes, r.Segments, ws.Sync)
 	}
 	if *role == "follower" {
 		store.SetReadOnly(true)
@@ -332,8 +346,8 @@ func run(args []string, out io.Writer, ready chan<- string, stop <-chan struct{}
 	}
 	walLabel := ""
 	if w := stats.Wal; w != nil {
-		walLabel = fmt.Sprintf(" wal: appends=%d fsyncs=%d group_mean=%.1f group_max=%d fsync_p99=%dµs ckpts=%d",
-			w.Appends, w.Fsyncs, w.GroupMean, w.GroupMax, w.FsyncP99us, w.Checkpoints)
+		walLabel = fmt.Sprintf(" wal: mode=%s appends=%d fsyncs=%d group_mean=%.1f group_max=%d fsync_p99=%dµs bytes=%d pending_peak=%d ckpts=%d",
+			w.Mode, w.Appends, w.Fsyncs, w.GroupMean, w.GroupMax, w.FsyncP99us, w.BytesAppended, w.PendingPeakBytes, w.Checkpoints)
 	}
 	fmt.Fprintf(out, "tkvd: drained; commits=%d aborts=%d serializations=%d shed=%d routed=%d ops: %+v%s%s\n",
 		stats.Commits, stats.Aborts, stats.Serializations, stats.Shed, stats.Routed, stats.Ops, replLabel, walLabel)

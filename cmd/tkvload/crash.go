@@ -31,6 +31,7 @@ import (
 type crashSpec struct {
 	tkvd    string // path to the tkvd binary
 	waldir  string // WAL directory carried across incarnations
+	walmode string // WAL layout under test: shared or pershard
 	keys    int    // counter keys, seeded once
 	workers int
 	phase   time.Duration // load duration before each kill (and before the verify)
@@ -52,6 +53,7 @@ func startTkvd(sp crashSpec, addr string, client *http.Client) (*tkvdProc, error
 		"-replring", "0",
 		"-shards", "4",
 		"-wal", sp.waldir,
+		"-walmode", sp.walmode,
 	)}
 	p.cmd.Stdout = &p.out
 	p.cmd.Stderr = &p.out

@@ -101,6 +101,7 @@ func run(args []string, out io.Writer) error {
 		tkvdBin   = fs.String("tkvd", "", "path to the tkvd binary (required by -scenario crash)")
 		waldirArg = fs.String("waldir", "", "WAL directory for -scenario crash (empty: a fresh temp dir)")
 		kills     = fs.Int("kills", 2, "SIGKILL/restart rounds for -scenario crash")
+		walMode   = fs.String("walmode", "shared", "WAL layout for -scenario crash: shared (one lane, one fsync per group for the whole store) or pershard")
 		rate      = fs.Float64("rate", 0, "open-loop arrival rate in ops/s (0 = closed loop)")
 		keys      = fs.Int("keys", 128, "counter key count (keys 0..n-1, sum-verified)")
 		blobs     = fs.Int("blobs", 128, "blob key count (put/delete/get region)")
@@ -113,7 +114,7 @@ func run(args []string, out io.Writer) error {
 		zipfArg   = fs.String("zipf", "0", "zipf skew: one value (0 = uniform, any s > 0 skews), a comma list, or a ladder a..b[/step] (sweep mode)")
 		addFrac   = fs.Float64("addfrac", 0, "fraction of non-batch updates issued as server-side add increments")
 		minShed   = fs.Uint64("minshed", 0, "fail unless at least this many requests were shed with backpressure")
-		sweepMode = fs.String("sweep", "", "sweep mode: 'sched' self-hosts the store and crosses scheduler x engine x zipf")
+		sweepMode = fs.String("sweep", "", "sweep mode: 'sched' self-hosts the store and crosses scheduler x engine x zipf; 'wal' self-hosts and crosses durability (off, async, sync) x WAL layout (pershard, shared) x conns")
 		schedArg  = fs.String("scheds", "none,shrink,ats,shrink+admit", "scheduler configs for -sweep sched ('+admit' adds the admission layer)")
 		engineArg = fs.String("engines", "swiss,tiny", "STM engines for -sweep sched")
 		shards    = fs.Int("shards", 2, "shards for the self-hosted store (-sweep sched only)")
@@ -158,7 +159,7 @@ func run(args []string, out io.Writer) error {
 	if len(protos) == 0 {
 		return fmt.Errorf("-proto must name at least one protocol")
 	}
-	tcpSwept := *sweepMode == "sched"
+	tcpSwept := *sweepMode == "sched" || *sweepMode == "wal"
 	for _, p := range protos {
 		tcpSwept = tcpSwept || p == protoTCP
 	}
@@ -234,9 +235,15 @@ func run(args []string, out io.Writer) error {
 			defer os.RemoveAll(tmp)
 			wd = tmp
 		}
+		switch *walMode {
+		case "shared", "pershard":
+		default:
+			return fmt.Errorf("unknown -walmode %q (shared or pershard)", *walMode)
+		}
 		return runCrash(crashSpec{
 			tkvd:    *tkvdBin,
 			waldir:  wd,
+			walmode: *walMode,
 			keys:    *keys,
 			workers: conns[0],
 			phase:   *dur,
@@ -265,8 +272,23 @@ func run(args []string, out io.Writer) error {
 		}
 		return runSchedSweep(sp, out)
 	}
+	if *sweepMode == "wal" {
+		if len(zipfs) != 1 {
+			return fmt.Errorf("-zipf must be a single value with -sweep wal")
+		}
+		cfg.zipfS = zipfs[0]
+		return runWalSweep(walSweepSpec{
+			cfg:      cfg,
+			conns:    conns,
+			shards:   *shards,
+			pool:     *pool,
+			buckets:  *buckets,
+			csv:      *csv,
+			jsonPath: *jsonPath,
+		}, out)
+	}
 	if *sweepMode != "" {
-		return fmt.Errorf("unknown -sweep mode %q (want sched)", *sweepMode)
+		return fmt.Errorf("unknown -sweep mode %q (want sched or wal)", *sweepMode)
 	}
 	if *url == "" {
 		return fmt.Errorf("-url is required")
@@ -442,7 +464,18 @@ type verifyJSON struct {
 	CounterSum     uint64 `json:"counterSum"`
 	Increments     uint64 `json:"increments"`
 	CASMismatches  uint64 `json:"batchCASMismatches"`
-	OK             bool   `json:"ok"`
+	// Wal* record the server's durability watermarks at verification
+	// time (absent when the server runs without a WAL).
+	WalMode       string  `json:"walMode,omitempty"`
+	WalGroupMean  float64 `json:"walGroupMean,omitempty"`
+	WalFsyncP99us uint64  `json:"walFsyncP99us,omitempty"`
+	WalDurableLag uint64  `json:"walDurableLag,omitempty"`
+	OK            bool    `json:"ok"`
+
+	// walAppends/walFsyncs carry raw counters to the wal sweep's cell
+	// rows; they are not part of the marshaled verify summary.
+	walAppends uint64
+	walFsyncs  uint64
 }
 
 // loadConfig is the per-run workload shape.
@@ -973,6 +1006,16 @@ func (d *driver) verify(out io.Writer) (*verifyJSON, error) {
 	res.ServerShed = stats.Shed
 	res.ServerRouted = stats.Routed
 	res.CASMismatches = d.batchCASMisses.Load()
+	if ws := stats.Wal; ws != nil {
+		res.WalMode = string(ws.Mode)
+		res.WalGroupMean = ws.GroupMean
+		res.WalFsyncP99us = ws.FsyncP99us
+		res.WalDurableLag = ws.DurableLag()
+		res.walAppends = ws.Appends
+		res.walFsyncs = ws.Fsyncs
+		fmt.Fprintf(out, "verify: wal mode=%s appends=%d fsyncs=%d group_mean=%.1f fsync_p99=%dµs durable_lag=%d sync=%v\n",
+			ws.Mode, ws.Appends, ws.Fsyncs, ws.GroupMean, ws.FsyncP99us, res.WalDurableLag, ws.Sync)
+	}
 	fmt.Fprintf(out, "verify: committed=%d aborts=%d serializations=%d stripeWaits=%d roFallbacks=%d shed=%d routed=%d counterSum=%d increments=%d (cas=%d batchOps=%d adds=%d casMismatchedBatches=%d)\n",
 		stats.Commits, stats.Aborts, stats.Serializations, res.StripeWaits, res.ROFallbacks,
 		res.ServerShed, res.ServerRouted,

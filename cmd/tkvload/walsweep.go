@@ -1,0 +1,231 @@
+// The wal sweep: tkvload self-hosts a WAL-backed store and measures what
+// durability costs at the serving edge. The cross-product is durability
+// level (off, async fsync, sync fsync) x WAL layout (pershard: one log
+// file and sync loop per shard; shared: every shard interleaved into one
+// lane, one fsync per commit group) x connection count. Each cell opens a
+// fresh store over a fresh log directory, serves it over the binary wire
+// protocol on loopback, drives the configured workload, verifies the
+// zero-lost-update invariant, and tears down. The resulting
+// BENCH_tkv_wal.json is the durability trajectory artifact: the
+// off-vs-sync gap is the price of fsync, and the pershard-vs-shared gap
+// at sync is what cross-shard group commit buys back on one device.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"runtime"
+
+	"github.com/shrink-tm/shrink/internal/report"
+	"github.com/shrink-tm/shrink/internal/tkv"
+	"github.com/shrink-tm/shrink/internal/tkvwal"
+	"github.com/shrink-tm/shrink/internal/tkvwire"
+)
+
+// walConfig is one swept durability configuration.
+type walConfig struct {
+	durability string // "off", "async", "sync"
+	mode       tkvwal.Mode
+}
+
+func (c walConfig) label() string {
+	if c.durability == "off" {
+		return "off"
+	}
+	return string(c.mode) + "/" + c.durability
+}
+
+// walConfigs is the swept ladder, cheapest first. "off" has no layout
+// axis; async and sync cross both layouts so the artifact shows where
+// the lane matters (sync, where fsyncs dominate) and where it cannot
+// (async, where nothing waits for them).
+var walConfigs = []walConfig{
+	{durability: "off"},
+	{durability: "async", mode: tkvwal.ModePerShard},
+	{durability: "async", mode: tkvwal.ModeShared},
+	{durability: "sync", mode: tkvwal.ModePerShard},
+	{durability: "sync", mode: tkvwal.ModeShared},
+}
+
+// walSweepSpec is the full wal-sweep request.
+type walSweepSpec struct {
+	cfg                   loadConfig
+	conns                 []int
+	shards, pool, buckets int
+	csv                   bool
+	jsonPath              string
+}
+
+// walBenchJSON is the machine-readable wal sweep, written by -json (the
+// committed BENCH_tkv_wal.json is one of these).
+type walBenchJSON struct {
+	Tool      string        `json:"tool"`
+	ReadFrac  float64       `json:"readFrac"`
+	BatchFrac float64       `json:"batchFrac"`
+	BatchSize int           `json:"batchSize"`
+	AddFrac   float64       `json:"addFrac,omitempty"`
+	Overlap   float64       `json:"overlap"`
+	Zipf      float64       `json:"zipf"`
+	Keys      int           `json:"keys"`
+	Blobs     int           `json:"blobs"`
+	Shards    int           `json:"shards"`
+	Pool      int           `json:"pool"`
+	Pipeline  int           `json:"pipeline"`
+	Procs     int           `json:"gomaxprocs"`
+	WarmupSec float64       `json:"warmupSec"`
+	DurSec    float64       `json:"durationSecPerCell"`
+	Cells     []walCellJSON `json:"cells"`
+}
+
+// walCellJSON is one (durability, layout, conns) measurement.
+type walCellJSON struct {
+	Durability    string  `json:"durability"`
+	WalMode       string  `json:"walMode,omitempty"`
+	Conns         int     `json:"conns"`
+	Ops           uint64  `json:"ops"`
+	OpsPerSec     float64 `json:"opsPerSec"`
+	P50us         uint64  `json:"p50us"`
+	P95us         uint64  `json:"p95us"`
+	P99us         uint64  `json:"p99us"`
+	Errors        uint64  `json:"errors"`
+	Commits       uint64  `json:"commits"`
+	WalAppends    uint64  `json:"walAppends,omitempty"`
+	WalFsyncs     uint64  `json:"walFsyncs,omitempty"`
+	WalGroupMean  float64 `json:"walGroupMean,omitempty"`
+	WalFsyncP99us uint64  `json:"walFsyncP99us,omitempty"`
+	VerifyOK      bool    `json:"verifyOK"`
+}
+
+// runWalSweep runs the durability cross-product. Every cell verifies its
+// own zero-lost-update invariant; the first violation fails the run after
+// the JSON artifact is written, so a broken cell is recorded, not hidden.
+func runWalSweep(sp walSweepSpec, out io.Writer) error {
+	table := report.NewTable(
+		fmt.Sprintf("tkvload wal sweep (self-hosted, shards=%d pool=%d read=%.2f batch=%.2f add=%.2f pipeline=%d)",
+			sp.shards, sp.pool, sp.cfg.readFrac, sp.cfg.batchFrac, sp.cfg.addFrac, sp.cfg.pipeline),
+		"conns", "ops/s by durability/layout")
+	bench := walBenchJSON{
+		Tool:      "tkvload-sweep-wal",
+		ReadFrac:  sp.cfg.readFrac,
+		BatchFrac: sp.cfg.batchFrac,
+		BatchSize: sp.cfg.batchSize,
+		AddFrac:   sp.cfg.addFrac,
+		Overlap:   sp.cfg.overlap,
+		Zipf:      sp.cfg.zipfS,
+		Keys:      sp.cfg.keys,
+		Blobs:     sp.cfg.blobs,
+		Shards:    sp.shards,
+		Pool:      sp.pool,
+		Pipeline:  sp.cfg.pipeline,
+		Procs:     runtime.GOMAXPROCS(0),
+		WarmupSec: sp.cfg.warmup.Seconds(),
+		DurSec:    sp.cfg.dur.Seconds(),
+	}
+	var firstErr error
+	for _, wc := range walConfigs {
+		for _, n := range sp.conns {
+			cell, vres, err := runWalCell(sp, wc, n, out)
+			if err != nil && vres == nil {
+				return fmt.Errorf("%s conns=%d: %w", wc.label(), n, err)
+			}
+			if err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("%s conns=%d: %w", wc.label(), n, err)
+			}
+			opsPerSec := float64(cell.ops) / cell.elapsed.Seconds()
+			table.Add(wc.label()+" ops/s", n, opsPerSec)
+			table.Add(wc.label()+" p99us", n, float64(cell.hist.Quantile(0.99)))
+			fmt.Fprintf(out, "cell %s conns=%d: %.0f ops/s p50=%dus p99=%dus errs=%d wal: appends=%d fsyncs=%d group_mean=%.1f fsync_p99=%dus\n",
+				wc.label(), n, opsPerSec, cell.hist.Quantile(0.50), cell.hist.Quantile(0.99),
+				cell.errs, vres.walAppends, vres.walFsyncs, vres.WalGroupMean, vres.WalFsyncP99us)
+			bench.Cells = append(bench.Cells, walCellJSON{
+				Durability:    wc.durability,
+				WalMode:       vres.WalMode,
+				Conns:         n,
+				Ops:           cell.ops,
+				OpsPerSec:     opsPerSec,
+				P50us:         cell.hist.Quantile(0.50),
+				P95us:         cell.hist.Quantile(0.95),
+				P99us:         cell.hist.Quantile(0.99),
+				Errors:        cell.errs,
+				Commits:       vres.Commits,
+				WalAppends:    vres.walAppends,
+				WalFsyncs:     vres.walFsyncs,
+				WalGroupMean:  vres.WalGroupMean,
+				WalFsyncP99us: vres.WalFsyncP99us,
+				VerifyOK:      vres.OK,
+			})
+		}
+	}
+	if sp.csv {
+		table.WriteCSV(out)
+	} else {
+		table.WriteText(out)
+	}
+	if sp.jsonPath != "" {
+		if err := report.SaveJSON(sp.jsonPath, bench); err != nil {
+			if firstErr != nil {
+				fmt.Fprintln(out, "tkvload: writing", sp.jsonPath, "failed:", err)
+				return firstErr
+			}
+			return err
+		}
+	}
+	return firstErr
+}
+
+// runWalCell measures one durability configuration at one connection
+// count over a fresh log directory. The returned verifyJSON is non-nil
+// whenever the store came up; a nil verifyJSON means the cell never ran.
+func runWalCell(sp walSweepSpec, wc walConfig, connsN int, out io.Writer) (cellResult, *verifyJSON, error) {
+	cfg := tkv.Config{
+		Shards:   sp.shards,
+		PoolSize: sp.pool,
+		Buckets:  sp.buckets,
+	}
+	if wc.durability != "off" {
+		dir, err := os.MkdirTemp("", "tkvload-walsweep-")
+		if err != nil {
+			return cellResult{}, nil, err
+		}
+		defer os.RemoveAll(dir)
+		cfg.WAL = &tkvwal.Options{
+			Dir:    dir,
+			NoSync: wc.durability == "async",
+			Mode:   wc.mode,
+		}
+	}
+	st, err := tkv.Open(cfg)
+	if err != nil {
+		return cellResult{}, nil, err
+	}
+	defer st.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return cellResult{}, nil, err
+	}
+	srv := tkvwire.NewServer(st)
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ln) }()
+	defer func() {
+		srv.Close()
+		if err := <-serveDone; !errors.Is(err, tkvwire.ErrServerClosed) {
+			fmt.Fprintln(out, "tkvload: wire server:", err)
+		}
+	}()
+
+	d := &driver{control: &localKV{st: st}, tcpaddr: ln.Addr().String(), cfg: sp.cfg}
+	if err := d.seedCounters(); err != nil {
+		return cellResult{}, nil, err
+	}
+	clients, workers, teardown, err := d.setup(protoTCP, connsN)
+	if err != nil {
+		return cellResult{}, nil, err
+	}
+	cell := d.drive(clients, workers)
+	teardown()
+	vres, verr := d.verify(out)
+	return cell, vres, verr
+}

@@ -495,6 +495,17 @@ func (st *Store) ReplApply(rec *tkvlog.Record) error {
 // absent from the cut are deleted, every pair of the cut is written, all
 // as one update transaction under every stripe of the shard, and the
 // shard's ring and watermarks restart after seq.
+//
+// With a per-shard WAL the cut is persisted as the shard's checkpoint
+// while the stripes are still held, so no record with the jumped-forward
+// numbering can hit the log before the checkpoint covering the jump is
+// durable. A shared-lane WAL checkpoints all shards in one cut, and that
+// cut takes each shard's stripes itself — so there the lane checkpoint
+// runs after this shard's stripes are released. That ordering is safe
+// because the follower applier calling this is the store's only writer
+// (the follower bounces client writes), so nothing can append into the
+// numbering gap before the checkpoint lands; a crash inside the window
+// just recovers the pre-restore state and resyncs again.
 func (st *Store) ReplRestoreShard(shard int, pairs []tkvlog.Entry, seq uint64) error {
 	if st.repl == nil {
 		return errors.New("tkv: ReplRestoreShard without a replication log")
@@ -503,52 +514,65 @@ func (st *Store) ReplRestoreShard(shard int, pairs []tkvlog.Entry, seq uint64) e
 		return fmt.Errorf("tkv: repl restore for shard %d of %d", shard, len(st.shards))
 	}
 	s := st.shards[shard]
-	release := st.shardPlan(shard, nil, true)
-	defer release()
-	incoming := make(map[uint64]struct{}, len(pairs))
-	for _, p := range pairs {
-		incoming[p.Key] = struct{}{}
-	}
-	// Collect the keys to delete outside the update transaction (ForEach
-	// during a mutating iteration would observe its own writes).
-	var stale []uint64
-	err := s.atomicallyRO(func(tx *stm.ROTx) error {
-		stale = stale[:0]
-		return s.kv.ForEachRO(tx, func(k uint64, _ string) bool {
-			if _, ok := incoming[k]; !ok {
-				stale = append(stale, k)
-			}
-			return true
+	err := func() error {
+		release := st.shardPlan(shard, nil, true)
+		defer release()
+		incoming := make(map[uint64]struct{}, len(pairs))
+		for _, p := range pairs {
+			incoming[p.Key] = struct{}{}
+		}
+		// Collect the keys to delete outside the update transaction (ForEach
+		// during a mutating iteration would observe its own writes).
+		var stale []uint64
+		err := s.atomicallyRO(func(tx *stm.ROTx) error {
+			stale = stale[:0]
+			return s.kv.ForEachRO(tx, func(k uint64, _ string) bool {
+				if _, ok := incoming[k]; !ok {
+					stale = append(stale, k)
+				}
+				return true
+			})
 		})
-	})
+		if err != nil {
+			return err
+		}
+		err = s.atomically(func(tx stm.Tx) error {
+			for _, k := range stale {
+				if _, err := s.kv.Delete(tx, k); err != nil {
+					return err
+				}
+			}
+			for _, p := range pairs {
+				if _, err := s.kv.Put(tx, p.Key, p.Val); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return fmt.Errorf("tkv: repl restore shard %d: %w", shard, err)
+		}
+		if st.wal != nil && st.wal.Mode() == tkvwal.ModePerShard {
+			// The shard's old log no longer describes its contents; persist
+			// the cut as a checkpoint and restart the log after its seq.
+			if err := st.wal.CheckpointDirect(shard, pairs, seq); err != nil {
+				return fmt.Errorf("tkv: repl restore shard %d: wal: %w", shard, err)
+			}
+		}
+		st.repl.resetAt(shard, seq)
+		st.repl.applied[shard].Store(seq)
+		return nil
+	}()
 	if err != nil {
 		return err
 	}
-	err = s.atomically(func(tx stm.Tx) error {
-		for _, k := range stale {
-			if _, err := s.kv.Delete(tx, k); err != nil {
-				return err
-			}
-		}
-		for _, p := range pairs {
-			if _, err := s.kv.Put(tx, p.Key, p.Val); err != nil {
-				return err
-			}
-		}
-		return nil
-	})
-	if err != nil {
-		return fmt.Errorf("tkv: repl restore shard %d: %w", shard, err)
-	}
-	if st.wal != nil {
-		// The shard's old log no longer describes its contents; persist
-		// the cut as a checkpoint and restart the log after its seq.
-		if err := st.wal.CheckpointDirect(shard, pairs, seq); err != nil {
+	if st.wal != nil && st.wal.Mode() == tkvwal.ModeShared {
+		// The numbering was reset above, so the lane cut for this shard
+		// captures exactly the restored snapshot at seq.
+		if err := st.wal.CheckpointLane(st.cutShard, true); err != nil {
 			return fmt.Errorf("tkv: repl restore shard %d: wal: %w", shard, err)
 		}
 	}
-	st.repl.resetAt(shard, seq)
-	st.repl.applied[shard].Store(seq)
 	st.repl.NoteResync()
 	return nil
 }

@@ -519,21 +519,33 @@ func (st *Store) Put(key uint64, val string) (bool, error) {
 // interns repeated values (the binary wire server does) makes the whole
 // put path allocation-free this way.
 func (st *Store) PutRef(key uint64, val *string) (bool, error) {
+	created, c, err := st.PutRefAsync(key, val)
+	if err == nil {
+		// The stripe is already released (the logged path's defers ran);
+		// parking on the group fsync here keeps I/O latency out of
+		// every stripe hold time.
+		err = c.Wait()
+	}
+	return created, err
+}
+
+// PutRefAsync is PutRef split at the durability park: when it returns,
+// the put is committed and visible to reads, and the returned handle
+// resolves when it is durable. Callers that acknowledge writes must
+// Wait (or equivalently use PutRef) before acking; a nil handle waits
+// for nothing (no WAL, or async mode). Splitting the park out lets a
+// pipelined serving edge keep executing a connection's queued writes
+// while earlier ones ride the same group fsync, instead of paying one
+// fsync round-trip per op.
+func (st *Store) PutRefAsync(key uint64, val *string) (bool, *tkvwal.Commit, error) {
 	st.ops.puts.Add(1)
 	if st.logged() {
-		created, c, err := st.loggedPutRef(key, val)
-		if err == nil {
-			// The stripe is already released (loggedPutRef's defers ran);
-			// parking on the group fsync here keeps I/O latency out of
-			// every stripe hold time.
-			err = c.Wait()
-		}
-		return created, err
+		return st.loggedPutRef(key, val)
 	}
 	s := st.shardFor(key)
 	routed, err := s.admitWrite(key)
 	if err != nil {
-		return false, err
+		return false, nil, err
 	}
 	if routed {
 		defer s.ctl.q.release()
@@ -546,23 +558,28 @@ func (st *Store) PutRef(key uint64, val *string) (bool, error) {
 	err = s.atomicallyW(key, sl.put)
 	created := sl.outOK
 	s.release(sl)
-	return created, err
+	return created, nil, err
 }
 
 // Delete removes key, reporting whether it was present.
 func (st *Store) Delete(key uint64) (bool, error) {
+	deleted, c, err := st.DeleteAsync(key)
+	if err == nil {
+		err = c.Wait()
+	}
+	return deleted, err
+}
+
+// DeleteAsync is Delete split at the durability park (see PutRefAsync).
+func (st *Store) DeleteAsync(key uint64) (bool, *tkvwal.Commit, error) {
 	st.ops.deletes.Add(1)
 	if st.logged() {
-		deleted, c, err := st.loggedDelete(key)
-		if err == nil {
-			err = c.Wait()
-		}
-		return deleted, err
+		return st.loggedDelete(key)
 	}
 	s := st.shardFor(key)
 	routed, err := s.admitWrite(key)
 	if err != nil {
-		return false, err
+		return false, nil, err
 	}
 	if routed {
 		defer s.ctl.q.release()
@@ -574,24 +591,29 @@ func (st *Store) Delete(key uint64) (bool, error) {
 	err = s.atomicallyW(key, sl.del)
 	deleted := sl.outOK
 	s.release(sl)
-	return deleted, err
+	return deleted, nil, err
 }
 
 // CAS atomically replaces the value under key with new if the current value
 // equals old, reporting whether it swapped. A missing key never matches.
 func (st *Store) CAS(key uint64, old, new string) (bool, error) {
+	swapped, c, err := st.CASAsync(key, old, new)
+	if err == nil {
+		err = c.Wait()
+	}
+	return swapped, err
+}
+
+// CASAsync is CAS split at the durability park (see PutRefAsync).
+func (st *Store) CASAsync(key uint64, old, new string) (bool, *tkvwal.Commit, error) {
 	st.ops.cas.Add(1)
 	if st.logged() {
-		swapped, c, err := st.loggedCAS(key, old, new)
-		if err == nil {
-			err = c.Wait()
-		}
-		return swapped, err
+		return st.loggedCAS(key, old, new)
 	}
 	s := st.shardFor(key)
 	routed, err := s.admitWrite(key)
 	if err != nil {
-		return false, err
+		return false, nil, err
 	}
 	if routed {
 		defer s.ctl.q.release()
@@ -613,25 +635,30 @@ func (st *Store) CAS(key uint64, old, new string) (bool, error) {
 			s.ctl.noteConflict(key, 1)
 		}
 	}
-	return swapped, err
+	return swapped, nil, err
 }
 
 // Add atomically adds delta to the decimal integer stored under key,
 // treating a missing key as 0, and returns the new value. A non-numeric
 // stored value is a user error (the transaction aborts without retry).
 func (st *Store) Add(key uint64, delta int64) (int64, error) {
+	out, c, err := st.AddAsync(key, delta)
+	if err == nil {
+		err = c.Wait()
+	}
+	return out, err
+}
+
+// AddAsync is Add split at the durability park (see PutRefAsync).
+func (st *Store) AddAsync(key uint64, delta int64) (int64, *tkvwal.Commit, error) {
 	st.ops.adds.Add(1)
 	if st.logged() {
-		out, c, err := st.loggedAdd(key, delta)
-		if err == nil {
-			err = c.Wait()
-		}
-		return out, err
+		return st.loggedAdd(key, delta)
 	}
 	s := st.shardFor(key)
 	routed, err := s.admitWrite(key)
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	if routed {
 		defer s.ctl.q.release()
@@ -644,7 +671,7 @@ func (st *Store) Add(key uint64, delta int64) (int64, error) {
 	err = s.atomicallyW(key, sl.add)
 	out := sl.outN
 	s.release(sl)
-	return out, err
+	return out, nil, err
 }
 
 // ErrUser marks errors caused by the request content (as opposed to engine

@@ -183,7 +183,10 @@ func (st *Store) cutShard(shard int) (pairs []tkvlog.Entry, seq uint64, err erro
 }
 
 // Checkpoint snapshots one shard under a consistent cut into the WAL's
-// checkpoint file and truncates the shard's log up to it.
+// checkpoint file and truncates the shard's log up to it. On a
+// shared-lane log a cut cannot cover less than the whole lane, so this
+// checkpoints every shard (the lane checkpoint cuts the shards one at a
+// time — the caller must not hold any stripes).
 func (st *Store) Checkpoint(shard int) error {
 	if st.wal == nil {
 		return errors.New("tkv: Checkpoint without a WAL")
@@ -191,16 +194,24 @@ func (st *Store) Checkpoint(shard int) error {
 	if shard < 0 || shard >= len(st.shards) {
 		return fmt.Errorf("tkv: bad checkpoint shard %d", shard)
 	}
+	if st.wal.Mode() == tkvwal.ModeShared {
+		return st.wal.CheckpointLane(st.cutShard, false)
+	}
 	return st.wal.Checkpoint(shard, func() ([]tkvlog.Entry, uint64, error) {
 		return st.cutShard(shard)
 	})
 }
 
-// CheckpointAll checkpoints every shard; the first error wins (later
-// shards are still attempted — their logs truncate independently).
+// CheckpointAll checkpoints every shard: one consistent multi-shard
+// lane cut on a shared-lane log, or one checkpoint per shard on a
+// per-shard log (there the first error wins and later shards are still
+// attempted — their logs truncate independently).
 func (st *Store) CheckpointAll() error {
 	if st.wal == nil {
 		return errors.New("tkv: CheckpointAll without a WAL")
+	}
+	if st.wal.Mode() == tkvwal.ModeShared {
+		return st.wal.CheckpointLane(st.cutShard, false)
 	}
 	var first error
 	for i := range st.shards {

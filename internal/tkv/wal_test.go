@@ -22,11 +22,24 @@ func openWALStore(t *testing.T, dir string, wopts tkvwal.Options) *Store {
 	return st
 }
 
+// eachWalMode runs the test once per log layout: the store-level
+// durability contract is identical in both, only the on-disk shape
+// (per-shard files vs one interleaved lane) differs.
+func eachWalMode(t *testing.T, f func(t *testing.T, mode tkvwal.Mode)) {
+	for _, mode := range []tkvwal.Mode{tkvwal.ModePerShard, tkvwal.ModeShared} {
+		t.Run(string(mode), func(t *testing.T) { f(t, mode) })
+	}
+}
+
 // TestWALDurableRoundTrip writes through every mutating path, closes,
 // reopens the directory and expects the exact same contents.
 func TestWALDurableRoundTrip(t *testing.T) {
+	eachWalMode(t, testWALDurableRoundTrip)
+}
+
+func testWALDurableRoundTrip(t *testing.T, mode tkvwal.Mode) {
 	dir := t.TempDir()
-	st := openWALStore(t, dir, tkvwal.Options{})
+	st := openWALStore(t, dir, tkvwal.Options{Mode: mode})
 	for k := uint64(0); k < 40; k++ {
 		if _, err := st.Put(k, fmt.Sprintf("v%d", k)); err != nil {
 			t.Fatal(err)
@@ -56,7 +69,7 @@ func TestWALDurableRoundTrip(t *testing.T) {
 	}
 	st.Close()
 
-	st2 := openWALStore(t, dir, tkvwal.Options{})
+	st2 := openWALStore(t, dir, tkvwal.Options{Mode: mode})
 	defer st2.Close()
 	got, err := st2.Snapshot()
 	if err != nil {
@@ -80,8 +93,12 @@ func TestWALDurableRoundTrip(t *testing.T) {
 // CheckpointAll, a reopen restores from the snapshots (replaying little
 // or nothing) and still agrees with the pre-close contents.
 func TestWALCheckpointTruncates(t *testing.T) {
+	eachWalMode(t, testWALCheckpointTruncates)
+}
+
+func testWALCheckpointTruncates(t *testing.T, mode tkvwal.Mode) {
 	dir := t.TempDir()
-	st := openWALStore(t, dir, tkvwal.Options{})
+	st := openWALStore(t, dir, tkvwal.Options{Mode: mode})
 	for k := uint64(0); k < 64; k++ {
 		if _, err := st.Put(k, "v"); err != nil {
 			t.Fatal(err)
@@ -96,7 +113,7 @@ func TestWALCheckpointTruncates(t *testing.T) {
 	want, _ := st.Snapshot()
 	st.Close()
 
-	st2 := openWALStore(t, dir, tkvwal.Options{})
+	st2 := openWALStore(t, dir, tkvwal.Options{Mode: mode})
 	defer st2.Close()
 	ws := st2.Stats().Wal
 	if ws.Recovery.CheckpointEntries == 0 {
@@ -115,8 +132,12 @@ func TestWALCheckpointTruncates(t *testing.T) {
 // both logs attached, the ring head and the WAL watermark agree per
 // shard, and a reopen continues the ring where the durable log ended.
 func TestWALReplSharedSequence(t *testing.T) {
+	eachWalMode(t, testWALReplSharedSequence)
+}
+
+func testWALReplSharedSequence(t *testing.T, mode tkvwal.Mode) {
 	dir := t.TempDir()
-	cfg := Config{Shards: 4, ReplRing: 64, WAL: &tkvwal.Options{Dir: dir}}
+	cfg := Config{Shards: 4, ReplRing: 64, WAL: &tkvwal.Options{Dir: dir, Mode: mode}}
 	st, err := Open(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -155,13 +176,83 @@ func TestWALReplSharedSequence(t *testing.T) {
 	}
 }
 
+// TestWALReplRestore drives snapshot resync on a follower that carries
+// a WAL: the restore must land durably (per-shard mode checkpoints the
+// restored shard directly under its stripes; shared mode runs one full
+// lane checkpoint after release), so a reopen of the follower recovers
+// the restored state and continues the numbering at the cut.
+func TestWALReplRestore(t *testing.T) {
+	eachWalMode(t, testWALReplRestore)
+}
+
+func testWALReplRestore(t *testing.T, mode tkvwal.Mode) {
+	st, err := Open(Config{Shards: 4, ReplRing: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	for k := uint64(0); k < 48; k++ {
+		if _, err := st.Put(k, fmt.Sprintf("v%d", k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	dir := t.TempDir()
+	foCfg := Config{Shards: 4, ReplRing: 64, WAL: &tkvwal.Options{Dir: dir, Mode: mode}}
+	fo, err := Open(foCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fo.SetReadOnly(true)
+	seqs := make([]uint64, 4)
+	for sh := 0; sh < 4; sh++ {
+		pairs, seq, err := st.ReplShardCut(sh)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fo.ReplRestoreShard(sh, pairs, seq); err != nil {
+			t.Fatal(err)
+		}
+		seqs[sh] = seq
+	}
+	want, _ := st.Snapshot()
+	fo.Close()
+
+	fo2, err := Open(foCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fo2.Close()
+	got, _ := fo2.Snapshot()
+	if len(got) != len(want) {
+		t.Fatalf("reopened follower has %d keys, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("key %d: %q, want %q", k, got[k], v)
+		}
+	}
+	for sh := 0; sh < 4; sh++ {
+		if h := fo2.WAL().LastSeq(sh); h != seqs[sh] {
+			t.Fatalf("shard %d: reopened watermark %d, want cut seq %d", sh, h, seqs[sh])
+		}
+		if h := fo2.Repl().Head(sh); h != seqs[sh] {
+			t.Fatalf("shard %d: reopened ring head %d, want cut seq %d", sh, h, seqs[sh])
+		}
+	}
+}
+
 // TestWALFailStopStore proves the store-level fail-stop: an injected
 // fsync error surfaces as the write's error (never an ack), WalFailed
 // fires, and every later write reports the fence.
 func TestWALFailStopStore(t *testing.T) {
+	eachWalMode(t, testWALFailStopStore)
+}
+
+func testWALFailStopStore(t *testing.T, mode tkvwal.Mode) {
 	errInjected := errors.New("injected disk fault")
 	fs := errfs.New(tkvwal.OSFS{}, errInjected)
-	st := openWALStore(t, t.TempDir(), tkvwal.Options{FS: fs})
+	st := openWALStore(t, t.TempDir(), tkvwal.Options{FS: fs, Mode: mode})
 	defer st.Close()
 	if _, err := st.Put(1, "healthy"); err != nil {
 		t.Fatal(err)
@@ -193,8 +284,12 @@ func TestWALFailStopStore(t *testing.T) {
 // directory must contain every acknowledged write. Un-acked writes may
 // or may not survive; acked ones must.
 func TestWALCrashDrill(t *testing.T) {
+	eachWalMode(t, testWALCrashDrill)
+}
+
+func testWALCrashDrill(t *testing.T, mode tkvwal.Mode) {
 	dir := t.TempDir()
-	st := openWALStore(t, dir, tkvwal.Options{})
+	st := openWALStore(t, dir, tkvwal.Options{Mode: mode})
 
 	const workers = 4
 	acked := make([]uint64, workers) // per worker: writes 1..acked[w] were acked
@@ -225,7 +320,7 @@ func TestWALCrashDrill(t *testing.T) {
 		t.Fatal("no acks before the crash; drill proves nothing")
 	}
 
-	st2 := openWALStore(t, dir, tkvwal.Options{})
+	st2 := openWALStore(t, dir, tkvwal.Options{Mode: mode})
 	defer st2.Close()
 	lost := 0
 	for w := 0; w < workers; w++ {
@@ -261,16 +356,18 @@ func BenchmarkWalPut(b *testing.B) {
 		wal    bool
 		nosync bool
 		ring   int
+		mode   tkvwal.Mode
 	}{
-		{"wal=off", false, false, 0},
-		{"wal=sync", true, false, 0},
-		{"wal=async", true, true, 0},
-		{"wal=sync+ring", true, false, 1024},
+		{"wal=off", false, false, 0, ""},
+		{"wal=sync", true, false, 0, ""},
+		{"wal=sync+lane", true, false, 0, tkvwal.ModeShared},
+		{"wal=async", true, true, 0, ""},
+		{"wal=sync+ring", true, false, 1024, ""},
 	} {
 		b.Run(cfg.name, func(b *testing.B) {
 			c := Config{Shards: 4, PoolSize: 2, Buckets: 128, ReplRing: cfg.ring}
 			if cfg.wal {
-				c.WAL = &tkvwal.Options{Dir: b.TempDir(), NoSync: cfg.nosync}
+				c.WAL = &tkvwal.Options{Dir: b.TempDir(), NoSync: cfg.nosync, Mode: cfg.mode}
 			}
 			st, err := Open(c)
 			if err != nil {

@@ -1,6 +1,7 @@
 package tkvwal
 
 import (
+	"errors"
 	"fmt"
 	"path/filepath"
 	"strings"
@@ -13,8 +14,10 @@ import (
 // approaches tkvlog.MaxRecord.
 const ckptChunk = 4096
 
-// Checkpoint snapshots one shard and truncates its log. The protocol is
-// ordered so a crash at any point loses nothing:
+// Checkpoint snapshots one shard and truncates its log (per-shard mode
+// only; a shared-lane log checkpoints all shards at once through
+// CheckpointLane). The protocol is ordered so a crash at any point
+// loses nothing:
 //
 //  1. rotate: flush + fsync the active segment and start a fresh one,
 //     so every record in the old segments precedes the cut;
@@ -31,6 +34,9 @@ const ckptChunk = 4096
 // (records with seq at or below the cut replay as no-ops via the seq
 // skip). Checkpoint is a no-op when the shard has nothing new.
 func (w *WAL) Checkpoint(shard int, cut func() ([]tkvlog.Entry, uint64, error)) error {
+	if w.lane != nil {
+		return errors.New("tkvwal: per-shard Checkpoint on a shared-lane log (use CheckpointLane)")
+	}
 	if err := w.Err(); err != nil {
 		return err
 	}
@@ -53,8 +59,14 @@ func (w *WAL) Checkpoint(shard int, cut func() ([]tkvlog.Entry, uint64, error)) 
 
 // CheckpointDirect installs an externally captured snapshot (a
 // replication restore cut) as the shard's checkpoint: the shard's
-// on-disk history before it is obsolete by construction.
+// on-disk history before it is obsolete by construction. Per-shard mode
+// only — a shared-lane restore runs a full CheckpointLane instead,
+// because a lane checkpoint covering just one shard would supersede the
+// other shards' segments without covering their data.
 func (w *WAL) CheckpointDirect(shard int, entries []tkvlog.Entry, seq uint64) error {
+	if w.lane != nil {
+		return errors.New("tkvwal: CheckpointDirect on a shared-lane log (use CheckpointLane)")
+	}
 	if err := w.Err(); err != nil {
 		return err
 	}
@@ -71,6 +83,115 @@ func (w *WAL) CheckpointDirect(shard int, entries []tkvlog.Entry, seq uint64) er
 		s.durable.Store(seq)
 	}
 	return w.installCheckpoint(s, entries, seq)
+}
+
+// CheckpointLane snapshots every shard under one consistent multi-shard
+// cut and truncates the lane (shared mode only). The protocol mirrors
+// Checkpoint — rotate, cut, tmp/fsync/rename/dirsync, gc — except the
+// checkpoint file carries one chunked snapshot per shard (every chunk
+// carrying that shard's cut seq) and the gc retires whole lane
+// segments. cut is called once per shard, in order, so only one shard's
+// snapshot is in memory at a time; the store's cut takes each shard's
+// stripes in shared mode one shard at a time, so the caller must not
+// hold any stripes. A no-op when no shard has appended since the last
+// checkpoint, unless force is set — a restore changes store state
+// without appending (its numbering arrives via the cut seq), so the
+// append watermarks cannot see that kind of dirt.
+func (w *WAL) CheckpointLane(cut func(shard int) ([]tkvlog.Entry, uint64, error), force bool) error {
+	if w.lane == nil {
+		return errors.New("tkvwal: CheckpointLane on a per-shard log")
+	}
+	if err := w.Err(); err != nil {
+		return err
+	}
+	if !force {
+		dirty := false
+		for _, s := range w.shards {
+			s.mu.Lock()
+			if s.appended != s.lastCkptSeq.Load() {
+				dirty = true
+			}
+			s.mu.Unlock()
+		}
+		if !dirty {
+			return nil
+		}
+	}
+	if err := w.rotateLane(); err != nil {
+		return err
+	}
+	w.lane.wmu.Lock()
+	rot := w.lane.rot
+	w.lane.wmu.Unlock()
+
+	final := laneCkptName(rot)
+	tmp := final + ".tmp"
+	f, err := w.fs.Create(w.path(tmp))
+	if err != nil {
+		w.fail(err)
+		return err
+	}
+	cutSeqs := make([]uint64, len(w.shards))
+	var buf []byte
+	for i := range w.shards {
+		entries, seq, cerr := cut(i)
+		if cerr != nil {
+			f.Close()
+			w.fs.Remove(w.path(tmp))
+			return cerr // a cut failure is the store's problem, not a log fault
+		}
+		cutSeqs[i] = seq
+		rec := tkvlog.Record{Shard: uint16(i), Seq: seq}
+		for off := 0; ; off += ckptChunk {
+			end := off + ckptChunk
+			if end > len(entries) {
+				end = len(entries)
+			}
+			rec.Entries = entries[off:end]
+			buf = rec.Append(buf[:0])
+			if _, err := f.Write(buf); err != nil {
+				f.Close()
+				w.fail(err)
+				return err
+			}
+			if end == len(entries) {
+				break
+			}
+		}
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		w.fail(err)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		w.fail(err)
+		return err
+	}
+	if err := w.fs.Rename(w.path(tmp), w.path(final)); err != nil {
+		w.fail(err)
+		return err
+	}
+	if err := w.fs.SyncDir(w.dir); err != nil {
+		w.fail(err)
+		return err
+	}
+	w.gcLane(rot)
+	for i, s := range w.shards {
+		seq := cutSeqs[i]
+		s.mu.Lock()
+		if seq > s.appended {
+			s.appended = seq // a restore cut jumped the numbering forward
+		}
+		s.mu.Unlock()
+		if seq > s.durable.Load() {
+			s.durable.Store(seq)
+		}
+		s.lastCkptSeq.Store(seq)
+	}
+	w.lastCkptNS.Store(time.Now().UnixNano())
+	w.checkpoints.Add(1)
+	return nil
 }
 
 func (w *WAL) installCheckpoint(s *shardLog, entries []tkvlog.Entry, seq uint64) error {
@@ -114,6 +235,37 @@ func (w *WAL) rotate(s *shardLog) error {
 	}
 	s.f = f
 	s.activeSeg = next
+	return nil
+}
+
+// rotateLane flushes the active lane segment and switches to the next
+// rotation. Old lane segments stay until gcLane.
+func (w *WAL) rotateLane() error {
+	l := w.lane
+	l.wmu.Lock()
+	defer l.wmu.Unlock()
+	if err := w.flushLaneLocked(); err != nil {
+		w.fail(err)
+		return err
+	}
+	if err := l.f.Close(); err != nil {
+		w.fail(err)
+		return err
+	}
+	l.f = nil
+	next := l.rot + 1
+	f, err := w.fs.OpenAppend(w.path(laneSegName(next)))
+	if err != nil {
+		w.fail(err)
+		return err
+	}
+	if err := w.fs.SyncDir(w.dir); err != nil {
+		f.Close()
+		w.fail(err)
+		return err
+	}
+	l.f = f
+	l.rot = next
 	return nil
 }
 
@@ -177,6 +329,24 @@ func (w *WAL) gc(s *shardLog, ckptSeq uint64) {
 	}
 }
 
+// gcLane removes the pre-rotation lane segments and superseded lane
+// checkpoints: everything below the checkpoint's rotation counter.
+// Failures here are ignored, as in gc.
+func (w *WAL) gcLane(ckptRot uint64) {
+	names, err := w.fs.List(w.dir)
+	if err != nil {
+		return
+	}
+	for _, name := range names {
+		if rot, ok := parseLaneSeg(name); ok && rot < ckptRot {
+			w.fs.Remove(w.path(name))
+		}
+		if rot, ok := parseLaneCkpt(name); ok && rot < ckptRot {
+			w.fs.Remove(w.path(name))
+		}
+	}
+}
+
 // path joins a file name onto the log directory.
 func (w *WAL) path(name string) string { return filepath.Join(w.dir, name) }
 
@@ -190,6 +360,21 @@ func segName(shard int, start uint64) string {
 // record with sequence number at or below seq.
 func ckptName(shard int, seq uint64) string {
 	return fmt.Sprintf("ckpt-%04d-%016x.ckpt", shard, seq)
+}
+
+// laneSegName is "lane-<rot>.log": rot is the monotonic rotation
+// counter, zero-padded hex so names sort in rotation (and so append)
+// order. Records inside interleave shards; each carries its shard id
+// and per-shard seq in the tkvlog header.
+func laneSegName(rot uint64) string {
+	return fmt.Sprintf("lane-%016x.log", rot)
+}
+
+// laneCkptName is "lckpt-<rot>.ckpt": the multi-shard snapshot written
+// right after rotating to segment rot; it covers every lane segment
+// below rot (plus, via seq skip, any prefix of rot itself).
+func laneCkptName(rot uint64) string {
+	return fmt.Sprintf("lckpt-%016x.ckpt", rot)
 }
 
 func parseSeg(name string) (shard int, start uint64, ok bool) {
@@ -206,4 +391,20 @@ func parseCkpt(name string) (shard int, seq uint64, ok bool) {
 	}
 	n, err := fmt.Sscanf(name, "ckpt-%04d-%016x.ckpt", &shard, &seq)
 	return shard, seq, err == nil && n == 2
+}
+
+func parseLaneSeg(name string) (rot uint64, ok bool) {
+	if !strings.HasPrefix(name, "lane-") || !strings.HasSuffix(name, ".log") {
+		return 0, false
+	}
+	n, err := fmt.Sscanf(name, "lane-%016x.log", &rot)
+	return rot, err == nil && n == 1
+}
+
+func parseLaneCkpt(name string) (rot uint64, ok bool) {
+	if !strings.HasPrefix(name, "lckpt-") || !strings.HasSuffix(name, ".ckpt") {
+		return 0, false
+	}
+	n, err := fmt.Sscanf(name, "lckpt-%016x.ckpt", &rot)
+	return rot, err == nil && n == 1
 }

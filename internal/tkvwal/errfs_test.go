@@ -107,6 +107,126 @@ func TestFailStopOnLaterFsync(t *testing.T) {
 	proveFailStop(t, func(fs *errfs.FS) { fs.FailSyncAt(3) })
 }
 
+// proveLaneFailStop is proveFailStop for the shared lane, with the
+// lane-specific addition: one fault on the single sync loop must fence
+// EVERY shard, not just the one whose append drew the short straw. A
+// per-shard log isolates faults per file; the shared lane cannot — it
+// shares one file and one fsync — so its honest behavior is to stop the
+// whole store.
+func proveLaneFailStop(t *testing.T, arm func(*errfs.FS)) {
+	t.Helper()
+	dir := t.TempDir()
+	fs := errfs.New(tkvwal.OSFS{}, errInjected)
+	w, err := tkvwal.Open(tkvwal.Options{Dir: dir, Shards: 2, Mode: tkvwal.ModeShared, FS: fs},
+		func(*tkvlog.Record) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	acked := map[uint64]bool{} // key = shard<<32 | seq
+	var seq [2]uint64
+	put := func(sh int) error {
+		seq[sh]++
+		key := uint64(sh)<<32 | seq[sh]
+		err := w.Append(sh, seq[sh], []tkvlog.Entry{{Key: key, Val: "v"}}).Wait()
+		if err == nil {
+			acked[key] = true
+		}
+		return err
+	}
+	for i := 0; i < 6; i++ {
+		if err := put(i % 2); err != nil {
+			t.Fatalf("healthy append %d: %v", i, err)
+		}
+	}
+	arm(fs)
+	// Drive shard 0 into the fault.
+	faulted := false
+	for i := 0; i < 5; i++ {
+		if err := put(0); err != nil {
+			faulted = true
+			if !errors.Is(err, errInjected) {
+				t.Fatalf("shard 0 failed with %v, want the injected fault", err)
+			}
+			break
+		}
+	}
+	if !faulted {
+		t.Fatal("injected fault never surfaced")
+	}
+	select {
+	case <-w.Failed():
+	case <-time.After(2 * time.Second):
+		t.Fatal("Failed() did not fire")
+	}
+	// The lane fence covers the OTHER shard too: shard 1 never touched
+	// the fault, but its durability rides the same file and fsync, so
+	// its appends must bounce — and must not ack.
+	if err := put(1); !errors.Is(err, errInjected) {
+		t.Fatalf("shard 1 append after lane fault: %v (want the injected fault)", err)
+	}
+	if !w.Stats().Failed {
+		t.Fatal("stats do not report the fence")
+	}
+	w.Close()
+
+	got := map[uint64]bool{}
+	w2, err := tkvwal.Open(tkvwal.Options{Dir: dir, Shards: 2, Mode: tkvwal.ModeShared},
+		func(rec *tkvlog.Record) error {
+			for _, e := range rec.Entries {
+				got[e.Key] = true
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatalf("recovery after lane fault: %v", err)
+	}
+	defer w2.Close()
+	for key := range acked {
+		if !got[key] {
+			t.Fatalf("acked record %x lost after lane fault+recovery", key)
+		}
+	}
+}
+
+func TestLaneFailStopOnFsyncError(t *testing.T) {
+	proveLaneFailStop(t, func(fs *errfs.FS) { fs.FailSyncAt(1) })
+}
+
+func TestLaneFailStopOnWriteError(t *testing.T) {
+	proveLaneFailStop(t, func(fs *errfs.FS) { fs.FailWriteAt(1) })
+}
+
+// TestLaneCheckpointFaultFences: a fault while writing the lane
+// checkpoint must fence the log, same as the per-shard case.
+func TestLaneCheckpointFaultFences(t *testing.T) {
+	dir := t.TempDir()
+	fs := errfs.New(tkvwal.OSFS{}, errInjected)
+	w, err := tkvwal.Open(tkvwal.Options{Dir: dir, Shards: 2, Mode: tkvwal.ModeShared, FS: fs},
+		func(*tkvlog.Record) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	for seq := uint64(1); seq <= 3; seq++ {
+		for sh := 0; sh < 2; sh++ {
+			if err := w.Append(sh, seq, []tkvlog.Entry{{Key: uint64(sh)<<32 | seq, Val: "v"}}).Wait(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	fs.FailSyncAt(1) // all appends settled, so the next fsync is the ckpt tmp file's
+	err = w.CheckpointLane(func(sh int) ([]tkvlog.Entry, uint64, error) {
+		return []tkvlog.Entry{{Key: uint64(sh), Val: "v"}}, 3, nil
+	}, false)
+	if !errors.Is(err, errInjected) {
+		t.Fatalf("lane checkpoint fault: %v", err)
+	}
+	if w.Err() == nil {
+		t.Fatal("lane checkpoint fault did not fence the log")
+	}
+}
+
 // TestCheckpointFaultFences checks a fault during checkpoint writing
 // also fences the log instead of being swallowed.
 func TestCheckpointFaultFences(t *testing.T) {

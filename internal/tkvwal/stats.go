@@ -14,16 +14,32 @@ type ShardStats struct {
 
 // Stats is the WAL's measurement surface: watermarks per shard,
 // group-commit shape (how many records each fsync covered), fsync
-// latency, checkpoint and recovery accounting.
+// latency, backlog, checkpoint and recovery accounting.
 type Stats struct {
+	// Mode is the log layout: "shared" (one lane, one fsync for the
+	// whole store) or "pershard".
+	Mode Mode `json:"mode"`
+
 	Shards []ShardStats `json:"shards"`
 
 	Appends uint64 `json:"appends"`
 	Fsyncs  uint64 `json:"fsyncs"`
 
+	// BytesAppended is the total encoded record bytes handed to the
+	// log since open (recovery not included).
+	BytesAppended uint64 `json:"bytes_appended"`
+	// PendingBytes is the encoded bytes currently staged and not yet
+	// flushed — the lane's (or shards') live backlog.
+	PendingBytes uint64 `json:"pending_bytes"`
+	// PendingPeakBytes is the largest byte count one flush has carried:
+	// the backlog watermark, visible before it shows up as ack latency.
+	PendingPeakBytes uint64 `json:"pending_peak_bytes"`
+
 	// GroupMean and GroupMax describe records per flushed group — the
 	// group-commit overlap. Mean near 1 means fsync-per-write (idle or
-	// trickle load); large means many acks amortized one fsync.
+	// trickle load); large means many acks amortized one fsync. In
+	// shared mode a group spans every shard, so the mean scales with
+	// total writers, not writers-per-shard.
 	GroupMean float64 `json:"group_mean"`
 	GroupMax  uint64  `json:"group_max"`
 
@@ -45,12 +61,27 @@ type Stats struct {
 	Failed bool `json:"failed"`
 }
 
+// DurableLag sums appended-minus-durable over the shards: the record
+// count a crash right now would lose (0 when every ack is settled).
+func (s *Stats) DurableLag() uint64 {
+	var lag uint64
+	for _, sh := range s.Shards {
+		if sh.Appended > sh.Durable {
+			lag += sh.Appended - sh.Durable
+		}
+	}
+	return lag
+}
+
 // Stats snapshots the log's counters. Safe under concurrent appends.
 func (w *WAL) Stats() Stats {
 	st := Stats{
+		Mode:             w.mode,
 		Shards:           make([]ShardStats, len(w.shards)),
 		Appends:          w.appends.Load(),
 		Fsyncs:           w.fsyncs.Load(),
+		BytesAppended:    w.bytesAppended.Load(),
+		PendingPeakBytes: w.pendingPeak.Load(),
 		GroupMean:        w.groupHist.Mean(),
 		GroupMax:         w.groupHist.Max(),
 		FsyncP50us:       w.fsyncHist.Quantile(0.50),
@@ -67,8 +98,10 @@ func (w *WAL) Stats() Stats {
 	for i, s := range w.shards {
 		s.mu.Lock()
 		appended := s.appended
+		staged := len(s.buf)
 		s.mu.Unlock()
 		st.Shards[i] = ShardStats{Appended: appended, Durable: s.durable.Load()}
+		st.PendingBytes += uint64(staged)
 	}
 	return st
 }

@@ -1,9 +1,9 @@
-// Package tkvwal is the per-shard write-ahead log: the durability half
-// of ROADMAP item 2. It appends the same tkvlog records the replication
-// rings carry — one format for everything that ships or persists
-// committed write sets — and makes them crash-durable with a
-// group-commit fsync loop, periodic checkpoint snapshots with log
-// truncation, and a startup recovery that replays checkpoint + log tail.
+// Package tkvwal is the write-ahead log: the durability half of ROADMAP
+// item 2. It appends the same tkvlog records the replication rings
+// carry — one format for everything that ships or persists committed
+// write sets — and makes them crash-durable with a group-commit fsync
+// loop, periodic checkpoint snapshots with log truncation, and a
+// startup recovery that replays checkpoint + log tail.
 //
 // # Group commit
 //
@@ -11,22 +11,58 @@
 // with its own fsync would cap the store at fsync rate, so appends park
 // on a committing batch instead: Append encodes the record into the
 // shard's pending buffer under a mutex that never spans an fsync and
-// returns a Commit handle for the batch; a per-shard sync goroutine
-// swaps the buffer out, writes it, fsyncs once, and releases every
-// waiter in the batch together. Everything that arrives while one fsync
-// is in flight rides the next one — group size scales with load and the
-// per-write fsync cost amortizes away (group size and fsync latency are
-// both measured, see Stats).
+// returns a Commit handle for the batch; a sync goroutine swaps the
+// buffer out, writes it, fsyncs once, and releases every waiter in the
+// batch together. Everything that arrives while one fsync is in flight
+// rides the next one — group size scales with load and the per-write
+// fsync cost amortizes away (group size and fsync latency are both
+// measured, see Stats).
+//
+// # The shared lane (ModeShared, the default surface in tkvd)
+//
+// The log has two layouts. ModePerShard keeps one segment file and one
+// sync loop per shard — N independent group commits, so a commit
+// interval can pay up to N fsyncs. ModeShared collapses them into one
+// append lane: every shard still encodes into its own pending buffer
+// under its own mutex (staging never contends across shards), but a
+// single lane goroutine collects all staged buffers, writes them into
+// one interleaved segment, fsyncs once, and closes one done channel
+// that releases every waiter on every shard. The whole store pays one
+// fsync per group instead of one per shard, so on single-device media
+// (where N fsyncs to one disk serialize anyway) sync-ack throughput
+// scales with total writers, not writers-per-shard. Because the lane
+// serializes the whole store behind one flush pipeline, its loop paces
+// itself: it stalls ~one measured fsync before collecting (see
+// lanePace), so commit bursts finish staging and groups grow to the
+// demand even when the fsync is faster than the writers' turnaround.
+// Records carry their shard id and per-shard sequence number in the
+// tkvlog header, so the interleaved file demultiplexes naturally at
+// recovery. ModePerShard
+// remains the right choice when shards live on independent media and
+// genuinely fsync in parallel. A directory's MANIFEST pins the layout
+// (and the shard count); reopening with the other mode refuses.
+//
+// The lane's ack correctness leans on one ordering: an appender stages
+// its record under the shard mutex first and only then loads the
+// current group ticket, while the lane loop installs the next ticket
+// first and only then collects the staged buffers. If the appender
+// observed ticket G, the collection for G started after its record was
+// staged, so closing G after the fsync is an honest ack; if it observed
+// G+1, its record rides flush G or G+1, both of which complete before
+// G+1 closes (a collection that finds nothing staged closes its ticket
+// immediately — its waiters' records were made durable by an earlier
+// flush).
 //
 // # Fail-stop
 //
 // A write or fsync error fences the log permanently: every parked and
 // future Commit reports the failure, appends are rejected, and Failed()
-// fires so the process can exit nonzero. A failed fsync means the page
-// cache and the platter may disagree; retrying would risk acknowledging
-// a write the disk silently lost, so the only honest move is to stop.
-// The FS indirection lets tests inject the Nth write/fsync failure and
-// prove no failed write was ever acknowledged.
+// fires so the process can exit nonzero. In shared mode one lane fault
+// fences every shard at once — there is only one lane. A failed fsync
+// means the page cache and the platter may disagree; retrying would
+// risk acknowledging a write the disk silently lost, so the only honest
+// move is to stop. The FS indirection lets tests inject the Nth
+// write/fsync failure and prove no failed write is ever acknowledged.
 package tkvwal
 
 import (
@@ -40,14 +76,32 @@ import (
 	"github.com/shrink-tm/shrink/internal/trace"
 )
 
+// Mode selects the log layout.
+type Mode string
+
+const (
+	// ModePerShard keeps one segment file and one sync loop per shard:
+	// N independent group commits, up to N fsyncs per commit interval.
+	// Right when shards write to independent media.
+	ModePerShard Mode = "pershard"
+	// ModeShared interleaves every shard into one append lane: one
+	// segment file, one sync loop, one fsync per group for the whole
+	// store. Right on single-device media, where it amortizes the fsync
+	// across all shards' writers.
+	ModeShared Mode = "shared"
+)
+
 // Options configures a WAL.
 type Options struct {
 	// Dir is the log directory. Created if absent; its MANIFEST pins the
-	// shard count so a store cannot silently reopen a log with different
-	// sharding.
+	// shard count and layout so a store cannot silently reopen a log
+	// with different sharding or the other mode.
 	Dir string
 	// Shards is the store's shard count (filled by the store).
 	Shards int
+	// Mode is the log layout. The zero value means ModePerShard (the
+	// original layout, and what existing directories hold).
+	Mode Mode
 	// FS is the filesystem to write through; nil means the OS.
 	FS FS
 	// NoSync disables the fsync wait: appends are still written by the
@@ -80,7 +134,6 @@ type Commit struct {
 	w    *WAL
 	done chan struct{}
 	err  error // valid after done closes
-	n    int   // records in the group (stats; written under shard mu)
 }
 
 // Wait parks until the record's batch is durable (or the log has
@@ -109,6 +162,8 @@ func (c *Commit) Wait() error {
 // locks so an append never waits on an fsync: mu guards the pending
 // buffer and is held only for an encode; wmu serializes the write+fsync
 // sections (sync loop flushes, rotations) and is never held by Append.
+// In shared mode only the staging fields are used — the lane owns the
+// file, and cur/notify/wmu/f sit idle.
 type shardLog struct {
 	idx int // shard index (immutable)
 
@@ -130,23 +185,48 @@ type shardLog struct {
 	notify      chan struct{} // wakes the sync loop (capacity 1)
 }
 
-// WAL is a per-shard group-commit write-ahead log. Open recovers and
-// returns one; Append logs a committed write set; Close flushes and
-// shuts down.
+// laneLog is the shared-mode append lane: the single file every shard's
+// staged buffers drain into, and the single group ticket their waiters
+// park on.
+type laneLog struct {
+	cur    atomic.Pointer[Commit] // current group ticket (swap-first, see flushLaneLocked)
+	notify chan struct{}          // wakes the lane loop (capacity 1)
+
+	wmu    sync.Mutex  // serializes write/fsync/rotate on f
+	f      File        // active lane segment (guarded by wmu)
+	rot    uint64      // active segment's rotation counter (guarded by wmu)
+	chunks []laneChunk // collect scratch, reused across flushes (guarded by wmu)
+}
+
+// laneChunk is one shard's staged buffer as collected by a lane flush.
+type laneChunk struct {
+	s      *shardLog
+	buf    []byte
+	n      int    // records in buf
+	target uint64 // shard durable watermark once buf is fsync'd
+}
+
+// WAL is a group-commit write-ahead log. Open recovers and returns one;
+// Append logs a committed write set; Close flushes and shuts down.
 type WAL struct {
 	dir  string
 	fs   FS
 	opts Options
+	mode Mode
 
 	shards []*shardLog
+	lane   *laneLog // non-nil iff mode == ModeShared
 
-	appends     atomic.Uint64
-	fsyncs      atomic.Uint64
-	fsyncHist   trace.Histogram // µs per fsync
-	groupHist   trace.Histogram // records per flushed group
-	checkpoints atomic.Uint64
-	lastCkptNS  atomic.Int64 // unix nanos of last checkpoint (0 = none)
-	recovered   RecoveryStats
+	appends       atomic.Uint64
+	bytesAppended atomic.Uint64
+	pendingPeak   atomic.Uint64   // max bytes one flush carried
+	fsyncs        atomic.Uint64
+	fsyncEMA      atomic.Int64    // EMA of fsync nanos (lane pacing input)
+	fsyncHist     trace.Histogram // µs per fsync
+	groupHist     trace.Histogram // records per flushed group
+	checkpoints   atomic.Uint64
+	lastCkptNS    atomic.Int64 // unix nanos of last checkpoint (0 = none)
+	recovered     RecoveryStats
 
 	failOnce     sync.Once
 	failErr      atomic.Pointer[failBox]
@@ -160,6 +240,9 @@ type WAL struct {
 }
 
 type failBox struct{ err error }
+
+// Mode reports the log's layout.
+func (w *WAL) Mode() Mode { return w.mode }
 
 // Append encodes one committed write set — shard, its per-shard
 // sequence number, and the entries in commit order — into the shard's
@@ -180,6 +263,7 @@ func (w *WAL) Append(shard int, seq uint64, entries []tkvlog.Entry) *Commit {
 	}
 	s := w.shards[shard]
 	s.mu.Lock()
+	before := len(s.buf)
 	s.rec.Shard = uint16(shard)
 	s.rec.Seq = seq
 	s.rec.Entries = entries
@@ -187,13 +271,28 @@ func (w *WAL) Append(shard int, seq uint64, entries []tkvlog.Entry) *Commit {
 	s.rec.Entries = nil
 	s.appended = seq
 	s.pending++
-	c := s.cur
-	c.n++
+	delta := len(s.buf) - before
+	var c *Commit
+	if w.lane == nil {
+		c = s.cur
+	}
 	s.mu.Unlock()
 	w.appends.Add(1)
-	select {
-	case s.notify <- struct{}{}:
-	default:
+	w.bytesAppended.Add(uint64(delta))
+	if w.lane != nil {
+		// Load the group ticket only after the record is staged: a
+		// flush that hands out the ticket we observe starts collecting
+		// after installing its successor, so it must see our record.
+		c = w.lane.cur.Load()
+		select {
+		case w.lane.notify <- struct{}{}:
+		default:
+		}
+	} else {
+		select {
+		case s.notify <- struct{}{}:
+		default:
+		}
 	}
 	if w.opts.NoSync {
 		return nil
@@ -201,10 +300,11 @@ func (w *WAL) Append(shard int, seq uint64, entries []tkvlog.Entry) *Commit {
 	return c
 }
 
-// syncLoop is one shard's group-commit goroutine: wake on appends,
-// flush the whole pending buffer with one write and one fsync, release
-// the batch. On a clean stop it flushes what remains; after a failure
-// or Abandon it just exits (the fence owns the pending waiters).
+// syncLoop is one shard's group-commit goroutine (per-shard mode): wake
+// on appends, flush the whole pending buffer with one write and one
+// fsync, release the batch. On a clean stop it flushes what remains;
+// after a failure or Abandon it just exits (the fence owns the pending
+// waiters).
 func (w *WAL) syncLoop(s *shardLog) {
 	defer w.wg.Done()
 	for {
@@ -231,6 +331,74 @@ func (w *WAL) syncLoop(s *shardLog) {
 			return
 		}
 	}
+}
+
+// laneLoop is the shared-mode group-commit goroutine: wake on appends
+// from any shard, flush every staged buffer with one fsync, release the
+// whole store's batch.
+func (w *WAL) laneLoop() {
+	defer w.wg.Done()
+	for {
+		select {
+		case <-w.lane.notify:
+		case <-w.stopc:
+			if w.failErr.Load() == nil {
+				if err := w.flushLane(); err != nil {
+					w.fail(err)
+				}
+			}
+			return
+		}
+		if w.opts.SyncDelay > 0 {
+			t := time.NewTimer(w.opts.SyncDelay)
+			select {
+			case <-t.C:
+			case <-w.stopc:
+				t.Stop()
+			}
+		} else if !w.opts.NoSync {
+			w.lanePace()
+		}
+		if err := w.flushLane(); err != nil {
+			w.fail(err)
+			return
+		}
+	}
+}
+
+// Lane pacing bounds. The stall tracks the measured fsync cost but
+// never exceeds lanePaceMax (bounds added commit latency) and never
+// drops below lanePaceMin (below that, sleeping is all scheduler
+// overhead anyway).
+const (
+	lanePaceMin = 50 * time.Microsecond
+	lanePaceMax = 2 * time.Millisecond
+)
+
+// lanePace stalls the lane loop for about one fsync duration (EMA,
+// clamped) after a wake so a commit burst can finish staging before
+// collection. The lane serializes the whole store behind one flush
+// pipeline; when the fsync is faster than the writers' turnaround
+// (fast media, networked clients), an eager loop collects only the
+// first arrival or two of each post-ack burst, fsyncs, and strands the
+// rest for the next round — tiny groups, and throughput degenerates to
+// round-trip rate instead of scaling with writers. Stalling ~one fsync
+// puts the loop at ~50% fsync duty cycle: the group grows to about two
+// fsync-windows of arrivals, the stall self-tunes to the media (slow
+// disks get the big groups that actually amortize, fast ones keep the
+// added latency near the noise floor), and a lone serial writer pays
+// at most one extra fsync-time per commit. Per-shard mode keeps the
+// eager flush because its N independent loops overlap rounds
+// naturally.
+func (w *WAL) lanePace() {
+	d := time.Duration(w.fsyncEMA.Load())
+	if d < lanePaceMin {
+		d = lanePaceMin
+	}
+	if d > lanePaceMax {
+		d = lanePaceMax
+	}
+	time.Sleep(d)
 }
 
 // flush writes and fsyncs the shard's pending buffer as one group.
@@ -272,6 +440,7 @@ func (w *WAL) flushLocked(s *shardLog) error {
 		err = serr
 	}
 	w.groupHist.Observe(uint64(n))
+	w.notePending(uint64(len(buf)))
 	if err == nil {
 		s.durable.Store(target)
 	} else {
@@ -289,8 +458,99 @@ func (w *WAL) flushLocked(s *shardLog) error {
 	return err
 }
 
+// flushLane writes and fsyncs every shard's staged buffer as one group.
+func (w *WAL) flushLane() error {
+	l := w.lane
+	l.wmu.Lock()
+	defer l.wmu.Unlock()
+	return w.flushLaneLocked()
+}
+
+// flushLaneLocked is flushLane with l.wmu held (lane rotations flush
+// before switching files). The ticket swap must happen before any
+// staged buffer is collected — see the package doc's ordering argument;
+// each shard's mutex is held only across its buffer swap, never across
+// the I/O.
+func (w *WAL) flushLaneLocked() error {
+	l := w.lane
+	g := l.cur.Load()
+	l.cur.Store(&Commit{w: w, done: make(chan struct{})})
+
+	chunks := l.chunks[:0]
+	total := 0
+	n := 0
+	for _, s := range w.shards {
+		s.mu.Lock()
+		if len(s.buf) > 0 {
+			chunks = append(chunks, laneChunk{s: s, buf: s.buf, n: s.pending, target: s.appended})
+			total += len(s.buf)
+			n += s.pending
+			s.buf = s.spare[:0]
+			s.spare = nil
+			s.pending = 0
+		}
+		s.mu.Unlock()
+	}
+	l.chunks = chunks
+	if total == 0 {
+		// Every record this ticket's waiters staged was collected (and
+		// made durable) by an earlier flush; the ack is already earned.
+		close(g.done)
+		return nil
+	}
+
+	var err error
+	for _, ch := range chunks {
+		if _, werr := l.f.Write(ch.buf); werr != nil {
+			err = werr
+			break
+		}
+	}
+	if err == nil && !w.opts.NoSync {
+		t0 := time.Now()
+		err = l.f.Sync()
+		d := time.Since(t0)
+		w.fsyncHist.ObserveDuration(d)
+		w.fsyncs.Add(1)
+		// Only the lane loop writes the EMA, so load+store is race-free.
+		ema := w.fsyncEMA.Load()
+		w.fsyncEMA.Store(ema - ema/8 + int64(d)/8)
+	}
+	w.groupHist.Observe(uint64(n))
+	w.notePending(uint64(total))
+	if err == nil {
+		for _, ch := range chunks {
+			ch.s.durable.Store(ch.target)
+		}
+	} else {
+		err = fmt.Errorf("tkvwal: lane flush: %w", err)
+	}
+	for _, ch := range chunks {
+		ch.s.mu.Lock()
+		if ch.s.spare == nil {
+			ch.s.spare = ch.buf[:0]
+		}
+		ch.s.mu.Unlock()
+	}
+	g.err = err
+	close(g.done)
+	return err
+}
+
+// notePending raises the pending-bytes watermark to n if higher.
+func (w *WAL) notePending(n uint64) {
+	for {
+		cur := w.pendingPeak.Load()
+		if n <= cur || w.pendingPeak.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
 // fail fences the log permanently: first failure wins, all current and
-// future waiters observe it, Failed() fires, sync loops stop.
+// future waiters observe it, Failed() fires, sync loops stop. In shared
+// mode this is the one-fault-fences-all-shards property — there is only
+// one lane to fence.
 func (w *WAL) fail(err error) {
 	w.failOnce.Do(func() {
 		w.failErr.Store(&failBox{err: err})
@@ -341,13 +601,30 @@ func (w *WAL) Close() error {
 	if w.failErr.Load() == nil {
 		// Catch stragglers that appended between the final loop flush
 		// and the closed flag becoming visible.
-		for _, s := range w.shards {
-			if ferr := w.flush(s); ferr != nil {
+		if w.lane != nil {
+			if ferr := w.flushLane(); ferr != nil {
 				w.fail(ferr)
 				err = ferr
-				break
+			}
+		} else {
+			for _, s := range w.shards {
+				if ferr := w.flush(s); ferr != nil {
+					w.fail(ferr)
+					err = ferr
+					break
+				}
 			}
 		}
+	}
+	if w.lane != nil {
+		w.lane.wmu.Lock()
+		if w.lane.f != nil {
+			if cerr := w.lane.f.Close(); err == nil {
+				err = cerr
+			}
+			w.lane.f = nil
+		}
+		w.lane.wmu.Unlock()
 	}
 	for _, s := range w.shards {
 		s.wmu.Lock()
@@ -377,6 +654,14 @@ func (w *WAL) Abandon() {
 	w.closed.Store(true)
 	w.fail(ErrAbandoned)
 	w.wg.Wait()
+	if w.lane != nil {
+		w.lane.wmu.Lock()
+		if w.lane.f != nil {
+			w.lane.f.Close()
+			w.lane.f = nil
+		}
+		w.lane.wmu.Unlock()
+	}
 	for _, s := range w.shards {
 		s.wmu.Lock()
 		if s.f != nil {

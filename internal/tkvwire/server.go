@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"github.com/shrink-tm/shrink/internal/tkv"
+	"github.com/shrink-tm/shrink/internal/tkvwal"
 )
 
 // ErrServerClosed is returned by Serve after Close, like its http twin.
@@ -23,7 +24,11 @@ var ErrServerClosed = errors.New("tkvwire: server closed")
 // their own goroutine so a slow snapshot never head-of-line blocks
 // pipelined point reads. Responses flow to the write loop over a channel
 // and are flushed only when it drains, so pipelined clients get syscall
-// batching for free.
+// batching for free. On a sync-WAL store the read loop never parks on
+// durability either: write responses are prebuilt and deferred to a
+// per-connection acker that releases them as their group fsync lands, so
+// a connection's whole pipeline of writes stages into the same WAL
+// commit group instead of paying one fsync round-trip per op.
 type Server struct {
 	store *tkv.Store
 
@@ -134,6 +139,13 @@ type conn struct {
 	hdr     [HeaderSize]byte
 	payload []byte // reusable request-payload buffer (inline ops read it zero-copy)
 	intern  map[string]*string
+	// Deferred durability acks (sync-WAL stores only): the read loop
+	// parks prebuilt write responses here instead of on the group fsync,
+	// and ackLoop releases them as their commits turn durable. Lazily
+	// created on the first deferred ack; both stay nil on WAL-less
+	// stores, where writes respond inline.
+	acks      chan walAck
+	ackerDone chan struct{}
 	// Handshake state, owned by the read loop: features holds the bits
 	// granted by OpHello (0 before one completes). The repl opcodes are
 	// refused until a handshake grants FeatReplication.
@@ -167,11 +179,61 @@ func (s *Server) handle(nc net.Conn) {
 		c.writeLoop()
 	}()
 	c.readLoop()
-	close(c.done)  // stop the connection's shipper, if one is streaming
+	close(c.done) // stop the connection's shipper, if one is streaming
+	if c.acks != nil {
+		close(c.acks) // the read loop was the only producer
+	}
 	c.async.Wait() // all async ops have sent their responses
+	if c.ackerDone != nil {
+		<-c.ackerDone // all parked write responses have been released
+	}
 	close(c.out)
 	<-writerDone
 	nc.Close()
+}
+
+// walAck is one write response parked on its WAL group: the response
+// frame is prebuilt (the result is committed and visible to reads), and
+// ackLoop releases it once the commit is durable — or converts it into
+// an error response if the log fenced.
+type walAck struct {
+	c  *tkvwal.Commit
+	f  *Frame
+	op byte
+	id uint64
+}
+
+// deferAck queues a prebuilt write response behind its WAL commit so the
+// read loop can keep executing the connection's pipelined requests while
+// the group fsync runs. Parking inline would cap every connection at one
+// write per fsync round-trip; the point of group commit is that queued
+// writes from every connection ride the same fsync, and that only
+// happens if the read loop does not park. The protocol already completes
+// multi-key ops out of order, so an inline read overtaking a parked
+// write ack is nothing new — and the read observes the committed value,
+// because the write applied before its handle was issued.
+func (c *conn) deferAck(cm *tkvwal.Commit, f *Frame, op byte, id uint64) {
+	if c.acks == nil {
+		c.acks = make(chan walAck, 256)
+		c.ackerDone = make(chan struct{})
+		go c.ackLoop()
+	}
+	c.acks <- walAck{c: cm, f: f, op: op, id: id}
+}
+
+// ackLoop releases parked write responses in arrival order as their
+// commits turn durable. A fenced log turns every parked response into
+// the fence error — never an ack.
+func (c *conn) ackLoop() {
+	defer close(c.ackerDone)
+	for a := range c.acks {
+		if err := a.c.Wait(); err != nil {
+			PutFrame(a.f)
+			c.sendErr(a.op, a.id, statusOf(err), err.Error())
+			continue
+		}
+		c.out <- a.f
+	}
 }
 
 // writeLoop drains response frames to the socket, flushing only when the
@@ -305,56 +367,72 @@ func (c *conn) dispatch(h Header, p []byte) bool {
 			c.sendErr(h.Op, h.ID, StatusBadRequest, err.Error())
 			return false
 		}
-		created, err := st.PutRef(key, c.internVal(val))
+		created, cm, err := st.PutRefAsync(key, c.internVal(val))
 		if err != nil {
 			c.sendErr(h.Op, h.ID, statusOf(err), err.Error())
 			return true
 		}
 		f := GetFrame(HeaderSize)
 		f.B = AppendBoolResp(f.B, OpPut, h.ID, created)
-		c.out <- f
+		if cm != nil {
+			c.deferAck(cm, f, OpPut, h.ID)
+		} else {
+			c.out <- f
+		}
 	case OpDelete:
 		key, err := ParseKeyReq(p)
 		if err != nil {
 			c.sendErr(h.Op, h.ID, StatusBadRequest, err.Error())
 			return false
 		}
-		deleted, err := st.Delete(key)
+		deleted, cm, err := st.DeleteAsync(key)
 		if err != nil {
 			c.sendErr(h.Op, h.ID, statusOf(err), err.Error())
 			return true
 		}
 		f := GetFrame(HeaderSize)
 		f.B = AppendBoolResp(f.B, OpDelete, h.ID, deleted)
-		c.out <- f
+		if cm != nil {
+			c.deferAck(cm, f, OpDelete, h.ID)
+		} else {
+			c.out <- f
+		}
 	case OpCAS:
 		key, old, new, err := ParseCASReq(p)
 		if err != nil {
 			c.sendErr(h.Op, h.ID, StatusBadRequest, err.Error())
 			return false
 		}
-		swapped, err := st.CAS(key, string(old), string(new))
+		swapped, cm, err := st.CASAsync(key, string(old), string(new))
 		if err != nil {
 			c.sendErr(h.Op, h.ID, statusOf(err), err.Error())
 			return true
 		}
 		f := GetFrame(HeaderSize)
 		f.B = AppendBoolResp(f.B, OpCAS, h.ID, swapped)
-		c.out <- f
+		if cm != nil {
+			c.deferAck(cm, f, OpCAS, h.ID)
+		} else {
+			c.out <- f
+		}
 	case OpAdd:
 		key, delta, err := ParseAddReq(p)
 		if err != nil {
 			c.sendErr(h.Op, h.ID, StatusBadRequest, err.Error())
 			return false
 		}
-		val, err := st.Add(key, delta)
+		val, cm, err := st.AddAsync(key, delta)
 		if err != nil {
 			c.sendErr(h.Op, h.ID, statusOf(err), err.Error())
 			return true
 		}
 		f := GetFrame(HeaderSize + 8)
 		f.B = AppendAddResp(f.B, h.ID, val)
-		c.out <- f
+		if cm != nil {
+			c.deferAck(cm, f, OpAdd, h.ID)
+		} else {
+			c.out <- f
+		}
 	case OpMGet:
 		keys, err := ParseMGetReq(p)
 		if err != nil {
